@@ -1,0 +1,101 @@
+"""E5 — performance-model ablations (Section 4).
+
+Regenerates the model-side artifacts the paper's design rests on:
+
+- the overhead surface E(s,T)/(sT) and its numerical optimum (Eq. 6);
+- optimal s vs fault rate for all three schemes (the q-formula
+  difference of ABFT-CORRECTION, Section 4.2.3);
+- the DP placement of Benoit et al. [3] vs the periodic policy —
+  validating that periodic checkpointing is near-optimal;
+- the Young/Daly closed forms as the cheap-verification limit.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core import CostModel, Scheme
+from repro.model import (
+    expected_frame_time,
+    frame_overhead,
+    model_for_scheme,
+    optimal_checkpoint_positions,
+    optimal_interval,
+    young_period,
+)
+
+COSTS = CostModel(t_cp=1.0, t_rec=1.0, t_verif_online=0.8, t_verif_detect=0.2, t_verif_correct=0.35)
+
+
+def test_regenerate_interval_vs_rate(results_dir):
+    """Optimal s per scheme over the Figure-1 rate range."""
+    lines = [f"{'1/alpha':>8} {'s(det)':>7} {'s(corr)':>8} {'ovh(det)':>9} {'ovh(corr)':>10}"]
+    prev = None
+    for mtbf in (16, 10**2, 10**3, 10**4):
+        lam = 1.0 / mtbf
+        det = model_for_scheme(Scheme.ABFT_DETECTION, lam, COSTS).optimal(s_max=3000)
+        cor = model_for_scheme(Scheme.ABFT_CORRECTION, lam, COSTS).optimal(s_max=3000)
+        lines.append(
+            f"{mtbf:>8} {det.s:>7} {cor.s:>8} {det.overhead:>9.4f} {cor.overhead:>10.4f}"
+        )
+        # Correction's success probability is higher → its interval is
+        # larger at every rate.
+        assert cor.s > det.s
+        if prev is not None:
+            assert det.s >= prev  # s grows as faults get rarer
+        prev = det.s
+    text = "\n".join(lines) + "\n"
+    (results_dir / "model_intervals.txt").write_text(text)
+    print("\n" + text)
+
+
+def test_dp_vs_periodic(results_dir):
+    """The exact DP optimum is within a whisker of the periodic policy."""
+    lines = ["q      periodic    dp        gap%"]
+    for q in (0.99, 0.95, 0.9, 0.8):
+        n = 60
+        choice = optimal_interval(1.0, q, 1.0, 1.0, 0.2, s_max=n)
+        frames, rem = divmod(n, choice.s)
+        periodic = frames * expected_frame_time(choice.s, 1.0, 1.0, 1.0, 0.2, q)
+        if rem:
+            periodic += expected_frame_time(rem, 1.0, 1.0, 1.0, 0.2, q)
+        dp = optimal_checkpoint_positions(n, 1.0, q, 1.0, 1.0, 0.2)
+        gap = (periodic - dp.expected_time) / dp.expected_time * 100
+        lines.append(f"{q:<6} {periodic:9.2f} {dp.expected_time:9.2f} {gap:7.3f}")
+        assert dp.expected_time <= periodic + 1e-9
+        assert gap < 2.0  # periodic is near-optimal
+    text = "\n".join(lines) + "\n"
+    (results_dir / "model_dp_vs_periodic.txt").write_text(text)
+    print("\n" + text)
+
+
+def test_young_daly_limit():
+    """With negligible Tverif, s·T ≈ Young's period."""
+    for lam in (1e-3, 1e-4, 1e-5):
+        choice = optimal_interval(1.0, math.exp(-lam), 1.0, 1.0, 1e-9, s_max=5000)
+        assert choice.s * 1.0 == pytest.approx(young_period(1.0, lam), rel=0.15)
+
+
+def test_bench_eq6_scan(benchmark):
+    """Cost of the full Eq.-6 integer scan (used per experiment point)."""
+    choice = benchmark(
+        lambda: optimal_interval(1.0, math.exp(-1 / 16), 1.0, 1.0, 0.35, s_max=1000)
+    )
+    assert choice.s >= 1
+
+
+def test_bench_dp_placement(benchmark):
+    """Cost of the O(n²) DP for a 200-chunk horizon."""
+    dp = benchmark(lambda: optimal_checkpoint_positions(200, 1.0, 0.95, 1.0, 1.0, 0.2))
+    assert dp.positions[-1] == 200
+
+
+def test_bench_joint_online_optimization(benchmark):
+    from repro.model import optimal_online_intervals
+
+    best = benchmark(
+        lambda: optimal_online_intervals(1.0, 0.01, 1.0, 1.0, 0.8, d_max=100, s_max=100)
+    )
+    assert best.d >= 1

@@ -1,0 +1,96 @@
+"""E4 — ABFT overhead per SpMxV vs Chen's verification cost.
+
+Section 3.2/5.2 claims: the ABFT checksum overhead per product is
+O(k·n) — small next to the O(nnz) product — and "ABFT overhead is
+usually smaller than Chen's verification cost" (whose dominant part is
+a full extra SpMxV).  Measured directly on the kernels.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import bench_scale
+from repro.abft import compute_checksums, protected_spmv
+from repro.core.stability import chen_verify
+from repro.sim.engine import make_rhs
+from repro.sim.matrices import suite_specs
+from repro.sparse import spmv
+
+
+@pytest.fixture(scope="module")
+def setup():
+    spec = suite_specs([341])[0]  # the densest suite matrix (~50/row)
+    a = spec.instantiate(max(4, bench_scale() // 4))
+    x = make_rhs(a)
+    return a, x
+
+
+def test_bench_plain_spmv(benchmark, setup):
+    a, x = setup
+    y = benchmark(lambda: spmv(a, x))
+    assert y.shape == (a.nrows,)
+
+
+def test_bench_abft_detect_spmv(benchmark, setup):
+    a, x = setup
+    cks = compute_checksums(a, nchecks=1)
+    res = benchmark(lambda: protected_spmv(a, x, cks, correct=False))
+    assert res.trusted
+
+
+def test_bench_abft_correct_spmv(benchmark, setup):
+    a, x = setup
+    cks = compute_checksums(a, nchecks=2)
+    res = benchmark(lambda: protected_spmv(a, x, cks, correct=True))
+    assert res.trusted
+
+
+def test_bench_chen_verification(benchmark, setup):
+    a, x = setup
+    b = a.matvec(x)
+    r = b - a.matvec(x)
+    report = benchmark(lambda: chen_verify(a, b, x, r, x, b))
+    assert report.residual_gap < 1e-8
+
+
+def test_bench_checksum_setup(benchmark, setup):
+    """The O(k·nnz) one-off setup the amortization argument rests on."""
+    a, _ = setup
+    cks = benchmark(lambda: compute_checksums(a, nchecks=2))
+    assert cks.nchecks == 2
+
+
+def test_overhead_hierarchy(results_dir, setup):
+    """Measured hierarchy: detect < correct < Chen (extra SpMxV)."""
+    import timeit
+
+    a, x = setup
+    cks1 = compute_checksums(a, nchecks=1)
+    cks2 = compute_checksums(a, nchecks=2)
+    b = a.matvec(x)
+    r = b - a.matvec(x)
+
+    def t(f, number=30):
+        return min(timeit.repeat(f, number=number, repeat=3)) / number
+
+    plain = t(lambda: spmv(a, x))
+    detect = t(lambda: protected_spmv(a, x, cks1, correct=False)) - plain
+    correct = t(lambda: protected_spmv(a, x, cks2, correct=True)) - plain
+    chen = t(lambda: chen_verify(a, b, x, r, x, b))
+
+    lines = [
+        f"matrix #341 scaled (n={a.nrows}, nnz/row={a.nnz / a.nrows:.1f})",
+        f"plain SpMxV            : {plain * 1e6:9.1f} us",
+        f"ABFT detect overhead   : {detect * 1e6:9.1f} us ({detect / plain:5.2f}x SpMxV)",
+        f"ABFT correct overhead  : {correct * 1e6:9.1f} us ({correct / plain:5.2f}x SpMxV)",
+        f"Chen verification      : {chen * 1e6:9.1f} us ({chen / plain:5.2f}x SpMxV)",
+    ]
+    text = "\n".join(lines) + "\n"
+    (results_dir / "overhead.txt").write_text(text)
+    print("\n" + text)
+
+    # The paper's claim: checksum overhead below one extra SpMxV.
+    assert detect < chen
+    assert correct < chen * 1.5  # correction may approach but not dwarf it

@@ -1,0 +1,81 @@
+"""E6 — parallel SpMxV with local ABFT (the paper's Section-1 claim).
+
+Measures the simulated row-partitioned protected product across rank
+counts: local detection/correction implies global recovery, the
+allgather volume grows with p, and the per-rank checksum setup
+amortizes exactly as in the sequential case.  The MTBF model shrinks
+as 1/p, so the platform model feeds back into Eq. 6 interval choice.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import bench_scale
+from repro.abft import SpmvStatus
+from repro.core import CostModel, Scheme
+from repro.model import model_for_scheme
+from repro.parallel import DistributedSpmv, partition_by_nnz, platform_rate
+from repro.sim.engine import make_rhs
+from repro.sim.matrices import suite_specs
+
+
+@pytest.fixture(scope="module")
+def matrix():
+    spec = suite_specs([1311])[0]
+    return spec.instantiate(bench_scale())
+
+
+@pytest.mark.parametrize("p", [1, 2, 4, 8])
+def test_bench_distributed_multiply(benchmark, matrix, p):
+    op = DistributedSpmv(matrix, p, partition=partition_by_nnz(matrix, p))
+    x = make_rhs(matrix)
+    res = benchmark(lambda: op.multiply(x))
+    assert res.global_status is SpmvStatus.OK
+
+
+def test_regenerate_parallel_table(results_dir, matrix):
+    """Recovery + communication profile across rank counts."""
+    x = make_rhs(matrix)
+    lines = [f"{'p':>3} {'status':>10} {'allgather words':>16} {'p2p volume':>11} {'rate x p':>9}"]
+    for p in (1, 2, 4, 8, 16):
+        part = partition_by_nnz(matrix, p)
+        op = DistributedSpmv(matrix, p, partition=part)
+
+        def hook(stage, blk, xx, yy):
+            if stage == "pre":
+                blk.val[0] += 1.0
+
+        res = op.multiply(x, rank_hooks={p - 1: hook})
+        assert res.global_status is SpmvStatus.CORRECTED
+        np.testing.assert_allclose(res.y, matrix.matvec(x), rtol=1e-9)
+        lines.append(
+            f"{p:>3} {res.global_status.value:>10} {op.comm.stats.words:>16} "
+            f"{part.communication_volume(matrix):>11} {platform_rate(1e-4, p):>9.1e}"
+        )
+    text = "\n".join(lines) + "\n"
+    (results_dir / "parallel.txt").write_text(text)
+    print("\n" + text)
+
+
+def test_mtbf_scaling_shrinks_interval():
+    """More ranks ⇒ higher platform rate ⇒ smaller optimal s."""
+    costs = CostModel()
+    s_values = []
+    for p in (1, 4, 16, 64):
+        lam = platform_rate(1e-3, p)
+        s_values.append(model_for_scheme(Scheme.ABFT_CORRECTION, lam, costs).optimal(s_max=2000).s)
+    assert s_values == sorted(s_values, reverse=True)
+    assert s_values[-1] < s_values[0]
+
+
+def test_bench_local_checksum_setup(benchmark, matrix):
+    """Per-rank setup cost (amortized over all products with the block)."""
+    from repro.abft import compute_checksums
+    from repro.parallel import block_rows
+
+    part = block_rows(matrix.nrows, 4)
+    blk = part.local_block(matrix, 2)
+    cks = benchmark(lambda: compute_checksums(blk, nchecks=2))
+    assert not cks.is_square

@@ -1,0 +1,39 @@
+"""Shared configuration for the benchmark harness.
+
+Scale knobs (environment variables):
+
+``REPRO_BENCH_SCALE``
+    Matrix-size divisor for experiment regeneration (default 32;
+    1 = the paper's full sizes — slow).
+``REPRO_BENCH_REPS``
+    Repetitions per experimental point (default 3; paper used 50).
+
+Every ``test_regenerate_*`` writes its paper-style table to
+``benchmarks/results/`` so EXPERIMENTS.md can reference concrete runs.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def bench_scale() -> int:
+    """Matrix-size divisor for the regeneration benches."""
+    return int(os.environ.get("REPRO_BENCH_SCALE", "32"))
+
+
+def bench_reps() -> int:
+    """Repetitions per experimental point."""
+    return int(os.environ.get("REPRO_BENCH_REPS", "3"))
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> pathlib.Path:
+    """Directory collecting regenerated tables."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR

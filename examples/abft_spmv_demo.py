@@ -1,0 +1,90 @@
+#!/usr/bin/env python
+"""Walk through every ABFT decode path of Algorithm 2.
+
+Injects one error of each kind — Val, Colid, Rowidx, input vector x,
+computed output y — into a protected sparse matrix–vector product and
+shows how the checksum residuals localize and repair it, plus the
+double-error case that forces a rollback.
+
+Run:  python examples/abft_spmv_demo.py
+"""
+
+import numpy as np
+
+from repro import compute_checksums, laplacian_2d, protected_spmv
+from repro.faults import flip_bit_float64, flip_bit_int64
+
+
+def show(title, res, extra=""):
+    r = res.residuals
+    print(f"--- {title}")
+    print(f"    status     : {res.status.value}")
+    print(f"    residuals  : dr={r.dr}  dx={r.dx}  dxp={r.dxp}")
+    if res.correction is not None:
+        print(f"    decode     : {res.correction.kind} — {res.correction.detail}")
+    if extra:
+        print(f"    {extra}")
+    print()
+
+
+def main() -> None:
+    a = laplacian_2d(30)  # 900×900 SPD
+    rng = np.random.default_rng(1)
+    x = rng.standard_normal(a.ncols)
+    y_true = a.matvec(x)
+
+    # One-off reliable setup: O(2·nnz), amortized over every product.
+    cks = compute_checksums(a, nchecks=2)
+    print(f"checksum setup: 2 weight rows, shift k={cks.shift}\n")
+
+    res = protected_spmv(a, x.copy(), cks)
+    show("clean product", res, extra=f"max|y-Ax| = {np.abs(res.y - y_true).max():.2e}")
+
+    # 1. Val: flip an exponent bit of a stored value.
+    bad = a.copy()
+    bad.val[100] = flip_bit_float64(bad.val[100], 55)
+    res = protected_spmv(bad, x.copy(), cks)
+    show("Val bit flip", res, extra=f"matrix repaired: {bad.equals(a)}")
+
+    # 2. Colid: move a nonzero to the wrong column.
+    bad = a.copy()
+    p = int(bad.rowidx[17])
+    bad.colid[p] = (int(bad.colid[p]) + 13) % bad.ncols
+    res = protected_spmv(bad, x.copy(), cks)
+    show("Colid corruption", res, extra=f"matrix repaired: {bad.equals(a)}")
+
+    # 3. Rowidx: a flipped row pointer shifts two rows' extents.
+    bad = a.copy()
+    bad.rowidx[440] = flip_bit_int64(int(bad.rowidx[440]), 7)
+    res = protected_spmv(bad, x.copy(), cks)
+    show("Rowidx bit flip", res, extra=f"matrix repaired: {bad.equals(a)}")
+
+    # 4. x: the input vector is corrupted mid-product (the reliable
+    #    snapshot x' and the checksum cx were taken at entry).
+    def hook_x(stage, aa, xx, yy):
+        if stage == "pre":
+            xx[505] += 3.75
+
+    xc = x.copy()
+    res = protected_spmv(a, xc, cks, fault_hook=hook_x)
+    show("input-vector strike", res, extra=f"x restored: {np.allclose(xc, x)}")
+
+    # 5. y: the computation of one output entry goes wrong.
+    def hook_y(stage, aa, xx, yy):
+        if stage == "post":
+            yy[77] = flip_bit_float64(yy[77], 54)
+
+    res = protected_spmv(a, x.copy(), cks, fault_hook=hook_y)
+    show("computation strike", res, extra=f"max|y-Ax| = {np.abs(res.y - y_true).max():.2e}")
+
+    # 6. Two errors at once: detected but beyond single-error decoding —
+    #    the solver layer rolls back to its last checkpoint.
+    bad = a.copy()
+    bad.val[10] += 1.0
+    bad.val[4000] -= 2.0
+    res = protected_spmv(bad, x.copy(), cks)
+    show("double error", res, extra="caller must fall back to backward recovery")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,49 @@
+#!/usr/bin/env python
+"""Fault-tolerant BiCGstab — the paper's scheme beyond CG.
+
+Section 3: the ABFT + TMR + checkpoint combination applies to "CGNE,
+BiCG, BiCGstab".  This example runs BiCGstab with both protected
+products per iteration under bit-flip injection, and also shows the
+ProtectedOperator API for solvers that need the transpose product.
+
+Run:  python examples/bicgstab_resilience.py
+"""
+
+import numpy as np
+
+from repro.abft import ProtectedOperator
+from repro.core import Scheme, SchemeConfig, bicg, run_ft_bicgstab
+from repro.sparse import stencil_spd
+
+
+def main() -> None:
+    a = stencil_spd(2500, kind="cross", radius=2)
+    b = np.random.default_rng(0).standard_normal(a.nrows)
+    print(f"matrix: n={a.nrows}, nnz={a.nnz}\n")
+
+    print("fault-tolerant BiCGstab (both products ABFT-protected):")
+    for scheme in (Scheme.ABFT_DETECTION, Scheme.ABFT_CORRECTION):
+        cfg = SchemeConfig(scheme, checkpoint_interval=10)
+        res = run_ft_bicgstab(a, b, cfg, alpha=0.1, rng=7, eps=1e-8)
+        c = res.counters
+        print(
+            f"  {scheme.value:18s} time={res.time_units:7.1f} "
+            f"faults={c.faults_injected:3d} corrected={c.total_corrections:3d} "
+            f"rollbacks={c.rollbacks:3d} converged={res.converged}"
+        )
+
+    # BiCG needs Aᵀ·v too: ProtectedOperator carries separate checksums
+    # for the transpose, built lazily on first use.
+    print("\nBiCG with a self-healing protected operator:")
+    op = ProtectedOperator(a)
+    op.matrix.val[123] += 4.0  # a silent strike on the live matrix
+    res = bicg(a, b, eps=1e-8, matvec=op.matvec, rmatvec=op.rmatvec)
+    print(
+        f"  converged={res.converged} in {res.iterations} iterations; "
+        f"operator stats: {op.stats.products} products, "
+        f"corrections={op.stats.corrections}"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,62 @@
+#!/usr/bin/env python
+"""Row-partitioned parallel SpMxV with per-rank ABFT.
+
+The paper's Section 1: each processor owns a block of rows and runs the
+checksum protection locally; because output rows are disjoint, local
+detection/correction gives global detection/correction, while MPI-style
+transport is assumed reliable.  The platform MTBF shrinks as 1/p, which
+feeds back into the checkpoint-interval model.
+
+Run:  python examples/parallel_spmv_demo.py
+"""
+
+import numpy as np
+
+from repro.core import CostModel, Scheme
+from repro.model import model_for_scheme
+from repro.parallel import DistributedSpmv, partition_by_nnz, platform_rate
+from repro.sparse import stencil_spd
+
+
+def main() -> None:
+    a = stencil_spd(3600, kind="box", radius=2)
+    rng = np.random.default_rng(3)
+    x = rng.standard_normal(a.ncols)
+    y_true = a.matvec(x)
+
+    print(f"matrix: n={a.nrows}, nnz={a.nnz}")
+    for p in (2, 4, 8):
+        part = partition_by_nnz(a, p)
+        op = DistributedSpmv(a, p, partition=part)
+
+        # Rank p−1 suffers a Val strike and rank 0 an input strike —
+        # each is locally single, so both are corrected in place.
+        def val_hook(stage, blk, xx, yy):
+            if stage == "pre":
+                blk.val[11] += 4.0
+
+        def x_hook(stage, blk, xx, yy):
+            if stage == "pre":
+                xx[3] -= 2.0
+
+        res = op.multiply(x, rank_hooks={p - 1: val_hook, 0: x_hook})
+        err = np.abs(res.y - y_true).max()
+        statuses = ",".join(r.status.value[:4] for r in res.rank_results)
+        print(
+            f"p={p}: global={res.global_status.value:9s} per-rank=[{statuses}] "
+            f"max|y-Ax|={err:.1e} comm={op.comm.stats.words} words "
+            f"(p2p lower bound {part.communication_volume(a)})"
+        )
+
+    # MTBF scaling: the checkpoint interval the model recommends
+    # shrinks as ranks are added.
+    print("\ncheckpoint interval vs processor count (per-proc rate 1e-3):")
+    costs = CostModel.from_matrix(a)
+    for p in (1, 4, 16, 64, 256):
+        lam = platform_rate(1e-3, p)
+        s = model_for_scheme(Scheme.ABFT_CORRECTION, lam, costs).optimal(s_max=3000).s
+        print(f"  p={p:4d}  lambda={lam:8.1e}  s~={s}")
+
+
+if __name__ == "__main__":
+    main()

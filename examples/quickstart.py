@@ -1,0 +1,64 @@
+#!/usr/bin/env python
+"""Quickstart: protect a CG solve against silent errors.
+
+Builds an SPD system, runs the three fault-tolerant schemes of
+Fasi/Robert/Uçar (PDSEC'15) under bit-flip injection, and prints what
+each resilience layer did.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro import (
+    CostModel,
+    Scheme,
+    SchemeConfig,
+    cg,
+    run_ft_cg,
+    stencil_spd,
+)
+
+
+def main() -> None:
+    # An SPD matrix with the spread spectrum of a PDE discretization
+    # (~2'500 unknowns, 13 nonzeros per row).
+    a = stencil_spd(2500, kind="cross", radius=3)
+    rng = np.random.default_rng(0)
+    b = rng.standard_normal(a.nrows)
+
+    print(f"matrix: n={a.nrows}, nnz={a.nnz}, {a.nnz / a.nrows:.1f} nnz/row")
+    baseline = cg(a, b, eps=1e-8)
+    print(f"fault-free CG: {baseline.iterations} iterations\n")
+
+    # Fault model: one bit flip every ~10 iterations in expectation,
+    # striking the matrix arrays or the CG vectors uniformly.
+    alpha = 0.1
+    costs = CostModel.from_matrix(a)
+
+    header = f"{'scheme':20s} {'time':>8s} {'iters':>6s} {'faults':>6s} {'corrected':>9s} {'rollbacks':>9s}"
+    print(header)
+    print("-" * len(header))
+    for scheme, d in [
+        (Scheme.ONLINE_DETECTION, 5),
+        (Scheme.ABFT_DETECTION, 1),
+        (Scheme.ABFT_CORRECTION, 1),
+    ]:
+        cfg = SchemeConfig(scheme, checkpoint_interval=10, verification_interval=d, costs=costs)
+        res = run_ft_cg(a, b, cfg, alpha=alpha, rng=42, eps=1e-8)
+        c = res.counters
+        print(
+            f"{scheme.value:20s} {res.time_units:8.1f} {res.iterations_executed:6d} "
+            f"{c.faults_injected:6d} {c.total_corrections:9d} {c.rollbacks:9d}"
+        )
+        assert res.converged
+        assert res.residual_norm <= res.threshold
+
+    print(
+        "\nABFT-CORRECTION repairs single errors in place (forward recovery)\n"
+        "and therefore rolls back far less than the detection-only schemes."
+    )
+
+
+if __name__ == "__main__":
+    main()

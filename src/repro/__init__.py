@@ -1,0 +1,115 @@
+"""repro — backward + forward recovery for silent errors in iterative solvers.
+
+A production-quality reproduction of:
+
+    M. Fasi, Y. Robert, B. Uçar, *Combining backward and forward
+    recovery to cope with silent errors in iterative solvers*,
+    PDSEC 2015 (IEEE IPDPSW), pp. 980–989.
+
+The library provides:
+
+- a raw-array CSR sparse substrate (:mod:`repro.sparse`);
+- ABFT-protected SpMxV with single-error detection or double-detect /
+  single-correct, including the floating-point tolerance of Theorem 2
+  (:mod:`repro.abft`);
+- bit-flip silent-error injection under the paper's fault model
+  (:mod:`repro.faults`);
+- verified checkpointing (:mod:`repro.checkpoint`);
+- plain, preconditioned and fault-tolerant CG solvers implementing the
+  ONLINE-DETECTION / ABFT-DETECTION / ABFT-CORRECTION schemes
+  (:mod:`repro.core`);
+- the abstract performance model with numerical interval optimization
+  (:mod:`repro.model`);
+- a simulated message-passing parallel SpMxV with local ABFT
+  (:mod:`repro.parallel`);
+- the experiment drivers regenerating the paper's Table 1 and Figure 1
+  (:mod:`repro.sim`).
+
+Quickstart
+----------
+>>> from repro import laplacian_2d, run_ft_cg, Scheme, SchemeConfig
+>>> import numpy as np
+>>> a = laplacian_2d(30)                      # 900x900 SPD matrix
+>>> b = a.matvec(np.ones(a.nrows))
+>>> cfg = SchemeConfig(Scheme.ABFT_CORRECTION, checkpoint_interval=10)
+>>> res = run_ft_cg(a, b, cfg, alpha=0.05, rng=0)
+>>> bool(res.converged)
+True
+"""
+
+from repro.sparse import (
+    CSRMatrix,
+    spmv,
+    laplacian_2d,
+    laplacian_3d,
+    anisotropic_2d,
+    random_spd,
+    banded_spd,
+    graph_laplacian_spd,
+    stencil_spd,
+)
+from repro.abft import (
+    compute_checksums,
+    protected_spmv,
+    SpmvStatus,
+    tmr_dot,
+    tmr_norm2,
+    tmr_axpy,
+)
+from repro.faults import FaultInjector, FaultModel, IterationFaultPlan, CGTargets
+from repro.checkpoint import CheckpointStore, PeriodicCheckpointPolicy
+from repro.core import (
+    cg,
+    pcg,
+    jacobi_preconditioner,
+    Scheme,
+    SchemeConfig,
+    CostModel,
+    run_ft_cg,
+    FTCGResult,
+)
+from repro.model import (
+    expected_frame_time,
+    frame_overhead,
+    optimal_interval,
+    model_for_scheme,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CSRMatrix",
+    "spmv",
+    "laplacian_2d",
+    "laplacian_3d",
+    "anisotropic_2d",
+    "random_spd",
+    "banded_spd",
+    "graph_laplacian_spd",
+    "stencil_spd",
+    "compute_checksums",
+    "protected_spmv",
+    "SpmvStatus",
+    "tmr_dot",
+    "tmr_norm2",
+    "tmr_axpy",
+    "FaultInjector",
+    "FaultModel",
+    "IterationFaultPlan",
+    "CGTargets",
+    "CheckpointStore",
+    "PeriodicCheckpointPolicy",
+    "cg",
+    "pcg",
+    "jacobi_preconditioner",
+    "Scheme",
+    "SchemeConfig",
+    "CostModel",
+    "run_ft_cg",
+    "FTCGResult",
+    "expected_frame_time",
+    "frame_overhead",
+    "optimal_interval",
+    "model_for_scheme",
+    "__version__",
+]

@@ -1,0 +1,37 @@
+"""Command-line entry point: ``python -m repro``.
+
+Prints the library banner and forwards experiment subcommands to
+:mod:`repro.sim.experiments`.
+"""
+
+from __future__ import annotations
+
+import sys
+
+import repro
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    if argv and argv[0] in ("table1", "figure1"):
+        from repro.sim.experiments import _main
+
+        return _main(argv)
+    print(
+        f"repro {repro.__version__} — backward + forward recovery for "
+        "silent errors in iterative solvers\n"
+        "(reproduction of Fasi, Robert, Uçar, PDSEC 2015)\n\n"
+        "usage:\n"
+        "  python -m repro table1  [--scale N] [--reps R] [--uids ...]\n"
+        "  python -m repro figure1 [--scale N] [--reps R] [--uids ...]\n\n"
+        "see README.md for the library API and examples/ for runnable demos"
+    )
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    try:
+        raise SystemExit(main())
+    except BrokenPipeError:
+        # Downstream pager/head closed the pipe — standard CLI etiquette.
+        raise SystemExit(0)

@@ -1,0 +1,59 @@
+"""Algorithm-based fault tolerance for the sparse matrix-vector product.
+
+Implements the paper's Algorithm 2 and its supporting machinery:
+
+- :mod:`repro.abft.weights` — weight matrices ``W`` and the shift
+  constant ``k`` that removes the zero-column-sum degeneracy;
+- :mod:`repro.abft.checksums` — per-matrix checksum precomputation
+  (``COMPUTECHECKSUMS`` of Algorithm 2);
+- :mod:`repro.abft.spmv` — the protected SpMxV with single-error
+  detection (Theorem 1) or double-detection/single-correction;
+- :mod:`repro.abft.correction` — the ``CORRECTERRORS`` decoder for
+  errors in ``Rowidx``, ``Val``, ``Colid``, ``x`` and the computation;
+- :mod:`repro.abft.tolerance` — the Theorem-2 floating-point tolerance
+  that guarantees no false positives;
+- :mod:`repro.abft.tmr` — triple modular redundancy for the dot/norm/
+  axpy kernels the paper protects by replication rather than checksums.
+"""
+
+from repro.abft.weights import ones_weights, ramp_weights, weight_matrix, choose_shift
+from repro.abft.checksums import SpmvChecksums, compute_checksums
+from repro.abft.spmv import (
+    ProtectedSpmvResult,
+    SpmvStatus,
+    protected_spmv,
+    detect_errors,
+)
+from repro.abft.correction import CorrectionOutcome, correct_errors
+from repro.abft.tolerance import gamma, spmv_checksum_tolerance, ToleranceModel
+from repro.abft.tmr import tmr_dot, tmr_norm2, tmr_axpy, majority_vote, TMRError
+from repro.abft.operator import ProtectedOperator, UncorrectableError
+from repro.abft.multi import MultiChecksums, compute_multi_checksums, detect_multi
+
+__all__ = [
+    "ones_weights",
+    "ramp_weights",
+    "weight_matrix",
+    "choose_shift",
+    "SpmvChecksums",
+    "compute_checksums",
+    "ProtectedSpmvResult",
+    "SpmvStatus",
+    "protected_spmv",
+    "detect_errors",
+    "CorrectionOutcome",
+    "correct_errors",
+    "gamma",
+    "spmv_checksum_tolerance",
+    "ToleranceModel",
+    "tmr_dot",
+    "tmr_norm2",
+    "tmr_axpy",
+    "majority_vote",
+    "TMRError",
+    "ProtectedOperator",
+    "UncorrectableError",
+    "MultiChecksums",
+    "compute_multi_checksums",
+    "detect_multi",
+]

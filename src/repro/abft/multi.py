@@ -1,0 +1,86 @@
+"""Multi-error *detection* with k ≥ 2 checksum rows.
+
+The technical-report extension the paper summarizes in Section 3.2:
+"the method just described can be extended to detect up to a total of k
+errors … building up the necessary structures requires O(k·nnz(A))
+time, and the overhead per SpMxV is O(k·n)."  The paper also notes that
+*correction* beyond one error "is practically not feasible for k > 2" —
+so this module implements detection only, and the library's correction
+stays at the paper's detect-2/correct-1.
+
+Weight rows are the Vandermonde family ``w⁽ˡ⁾_i = (i/n)^{l−1}``
+(normalized abscissae to keep the entries in [0, 1] and the residual
+scales comparable; any k columns of a Vandermonde matrix with distinct
+nodes are linearly independent, so no combination of ≤ k output-row
+errors can cancel every residual).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.sparse.csr import CSRMatrix
+from repro.sparse.norms import column_sums, norm1
+from repro.abft.tolerance import gamma
+
+__all__ = ["MultiChecksums", "compute_multi_checksums", "detect_multi"]
+
+
+def _vandermonde_weights(n: int, k: int) -> np.ndarray:
+    """``(k, n)`` weight rows w⁽ˡ⁾_i = ((i+1)/n)^{l−1}, l = 1..k."""
+    nodes = np.arange(1, n + 1, dtype=np.float64) / n
+    return np.vstack([nodes ** (l - 1) for l in range(1, k + 1)])
+
+
+@dataclass(frozen=True)
+class MultiChecksums:
+    """Reliable metadata for k-error detection of ``y = A x``."""
+
+    k: int
+    weights: np.ndarray  #: (k, n) Vandermonde weight rows
+    column_checksums: np.ndarray  #: (k, n) rows of WᵀA
+    thresholds_factor: np.ndarray  #: per-row Theorem-2 factors (× ‖x‖∞)
+
+    def thresholds(self, x_inf: float) -> np.ndarray:
+        """Per-row comparison thresholds for input magnitude ``‖x‖∞``."""
+        return self.thresholds_factor * max(x_inf, np.finfo(np.float64).tiny)
+
+
+def compute_multi_checksums(a: CSRMatrix, k: int) -> MultiChecksums:
+    """O(k·nnz) setup for k-error detection on matrix ``a``."""
+    if k < 1:
+        raise ValueError(f"k must be >= 1, got {k}")
+    n_rows, n_cols = a.shape
+    w = _vandermonde_weights(n_rows, k)
+    cks = np.vstack([column_sums(a, weights=w[l]) for l in range(k)])
+    base = 2.0 * gamma(2 * n_rows) * n_rows * norm1(a)
+    # ‖w⁽ˡ⁾‖∞ = 1 for every row by construction.
+    factors = np.full(k, base)
+    return MultiChecksums(k=k, weights=w, column_checksums=cks, thresholds_factor=factors)
+
+
+def detect_multi(
+    a: CSRMatrix,
+    x: np.ndarray,
+    y: np.ndarray,
+    cks: MultiChecksums,
+) -> tuple[bool, np.ndarray]:
+    """Check ``y = A x`` against the k checksum rows.
+
+    Returns ``(clean, residuals)``; a run with up to ``k`` corrupted
+    output rows leaves at least one residual above its threshold
+    (Vandermonde independence), while a fault-free product stays below
+    all of them (Theorem-2 bound per row).
+    """
+    x = np.asarray(x, dtype=np.float64)
+    y = np.asarray(y, dtype=np.float64)
+    with np.errstate(over="ignore", invalid="ignore"):
+        residuals = cks.weights @ y - cks.column_checksums @ x
+    x_inf = float(np.abs(x).max(initial=0.0))
+    thr = cks.thresholds(x_inf)
+    clean = bool(
+        np.all(np.isfinite(residuals)) and np.all(np.abs(residuals) <= thr)
+    )
+    return clean, residuals

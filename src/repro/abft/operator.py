@@ -1,0 +1,122 @@
+"""A reusable ABFT-protected linear operator.
+
+Bundles a matrix, its checksum metadata and (lazily) the transposed
+matrix with *its own* checksums, exposing ``matvec``/``rmatvec``
+callables that drop into any solver taking product hooks
+(:func:`repro.core.pcg.pcg`, :mod:`repro.core.krylov`).  Every product
+is verified; single errors are corrected in place; uncorrectable
+products raise :class:`UncorrectableError` so the caller's
+backward-recovery layer can take over.
+
+This is the glue the paper's Section 3 sketches for CGNE/BiCG/BiCGstab:
+the transpose product is just the ABFT-SpMxV applied to ``Aᵀ`` — one
+extra ``O(k·nnz)`` setup, amortized like the primal one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.sparse.csr import CSRMatrix
+from repro.abft.checksums import SpmvChecksums, compute_checksums
+from repro.abft.spmv import protected_spmv, SpmvStatus
+
+__all__ = ["UncorrectableError", "ProtectedOperator"]
+
+
+class UncorrectableError(RuntimeError):
+    """A protected product hit a multi-error it could not repair."""
+
+    def __init__(self, result) -> None:
+        super().__init__(f"uncorrectable silent error: {result.status}")
+        self.result = result
+
+
+@dataclass
+class OperatorStats:
+    """Counters over all products the operator served."""
+
+    products: int = 0
+    corrections: dict[str, int] = field(default_factory=dict)
+    uncorrectable: int = 0
+
+    def record(self, result) -> None:
+        self.products += 1
+        if result.status is SpmvStatus.CORRECTED and result.correction is not None:
+            kind = result.correction.kind
+            self.corrections[kind] = self.corrections.get(kind, 0) + 1
+        elif not result.trusted:
+            self.uncorrectable += 1
+
+
+class ProtectedOperator:
+    """ABFT-protected ``A·v`` / ``Aᵀ·v`` with shared bookkeeping.
+
+    Parameters
+    ----------
+    a:
+        The matrix.  The operator keeps its own live copy (mutated only
+        by ABFT repairs) and never touches the caller's arrays.
+    nchecks:
+        1 = detection only (``matvec`` raises on any detection);
+        2 = detect-2/correct-1 (raises only on uncorrectable products).
+    fault_hook / fault_hook_t:
+        Optional injection hooks forwarded to the primal / transpose
+        protected products (simulation use).
+    """
+
+    def __init__(
+        self,
+        a: CSRMatrix,
+        *,
+        nchecks: int = 2,
+        fault_hook=None,
+        fault_hook_t=None,
+    ) -> None:
+        if nchecks not in (1, 2):
+            raise ValueError(f"nchecks must be 1 or 2, got {nchecks}")
+        self._a = a.copy()
+        self._nchecks = nchecks
+        self._cks: SpmvChecksums = compute_checksums(self._a, nchecks=nchecks)
+        self._at: CSRMatrix | None = None
+        self._cks_t: SpmvChecksums | None = None
+        self._hook = fault_hook
+        self._hook_t = fault_hook_t
+        self.stats = OperatorStats()
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        """Shape of the wrapped matrix."""
+        return self._a.shape
+
+    @property
+    def matrix(self) -> CSRMatrix:
+        """The operator's live (self-healing) copy of the matrix."""
+        return self._a
+
+    def _run(self, a, x, cks, hook):
+        res = protected_spmv(
+            a, np.asarray(x, dtype=np.float64).copy(),
+            cks, correct=(self._nchecks == 2), fault_hook=hook,
+        )
+        self.stats.record(res)
+        if not res.trusted:
+            raise UncorrectableError(res)
+        return res.y
+
+    def matvec(self, x: np.ndarray) -> np.ndarray:
+        """Verified (and self-repairing) ``A·x``."""
+        return self._run(self._a, x, self._cks, self._hook)
+
+    def rmatvec(self, x: np.ndarray) -> np.ndarray:
+        """Verified ``Aᵀ·x`` — the transpose carries its own checksums,
+        built lazily on first use (CG never needs them)."""
+        if self._at is None:
+            self._at = self._a.transpose()
+            self._cks_t = compute_checksums(self._at, nchecks=self._nchecks)
+        return self._run(self._at, x, self._cks_t, self._hook_t)
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        return self.matvec(x)

@@ -1,0 +1,278 @@
+"""ABFT-protected sparse matrix–vector product (paper Algorithm 2).
+
+The protected product computes ``y = A x`` through the unreliable
+kernel and then evaluates three groups of checksum residuals (all the
+checksum arithmetic itself is reliable — selective reliability):
+
+``dr``  (Theorem 1, tests iii/iv)
+    ``cr − Wᵀ·Rowidx[1..n]`` where ``cr`` was precomputed from the
+    clean matrix.  Row pointers are integers, so this test is exact:
+    any absolute residual ≥ 0.5 is a real corruption of ``Rowidx``.
+
+``dx``  (Algorithm 2 line 21, Theorem 1 test i)
+    ``Wᵀy − (WᵀA)ᵀ·x̃`` evaluated against the *current* (possibly
+    corrupted) ``x̃``.  Because ``y`` was computed from the same ``x̃``,
+    errors in ``x`` cancel here — a nonzero ``dx`` isolates errors in
+    the matrix arrays or in the computation of ``y``.  With the ramp
+    weight row, ``dx₂/dx₁`` localizes the faulty output row.
+
+``dxp`` (Algorithm 2 line 22, Theorem 1 test ii)
+    The input-vector test against the reliable copy ``x'``.  Two forms
+    are implemented, matching the paper's two schemes:
+
+    * *detection mode* (1 checksum row): the Theorem-1 shifted test
+      ``(c + k)ᵀx' − (Σᵢyᵢ + k Σᵢx̃ᵢ)`` with ``c`` the column sums of
+      ``A``.  The shift ``k`` is what makes an error in ``x_j`` visible
+      even when column ``j`` of ``A`` sums to zero (Section 3.2's
+      geometric argument; e.g. graph Laplacians).
+    * *correction mode* (2 checksum rows): the line-22 form
+      ``Wᵀ(x' − y) − (W − C)ᵀx̃``, which reduces to ``Wᵀ(x' − x̃)``
+      when only ``x`` is corrupted — so ``dxp₂/dxp₁`` localizes the
+      faulty entry of ``x`` directly (the ``W`` rows have no zero
+      entries, so no shift is needed for localization).
+
+All floating-point comparisons use the Theorem-2 tolerance, so a
+fault-free product can never be flagged (no false positives).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from repro.sparse.csr import CSRMatrix
+from repro.sparse.spmv import spmv
+from repro.abft.checksums import SpmvChecksums, compute_checksums
+
+__all__ = ["SpmvStatus", "SpmvResiduals", "ProtectedSpmvResult", "protected_spmv", "detect_errors"]
+
+
+class SpmvStatus(enum.Enum):
+    """Outcome of a protected SpMxV."""
+
+    OK = "ok"  #: all checksums passed; y is trusted
+    CORRECTED = "corrected"  #: a single error was detected and repaired
+    DETECTED = "detected"  #: an error was detected (detection-only mode)
+    UNCORRECTABLE = "uncorrectable"  #: ≥ 2 errors; caller must roll back
+
+
+@dataclass(frozen=True)
+class SpmvResiduals:
+    """The raw checksum residuals of one verification pass."""
+
+    dr: np.ndarray  #: row-pointer residuals, one per checksum row (exact)
+    dx: np.ndarray  #: output/matrix residuals, one per checksum row
+    dxp: np.ndarray  #: input-vector residuals, one per checksum row
+    thresholds: np.ndarray  #: Theorem-2 thresholds for dx/dxp rows
+
+    @property
+    def rowidx_flagged(self) -> bool:
+        """True when the (exact) row-pointer test fails.
+
+        Pointers are integers, so any true discrepancy is ≥ 1; a
+        non-finite residual (overflowed corrupted pointer) also flags.
+        """
+        return bool(np.any(~np.isfinite(self.dr)) or np.any(np.abs(self.dr) >= 0.5))
+
+    @property
+    def dx_flagged(self) -> bool:
+        """True when the matrix/computation test exceeds tolerance.
+
+        NaN/inf residuals — a flipped exponent bit can push a value to
+        ~1e300 and overflow the checksum algebra — always flag.
+        """
+        return bool(
+            np.any(~np.isfinite(self.dx)) or np.any(np.abs(self.dx) > self.thresholds)
+        )
+
+    @property
+    def dxp_flagged(self) -> bool:
+        """True when the input-vector test exceeds tolerance (NaN/inf flags)."""
+        return bool(
+            np.any(~np.isfinite(self.dxp)) or np.any(np.abs(self.dxp) > self.thresholds)
+        )
+
+    @property
+    def clean(self) -> bool:
+        """True when every test passes."""
+        return not (self.rowidx_flagged or self.dx_flagged or self.dxp_flagged)
+
+
+@dataclass
+class ProtectedSpmvResult:
+    """Result of :func:`protected_spmv`.
+
+    Attributes
+    ----------
+    y:
+        The output vector.  Trustworthy iff ``status`` is ``OK`` or
+        ``CORRECTED``.
+    status:
+        See :class:`SpmvStatus`.
+    residuals:
+        The residuals of the *first* verification pass (before any
+        correction), for diagnostics.
+    correction:
+        The correction outcome when a repair was attempted, else None.
+    """
+
+    y: np.ndarray
+    status: SpmvStatus
+    residuals: SpmvResiduals
+    correction: "object | None" = field(default=None)
+
+    @property
+    def trusted(self) -> bool:
+        """Whether the caller may use ``y`` without recovery."""
+        return self.status in (SpmvStatus.OK, SpmvStatus.CORRECTED)
+
+
+def _verify(
+    a: CSRMatrix,
+    x: np.ndarray,
+    y: np.ndarray,
+    x_ref: np.ndarray,
+    cks: SpmvChecksums,
+) -> SpmvResiduals:
+    """Evaluate all checksum residuals for the current state."""
+    w = cks.weights
+    c = cks.column_checksums
+    # Corrupted data can hold ±1e300-scale values whose checksum algebra
+    # overflows; the resulting inf/NaN residuals are flagged as errors,
+    # so the overflow itself is expected, not exceptional.
+    with np.errstate(over="ignore", invalid="ignore"):
+        # Row-pointer test (exact integer arithmetic in float64).
+        sr = w @ a.rowidx[1:].astype(np.float64)
+        dr = cks.rowidx_checksums - sr
+        # Matrix/computation test: Wᵀy − Cᵀx̃.
+        dx = w @ y - c @ x
+    # Input-vector test.
+    with np.errstate(over="ignore", invalid="ignore"):
+        if cks.nchecks == 1:
+            # Theorem-1 shifted form: (c+k)ᵀx' − (Σy + kΣx̃).
+            shifted = cks.shifted_first_row
+            dxp = np.array([float(shifted @ x_ref - (y.sum() + cks.shift * x.sum()))])
+        elif cks.is_square:
+            # Algorithm-2 line-22 form: Wᵀ(x'−y) − (W−C)ᵀx̃.
+            dxp = w @ (x_ref - y) - (w - c) @ x
+        else:
+            # Rectangular local block of a row-partitioned parallel SpMxV
+            # (Section 1's MPI discussion): the line-22 form mixes row- and
+            # column-length vectors, so the input test compares the
+            # reliable copy against the live input with column weights —
+            # algebraically what line 22 reduces to when only x is struck.
+            dxp = cks.column_weights @ (x_ref - x)
+    # Theorem 2 bounds the rounding of the products actually computed,
+    # which involve the *live* x̃ (possibly corrupted, hence possibly
+    # much larger than the snapshot); take the max of both magnitudes
+    # so a large corruption of x cannot push benign rounding of the
+    # matrix test over its threshold.
+    with np.errstate(invalid="ignore"):
+        x_inf = float(
+            max(np.abs(x_ref).max(initial=0.0), np.abs(x).max(initial=0.0))
+        )
+    if not np.isfinite(x_inf):
+        x_inf = float(np.abs(x_ref).max(initial=0.0))
+    thresholds = cks.tolerance.thresholds(x_inf)
+    return SpmvResiduals(dr=dr, dx=dx, dxp=dxp, thresholds=thresholds)
+
+
+def protected_spmv(
+    a: CSRMatrix,
+    x: np.ndarray,
+    checksums: SpmvChecksums | None = None,
+    *,
+    correct: bool = True,
+    fault_hook: Callable[[str, CSRMatrix, np.ndarray, np.ndarray | None], None] | None = None,
+    ratio_tol: float = 1e-4,
+) -> ProtectedSpmvResult:
+    """Compute ``y = A x`` with ABFT protection.
+
+    Parameters
+    ----------
+    a:
+        The matrix.  Mutated in place if a matrix error is corrected.
+    x:
+        The input vector.  Mutated in place if an x-error is corrected.
+    checksums:
+        Precomputed metadata from :func:`compute_checksums`; when None
+        it is computed on the fly (which assumes ``a`` is currently
+        clean — amortize it across calls in real use).
+    correct:
+        True → double-detect / single-correct (requires 2 checksum
+        rows); False → detection only.
+    fault_hook:
+        Test/simulation hook.  Called as ``hook("pre", a, x, None)``
+        after the reliable snapshot of ``x`` is taken (inject memory
+        errors here) and ``hook("post", a, x, y)`` after the raw
+        product (inject computation errors into ``y`` here).
+    ratio_tol:
+        The ε of Section 3.2: maximum distance of a residual ratio from
+        the nearest integer for single-error localization.
+
+    Returns
+    -------
+    ProtectedSpmvResult
+    """
+    x = np.asarray(x, dtype=np.float64)
+    if checksums is None:
+        checksums = compute_checksums(a, nchecks=2 if correct else 1)
+    if correct and checksums.nchecks < 2:
+        raise ValueError("correction requires nchecks=2 checksums")
+    if checksums.shape != a.shape:
+        raise ValueError(
+            f"checksums were computed for shape {checksums.shape}, matrix is {a.shape}"
+        )
+
+    # Reliable snapshot (Algorithm 2 line 3) and input checksum (line 10),
+    # taken before any unreliable work.
+    x_ref = x.copy()
+    cx = checksums.x_checksums(x)
+
+    if fault_hook is not None:
+        fault_hook("pre", a, x, None)
+    y = spmv(a, x)
+    if fault_hook is not None:
+        fault_hook("post", a, x, y)
+
+    residuals = _verify(a, x, y, x_ref, checksums)
+    if residuals.clean:
+        return ProtectedSpmvResult(y=y, status=SpmvStatus.OK, residuals=residuals)
+
+    if not correct:
+        return ProtectedSpmvResult(y=y, status=SpmvStatus.DETECTED, residuals=residuals)
+
+    from repro.abft.correction import correct_errors
+
+    outcome = correct_errors(
+        a, x, y, x_ref, cx, checksums, residuals, ratio_tol=ratio_tol
+    )
+    if outcome.corrected:
+        # Re-verify after repair: the repaired state must be fully clean.
+        post = _verify(a, x, y, x_ref, checksums)
+        if post.clean:
+            return ProtectedSpmvResult(
+                y=y, status=SpmvStatus.CORRECTED, residuals=residuals, correction=outcome
+            )
+    return ProtectedSpmvResult(
+        y=y, status=SpmvStatus.UNCORRECTABLE, residuals=residuals, correction=outcome
+    )
+
+
+def detect_errors(
+    a: CSRMatrix,
+    x: np.ndarray,
+    y: np.ndarray,
+    x_ref: np.ndarray,
+    checksums: SpmvChecksums,
+) -> SpmvResiduals:
+    """Stand-alone verification of an already-computed product.
+
+    Exposed for tests and for callers that interleave fault injection
+    with their own kernels; :func:`protected_spmv` is the normal entry
+    point.
+    """
+    return _verify(a, np.asarray(x, dtype=np.float64), y, x_ref, checksums)

@@ -1,0 +1,105 @@
+"""Triple modular redundancy for vector kernels.
+
+The paper protects the SpMxV with ABFT but notes that checksum schemes
+for the remaining CG kernels (dot products, norms, axpy updates) cost
+as much as recomputation — so those are protected by TMR instead
+(Section 3.1): execute three times, take the majority.
+
+In the simulation, unreliable executions are modeled by an optional
+``corrupt`` hook that may perturb individual replica results; the
+voter then recovers the true value as long as at most one replica is
+corrupted ("we assume errors are not overly frequent so that two out
+of three are correct").
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+__all__ = ["TMRError", "majority_vote", "tmr_dot", "tmr_norm2", "tmr_axpy"]
+
+#: Replica hook type: receives (replica_index, value) and returns the
+#: possibly-corrupted value the replica observed.
+CorruptHook = Callable[[int, np.ndarray | float], np.ndarray | float]
+
+
+class TMRError(RuntimeError):
+    """Raised when all three replicas disagree (≥ 2 corrupted replicas)."""
+
+
+def _agree(u, v, rtol: float) -> bool:
+    return bool(np.allclose(u, v, rtol=rtol, atol=0.0))
+
+
+def majority_vote(replicas: Sequence, *, rtol: float = 0.0):
+    """Return the value at least two of three replicas agree on.
+
+    Parameters
+    ----------
+    replicas:
+        Exactly three replica results (scalars or arrays).
+    rtol:
+        Agreement tolerance.  Zero (default) demands bitwise equality,
+        which is correct here because the three replicas perform the
+        identical deterministic computation — they can only differ if
+        corrupted.
+
+    Raises
+    ------
+    TMRError
+        If no two replicas agree.
+    """
+    if len(replicas) != 3:
+        raise ValueError(f"TMR requires exactly 3 replicas, got {len(replicas)}")
+    a, b, c = replicas
+    if _agree(a, b, rtol):
+        return a
+    if _agree(a, c, rtol):
+        return a
+    if _agree(b, c, rtol):
+        return b
+    raise TMRError("all three replicas disagree; double error in TMR region")
+
+
+def _run3(compute: Callable[[], np.ndarray | float], corrupt: CorruptHook | None):
+    out = []
+    for i in range(3):
+        v = compute()
+        if corrupt is not None:
+            v = corrupt(i, v)
+        out.append(v)
+    return out
+
+
+def tmr_dot(
+    x: np.ndarray,
+    y: np.ndarray,
+    *,
+    corrupt: CorruptHook | None = None,
+) -> float:
+    """TMR-protected dot product ``xᵀy``."""
+    x = np.asarray(x, dtype=np.float64)
+    y = np.asarray(y, dtype=np.float64)
+    return float(majority_vote(_run3(lambda: float(x @ y), corrupt)))
+
+
+def tmr_norm2(x: np.ndarray, *, corrupt: CorruptHook | None = None) -> float:
+    """TMR-protected squared 2-norm ``‖x‖² = xᵀx``."""
+    x = np.asarray(x, dtype=np.float64)
+    return float(majority_vote(_run3(lambda: float(x @ x), corrupt)))
+
+
+def tmr_axpy(
+    alpha: float,
+    x: np.ndarray,
+    y: np.ndarray,
+    *,
+    corrupt: CorruptHook | None = None,
+) -> np.ndarray:
+    """TMR-protected ``y + α·x`` (returns a fresh array; inputs untouched)."""
+    x = np.asarray(x, dtype=np.float64)
+    y = np.asarray(y, dtype=np.float64)
+    result = majority_vote(_run3(lambda: y + alpha * x, corrupt))
+    return np.array(result, dtype=np.float64, copy=True)

@@ -1,0 +1,128 @@
+"""Disk-backed checkpoint storage.
+
+The in-memory :class:`~repro.checkpoint.store.CheckpointStore` models
+the paper's cost analysis (checkpoints live in reliable memory); this
+variant persists snapshots as ``.npz`` files so a long solve survives a
+process crash — the fail-stop layer a real deployment stacks *under*
+the silent-error protection.  Same interface, same deep-copy semantics
+on restore.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+
+import numpy as np
+
+from repro.sparse.csr import CSRMatrix
+from repro.checkpoint.store import Checkpoint
+
+__all__ = ["DiskCheckpointStore"]
+
+_MATRIX_KEYS = ("matrix_val", "matrix_colid", "matrix_rowidx", "matrix_shape")
+_META_KEYS = ("iteration",) + _MATRIX_KEYS
+
+
+class DiskCheckpointStore:
+    """Checkpoints persisted under a directory, newest-``keep`` retained.
+
+    Parameters
+    ----------
+    directory:
+        Where the ``ckpt-<seq>.npz`` files go (created if missing).
+    keep:
+        Number of checkpoint files retained.
+    """
+
+    def __init__(self, directory: "str | os.PathLike", keep: int = 1) -> None:
+        if keep < 1:
+            raise ValueError(f"keep must be >= 1, got {keep}")
+        self.directory = pathlib.Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.keep = keep
+        self.saves = 0
+        self.restores = 0
+        self._seq = self._initial_seq()
+
+    def _initial_seq(self) -> int:
+        existing = self._files()
+        return (self._seq_of(existing[-1]) + 1) if existing else 0
+
+    def _files(self) -> list[pathlib.Path]:
+        return sorted(self.directory.glob("ckpt-*.npz"), key=self._seq_of)
+
+    @staticmethod
+    def _seq_of(path: pathlib.Path) -> int:
+        return int(path.stem.split("-")[1])
+
+    # ------------------------------------------------------------------
+    def save(
+        self,
+        iteration: int,
+        vectors: dict[str, np.ndarray],
+        matrix: CSRMatrix | None = None,
+        scalars: dict[str, float] | None = None,
+    ) -> pathlib.Path:
+        """Write a snapshot; returns the file path."""
+        for key in vectors:
+            if key.startswith(("matrix_", "scalar_")) or key == "iteration":
+                raise ValueError(f"reserved vector name: {key!r}")
+        payload: dict[str, np.ndarray] = {
+            "iteration": np.int64(iteration),
+            **{k: np.asarray(v, dtype=np.float64) for k, v in vectors.items()},
+            **{f"scalar_{k}": np.float64(v) for k, v in (scalars or {}).items()},
+        }
+        if matrix is not None:
+            payload["matrix_val"] = matrix.val
+            payload["matrix_colid"] = matrix.colid
+            payload["matrix_rowidx"] = matrix.rowidx
+            payload["matrix_shape"] = np.asarray(matrix.shape, dtype=np.int64)
+        path = self.directory / f"ckpt-{self._seq}.npz"
+        # Write-then-rename so a crash mid-write never corrupts the
+        # newest checkpoint (the whole point of the disk variant).
+        tmp = path.with_suffix(".tmp.npz")
+        with open(tmp, "wb") as fh:
+            np.savez(fh, **payload)
+        os.replace(tmp, path)
+        self._seq += 1
+        self.saves += 1
+        for old in self._files()[: -self.keep]:
+            old.unlink()
+        return path
+
+    @property
+    def empty(self) -> bool:
+        """True when no checkpoint file exists."""
+        return not self._files()
+
+    def restore(self) -> Checkpoint:
+        """Load the newest checkpoint as fresh arrays."""
+        files = self._files()
+        if not files:
+            raise LookupError(f"no checkpoint in {self.directory}")
+        with np.load(files[-1]) as data:
+            vectors = {
+                k: np.array(data[k], dtype=np.float64)
+                for k in data.files
+                if k not in _META_KEYS and not k.startswith("scalar_")
+            }
+            scalars = {
+                k[len("scalar_"):]: float(data[k])
+                for k in data.files
+                if k.startswith("scalar_")
+            }
+            matrix = None
+            if "matrix_val" in data.files:
+                matrix = CSRMatrix(
+                    np.array(data["matrix_val"]),
+                    np.array(data["matrix_colid"]),
+                    np.array(data["matrix_rowidx"]),
+                    tuple(int(v) for v in data["matrix_shape"]),
+                    check=False,
+                )
+            iteration = int(data["iteration"])
+        self.restores += 1
+        return Checkpoint(
+            iteration=iteration, vectors=vectors, matrix=matrix, scalars=scalars
+        )

@@ -1,0 +1,46 @@
+"""Checkpoint placement policies.
+
+The paper's schemes checkpoint every ``s`` verified chunks (ABFT: every
+``s`` iterations; Chen: every ``c`` verified groups of ``d``
+iterations).  The policy object tracks progress since the last
+checkpoint and answers "checkpoint now?" after each successful
+verification.
+"""
+
+from __future__ import annotations
+
+__all__ = ["PeriodicCheckpointPolicy"]
+
+
+class PeriodicCheckpointPolicy:
+    """Checkpoint after every ``interval`` successful verified chunks.
+
+    Parameters
+    ----------
+    interval:
+        The ``s`` of the performance model: number of verified chunks
+        per frame.  Must be ≥ 1.
+    """
+
+    def __init__(self, interval: int) -> None:
+        if interval < 1:
+            raise ValueError(f"interval must be >= 1, got {interval}")
+        self.interval = int(interval)
+        self._since_checkpoint = 0
+
+    def chunk_verified(self) -> bool:
+        """Record a verified chunk; return True when a checkpoint is due."""
+        self._since_checkpoint += 1
+        if self._since_checkpoint >= self.interval:
+            self._since_checkpoint = 0
+            return True
+        return False
+
+    def rolled_back(self) -> None:
+        """Reset progress after a rollback (the frame restarts)."""
+        self._since_checkpoint = 0
+
+    @property
+    def chunks_since_checkpoint(self) -> int:
+        """Verified chunks since the last checkpoint (or rollback)."""
+        return self._since_checkpoint

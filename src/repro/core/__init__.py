@@ -1,0 +1,46 @@
+"""Iterative solvers and their fault-tolerant variants.
+
+- :mod:`repro.core.cg` — the textbook Conjugate Gradient method
+  (paper Algorithm 1);
+- :mod:`repro.core.pcg` — preconditioned CG (the Section-6 extension);
+- :mod:`repro.core.krylov` — BiCGstab / BiCG / CGNE, the Section-3
+  solver list, with injectable (protectable) products;
+- :mod:`repro.core.stability` — Chen's verification tests
+  (orthogonality + recomputed residual) used by ONLINE-DETECTION;
+- :mod:`repro.core.methods` — scheme descriptors and cost models for
+  the three protection schemes;
+- :mod:`repro.core.ft_cg` — the fault-tolerant CG driver combining
+  verification, forward recovery (ABFT correction) and backward
+  recovery (checkpoint rollback);
+- :mod:`repro.core.ft_krylov` — the same combination for BiCGstab.
+"""
+
+from repro.core.cg import cg, CGResult
+from repro.core.pcg import pcg, jacobi_preconditioner, ssor_preconditioner
+from repro.core.krylov import bicgstab, bicg, cgne
+from repro.core.stability import orthogonality_check, residual_check, chen_verify
+from repro.core.methods import Scheme, CostModel, SchemeConfig
+from repro.core.ft_cg import run_ft_cg, FTCGResult, RecoveryCounters, TimeBreakdown
+from repro.core.ft_krylov import run_ft_bicgstab
+
+__all__ = [
+    "cg",
+    "CGResult",
+    "pcg",
+    "jacobi_preconditioner",
+    "ssor_preconditioner",
+    "bicgstab",
+    "bicg",
+    "cgne",
+    "orthogonality_check",
+    "residual_check",
+    "chen_verify",
+    "Scheme",
+    "CostModel",
+    "SchemeConfig",
+    "run_ft_cg",
+    "run_ft_bicgstab",
+    "FTCGResult",
+    "RecoveryCounters",
+    "TimeBreakdown",
+]

@@ -1,0 +1,108 @@
+"""Chen's stability verification for CG (ONLINE-DETECTION).
+
+Section 3.1: Chen's tests check, at each verification point,
+
+1. the **orthogonality** of the current search direction ``p_{i+1}``
+   and the last ``q = A p_i``: in exact CG these are conjugate, so
+   ``p_{i+1}ᵀq / (‖p_{i+1}‖‖q‖)`` must be (near) zero — a cheap test
+   (two inner products);
+2. the **recomputed residual**: ``b − A x_i`` must agree with the
+   maintained recurrence residual ``r_i``.  This costs an extra SpMxV
+   and dominates the verification time.
+
+Both tolerances default to values that, like the ABFT Theorem-2 bound,
+avoid false positives on fault-free runs (CG loses conjugacy gradually
+through rounding, so the orthogonality threshold cannot be too tight).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.sparse.csr import CSRMatrix
+from repro.sparse.spmv import spmv
+
+__all__ = ["VerificationReport", "orthogonality_check", "residual_check", "chen_verify"]
+
+
+@dataclass(frozen=True)
+class VerificationReport:
+    """Outcome of one ONLINE-DETECTION verification."""
+
+    passed: bool
+    orthogonality: float  #: |pᵀq| / (‖p‖‖q‖), NaN if not evaluated
+    residual_gap: float  #: ‖(b − A x) − r‖ / ‖b‖, NaN if not evaluated
+
+
+def orthogonality_check(
+    p_next: np.ndarray, q: np.ndarray, *, tol: float = 1e-8
+) -> tuple[bool, float]:
+    """Chen's conjugacy test: is ``p_{i+1}`` numerically orthogonal to ``q``?
+
+    Returns ``(passed, score)`` with ``score = |pᵀq|/(‖p‖‖q‖)``.
+    A zero vector (fault can zero out p) scores 0 but is treated as a
+    failure because CG cannot continue with a null direction.
+    """
+    np_norm = float(np.linalg.norm(p_next))
+    nq_norm = float(np.linalg.norm(q))
+    if np_norm == 0.0 or nq_norm == 0.0 or not np.isfinite(np_norm * nq_norm):
+        return False, float("inf")
+    score = abs(float(p_next @ q)) / (np_norm * nq_norm)
+    return bool(score <= tol), score
+
+
+def residual_check(
+    a: CSRMatrix,
+    b: np.ndarray,
+    x: np.ndarray,
+    r: np.ndarray,
+    *,
+    tol: float = 1e-8,
+) -> tuple[bool, float]:
+    """Recompute ``b − A x`` and compare against the maintained ``r``.
+
+    The gap is normalized by ``‖b‖`` (or 1 if ``b = 0``).  Costs one
+    SpMxV — the dominant part of ONLINE-DETECTION's ``Tverif``.
+    """
+    true_r = b - spmv(a, x)
+    scale = float(np.linalg.norm(b)) or 1.0
+    gap = float(np.linalg.norm(true_r - r)) / scale
+    if not np.isfinite(gap):
+        return False, float("inf")
+    return bool(gap <= tol), gap
+
+
+def chen_verify(
+    a: CSRMatrix,
+    b: np.ndarray,
+    x: np.ndarray,
+    r: np.ndarray,
+    p_next: np.ndarray,
+    q: np.ndarray,
+    *,
+    orth_tol: float = 1e-8,
+    res_tol: float = 1e-8,
+    check_orthogonality: bool = True,
+) -> VerificationReport:
+    """Full ONLINE-DETECTION verification (both tests).
+
+    The residual test is evaluated even when the orthogonality test
+    already failed, so the report always carries both diagnostics.
+
+    ``check_orthogonality=False`` skips the conjugacy test — used at
+    (apparent) convergence, where ``p`` and ``q`` vanish and the
+    conjugacy ratio degenerates to 0/0; the residual test alone decides
+    there.
+    """
+    if check_orthogonality:
+        orth_ok, orth_score = orthogonality_check(p_next, q, tol=orth_tol)
+    else:
+        orth_ok, orth_score = True, float("nan")
+    res_ok, res_gap = residual_check(a, b, x, r, tol=res_tol)
+    return VerificationReport(
+        passed=orth_ok and res_ok,
+        orthogonality=orth_score,
+        residual_gap=res_gap,
+    )

@@ -1,0 +1,200 @@
+"""Poisson fault process and the per-iteration strike sampler.
+
+Section 5.1 of the paper fixes the injection protocol this library
+reproduces:
+
+- faults are **bit flips** occurring independently at each step under
+  an exponential distribution with parameter λ;
+- ``Titer`` is normalized to one, so each iteration is one unit of
+  exposure and the number of strikes in an iteration is
+  ``Poisson(λ·Titer)``;
+- λ is chosen **inversely proportional to the memory size M** of the
+  protected state (matrix arrays + iteration vectors):
+  ``λ = α / M`` with ``α ∈ (0, 1)``, so the expected number of
+  iterations between faults is matrix-independent;
+- strikes land uniformly over the protected words — the matrix arrays
+  ``Val``/``Colid``/``Rowidx`` or the CG vectors — while checksums and
+  checksum arithmetic are reliable (selective reliability).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.faults.bitflip import flip_bits_array
+from repro.faults.record import FaultRecord
+from repro.util.rng import as_generator
+from repro.util.validate import check_positive
+
+__all__ = ["FaultModel", "FaultInjector"]
+
+
+@dataclass(frozen=True)
+class FaultModel:
+    """The exponential fault model of Section 4/5.
+
+    Attributes
+    ----------
+    alpha:
+        Proportionality constant in ``λ = α / M``; the paper sweeps its
+        reciprocal (the *normalized MTBF*) over 10²…10⁵.
+    memory_words:
+        ``M`` — number of corruptible 64-bit words.
+    t_iter:
+        Duration of one iteration in normalized time units (1 in the
+        paper's injection protocol).
+    """
+
+    alpha: float
+    memory_words: int
+    t_iter: float = 1.0
+
+    def __post_init__(self) -> None:
+        check_positive("alpha", self.alpha)
+        check_positive("memory_words", self.memory_words)
+        check_positive("t_iter", self.t_iter)
+
+    @property
+    def word_rate(self) -> float:
+        """λ_word = α / M — fault rate of a single memory word."""
+        return self.alpha / self.memory_words
+
+    @property
+    def rate(self) -> float:
+        """Cumulative rate λ = M · λ_word = α faults per normalized
+        time unit, accumulated over the whole protected memory.
+
+        This is the λ that enters the performance model's
+        ``q = e^{−λT}``; because it equals α regardless of matrix size,
+        the expected number of CG steps between faults is
+        matrix-independent, exactly as Section 5.1 requires.
+        """
+        return self.alpha / self.t_iter
+
+    @property
+    def normalized_mtbf(self) -> float:
+        """1/α — expected iterations between faults (matrix-independent)."""
+        return 1.0 / self.alpha
+
+    def chunk_success_probability(self, t_chunk: float) -> float:
+        """``q = e^{−λT}`` for a chunk of duration ``t_chunk``."""
+        return float(np.exp(-self.rate * t_chunk))
+
+    def strikes_per_iteration(self, rng: np.random.Generator) -> int:
+        """Sample the number of faults striking one iteration (Poisson(α))."""
+        return int(rng.poisson(self.rate * self.t_iter))
+
+
+class FaultInjector:
+    """Samples strikes and applies bit flips to registered arrays.
+
+    Targets are registered by name with a weight equal to their word
+    count, so a strike lands on any word of the protected state with
+    uniform probability, matching the paper's "each memory location …
+    is given the chance to fail just once per iteration".
+
+    Parameters
+    ----------
+    model:
+        The :class:`FaultModel` supplying the strike distribution.
+    rng:
+        Seed or generator driving all sampling.
+    """
+
+    def __init__(self, model: FaultModel, rng: "int | np.random.Generator" = None) -> None:
+        self.model = model
+        self.rng = as_generator(rng)
+        self._targets: dict[str, np.ndarray] = {}
+        self.records: list[FaultRecord] = []
+
+    # ------------------------------------------------------------------
+    # target registry
+    # ------------------------------------------------------------------
+    def register(self, name: str, arr: np.ndarray) -> None:
+        """Register (or re-register) a corruptible array under ``name``."""
+        if arr.dtype not in (np.dtype(np.float64), np.dtype(np.int64)):
+            raise TypeError(f"target {name!r} must be float64 or int64, got {arr.dtype}")
+        self._targets[name] = arr
+
+    def unregister(self, name: str) -> None:
+        """Remove a target (e.g. a vector freed by the solver)."""
+        self._targets.pop(name, None)
+
+    @property
+    def target_names(self) -> list[str]:
+        """Names of currently registered targets."""
+        return list(self._targets)
+
+    @property
+    def total_words(self) -> int:
+        """Total corruptible words across registered targets."""
+        return sum(arr.size for arr in self._targets.values())
+
+    # ------------------------------------------------------------------
+    # injection
+    # ------------------------------------------------------------------
+    def sample_strikes(self, *, n_strikes: int | None = None) -> list[tuple[str, int, int]]:
+        """Sample this iteration's strikes **without applying them**.
+
+        Each strike is ``(target_name, position, bit)`` with the target
+        chosen proportionally to its word count (uniform over the whole
+        protected memory).  The solver engine applies each strike in
+        the right temporal window (e.g. output-vector strikes only
+        after the product is computed).
+
+        Parameters
+        ----------
+        n_strikes:
+            Override the Poisson sample (used by tests for determinism).
+        """
+        if not self._targets:
+            return []
+        if n_strikes is None:
+            n_strikes = self.model.strikes_per_iteration(self.rng)
+        if n_strikes == 0:
+            return []
+        names = list(self._targets)
+        sizes = np.array([self._targets[n].size for n in names], dtype=np.float64)
+        probs = sizes / sizes.sum()
+        strikes: list[tuple[str, int, int]] = []
+        for _ in range(n_strikes):
+            name = names[int(self.rng.choice(len(names), p=probs))]
+            pos = int(self.rng.integers(self._targets[name].size))
+            bit = int(self.rng.integers(64))
+            strikes.append((name, pos, bit))
+        return strikes
+
+    def apply_strike(self, iteration: int, strike: tuple[str, int, int]) -> FaultRecord:
+        """Apply one sampled strike and record it."""
+        name, pos, bit = strike
+        return self.inject_at(iteration, name, pos, bit)
+
+    def inject_iteration(self, iteration: int, *, n_strikes: int | None = None) -> list[FaultRecord]:
+        """Sample and immediately apply this iteration's strikes."""
+        return [
+            self.apply_strike(iteration, s)
+            for s in self.sample_strikes(n_strikes=n_strikes)
+        ]
+
+    def revert(self, record: FaultRecord) -> None:
+        """Undo a recorded flip (models TMR restoring a voted value)."""
+        arr = self._targets[record.target].reshape(-1)
+        flip_bits_array(arr, np.array([record.position]), np.array([record.bit]))
+
+    def inject_at(self, iteration: int, name: str, position: int, bit: int) -> FaultRecord:
+        """Deterministically flip one chosen bit (test hook)."""
+        arr = self._targets[name].reshape(-1)
+        old = arr[position].item()
+        flip_bits_array(arr, np.array([position]), np.array([bit]))
+        rec = FaultRecord(
+            iteration=iteration,
+            target=name,
+            position=position,
+            bit=bit,
+            old_value=old,
+            new_value=arr[position].item(),
+        )
+        self.records.append(rec)
+        return rec

@@ -1,0 +1,47 @@
+"""Audit records for injected faults.
+
+Every injected flip is recorded so tests can assert exactly which
+corruption the ABFT layer was asked to detect, and experiment logs can
+correlate recoveries with strikes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["FaultRecord"]
+
+
+@dataclass(frozen=True)
+class FaultRecord:
+    """One injected bit flip.
+
+    Attributes
+    ----------
+    iteration:
+        Solver iteration during which the fault struck.
+    target:
+        Logical array name (``"val"``, ``"colid"``, ``"rowidx"``,
+        ``"x"``, ``"r"``, ``"p"``, ``"q"``, ``"computation"``).
+    position:
+        Flat index of the corrupted word within the target array.
+    bit:
+        Bit index flipped (0 = LSB, 63 = sign bit).
+    old_value:
+        The word's value before the flip (float or int).
+    new_value:
+        The word's value after the flip.
+    """
+
+    iteration: int
+    target: str
+    position: int
+    bit: int
+    old_value: float
+    new_value: float
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"iter {self.iteration}: flip {self.target}[{self.position}] "
+            f"bit {self.bit}: {self.old_value!r} -> {self.new_value!r}"
+        )

@@ -1,0 +1,94 @@
+"""Per-iteration injection plans for the CG fault study.
+
+Binds a :class:`~repro.faults.injector.FaultInjector` to the live state
+of a CG solve: the matrix arrays and the iteration vectors the paper
+lists as corruptible ("these bit flips can strike either the matrix —
+the elements of Val, Colid and Rowidx — or any entry of the CG vectors
+r_i, q, p_i or x_i").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.sparse.csr import CSRMatrix
+from repro.faults.injector import FaultInjector, FaultModel
+from repro.faults.record import FaultRecord
+
+__all__ = ["CGTargets", "IterationFaultPlan"]
+
+#: The vector names of Algorithm 1 that the paper's injector may strike.
+CG_VECTOR_NAMES: tuple[str, ...] = ("x", "r", "p", "q")
+
+
+@dataclass
+class CGTargets:
+    """Live references to the corruptible state of a CG solve."""
+
+    matrix: CSRMatrix
+    vectors: dict[str, np.ndarray] = field(default_factory=dict)
+
+    @property
+    def memory_words(self) -> int:
+        """Total corruptible words M (matrix arrays + vectors)."""
+        return self.matrix.memory_words + sum(v.size for v in self.vectors.values())
+
+
+class IterationFaultPlan:
+    """Injects the sampled strikes for each iteration into the CG state.
+
+    Parameters
+    ----------
+    alpha:
+        Proportionality constant of the fault rate (λ·M = α per
+        iteration); the reciprocal is the normalized MTBF.
+    targets:
+        The matrix/vector state to corrupt.
+    rng:
+        Seed or generator.
+    include_matrix / include_vectors:
+        Restrict strikes to a subset of the state (ablation studies).
+    """
+
+    def __init__(
+        self,
+        alpha: float,
+        targets: CGTargets,
+        rng: "int | np.random.Generator" = None,
+        *,
+        include_matrix: bool = True,
+        include_vectors: bool = True,
+    ) -> None:
+        self.targets = targets
+        self.model = FaultModel(alpha=alpha, memory_words=targets.memory_words)
+        self.injector = FaultInjector(self.model, rng)
+        if include_matrix:
+            self.injector.register("val", targets.matrix.val)
+            self.injector.register("colid", targets.matrix.colid)
+            self.injector.register("rowidx", targets.matrix.rowidx)
+        if include_vectors:
+            for name, vec in targets.vectors.items():
+                self.injector.register(name, vec)
+
+    def rebind_vector(self, name: str, vec: np.ndarray) -> None:
+        """Point the injector at a vector the solver reallocated."""
+        self.targets.vectors[name] = vec
+        self.injector.register(name, vec)
+
+    def rebind_matrix(self, matrix: CSRMatrix) -> None:
+        """Point the injector at restored matrix arrays after a rollback."""
+        self.targets.matrix = matrix
+        self.injector.register("val", matrix.val)
+        self.injector.register("colid", matrix.colid)
+        self.injector.register("rowidx", matrix.rowidx)
+
+    def strike(self, iteration: int, *, n_strikes: int | None = None) -> list[FaultRecord]:
+        """Apply this iteration's strikes; returns audit records."""
+        return self.injector.inject_iteration(iteration, n_strikes=n_strikes)
+
+    @property
+    def records(self) -> list[FaultRecord]:
+        """All strikes applied so far."""
+        return self.injector.records

@@ -1,0 +1,74 @@
+"""First-order interval estimates for Chen's Online-ABFT scheme.
+
+Chen [9, Eq. 10] derives his intervals by numerically minimizing a
+waste equation very close to Eq. 6 (the paper notes "plugging these
+values in Equation (6) gives an optimisation formula very similar to
+that of Chen").  For the simulation driver we expose both that exact
+numerical optimum (via :func:`repro.model.optimize
+.optimal_online_intervals`) and the Young-style first-order closed
+form below, obtained by minimizing the waste
+
+    W(d, c) = Tverif/(d·Titer) + Tcp/(c·d·Titer)
+              + λ·(c·d·Titer/2 + d·Titer/2 + Trec)
+
+(verification cost amortized per chunk, checkpoint cost per frame,
+expected re-execution of half a frame plus detection latency of half a
+chunk per fault).  Setting partials to zero gives
+
+    d* = sqrt(2·Tverif / λ) / Titer · 1/sqrt(1 + cλ·…) ≈ sqrt(2 Tverif/λ)/Titer
+    c* = sqrt(Tcp / (Tverif + λ·d·Titer·…)) ≈ sqrt(Tcp/Tverif)
+
+— the familiar result that the checkpoint-to-verification interval
+ratio scales with the square root of the cost ratio.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.util.validate import check_positive
+
+__all__ = ["ChenIntervals", "chen_intervals"]
+
+
+@dataclass(frozen=True)
+class ChenIntervals:
+    """First-order optimal intervals for verify-every-d, checkpoint-every-c·d."""
+
+    d: int  #: iterations between verifications
+    c: int  #: verified chunks between checkpoints
+    waste: float  #: first-order predicted waste at the optimum
+
+
+def chen_intervals(
+    t_iter: float,
+    lam: float,
+    t_cp: float,
+    t_verif: float,
+    t_rec: float = 0.0,
+) -> ChenIntervals:
+    """First-order ``(d, c)`` for Chen's scheme (see module docstring).
+
+    Both intervals are clamped to at least 1; the waste is evaluated at
+    the rounded integer point so it is achievable, not the continuous
+    bound.
+    """
+    check_positive("t_iter", t_iter)
+    check_positive("lam", lam)
+    check_positive("t_cp", t_cp)
+    check_positive("t_verif", t_verif)
+    d_star = math.sqrt(2.0 * t_verif / lam) / t_iter
+    c_star = math.sqrt(max(t_cp / t_verif, 1.0))
+    d = max(1, round(d_star))
+    c = max(1, round(c_star))
+
+    def waste(dd: int, cc: int) -> float:
+        t = dd * t_iter
+        return (
+            t_verif / t
+            + t_cp / (cc * t)
+            + lam * (cc * t / 2.0 + t / 2.0 + t_rec)
+        )
+
+    return ChenIntervals(d=d, c=c, waste=waste(d, c))

@@ -1,0 +1,170 @@
+"""Model instantiation for the three schemes (Section 4.2).
+
+Each class binds the abstract frame model to one scheme's parameters:
+
+- chunk length ``T`` (``d·Titer`` for ONLINE-DETECTION, ``Titer`` for
+  the ABFT schemes, which verify every iteration),
+- verification cost ``Tverif``,
+- per-chunk success probability ``q``.
+
+The crucial difference of ABFT-CORRECTION (Section 4.2.3) is its
+success probability: an iteration *succeeds* if **zero or one** error
+strikes (single errors are forward-corrected), so with a Poisson
+process of rate λ,
+
+    q = e^{−λT} + λT·e^{−λT},
+
+strictly larger than the detection-only ``q = e^{−λT}`` — fewer
+rollbacks and sparser checkpoints at the same fault rate.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.core.methods import CostModel, Scheme
+from repro.model.optimize import IntervalChoice, optimal_interval, optimal_online_intervals
+
+__all__ = [
+    "OnlineDetectionModel",
+    "AbftDetectionModel",
+    "AbftCorrectionModel",
+    "model_for_scheme",
+]
+
+
+@dataclass(frozen=True)
+class _SchemeModel:
+    """Shared plumbing for the per-scheme models."""
+
+    lam: float  #: cumulative silent-error rate λ = λ_a + λ_m
+    costs: CostModel
+
+    def __post_init__(self) -> None:
+        if self.lam < 0:
+            raise ValueError(f"lam must be >= 0, got {self.lam}")
+
+    # Subclasses define: chunk_time, t_verif, q().
+
+    def expected_frame_time(self, s: int) -> float:
+        """E(s, T) for this scheme's chunk parameters."""
+        from repro.model.frames import expected_frame_time
+
+        return expected_frame_time(
+            s, self.chunk_time, self.costs.t_cp, self.costs.t_rec, self.t_verif, self.q()
+        )
+
+    def overhead(self, s: int) -> float:
+        """E(s,T)/(sT) for this scheme."""
+        from repro.model.frames import frame_overhead
+
+        return frame_overhead(
+            s, self.chunk_time, self.costs.t_cp, self.costs.t_rec, self.t_verif, self.q()
+        )
+
+    def optimal(self, *, s_max: int = 1000) -> IntervalChoice:
+        """The model-optimal checkpoint interval s̃."""
+        return optimal_interval(
+            self.chunk_time,
+            self.q(),
+            self.costs.t_cp,
+            self.costs.t_rec,
+            self.t_verif,
+            s_max=s_max,
+        )
+
+    def expected_solve_time(self, n_iterations: int, *, s: int | None = None) -> float:
+        """Predicted total time for ``n_iterations`` of useful work.
+
+        Uses the per-useful-unit overhead at interval ``s`` (optimal
+        when None): ``n_iterations · Titer · overhead``.
+        """
+        choice_s = self.optimal().s if s is None else s
+        work = n_iterations * self.costs.t_iter
+        return work * self.overhead(choice_s) * (self.chunk_time / self.chunk_time)
+
+
+@dataclass(frozen=True)
+class OnlineDetectionModel(_SchemeModel):
+    """Chen's scheme: chunks of ``d`` iterations (Section 4.2.1)."""
+
+    d: int = 1
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.d < 1:
+            raise ValueError(f"d must be >= 1, got {self.d}")
+
+    @property
+    def chunk_time(self) -> float:
+        return self.d * self.costs.t_iter
+
+    @property
+    def t_verif(self) -> float:
+        return self.costs.t_verif_online
+
+    def q(self) -> float:
+        return math.exp(-self.lam * self.chunk_time)
+
+    def optimal_joint(self, *, d_max: int = 200, s_max: int = 200) -> IntervalChoice:
+        """Jointly optimize verification and checkpoint intervals."""
+        return optimal_online_intervals(
+            self.costs.t_iter,
+            self.lam,
+            self.costs.t_cp,
+            self.costs.t_rec,
+            self.t_verif,
+            d_max=d_max,
+            s_max=s_max,
+        )
+
+
+@dataclass(frozen=True)
+class AbftDetectionModel(_SchemeModel):
+    """ABFT detection every iteration (Section 4.2.2): T = Titer."""
+
+    @property
+    def chunk_time(self) -> float:
+        return self.costs.t_iter
+
+    @property
+    def t_verif(self) -> float:
+        return self.costs.t_verif_detect
+
+    def q(self) -> float:
+        return math.exp(-self.lam * self.chunk_time)
+
+
+@dataclass(frozen=True)
+class AbftCorrectionModel(_SchemeModel):
+    """ABFT detect-2/correct-1 every iteration (Section 4.2.3).
+
+    Success = zero **or one** strike in the iteration:
+    ``q = e^{−λT}(1 + λT)``.
+    """
+
+    @property
+    def chunk_time(self) -> float:
+        return self.costs.t_iter
+
+    @property
+    def t_verif(self) -> float:
+        return self.costs.t_verif_correct
+
+    def q(self) -> float:
+        lt = self.lam * self.chunk_time
+        return math.exp(-lt) * (1.0 + lt)
+
+
+def model_for_scheme(
+    scheme: Scheme, lam: float, costs: CostModel, *, d: int = 1
+) -> _SchemeModel:
+    """Factory mapping a :class:`Scheme` to its instantiated model."""
+    if scheme is Scheme.ONLINE_DETECTION:
+        return OnlineDetectionModel(lam=lam, costs=costs, d=d)
+    if scheme is Scheme.ABFT_DETECTION:
+        return AbftDetectionModel(lam=lam, costs=costs)
+    if scheme is Scheme.ABFT_CORRECTION:
+        return AbftCorrectionModel(lam=lam, costs=costs)
+    raise ValueError(f"unknown scheme: {scheme!r}")

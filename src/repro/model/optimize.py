@@ -1,0 +1,85 @@
+"""Numerical resolution of Eq. 6.
+
+There is no known closed form for the optimal ``s`` (Section 1 of the
+paper discusses why Young/Daly do not carry over once verifications
+enter the picture), but the objective ``E(s,T)/(sT)`` is cheap to
+evaluate and unimodal in practice, so an integer scan with a safe upper
+bound is both exact and fast.  ONLINE-DETECTION additionally exposes
+the chunk length ``d`` (iterations between verifications), giving a
+small 2-D integer program.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.model.frames import frame_overhead
+
+__all__ = ["IntervalChoice", "optimal_interval", "optimal_online_intervals"]
+
+
+@dataclass(frozen=True)
+class IntervalChoice:
+    """An optimized interval selection and its predicted overhead."""
+
+    s: int  #: chunks per frame (checkpoint interval)
+    d: int  #: iterations per chunk (verification interval)
+    overhead: float  #: E(s,T)/(sT) at the optimum
+
+
+def optimal_interval(
+    t: float,
+    q: float,
+    t_cp: float,
+    t_rec: float,
+    t_verif: float,
+    *,
+    s_max: int = 1000,
+) -> IntervalChoice:
+    """Minimize ``E(s,T)/(sT)`` over integer ``s ∈ [1, s_max]``.
+
+    The scan evaluates every candidate (the objective is O(1) per
+    point), so the returned ``s`` is the true integer optimum within
+    the bound.  For error-free chunks (``q = 1``) the overhead is
+    decreasing in ``s`` and the bound itself is returned — checkpoints
+    are pure overhead without failures.
+    """
+    if s_max < 1:
+        raise ValueError(f"s_max must be >= 1, got {s_max}")
+    best_s, best_h = 1, float("inf")
+    for s in range(1, s_max + 1):
+        h = frame_overhead(s, t, t_cp, t_rec, t_verif, q)
+        if h < best_h:
+            best_s, best_h = s, h
+    return IntervalChoice(s=best_s, d=1, overhead=best_h)
+
+
+def optimal_online_intervals(
+    t_iter: float,
+    lam: float,
+    t_cp: float,
+    t_rec: float,
+    t_verif: float,
+    *,
+    d_max: int = 200,
+    s_max: int = 200,
+) -> IntervalChoice:
+    """Jointly optimize ``(d, s)`` for ONLINE-DETECTION (Section 4.2.1).
+
+    A chunk is ``d`` iterations (``T = d·Titer``) with success
+    probability ``q = e^{−λT}``; the scan covers the integer grid.
+    ``λ`` is the cumulative silent-error rate (arithmetic + memory:
+    ``λ = λ_a + λ_m``, Section 4.2.1).
+    """
+    import math
+
+    if lam < 0:
+        raise ValueError(f"lam must be >= 0, got {lam}")
+    best = IntervalChoice(s=1, d=1, overhead=float("inf"))
+    for d in range(1, d_max + 1):
+        t = d * t_iter
+        q = math.exp(-lam * t)
+        choice = optimal_interval(t, q, t_cp, t_rec, t_verif, s_max=s_max)
+        if choice.overhead < best.overhead:
+            best = IntervalChoice(s=choice.s, d=d, overhead=choice.overhead)
+    return best

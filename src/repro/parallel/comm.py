@@ -1,0 +1,135 @@
+"""Deterministic in-process message-passing simulation.
+
+Models the communication layer of an SPMD program the way the paper's
+Section 1 assumes it: reliable transport (MPI messages carry checksums,
+so in-flight corruption is excluded from the fault model), with the
+cost observable as message counts and word volume.
+
+Collectives operate on *lists indexed by rank* — the simulation runs
+ranks' compute phases sequentially, so a collective is a plain function
+of all ranks' contributions.  This keeps the data movement (and its
+accounting) explicit while staying deterministic and dependency-free.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["CommStats", "SimComm"]
+
+
+@dataclass
+class CommStats:
+    """Message-volume accounting for one communicator."""
+
+    messages: int = 0
+    words: int = 0
+    collectives: dict[str, int] = field(default_factory=dict)
+
+    def record(self, op: str, messages: int, words: int) -> None:
+        """Account one collective invocation."""
+        self.messages += messages
+        self.words += words
+        self.collectives[op] = self.collectives.get(op, 0) + 1
+
+
+class SimComm:
+    """A simulated communicator over ``size`` ranks.
+
+    Point-to-point volume model: a collective over p ranks moving a
+    w-word payload per rank is accounted with its classical linear-cost
+    message/volume figures (e.g. allgather: p·(p−1) messages,
+    (p−1)·Σwᵢ words), which is what partitioning studies report.
+    """
+
+    def __init__(self, size: int) -> None:
+        if size < 1:
+            raise ValueError(f"size must be >= 1, got {size}")
+        self.size = size
+        self.stats = CommStats()
+
+    # ------------------------------------------------------------------
+    # collectives (lists indexed by rank)
+    # ------------------------------------------------------------------
+    def bcast(self, value, root: int = 0) -> list:
+        """Broadcast ``value`` from ``root`` to all ranks."""
+        self._check_rank(root)
+        words = _words(value)
+        self.stats.record("bcast", self.size - 1, words * (self.size - 1))
+        return [value for _ in range(self.size)]
+
+    def scatter(self, chunks: list, root: int = 0) -> list:
+        """Scatter one chunk per rank from ``root``."""
+        self._check_rank(root)
+        self._check_contrib(chunks)
+        words = sum(_words(c) for i, c in enumerate(chunks) if i != root)
+        self.stats.record("scatter", self.size - 1, words)
+        return list(chunks)
+
+    def gather(self, contributions: list, root: int = 0) -> list:
+        """Gather all ranks' contributions at ``root``; list at root, None elsewhere."""
+        self._check_rank(root)
+        self._check_contrib(contributions)
+        words = sum(_words(c) for i, c in enumerate(contributions) if i != root)
+        self.stats.record("gather", self.size - 1, words)
+        return [list(contributions) if r == root else None for r in range(self.size)]
+
+    def allgather(self, contributions: list) -> list:
+        """Every rank receives every rank's contribution."""
+        self._check_contrib(contributions)
+        total = sum(_words(c) for c in contributions)
+        self.stats.record(
+            "allgather", self.size * (self.size - 1), total * (self.size - 1)
+        )
+        return [list(contributions) for _ in range(self.size)]
+
+    def allgather_concat(self, contributions: "list[np.ndarray]") -> "list[np.ndarray]":
+        """Allgather of vector slices, concatenated into the full vector.
+
+        This is the distributed SpMxV's input-assembly step (the
+        mpi4py tutorial's ``matvec`` pattern).
+        """
+        self._check_contrib(contributions)
+        full = np.concatenate([np.asarray(c, dtype=np.float64) for c in contributions])
+        total = sum(int(np.asarray(c).size) for c in contributions)
+        self.stats.record(
+            "allgather", self.size * (self.size - 1), total * (self.size - 1)
+        )
+        return [full.copy() for _ in range(self.size)]
+
+    def allreduce_sum(self, contributions: list) -> list:
+        """Sum across ranks, result available on every rank."""
+        self._check_contrib(contributions)
+        acc = contributions[0]
+        for c in contributions[1:]:
+            acc = acc + c
+        words = _words(contributions[0])
+        self.stats.record(
+            "allreduce", 2 * (self.size - 1), 2 * words * (self.size - 1)
+        )
+        return [acc if np.isscalar(acc) else np.array(acc, copy=True) for _ in range(self.size)]
+
+    def barrier(self) -> None:
+        """Synchronization point (accounting only)."""
+        self.stats.record("barrier", self.size - 1, 0)
+
+    # ------------------------------------------------------------------
+    def _check_rank(self, rank: int) -> None:
+        if not 0 <= rank < self.size:
+            raise ValueError(f"rank {rank} out of range [0, {self.size})")
+
+    def _check_contrib(self, contributions: list) -> None:
+        if len(contributions) != self.size:
+            raise ValueError(
+                f"expected one contribution per rank ({self.size}), got {len(contributions)}"
+            )
+
+
+def _words(value) -> int:
+    """64-bit word count of a payload (scalars count as one word)."""
+    if np.isscalar(value):
+        return 1
+    arr = np.asarray(value)
+    return int(arr.size)

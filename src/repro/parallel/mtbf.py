@@ -1,0 +1,29 @@
+"""Platform MTBF scaling with the number of processors.
+
+Section 1 of the paper: "the MTBF reduces linearly with the number of
+processors.  This is well-known for memoryless distributions of fault
+inter-arrival times and remains true for arbitrary continuous
+distributions of finite mean [Aupy et al., 2]".  These helpers convert
+a per-processor fault characterization to the platform-level λ that the
+performance model and the injector consume.
+"""
+
+from __future__ import annotations
+
+from repro.util.validate import check_positive
+
+__all__ = ["platform_mtbf", "platform_rate"]
+
+
+def platform_mtbf(per_processor_mtbf: float, nprocs: int) -> float:
+    """Platform MTBF ``μ_p = μ_ind / p``."""
+    check_positive("per_processor_mtbf", per_processor_mtbf)
+    check_positive("nprocs", nprocs)
+    return per_processor_mtbf / nprocs
+
+
+def platform_rate(per_processor_rate: float, nprocs: int) -> float:
+    """Cumulative platform fault rate ``λ_p = p · λ_ind``."""
+    check_positive("per_processor_rate", per_processor_rate)
+    check_positive("nprocs", nprocs)
+    return per_processor_rate * nprocs

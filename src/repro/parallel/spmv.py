@@ -1,0 +1,157 @@
+"""Row-partitioned SpMxV with per-rank ABFT protection.
+
+Implements the parallel claim of the paper's Section 1: every rank
+holds a rectangular block of rows and protects its *local* product with
+its own checksum set; because the output rows are disjoint, local
+detection (and correction) of errors implies global detection (and
+correction).  Transport is reliable (MPI checksums), modeled by
+:class:`~repro.parallel.comm.SimComm`.
+
+The input vector is assembled by allgather of the owned slices (the
+classical dense-vector exchange); faults can be injected per rank via
+hooks keyed by rank id, and the per-rank MTBF shrinks as 1/p — see
+:mod:`repro.parallel.mtbf`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.sparse.csr import CSRMatrix
+from repro.abft.checksums import SpmvChecksums, compute_checksums
+from repro.abft.spmv import ProtectedSpmvResult, SpmvStatus, protected_spmv
+from repro.parallel.comm import SimComm
+from repro.parallel.partition import RowPartition, block_rows
+
+__all__ = ["DistributedResult", "DistributedSpmv"]
+
+#: Per-rank fault hook, same signature as protected_spmv's hook.
+RankHook = Callable[[str, CSRMatrix, np.ndarray, "np.ndarray | None"], None]
+
+
+@dataclass(frozen=True)
+class DistributedResult:
+    """Outcome of one distributed protected product.
+
+    Attributes
+    ----------
+    y:
+        The assembled global output (trustworthy iff ``global_status``
+        is OK or CORRECTED).
+    global_status:
+        Worst per-rank status (OK < CORRECTED < DETECTED/UNCORRECTABLE).
+    rank_results:
+        Each rank's local :class:`ProtectedSpmvResult`.
+    """
+
+    y: np.ndarray
+    global_status: SpmvStatus
+    rank_results: tuple[ProtectedSpmvResult, ...]
+
+    @property
+    def trusted(self) -> bool:
+        """Whether all local products were verified (or repaired)."""
+        return self.global_status in (SpmvStatus.OK, SpmvStatus.CORRECTED)
+
+
+_SEVERITY = {
+    SpmvStatus.OK: 0,
+    SpmvStatus.CORRECTED: 1,
+    SpmvStatus.DETECTED: 2,
+    SpmvStatus.UNCORRECTABLE: 3,
+}
+
+
+class DistributedSpmv:
+    """A reusable row-partitioned, ABFT-protected SpMxV operator.
+
+    Parameters
+    ----------
+    a:
+        The global matrix (kept clean; ranks get copies of their block).
+    nparts:
+        Number of simulated ranks.
+    partition:
+        Optional custom partition; equal-rows by default.
+    correct:
+        Per-rank double-detect/single-correct when True, else
+        detection only.
+    """
+
+    def __init__(
+        self,
+        a: CSRMatrix,
+        nparts: int,
+        *,
+        partition: RowPartition | None = None,
+        correct: bool = True,
+    ) -> None:
+        self.global_shape = a.shape
+        self.partition = partition if partition is not None else block_rows(a.nrows, nparts)
+        if self.partition.nparts != nparts:
+            raise ValueError(
+                f"partition has {self.partition.nparts} parts, expected {nparts}"
+            )
+        self.comm = SimComm(nparts)
+        self.correct = correct
+        # Each rank's block and its reliable checksum metadata are
+        # computed once — the paper's amortization argument applies
+        # per rank exactly as it does sequentially.
+        self.blocks: list[CSRMatrix] = [
+            self.partition.local_block(a, r) for r in range(nparts)
+        ]
+        self.checksums: list[SpmvChecksums] = [
+            compute_checksums(blk, nchecks=2 if correct else 1) for blk in self.blocks
+        ]
+
+    @property
+    def nparts(self) -> int:
+        """Number of simulated ranks."""
+        return self.comm.size
+
+    def multiply(
+        self,
+        x: np.ndarray,
+        *,
+        rank_hooks: "dict[int, RankHook] | None" = None,
+    ) -> DistributedResult:
+        """Compute ``y = A x`` with local ABFT on every rank.
+
+        ``x`` is supplied row-distributed: each rank contributes its
+        owned slice to an allgather, then runs its protected local
+        product on the assembled vector.
+
+        Parameters
+        ----------
+        x:
+            Global input vector (the driver slices it per owner).
+        rank_hooks:
+            Optional per-rank fault hooks (rank id → hook), forwarded
+            to the local :func:`protected_spmv`.
+        """
+        x = np.asarray(x, dtype=np.float64)
+        if x.shape != (self.global_shape[1],):
+            raise ValueError(f"x must have shape ({self.global_shape[1]},), got {x.shape}")
+        slices = [self.partition.slice_vector(x, r) for r in range(self.nparts)]
+        assembled = self.comm.allgather_concat(slices)
+
+        results: list[ProtectedSpmvResult] = []
+        for rank in range(self.nparts):
+            hook = (rank_hooks or {}).get(rank)
+            results.append(
+                protected_spmv(
+                    self.blocks[rank],
+                    assembled[rank],
+                    self.checksums[rank],
+                    correct=self.correct,
+                    fault_hook=hook,
+                )
+            )
+        y = np.concatenate([res.y for res in results])
+        worst = max(results, key=lambda r: _SEVERITY[r.status]).status
+        return DistributedResult(
+            y=y, global_status=worst, rank_results=tuple(results)
+        )

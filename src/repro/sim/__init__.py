@@ -1,0 +1,33 @@
+"""Experiment harness reproducing the paper's evaluation (Section 5).
+
+- :mod:`repro.sim.matrices` — the nine-matrix SPD suite matching the
+  paper's UFL ids, sizes and densities (synthetic substitution; see
+  DESIGN.md §2);
+- :mod:`repro.sim.engine` — repeated fault-injected runs with
+  deterministic per-repetition seeding and aggregation;
+- :mod:`repro.sim.experiments` — drivers for Table 1 (model
+  validation) and Figure 1 (time vs normalized MTBF);
+- :mod:`repro.sim.results` — result containers and paper-style text
+  rendering.
+"""
+
+from repro.sim.matrices import MatrixSpec, PAPER_SUITE, get_matrix, suite_specs
+from repro.sim.engine import RunStatistics, repeat_run, sweep_checkpoint_interval
+from repro.sim.results import Table1Row, Figure1Point, format_table1, format_figure1
+from repro.sim.experiments import run_table1, run_figure1
+
+__all__ = [
+    "MatrixSpec",
+    "PAPER_SUITE",
+    "get_matrix",
+    "suite_specs",
+    "RunStatistics",
+    "repeat_run",
+    "sweep_checkpoint_interval",
+    "Table1Row",
+    "Figure1Point",
+    "format_table1",
+    "format_figure1",
+    "run_table1",
+    "run_figure1",
+]

@@ -1,0 +1,143 @@
+"""Repeated fault-injected runs and their aggregation.
+
+The experiment drivers need, for many (matrix, scheme, α, interval)
+tuples, the mean execution time over ``reps`` independent runs.  Each
+repetition derives its RNG deterministically from
+``(base_seed, matrix id, scheme, α, s, rep)`` so any single point of
+any table can be re-run in isolation and reproduce exactly.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.sparse.csr import CSRMatrix
+from repro.core.ft_cg import run_ft_cg
+from repro.core.methods import SchemeConfig
+from repro.util.rng import spawn_named
+
+__all__ = ["RunStatistics", "repeat_run", "sweep_checkpoint_interval", "make_rhs"]
+
+
+@dataclass(frozen=True)
+class RunStatistics:
+    """Aggregate of repeated runs at one parameter point."""
+
+    mean_time: float  #: mean simulated execution time (units of Titer)
+    std_time: float
+    min_time: float
+    max_time: float
+    mean_iterations: float  #: mean executed iterations
+    mean_rollbacks: float
+    mean_corrections: float
+    mean_faults: float
+    convergence_rate: float  #: fraction of reps that converged
+    reps: int
+
+    @property
+    def sem_time(self) -> float:
+        """Standard error of the mean time."""
+        return self.std_time / math.sqrt(self.reps) if self.reps > 1 else 0.0
+
+
+def make_rhs(a: CSRMatrix, seed: int = 1234) -> np.ndarray:
+    """Deterministic generic right-hand side for experiment runs.
+
+    A fixed random vector, *not* ``A·1``: several generators make the
+    all-ones vector an exact eigenvector, which would let CG converge in
+    one step and void the experiment.
+    """
+    rng = np.random.default_rng(seed)
+    return rng.standard_normal(a.nrows)
+
+
+def repeat_run(
+    a: CSRMatrix,
+    b: np.ndarray,
+    config: SchemeConfig,
+    *,
+    alpha: float,
+    reps: int,
+    base_seed: int = 0,
+    labels: tuple = (),
+    eps: float = 1e-6,
+    maxiter: int | None = None,
+    max_time_units: float | None = None,
+) -> RunStatistics:
+    """Run ``reps`` independent fault-injected solves and aggregate.
+
+    ``labels`` extends the seed-derivation tuple (matrix id, scheme …)
+    so distinct experiment points never share fault streams.
+    """
+    if reps < 1:
+        raise ValueError(f"reps must be >= 1, got {reps}")
+    times, iters, rbs, corrs, faults, convs = [], [], [], [], [], []
+    for rep in range(reps):
+        rng = spawn_named(base_seed, config.scheme.value, alpha, *labels, rep)
+        res = run_ft_cg(
+            a,
+            b,
+            config,
+            alpha=alpha,
+            eps=eps,
+            maxiter=maxiter,
+            rng=rng,
+            max_time_units=max_time_units,
+        )
+        times.append(res.time_units)
+        iters.append(res.iterations_executed)
+        rbs.append(res.counters.rollbacks)
+        corrs.append(res.counters.total_corrections)
+        faults.append(res.counters.faults_injected)
+        convs.append(res.converged)
+    t = np.asarray(times)
+    return RunStatistics(
+        mean_time=float(t.mean()),
+        std_time=float(t.std(ddof=1)) if reps > 1 else 0.0,
+        min_time=float(t.min()),
+        max_time=float(t.max()),
+        mean_iterations=float(np.mean(iters)),
+        mean_rollbacks=float(np.mean(rbs)),
+        mean_corrections=float(np.mean(corrs)),
+        mean_faults=float(np.mean(faults)),
+        convergence_rate=float(np.mean(convs)),
+        reps=reps,
+    )
+
+
+def sweep_checkpoint_interval(
+    a: CSRMatrix,
+    b: np.ndarray,
+    config: SchemeConfig,
+    s_values: "list[int]",
+    *,
+    alpha: float,
+    reps: int,
+    base_seed: int = 0,
+    labels: tuple = (),
+    eps: float = 1e-6,
+    maxiter: int | None = None,
+) -> dict[int, RunStatistics]:
+    """Measure mean execution time for each checkpoint interval ``s``.
+
+    This is the empirical side of Table 1: the ``s`` with the smallest
+    mean time is the measured optimum ``s*``.
+    """
+    out: dict[int, RunStatistics] = {}
+    for s in s_values:
+        cfg = config.with_intervals(s=s)
+        out[s] = repeat_run(
+            a,
+            b,
+            cfg,
+            alpha=alpha,
+            reps=reps,
+            base_seed=base_seed,
+            labels=(*labels, "s", s),
+            eps=eps,
+            maxiter=maxiter,
+        )
+    return out

@@ -1,0 +1,213 @@
+"""Drivers for the paper's two evaluation artifacts.
+
+Table 1 (Section 5.2, model validation)
+    For each suite matrix, with ``λ = 1/(16M)`` per word (``α = 1/16``):
+    sweep the checkpoint interval ``s``, measure mean execution time
+    over ``reps`` runs for ABFT-DETECTION and ABFT-CORRECTION, and
+    compare the empirically best interval ``s*`` with the
+    model-predicted ``s̃`` (Eq. 6), reporting the loss ``l``.
+
+Figure 1 (Section 5.2, scheme comparison)
+    For each suite matrix, sweep the normalized MTBF ``1/α`` and plot
+    mean execution time of ONLINE-DETECTION (intervals from Chen's
+    formula), ABFT-DETECTION and ABFT-CORRECTION (intervals from the
+    Eq.-6 optimum).
+
+Both drivers take a ``scale`` divisor (see
+:mod:`repro.sim.matrices`) — ``scale=1`` is the paper's full size,
+larger values shrink matrices for laptop-speed sweeps while preserving
+per-row density.  ``python -m repro.sim.experiments --help`` runs them
+from the command line.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.core.methods import CostModel, Scheme, SchemeConfig
+from repro.model.chen import chen_intervals
+from repro.model.instantiate import model_for_scheme
+from repro.sim.engine import make_rhs, repeat_run, sweep_checkpoint_interval
+from repro.sim.matrices import MatrixSpec, suite_specs
+from repro.sim.results import Figure1Point, Table1Row
+
+__all__ = ["run_table1", "run_figure1", "model_interval_for", "default_s_grid"]
+
+#: Paper's Table-1 fault constant: λ = 1/(16 M) per word → α = 1/16.
+TABLE1_ALPHA: float = 1.0 / 16.0
+
+
+def model_interval_for(scheme: Scheme, alpha: float, costs: CostModel) -> tuple[int, int]:
+    """Model-recommended ``(s, d)`` for a scheme at fault constant α.
+
+    λ in the performance model is the cumulative rate per time unit,
+    which equals α under the paper's normalization.  ONLINE-DETECTION
+    uses Chen's closed-form intervals [9, Eq. 10-style]; the ABFT
+    schemes use the exact Eq.-6 integer optimum.
+    """
+    lam = alpha / costs.t_iter
+    if scheme is Scheme.ONLINE_DETECTION:
+        ch = chen_intervals(
+            costs.t_iter, lam, costs.t_cp, costs.t_verif_online, costs.t_rec
+        )
+        return ch.c, ch.d
+    model = model_for_scheme(scheme, lam, costs)
+    return model.optimal(s_max=400).s, 1
+
+
+def default_s_grid(s_center: int, *, span: int = 6, s_max: int = 60) -> list[int]:
+    """Interval sweep grid around the model prediction.
+
+    Covers ``[max(1, s̃ − span), min(s_max, s̃ + span)]`` plus a few
+    coarse points so a badly wrong model prediction still brackets the
+    empirical optimum.
+    """
+    lo = max(1, s_center - span)
+    hi = min(s_max, s_center + span)
+    grid = set(range(lo, hi + 1))
+    grid.update({1, 2, 4, 8, 16, 24, 32})
+    return sorted(v for v in grid if v <= s_max)
+
+
+def run_table1(
+    *,
+    scale: int = 16,
+    reps: int = 10,
+    alpha: float = TABLE1_ALPHA,
+    uids: "list[int] | None" = None,
+    eps: float = 1e-6,
+    base_seed: int = 2015,
+    s_span: int = 6,
+) -> list[Table1Row]:
+    """Reproduce Table 1 (both ABFT schemes); returns one row per
+    (matrix, scheme)."""
+    rows: list[Table1Row] = []
+    for spec in suite_specs(uids):
+        a = spec.instantiate(scale)
+        b = make_rhs(a)
+        costs = CostModel.from_matrix(a)
+        for scheme in (Scheme.ABFT_DETECTION, Scheme.ABFT_CORRECTION):
+            s_model, _ = model_interval_for(scheme, alpha, costs)
+            grid = default_s_grid(s_model, span=s_span)
+            cfg = SchemeConfig(scheme, checkpoint_interval=s_model, costs=costs)
+            sweep = sweep_checkpoint_interval(
+                a,
+                b,
+                cfg,
+                grid,
+                alpha=alpha,
+                reps=reps,
+                base_seed=base_seed,
+                labels=("table1", spec.uid),
+                eps=eps,
+            )
+            s_best = min(sweep, key=lambda s: sweep[s].mean_time)
+            rows.append(
+                Table1Row(
+                    uid=spec.uid,
+                    n=a.nrows,
+                    density=a.density,
+                    scheme=scheme.value,
+                    s_model=s_model,
+                    time_model=sweep[s_model].mean_time,
+                    s_best=s_best,
+                    time_best=sweep[s_best].mean_time,
+                    reps=reps,
+                )
+            )
+    return rows
+
+
+def run_figure1(
+    *,
+    scale: int = 16,
+    reps: int = 10,
+    mtbf_values: "list[float] | None" = None,
+    uids: "list[int] | None" = None,
+    eps: float = 1e-6,
+    base_seed: int = 2015,
+) -> list[Figure1Point]:
+    """Reproduce Figure 1: execution time vs normalized MTBF, all schemes.
+
+    ``mtbf_values`` are the x-axis points ``1/α``; the paper spans
+    roughly 10²–10⁴ (default: 6 log-spaced points plus the Table-1
+    point 16 for continuity with the high-rate regime).
+    """
+    if mtbf_values is None:
+        mtbf_values = [16.0, 10**2, 10**2.5, 10**3, 10**3.5, 10**4]
+    points: list[Figure1Point] = []
+    for spec in suite_specs(uids):
+        a = spec.instantiate(scale)
+        b = make_rhs(a)
+        costs = CostModel.from_matrix(a)
+        for mtbf in mtbf_values:
+            alpha = 1.0 / mtbf
+            for scheme in (
+                Scheme.ONLINE_DETECTION,
+                Scheme.ABFT_DETECTION,
+                Scheme.ABFT_CORRECTION,
+            ):
+                s, d = model_interval_for(scheme, alpha, costs)
+                cfg = SchemeConfig(
+                    scheme, checkpoint_interval=s, verification_interval=d, costs=costs
+                )
+                stats = repeat_run(
+                    a,
+                    b,
+                    cfg,
+                    alpha=alpha,
+                    reps=reps,
+                    base_seed=base_seed,
+                    labels=("figure1", spec.uid, mtbf),
+                    eps=eps,
+                )
+                points.append(
+                    Figure1Point(
+                        uid=spec.uid,
+                        scheme=scheme.value,
+                        alpha=alpha,
+                        mean_time=stats.mean_time,
+                        sem_time=stats.sem_time,
+                        s_used=s,
+                        d_used=d,
+                    )
+                )
+    return points
+
+
+def _main(argv: "list[str] | None" = None) -> int:
+    """Command-line entry: ``python -m repro.sim.experiments ...``."""
+    import argparse
+
+    from repro.sim.results import format_figure1, format_table1, to_csv
+
+    parser = argparse.ArgumentParser(
+        prog="repro.sim.experiments",
+        description="Regenerate the paper's Table 1 / Figure 1",
+    )
+    parser.add_argument("experiment", choices=["table1", "figure1"])
+    parser.add_argument("--scale", type=int, default=16, help="matrix size divisor (1 = paper scale)")
+    parser.add_argument("--reps", type=int, default=10, help="repetitions per point (paper: 50)")
+    parser.add_argument("--uids", type=int, nargs="*", default=None, help="subset of matrix ids")
+    parser.add_argument("--eps", type=float, default=1e-6, help="CG stopping epsilon")
+    parser.add_argument("--csv", type=str, default=None, help="also dump raw rows to CSV")
+    parser.add_argument("--paper-scale", action="store_true", help="scale=1, reps=50 (slow)")
+    args = parser.parse_args(argv)
+    if args.paper_scale:
+        args.scale, args.reps = 1, 50
+
+    if args.experiment == "table1":
+        rows = run_table1(scale=args.scale, reps=args.reps, uids=args.uids, eps=args.eps)
+        print(format_table1(rows))
+        if args.csv:
+            to_csv(rows, args.csv)
+    else:
+        pts = run_figure1(scale=args.scale, reps=args.reps, uids=args.uids, eps=args.eps)
+        print(format_figure1(pts))
+        if args.csv:
+            to_csv(pts, args.csv)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(_main())

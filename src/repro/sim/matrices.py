@@ -1,0 +1,114 @@
+"""The nine-matrix evaluation suite.
+
+Table 1 of the paper lists nine SPD matrices from the UFL collection by
+id, dimension and density.  The collection is unavailable offline, so
+each entry is synthesized with the *same id, n and density* (and hence
+the same memory size M, which drives the fault rate λ = α/M).  Several
+generator families are used so the suite is not nine copies of one
+spectrum; every generator yields SPD by construction.  See DESIGN.md §2
+for the substitution argument.
+
+Scaling: full paper sizes (17k–75k) make 50-repetition sweeps slow on a
+laptop, so :func:`get_matrix` accepts a ``scale`` divisor that shrinks
+``n`` while preserving the *nonzeros per row* (so iteration cost and
+checksum overhead keep their relative shape).  ``scale=1`` reproduces
+the paper's dimensions exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+
+from repro.sparse.csr import CSRMatrix
+from repro.sparse.generators import stencil_spd
+
+__all__ = ["MatrixSpec", "PAPER_SUITE", "suite_specs", "get_matrix"]
+
+
+@dataclass(frozen=True)
+class MatrixSpec:
+    """One row of the paper's matrix table.
+
+    The UFL matrices of Table 1 are predominantly elliptic-PDE
+    discretizations, so each suite entry is synthesized as a 2-D
+    wide-stencil diffusion operator (:func:`repro.sparse.generators
+    .stencil_spd`) whose stencil shape/radius matches the paper's
+    nonzeros-per-row and whose anisotropy varies across entries to
+    diversify the spectra.  This family has the continuously spread
+    spectrum of real PDE matrices — CG takes O(grid side) iterations —
+    unlike diagonally dominant random matrices, which CG solves in a
+    handful of steps and which would make interval optimization moot.
+
+    Attributes
+    ----------
+    uid:
+        UFL collection id quoted by the paper (used as label only).
+    n:
+        Dimension at paper scale.
+    density:
+        nnz / n² at paper scale.
+    kind / radius / anisotropy:
+        Stencil parameters chosen so nnz/row ≈ ``density · n``
+        (box: (2r+1)² per row, cross: 4r+1 per row).
+    """
+
+    uid: int
+    n: int
+    density: float
+    kind: str = "cross"
+    radius: int = 1
+    anisotropy: float = 1.0
+
+    @property
+    def nnz_per_row(self) -> float:
+        """Average nonzeros per row (preserved under scaling)."""
+        return self.density * self.n
+
+    def scaled_n(self, scale: int) -> int:
+        """Dimension after applying a scale divisor (min 512)."""
+        if scale < 1:
+            raise ValueError(f"scale must be >= 1, got {scale}")
+        return max(512, self.n // scale)
+
+    def instantiate(self, scale: int = 1) -> CSRMatrix:
+        """Build the matrix at the given scale (deterministic per uid)."""
+        return stencil_spd(
+            self.scaled_n(scale),
+            kind=self.kind,
+            radius=self.radius,
+            anisotropy=self.anisotropy,
+        )
+
+
+#: The paper's Table-1 suite: ids, dimensions and densities verbatim;
+#: stencil parameters chosen to match each entry's nnz/row.
+PAPER_SUITE: tuple[MatrixSpec, ...] = (
+    MatrixSpec(uid=341, n=23052, density=2.15e-3, kind="box", radius=3),  # ≈50/row
+    MatrixSpec(uid=752, n=74752, density=1.07e-4, kind="box", radius=1),  # ≈8/row
+    MatrixSpec(uid=924, n=60000, density=2.11e-4, kind="cross", radius=3),  # ≈13/row
+    MatrixSpec(uid=1288, n=30401, density=5.10e-4, kind="cross", radius=4, anisotropy=2.0),
+    MatrixSpec(uid=1289, n=36441, density=4.26e-4, kind="cross", radius=4),  # ≈16/row
+    MatrixSpec(uid=1311, n=48962, density=2.14e-4, kind="cross", radius=2),  # ≈10/row
+    MatrixSpec(uid=1312, n=40000, density=1.24e-4, kind="cross", radius=1),  # 5-point
+    MatrixSpec(uid=1848, n=65025, density=2.44e-4, kind="cross", radius=4, anisotropy=0.5),
+    MatrixSpec(uid=2213, n=20000, density=1.39e-3, kind="box", radius=2),  # ≈25/row
+)
+
+
+def suite_specs(uids: "list[int] | None" = None) -> tuple[MatrixSpec, ...]:
+    """The suite, optionally filtered to the given paper ids."""
+    if uids is None:
+        return PAPER_SUITE
+    by_id = {s.uid: s for s in PAPER_SUITE}
+    missing = [u for u in uids if u not in by_id]
+    if missing:
+        raise KeyError(f"unknown matrix ids: {missing}; known: {sorted(by_id)}")
+    return tuple(by_id[u] for u in uids)
+
+
+@lru_cache(maxsize=32)
+def get_matrix(uid: int, scale: int = 1) -> CSRMatrix:
+    """Instantiate (and cache) a suite matrix by paper id."""
+    (spec,) = suite_specs([uid])
+    return spec.instantiate(scale)

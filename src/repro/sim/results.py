@@ -1,0 +1,181 @@
+"""Result containers and paper-style rendering.
+
+The formatters print the same rows/series the paper reports: Table 1's
+``(id, n, density, s̃, Et(s̃), s*, Et(s*), l)`` per scheme, and Figure
+1's per-matrix time-vs-MTBF series (rendered as aligned text columns —
+this library has no plotting dependency, but the CSV output drops
+straight into any plotting tool).
+"""
+
+from __future__ import annotations
+
+import io
+from dataclasses import dataclass
+
+__all__ = [
+    "Table1Row",
+    "Figure1Point",
+    "format_table1",
+    "format_figure1",
+    "ascii_panel",
+    "to_csv",
+]
+
+
+@dataclass(frozen=True)
+class Table1Row:
+    """One matrix's model-validation results for one scheme."""
+
+    uid: int
+    n: int
+    density: float
+    scheme: str
+    s_model: int  #: s̃ — model-predicted interval
+    time_model: float  #: Et(s̃) — measured mean time at s̃
+    s_best: int  #: s* — empirically best interval
+    time_best: float  #: Et(s*) — measured mean time at s*
+    reps: int
+
+    @property
+    def loss_percent(self) -> float:
+        """``l = (Et(s̃) − Et(s*)) / Et(s*) · 100`` — the paper's loss metric."""
+        if self.time_best == 0:
+            return 0.0
+        return (self.time_model - self.time_best) / self.time_best * 100.0
+
+
+@dataclass(frozen=True)
+class Figure1Point:
+    """One point of one scheme's series in one Figure-1 panel."""
+
+    uid: int
+    scheme: str
+    alpha: float  #: fault-rate constant; x-axis is 1/alpha
+    mean_time: float
+    sem_time: float
+    s_used: int
+    d_used: int
+
+    @property
+    def normalized_mtbf(self) -> float:
+        """The paper's x-axis: 1/α."""
+        return 1.0 / self.alpha
+
+
+def format_table1(rows: "list[Table1Row]") -> str:
+    """Render Table 1 in the paper's layout (two schemes side by side).
+
+    Rows must come in (uid, scheme) pairs covering 'abft-detection' and
+    'abft-correction'; missing halves render as blanks.
+    """
+    by_uid: dict[int, dict[str, Table1Row]] = {}
+    for r in rows:
+        by_uid.setdefault(r.uid, {})[r.scheme] = r
+    buf = io.StringIO()
+    head = (
+        f"{'id':>6} {'n':>7} {'density':>9} | "
+        f"{'s~1':>4} {'Et(s~1)':>9} {'s*1':>4} {'Et(s*1)':>9} {'l1%':>7} | "
+        f"{'s~2':>4} {'Et(s~2)':>9} {'s*2':>4} {'Et(s*2)':>9} {'l2%':>7}"
+    )
+    buf.write(head + "\n")
+    buf.write("-" * len(head) + "\n")
+    for uid in sorted(by_uid):
+        pair = by_uid[uid]
+        det = pair.get("abft-detection")
+        cor = pair.get("abft-correction")
+        meta = det or cor
+        assert meta is not None
+        buf.write(f"{uid:>6} {meta.n:>7} {meta.density:>9.2e} | ")
+        for r in (det, cor):
+            if r is None:
+                buf.write(f"{'-':>4} {'-':>9} {'-':>4} {'-':>9} {'-':>7}")
+            else:
+                buf.write(
+                    f"{r.s_model:>4} {r.time_model:>9.2f} "
+                    f"{r.s_best:>4} {r.time_best:>9.2f} {r.loss_percent:>7.2f}"
+                )
+            buf.write(" | " if r is det else "")
+        buf.write("\n")
+    return buf.getvalue()
+
+
+def format_figure1(points: "list[Figure1Point]") -> str:
+    """Render Figure 1's series as one text block per matrix panel."""
+    by_uid: dict[int, list[Figure1Point]] = {}
+    for p in points:
+        by_uid.setdefault(p.uid, []).append(p)
+    buf = io.StringIO()
+    for uid in sorted(by_uid):
+        pts = by_uid[uid]
+        schemes = sorted({p.scheme for p in pts})
+        mtbfs = sorted({p.normalized_mtbf for p in pts})
+        buf.write(f"Matrix #{uid} — execution time (Titer units) vs normalized MTBF (1/alpha)\n")
+        buf.write(f"{'1/alpha':>10} " + " ".join(f"{s:>18}" for s in schemes) + "\n")
+        lookup = {(p.normalized_mtbf, p.scheme): p for p in pts}
+        for m in mtbfs:
+            buf.write(f"{m:>10.0f} ")
+            for s in schemes:
+                p = lookup.get((m, s))
+                buf.write(f"{p.mean_time:>12.1f}±{p.sem_time:<5.1f}" if p else f"{'-':>18}")
+                buf.write(" ")
+            buf.write("\n")
+        buf.write("\n")
+    return buf.getvalue()
+
+
+def ascii_panel(
+    points: "list[Figure1Point]",
+    uid: int,
+    *,
+    width: int = 64,
+    height: int = 16,
+) -> str:
+    """Render one Figure-1 panel as an ASCII plot (log-x, linear-y).
+
+    Series markers follow the paper's line styles: ``:`` for
+    ONLINE-DETECTION (dotted), ``-`` for ABFT-DETECTION (dashed),
+    ``#`` for ABFT-CORRECTION (solid).
+    """
+    import math
+
+    pts = [p for p in points if p.uid == uid]
+    if not pts:
+        raise ValueError(f"no points for matrix {uid}")
+    markers = {"online-detection": ":", "abft-detection": "-", "abft-correction": "#"}
+    xs = sorted({p.normalized_mtbf for p in pts})
+    ymin = min(p.mean_time for p in pts)
+    ymax = max(p.mean_time for p in pts)
+    span = (ymax - ymin) or 1.0
+    lx = [math.log10(x) for x in xs]
+    lx_min, lx_max = lx[0], lx[-1]
+    lspan = (lx_max - lx_min) or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for p in pts:
+        col = int((math.log10(p.normalized_mtbf) - lx_min) / lspan * (width - 1))
+        row = int((1.0 - (p.mean_time - ymin) / span) * (height - 1))
+        grid[row][col] = markers.get(p.scheme, "?")
+    lines = [f"Matrix #{uid}  (y: {ymin:.0f}..{ymax:.0f} Titer units; x: 1/alpha, log)"]
+    for row in grid:
+        lines.append("|" + "".join(row))
+    lines.append("+" + "-" * width)
+    lines.append(
+        f" {xs[0]:<10.0f}{' ' * max(0, width - 22)}{xs[-1]:>10.0f}"
+    )
+    lines.append(" legend: ':' online-detection  '-' abft-detection  '#' abft-correction")
+    return "\n".join(lines) + "\n"
+
+
+def to_csv(points: "list", path: str) -> None:
+    """Dump any dataclass list as CSV (column order = field order)."""
+    import csv
+    import dataclasses
+
+    if not points:
+        raise ValueError("nothing to write")
+    fields = [f.name for f in dataclasses.fields(points[0])]
+    with open(path, "w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(fields)
+        for p in points:
+            writer.writerow([getattr(p, f) for f in fields])

@@ -1,0 +1,251 @@
+"""Synthetic SPD matrix generators.
+
+The paper evaluates on nine SPD matrices from the UFL collection
+(n between 17456 and 74752, density below 1e-2).  The collection is not
+available offline, so these generators synthesize SPD matrices with
+prescribed dimension and density; :mod:`repro.sim.matrices` registers a
+nine-matrix suite whose ids, sizes and densities match the paper's
+Table 1.  See DESIGN.md §2 for why this substitution is faithful: the
+experiments depend only on n, nnz (→ memory size M → fault rate λ),
+SPD-ness (CG convergence) and sparsity (SpMxV cost).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.sparse.csr import CSRMatrix
+from repro.util.rng import as_generator
+
+__all__ = [
+    "laplacian_2d",
+    "laplacian_3d",
+    "anisotropic_2d",
+    "banded_spd",
+    "random_spd",
+    "graph_laplacian_spd",
+    "stencil_spd",
+    "diagonally_dominant_spd",
+]
+
+
+def laplacian_2d(nx: int, ny: int | None = None) -> CSRMatrix:
+    """Standard 5-point Laplacian on an ``nx × ny`` grid (SPD, n = nx·ny)."""
+    ny = nx if ny is None else ny
+    ex = np.ones(nx)
+    ey = np.ones(ny)
+    tx = sp.diags([-ex[:-1], 2 * ex, -ex[:-1]], [-1, 0, 1])
+    ty = sp.diags([-ey[:-1], 2 * ey, -ey[:-1]], [-1, 0, 1])
+    lap = sp.kron(sp.eye(ny), tx) + sp.kron(ty, sp.eye(nx))
+    return CSRMatrix.from_scipy(lap)
+
+
+def laplacian_3d(nx: int, ny: int | None = None, nz: int | None = None) -> CSRMatrix:
+    """7-point Laplacian on an ``nx × ny × nz`` grid (SPD)."""
+    ny = nx if ny is None else ny
+    nz = nx if nz is None else nz
+
+    def t(n: int) -> sp.spmatrix:
+        e = np.ones(n)
+        return sp.diags([-e[:-1], 2 * e, -e[:-1]], [-1, 0, 1])
+
+    ix, iy, iz = sp.eye(nx), sp.eye(ny), sp.eye(nz)
+    lap = (
+        sp.kron(iz, sp.kron(iy, t(nx)))
+        + sp.kron(iz, sp.kron(t(ny), ix))
+        + sp.kron(t(nz), sp.kron(iy, ix))
+    )
+    return CSRMatrix.from_scipy(lap)
+
+
+def anisotropic_2d(nx: int, ny: int | None = None, eps: float = 0.1) -> CSRMatrix:
+    """Anisotropic diffusion stencil ``-u_xx - eps·u_yy`` (SPD, harder for CG)."""
+    if eps <= 0:
+        raise ValueError(f"eps must be positive, got {eps}")
+    ny = nx if ny is None else ny
+    ex = np.ones(nx)
+    ey = np.ones(ny)
+    tx = sp.diags([-ex[:-1], 2 * ex, -ex[:-1]], [-1, 0, 1])
+    ty = sp.diags([-ey[:-1], 2 * ey, -ey[:-1]], [-1, 0, 1])
+    lap = sp.kron(sp.eye(ny), tx) + eps * sp.kron(ty, sp.eye(nx))
+    return CSRMatrix.from_scipy(lap)
+
+
+def banded_spd(n: int, bandwidth: int, seed: int | np.random.Generator = 0) -> CSRMatrix:
+    """Random symmetric banded matrix made SPD by diagonal dominance.
+
+    Off-diagonals within ``bandwidth`` get uniform(−1, 0) entries; the
+    diagonal is set to (row |off-diag| sum) + 1, which guarantees strict
+    diagonal dominance with positive diagonal, hence SPD.
+    """
+    if bandwidth < 1 or bandwidth >= n:
+        raise ValueError(f"bandwidth must be in [1, n); got {bandwidth} for n={n}")
+    rng = as_generator(seed)
+    diags = []
+    offsets = []
+    for k in range(1, bandwidth + 1):
+        band = -rng.uniform(0.0, 1.0, size=n - k)
+        diags.append(band)
+        offsets.append(k)
+    upper = sp.diags(diags, offsets, shape=(n, n))
+    symm = upper + upper.T
+    row_abs = np.abs(symm).sum(axis=1).A1 if hasattr(np.abs(symm).sum(axis=1), "A1") else np.asarray(np.abs(symm).sum(axis=1)).ravel()
+    mat = symm + sp.diags(row_abs + 1.0)
+    return CSRMatrix.from_scipy(mat)
+
+
+def random_spd(
+    n: int,
+    density: float,
+    seed: int | np.random.Generator = 0,
+    *,
+    shift: float = 1.0,
+) -> CSRMatrix:
+    """Random sparse SPD matrix of prescribed size and approximate density.
+
+    A random sparse symmetric pattern with uniform(−1, 0) off-diagonal
+    entries is shifted to strict diagonal dominance:
+    ``A = S + diag(Σ_j |s_ij| + shift)``.  The resulting density matches
+    the request to within the duplicate-collision rate of the sampler.
+    """
+    if not 0 < density <= 1:
+        raise ValueError(f"density must lie in (0, 1], got {density}")
+    rng = as_generator(seed)
+    # Target nnz for the symmetric off-diagonal part (diagonal is full).
+    target_offdiag = max(0, int(density * n * n) - n)
+    m = target_offdiag // 2  # strictly-upper entries to sample
+    if m > 0:
+        rows = rng.integers(0, n - 1, size=m)
+        cols = rng.integers(1, n, size=m)
+        swap = cols <= rows
+        rows[swap], cols[swap] = cols[swap] - 1, rows[swap] + 1
+        keep = rows < cols
+        rows, cols = rows[keep], cols[keep]
+        vals = -rng.uniform(0.0, 1.0, size=rows.size)
+        upper = sp.coo_matrix((vals, (rows, cols)), shape=(n, n)).tocsr()
+        upper.sum_duplicates()
+        symm = upper + upper.T
+    else:
+        symm = sp.csr_matrix((n, n))
+    row_abs = np.asarray(np.abs(symm).sum(axis=1)).ravel()
+    mat = symm + sp.diags(row_abs + shift)
+    return CSRMatrix.from_scipy(mat)
+
+
+def graph_laplacian_spd(
+    n: int,
+    avg_degree: int = 6,
+    seed: int | np.random.Generator = 0,
+    *,
+    shift: float = 1.0,
+) -> CSRMatrix:
+    """Shifted Laplacian ``L + shift·I`` of a random regular-ish graph.
+
+    Graph Laplacians are the paper's own example of matrices with zero
+    column sums (Section 3.2) — they exercise the checksum-shift logic.
+    The shift makes the matrix SPD rather than merely PSD.
+
+    Uses :mod:`networkx` for small n and a fast configuration-style
+    sampler for large n.
+    """
+    rng = as_generator(seed)
+    if n <= 2000:
+        import networkx as nx
+
+        d = min(avg_degree, n - 1)
+        if (d * n) % 2:
+            d += 1 if d + 1 < n else -1
+        g = nx.random_regular_graph(d, n, seed=int(rng.integers(2**31)))
+        lap = nx.laplacian_matrix(g).astype(np.float64)
+        mat = lap + shift * sp.eye(n)
+        return CSRMatrix.from_scipy(mat)
+    # Large n: sample random edges directly.
+    m = n * avg_degree // 2
+    rows = rng.integers(0, n, size=m)
+    cols = rng.integers(0, n, size=m)
+    keep = rows != cols
+    rows, cols = rows[keep], cols[keep]
+    lo, hi = np.minimum(rows, cols), np.maximum(rows, cols)
+    adj = sp.coo_matrix((np.ones(lo.size), (lo, hi)), shape=(n, n)).tocsr()
+    adj.data[:] = 1.0  # collapse duplicate edges
+    adj = adj + adj.T
+    deg = np.asarray(adj.sum(axis=1)).ravel()
+    lap = sp.diags(deg) - adj
+    return CSRMatrix.from_scipy(lap + shift * sp.eye(n))
+
+
+def stencil_spd(
+    n_target: int,
+    *,
+    kind: str = "box",
+    radius: int = 1,
+    shift: float = 1e-3,
+    anisotropy: float = 1.0,
+) -> CSRMatrix:
+    """Wide-stencil 2-D diffusion operator: an SPD matrix with a
+    continuously spread spectrum and controllable density.
+
+    On a ``⌈√n⌉ × ⌈√n⌉`` grid, each point couples to neighbours within
+    Chebyshev ``radius`` (``kind="box"``: the full (2r+1)²−1
+    neighbourhood, ≈ (2r+1)² nnz/row; ``kind="cross"``: axis-aligned
+    only, 4r+1 nnz/row) with weight ``−1/dist²`` (y-distances scaled by
+    ``anisotropy``); the diagonal is the negated off-diagonal row sum
+    plus ``shift``.  Row sums equal ``shift``, so the matrix is a
+    (strictly) shifted Laplacian — SPD with spectrum filling
+    ``[≈shift, O(1)]`` like a discretized elliptic PDE, which is what
+    makes CG take ``O(grid side)`` iterations instead of the handful a
+    diagonally dominant random matrix needs.  This mirrors the UFL
+    matrices of the paper's Table 1, which are predominantly PDE
+    discretizations.
+    """
+    if radius < 1:
+        raise ValueError(f"radius must be >= 1, got {radius}")
+    if kind not in ("box", "cross"):
+        raise ValueError(f"kind must be 'box' or 'cross', got {kind!r}")
+    if shift <= 0:
+        raise ValueError(f"shift must be positive, got {shift}")
+    side = max(2, int(round(n_target**0.5)))
+    n = side * side
+
+    offsets: list[tuple[int, int, float]] = []
+    for dx in range(-radius, radius + 1):
+        for dy in range(-radius, radius + 1):
+            if dx == 0 and dy == 0:
+                continue
+            if kind == "cross" and dx != 0 and dy != 0:
+                continue
+            dist2 = dx * dx + (dy * anisotropy) ** 2
+            offsets.append((dx, dy, -1.0 / dist2))
+
+    ii: list[np.ndarray] = []
+    jj: list[np.ndarray] = []
+    vv: list[np.ndarray] = []
+    gx, gy = np.meshgrid(np.arange(side), np.arange(side), indexing="ij")
+    gx, gy = gx.ravel(), gy.ravel()
+    idx = gx * side + gy
+    for dx, dy, w in offsets:
+        ok = (gx + dx >= 0) & (gx + dx < side) & (gy + dy >= 0) & (gy + dy < side)
+        src = idx[ok]
+        dst = (gx[ok] + dx) * side + (gy[ok] + dy)
+        ii.append(src)
+        jj.append(dst)
+        vv.append(np.full(src.size, w))
+    rows = np.concatenate(ii)
+    cols = np.concatenate(jj)
+    vals = np.concatenate(vv)
+    off = sp.coo_matrix((vals, (rows, cols)), shape=(n, n)).tocsr()
+    diag = -np.asarray(off.sum(axis=1)).ravel() + shift
+    return CSRMatrix.from_scipy(off + sp.diags(diag))
+
+
+def diagonally_dominant_spd(
+    n: int, nnz_per_row: int = 8, seed: int | np.random.Generator = 0
+) -> CSRMatrix:
+    """SPD matrix with roughly ``nnz_per_row`` nonzeros per row.
+
+    Convenience wrapper over :func:`random_spd` parameterized by row
+    count rather than global density.
+    """
+    density = min(1.0, nnz_per_row / n)
+    return random_spd(n, density, seed)

@@ -1,0 +1,66 @@
+"""Structural validation of CSR matrices.
+
+Fault injection deliberately produces *invalid* structures; validation
+is therefore a separate, explicitly-invoked step rather than an
+invariant the container enforces on every operation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sparse.csr import CSRMatrix
+
+__all__ = ["StructureError", "validate_structure", "is_structurally_valid"]
+
+
+class StructureError(ValueError):
+    """Raised when a CSR matrix violates a structural invariant."""
+
+
+def validate_structure(a: "CSRMatrix") -> None:
+    """Raise :class:`StructureError` on any violated CSR invariant.
+
+    Checks, in order: array dtypes/lengths, row-pointer monotonicity and
+    endpoints, column-index range, and finiteness of values.
+    """
+    nrows, ncols = a.shape
+    if nrows < 0 or ncols < 0:
+        raise StructureError(f"negative shape {a.shape}")
+    if a.rowidx.shape != (nrows + 1,):
+        raise StructureError(
+            f"rowidx must have length nrows+1={nrows + 1}, got {a.rowidx.shape[0]}"
+        )
+    if a.val.shape != a.colid.shape:
+        raise StructureError(
+            f"val (len {a.val.shape[0]}) and colid (len {a.colid.shape[0]}) must match"
+        )
+    if a.rowidx[0] != 0:
+        raise StructureError(f"rowidx[0] must be 0, got {a.rowidx[0]}")
+    if a.rowidx[-1] != a.val.shape[0]:
+        raise StructureError(
+            f"rowidx[-1] must equal nnz={a.val.shape[0]}, got {a.rowidx[-1]}"
+        )
+    if np.any(np.diff(a.rowidx) < 0):
+        bad = int(np.nonzero(np.diff(a.rowidx) < 0)[0][0])
+        raise StructureError(f"rowidx decreases at row {bad}")
+    if a.nnz:
+        cmin, cmax = int(a.colid.min()), int(a.colid.max())
+        if cmin < 0 or cmax >= ncols:
+            raise StructureError(
+                f"column indices out of range [0, {ncols}): min={cmin} max={cmax}"
+            )
+    if not np.all(np.isfinite(a.val)):
+        raise StructureError("val contains non-finite entries")
+
+
+def is_structurally_valid(a: "CSRMatrix") -> bool:
+    """Boolean form of :func:`validate_structure`."""
+    try:
+        validate_structure(a)
+    except StructureError:
+        return False
+    return True

@@ -1,0 +1,21 @@
+"""Shared utilities: deterministic RNG handling, logging, validation."""
+
+from repro.util.rng import as_generator, spawn_children, spawn_named
+from repro.util.validate import (
+    check_positive,
+    check_nonnegative,
+    check_probability,
+    check_square,
+    check_vector,
+)
+
+__all__ = [
+    "as_generator",
+    "spawn_children",
+    "spawn_named",
+    "check_positive",
+    "check_nonnegative",
+    "check_probability",
+    "check_square",
+    "check_vector",
+]

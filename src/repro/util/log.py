@@ -1,0 +1,63 @@
+"""Minimal structured logging used by the simulation engine.
+
+The engine records recovery events (detections, corrections, rollbacks)
+both for user-facing verbosity and for test assertions.  A tiny event
+sink avoids dragging the stdlib logging configuration into library code.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+__all__ = ["Event", "EventLog"]
+
+
+@dataclass(frozen=True)
+class Event:
+    """A single timestamped event emitted by a solver or simulator."""
+
+    kind: str
+    iteration: int
+    payload: dict[str, Any] = field(default_factory=dict)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        extras = " ".join(f"{k}={v}" for k, v in self.payload.items())
+        return f"[iter {self.iteration:5d}] {self.kind} {extras}".rstrip()
+
+
+class EventLog:
+    """Append-only event sink with optional live echo.
+
+    Parameters
+    ----------
+    echo:
+        Optional callable invoked with each event's string form; pass
+        ``print`` for live tracing.
+    """
+
+    def __init__(self, echo: Callable[[str], None] | None = None) -> None:
+        self.events: list[Event] = []
+        self._echo = echo
+
+    def emit(self, kind: str, iteration: int, **payload: Any) -> Event:
+        """Record an event and return it."""
+        ev = Event(kind=kind, iteration=iteration, payload=payload)
+        self.events.append(ev)
+        if self._echo is not None:
+            self._echo(str(ev))
+        return ev
+
+    def count(self, kind: str) -> int:
+        """Number of recorded events of the given kind."""
+        return sum(1 for ev in self.events if ev.kind == kind)
+
+    def of_kind(self, kind: str) -> list[Event]:
+        """All events of the given kind, in emission order."""
+        return [ev for ev in self.events if ev.kind == kind]
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self):
+        return iter(self.events)

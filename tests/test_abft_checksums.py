@@ -1,0 +1,71 @@
+"""Unit tests for checksum precomputation."""
+
+import numpy as np
+import pytest
+
+from repro.abft import compute_checksums
+from repro.sparse import CSRMatrix, graph_laplacian_spd
+from tests.conftest import dense_random_csr
+
+
+class TestComputeChecksums:
+    def test_column_checksums_match_dense(self, small_lap):
+        cks = compute_checksums(small_lap, nchecks=2)
+        dense = small_lap.to_dense()
+        np.testing.assert_allclose(cks.column_checksums[0], dense.sum(axis=0), rtol=1e-12)
+        w2 = np.arange(1, small_lap.nrows + 1)
+        np.testing.assert_allclose(cks.column_checksums[1], w2 @ dense, rtol=1e-12)
+
+    def test_shifted_first_row_has_no_zeros(self):
+        # Graph Laplacian: all (unshifted−shift) column sums equal the
+        # diagonal shift; choose a shift making sums zero-prone.
+        a = graph_laplacian_spd(60, 4, seed=0, shift=1.0)
+        cks = compute_checksums(a, nchecks=1)
+        assert np.all(np.abs(cks.shifted_first_row) > 0)
+
+    def test_rowidx_checksums(self, small_lap):
+        cks = compute_checksums(small_lap, nchecks=2)
+        ridx = small_lap.rowidx[1:].astype(float)
+        assert cks.rowidx_checksums[0] == pytest.approx(ridx.sum())
+        w2 = np.arange(1, small_lap.nrows + 1)
+        assert cks.rowidx_checksums[1] == pytest.approx(w2 @ ridx)
+
+    def test_exact_rowidx_checksums_are_ints(self, small_lap):
+        cks = compute_checksums(small_lap, nchecks=2)
+        assert all(isinstance(v, int) for v in cks.rowidx_checksums_exact)
+        assert cks.rowidx_checksums_exact[0] == int(small_lap.rowidx[1:].sum())
+
+    def test_x_checksums(self, small_lap, rng):
+        cks = compute_checksums(small_lap, nchecks=2)
+        x = rng.normal(size=small_lap.ncols)
+        cx = cks.x_checksums(x)
+        assert cx[0] == pytest.approx(x.sum())
+        assert cx[1] == pytest.approx(np.arange(1, x.size + 1) @ x)
+
+    def test_nchecks_one_shape(self, small_lap):
+        cks = compute_checksums(small_lap, nchecks=1)
+        assert cks.weights.shape == (1, small_lap.nrows)
+        assert cks.column_checksums.shape == (1, small_lap.ncols)
+        assert len(cks.rowidx_checksums_exact) == 1
+
+    def test_rectangular_block(self, rng):
+        a = dense_random_csr(rng, 10, 25, 0.4)
+        cks = compute_checksums(a, nchecks=2)
+        assert not cks.is_square
+        assert cks.weights.shape == (2, 10)
+        assert cks.column_weights.shape == (2, 25)
+        assert cks.column_checksums.shape == (2, 25)
+
+    def test_square_shares_weight_matrices(self, small_lap):
+        cks = compute_checksums(small_lap, nchecks=2)
+        assert cks.is_square
+        assert cks.column_weights is cks.weights
+
+    def test_setup_cost_is_amortizable(self, small_lap, rng):
+        """The same checksum object must validate many products."""
+        from repro.abft import protected_spmv, SpmvStatus
+
+        cks = compute_checksums(small_lap, nchecks=2)
+        for _ in range(5):
+            x = rng.normal(size=small_lap.ncols)
+            assert protected_spmv(small_lap, x, cks).status is SpmvStatus.OK

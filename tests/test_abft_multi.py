@@ -1,0 +1,98 @@
+"""Unit tests for k-error detection (technical-report extension)."""
+
+import numpy as np
+import pytest
+
+from repro.abft import compute_multi_checksums, detect_multi
+from repro.sparse import laplacian_2d
+
+
+@pytest.fixture(scope="module")
+def setup():
+    a = laplacian_2d(15)  # 225×225
+    x = np.random.default_rng(3).normal(size=a.ncols)
+    return a, x
+
+
+class TestCleanProducts:
+    @pytest.mark.parametrize("k", [1, 2, 3, 4])
+    def test_clean_passes(self, setup, k):
+        a, x = setup
+        cks = compute_multi_checksums(a, k)
+        y = a.matvec(x)
+        clean, residuals = detect_multi(a, x, y, cks)
+        assert clean
+        assert residuals.shape == (k,)
+
+    def test_clean_across_scales(self, setup):
+        a, _ = setup
+        cks = compute_multi_checksums(a, 3)
+        rng = np.random.default_rng(0)
+        for _ in range(20):
+            x = rng.normal(size=a.ncols) * 10.0 ** rng.integers(-6, 7)
+            assert detect_multi(a, x, a.matvec(x), cks)[0]
+
+    def test_k_validated(self, setup):
+        with pytest.raises(ValueError):
+            compute_multi_checksums(setup[0], 0)
+
+
+class TestMultiErrorDetection:
+    @pytest.mark.parametrize("k,nerrors", [(2, 1), (2, 2), (3, 2), (3, 3), (4, 4)])
+    def test_up_to_k_output_errors_detected(self, setup, k, nerrors):
+        a, x = setup
+        cks = compute_multi_checksums(a, k)
+        rng = np.random.default_rng(k * 10 + nerrors)
+        for _ in range(20):
+            y = a.matvec(x)
+            pos = rng.choice(a.nrows, size=nerrors, replace=False)
+            y[pos] += rng.uniform(0.5, 5.0, size=nerrors) * rng.choice([-1, 1], size=nerrors)
+            clean, _ = detect_multi(a, x, y, cks)
+            assert not clean
+
+    def test_matrix_errors_detected(self, setup):
+        a, x = setup
+        cks = compute_multi_checksums(a, 3)
+        bad = a.copy()
+        bad.val[10] += 1.0
+        bad.val[300] -= 2.0
+        bad.val[700] += 0.7
+        y = bad.matvec(x)
+        clean, _ = detect_multi(bad, x, y, cks)
+        assert not clean
+
+    def test_adversarial_cancellation_beyond_k_possible(self, setup):
+        """More than k errors *can* evade k checksums: pick a
+        perturbation orthogonal to all k weight rows."""
+        a, x = setup
+        k = 2
+        cks = compute_multi_checksums(a, k)
+        y = a.matvec(x)
+        # Build a 3-error perturbation in the null space of the 2
+        # weight rows (restricted to 3 coordinates).
+        cols = np.array([4, 90, 200])
+        w = cks.weights[:, cols]  # 2×3
+        null = np.linalg.svd(w)[2][-1]  # right-singular vector, w @ null = 0
+        y[cols] += 10.0 * null
+        clean, _ = detect_multi(a, x, y, cks)
+        assert clean  # documented limitation: k checksums detect ≤ k errors
+
+    def test_same_evasion_caught_with_larger_k(self, setup):
+        a, x = setup
+        cks2 = compute_multi_checksums(a, 2)
+        cks4 = compute_multi_checksums(a, 4)
+        cols = np.array([4, 90, 200])
+        null = np.linalg.svd(cks2.weights[:, cols])[2][-1]
+        y = a.matvec(x)
+        y[cols] += 10.0 * null
+        assert detect_multi(a, x, y, cks2)[0]
+        assert not detect_multi(a, x, y, cks4)[0]
+
+
+class TestOverheadScaling:
+    def test_setup_linear_in_k(self, setup):
+        a, _ = setup
+        for k in (1, 2, 4):
+            cks = compute_multi_checksums(a, k)
+            assert cks.column_checksums.shape == (k, a.ncols)
+            assert cks.weights.shape == (k, a.nrows)

@@ -1,0 +1,84 @@
+"""Unit tests for the ProtectedOperator wrapper."""
+
+import numpy as np
+import pytest
+
+from repro.abft import ProtectedOperator, UncorrectableError
+
+
+class TestBasics:
+    def test_matvec_matches_plain(self, small_lap, xvec):
+        op = ProtectedOperator(small_lap)
+        np.testing.assert_allclose(op.matvec(xvec), small_lap.matvec(xvec), rtol=1e-12)
+        np.testing.assert_allclose(op(xvec), small_lap.matvec(xvec), rtol=1e-12)
+
+    def test_rmatvec_matches_transpose(self, small_spd, rng):
+        op = ProtectedOperator(small_spd)
+        x = rng.normal(size=small_spd.nrows)
+        np.testing.assert_allclose(
+            op.rmatvec(x), small_spd.transpose().matvec(x), rtol=1e-12
+        )
+
+    def test_caller_matrix_untouched(self, small_lap, xvec):
+        snapshot = small_lap.copy()
+        op = ProtectedOperator(small_lap)
+        op.matvec(xvec)
+        assert small_lap.equals(snapshot)
+
+    def test_stats_accumulate(self, small_lap, xvec):
+        op = ProtectedOperator(small_lap)
+        op.matvec(xvec)
+        op.matvec(xvec)
+        assert op.stats.products == 2
+
+    def test_nchecks_validated(self, small_lap):
+        with pytest.raises(ValueError, match="nchecks"):
+            ProtectedOperator(small_lap, nchecks=3)
+
+
+class TestRecovery:
+    def test_single_error_self_heals(self, small_lap, xvec):
+        op = ProtectedOperator(small_lap)
+        op.matrix.val[42] += 5.0  # corrupt the live copy
+        y = op.matvec(xvec)
+        np.testing.assert_allclose(y, small_lap.matvec(xvec), rtol=1e-9)
+        assert op.stats.corrections == {"val": 1}
+        # The live matrix is clean again: the next product is OK.
+        op.matvec(xvec)
+        assert op.stats.corrections == {"val": 1}
+
+    def test_double_error_raises(self, small_lap, xvec):
+        op = ProtectedOperator(small_lap)
+        op.matrix.val[1] += 1.0
+        op.matrix.val[900] += 2.0
+        with pytest.raises(UncorrectableError):
+            op.matvec(xvec)
+        assert op.stats.uncorrectable == 1
+
+    def test_detection_mode_raises_on_any_error(self, small_lap, xvec):
+        op = ProtectedOperator(small_lap, nchecks=1)
+        op.matrix.val[3] += 1.0
+        with pytest.raises(UncorrectableError):
+            op.matvec(xvec)
+
+    def test_transpose_checksums_independent(self, small_spd, rng):
+        op = ProtectedOperator(small_spd)
+        x = rng.normal(size=small_spd.nrows)
+        op.rmatvec(x)  # builds Aᵀ lazily
+        # Corrupt the transpose copy only: rmatvec corrects it, matvec
+        # stays clean.
+        op._at.val[7] += 3.0
+        np.testing.assert_allclose(
+            op.rmatvec(x), small_spd.transpose().matvec(x), rtol=1e-9
+        )
+        assert op.stats.corrections.get("val", 0) == 1
+
+    def test_hook_injection(self, small_lap, xvec):
+        def hook(stage, a, x, y):
+            if stage == "post":
+                y[5] += 2.0
+
+        op = ProtectedOperator(small_lap, fault_hook=hook)
+        y = op.matvec(xvec)
+        np.testing.assert_allclose(y, small_lap.matvec(xvec), rtol=1e-9)
+        assert op.stats.corrections.get("computation", 0) == 1

@@ -1,0 +1,110 @@
+"""Unit tests for ABFT detection (Theorem 1, single checksum row)."""
+
+import numpy as np
+import pytest
+
+from repro.abft import compute_checksums, protected_spmv, SpmvStatus
+from repro.sparse import graph_laplacian_spd
+
+
+class TestDetectionMode:
+    def test_clean_passes(self, small_lap, checks1, xvec):
+        res = protected_spmv(small_lap, xvec, checks1, correct=False)
+        assert res.status is SpmvStatus.OK
+        assert res.trusted
+        np.testing.assert_allclose(res.y, small_lap.matvec(xvec), rtol=1e-12)
+
+    def test_val_error_detected(self, small_lap, checks1, xvec):
+        a = small_lap.copy()
+        a.val[11] += 1.0
+        res = protected_spmv(a, xvec.copy(), checks1, correct=False)
+        assert res.status is SpmvStatus.DETECTED
+        assert not res.trusted
+
+    def test_colid_error_detected(self, small_lap, checks1, xvec):
+        a = small_lap.copy()
+        a.colid[11] = (a.colid[11] + 7) % a.ncols
+        res = protected_spmv(a, xvec.copy(), checks1, correct=False)
+        assert res.status is SpmvStatus.DETECTED
+
+    def test_rowidx_error_detected(self, small_lap, checks1, xvec):
+        a = small_lap.copy()
+        a.rowidx[20] += 1
+        res = protected_spmv(a, xvec.copy(), checks1, correct=False)
+        assert res.status is SpmvStatus.DETECTED
+        assert res.residuals.rowidx_flagged
+
+    def test_x_error_detected(self, small_lap, checks1, xvec):
+        def hook(stage, a, x, y):
+            if stage == "pre":
+                x[100] += 2.0
+
+        res = protected_spmv(small_lap, xvec.copy(), checks1, correct=False, fault_hook=hook)
+        assert res.status is SpmvStatus.DETECTED
+        assert res.residuals.dxp_flagged
+
+    def test_y_error_detected(self, small_lap, checks1, xvec):
+        def hook(stage, a, x, y):
+            if stage == "post":
+                y[37] -= 5.0
+
+        res = protected_spmv(small_lap, xvec.copy(), checks1, correct=False, fault_hook=hook)
+        assert res.status is SpmvStatus.DETECTED
+        assert res.residuals.dx_flagged
+
+    def test_correct_true_requires_two_checksums(self, small_lap, checks1, xvec):
+        with pytest.raises(ValueError, match="nchecks=2"):
+            protected_spmv(small_lap, xvec, checks1, correct=True)
+
+    def test_shape_mismatch_rejected(self, small_lap, checks1):
+        from repro.sparse import laplacian_2d
+
+        other = laplacian_2d(5)
+        with pytest.raises(ValueError, match="shape"):
+            protected_spmv(other, np.ones(25), checks1, correct=False)
+
+
+class TestShiftNecessity:
+    """The Section-3.2 scenario: zero column sums hide x-errors from the
+    unshifted Shantharam test; the shifted test (Theorem 1) catches them."""
+
+    def test_x_error_on_zero_sum_column_detected(self):
+        # Laplacian + tiny diagonal: column sums ≈ shift ≈ 1e-9 — far
+        # below the magnitude where an unshifted cᵀx' test could see
+        # anything over the rounding threshold.
+        a = graph_laplacian_spd(80, 4, seed=2, shift=1e-9)
+        cks = compute_checksums(a, nchecks=1)
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=a.ncols)
+
+        def hook(stage, aa, xx, yy):
+            if stage == "pre":
+                xx[13] += 3.0
+
+        res = protected_spmv(a, x.copy(), cks, correct=False, fault_hook=hook)
+        assert res.status is SpmvStatus.DETECTED
+
+    def test_unshifted_test_would_miss_it(self):
+        """Demonstrate the failure mode the shift exists to fix."""
+        a = graph_laplacian_spd(80, 4, seed=2, shift=1e-9)
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=a.ncols)
+        x_ref = x.copy()
+        x_bad = x.copy()
+        x_bad[13] += 3.0
+        y = a.matvec(x_bad)
+        colsums = a.to_dense().sum(axis=0)
+        # Unshifted Shantharam test: cᵀx' vs Σy — the error contributes
+        # colsums[13]·3 ≈ 3e-9, indistinguishable from rounding noise of
+        # the O(‖A‖·‖x‖) sums.
+        gap = abs(colsums @ x_ref - y.sum())
+        assert gap < 1e-6  # would need threshold below noise to catch
+
+
+class TestDetectionVsToleranceInterplay:
+    def test_detection_only_never_mutates_state(self, small_lap, checks1, xvec):
+        a = small_lap.copy()
+        a.val[9] += 4.0
+        snapshot = a.val.copy()
+        protected_spmv(a, xvec.copy(), checks1, correct=False)
+        np.testing.assert_array_equal(a.val, snapshot)

@@ -1,0 +1,95 @@
+"""Unit tests for triple modular redundancy."""
+
+import numpy as np
+import pytest
+
+from repro.abft import TMRError, majority_vote, tmr_axpy, tmr_dot, tmr_norm2
+
+
+class TestMajorityVote:
+    def test_all_agree(self):
+        assert majority_vote([1.0, 1.0, 1.0]) == 1.0
+
+    def test_one_scalar_corrupted(self):
+        assert majority_vote([1.0, 99.0, 1.0]) == 1.0
+        assert majority_vote([99.0, 1.0, 1.0]) == 1.0
+        assert majority_vote([1.0, 1.0, 99.0]) == 1.0
+
+    def test_array_replicas(self):
+        good = np.arange(4.0)
+        bad = good.copy()
+        bad[2] = -7.0
+        np.testing.assert_array_equal(majority_vote([good, bad, good.copy()]), good)
+
+    def test_all_disagree_raises(self):
+        with pytest.raises(TMRError, match="disagree"):
+            majority_vote([1.0, 2.0, 3.0])
+
+    def test_wrong_replica_count(self):
+        with pytest.raises(ValueError, match="3 replicas"):
+            majority_vote([1.0, 2.0])
+
+    def test_rtol_agreement(self):
+        assert majority_vote([1.0, 1.0 + 1e-12, 5.0], rtol=1e-9) == 1.0
+
+
+class TestKernels:
+    def test_dot_clean(self, rng):
+        x, y = rng.normal(size=50), rng.normal(size=50)
+        assert tmr_dot(x, y) == pytest.approx(float(x @ y))
+
+    def test_norm2_clean(self, rng):
+        x = rng.normal(size=50)
+        assert tmr_norm2(x) == pytest.approx(float(x @ x))
+
+    def test_axpy_clean(self, rng):
+        x, y = rng.normal(size=50), rng.normal(size=50)
+        np.testing.assert_allclose(tmr_axpy(2.5, x, y), y + 2.5 * x)
+
+    def test_axpy_does_not_mutate_inputs(self, rng):
+        x, y = rng.normal(size=10), rng.normal(size=10)
+        x0, y0 = x.copy(), y.copy()
+        tmr_axpy(1.5, x, y)
+        np.testing.assert_array_equal(x, x0)
+        np.testing.assert_array_equal(y, y0)
+
+    def test_dot_single_replica_corruption_masked(self, rng):
+        x, y = rng.normal(size=50), rng.normal(size=50)
+        truth = float(x @ y)
+
+        def corrupt(i, v):
+            return v + 100.0 if i == 1 else v
+
+        assert tmr_dot(x, y, corrupt=corrupt) == pytest.approx(truth)
+
+    def test_axpy_single_replica_corruption_masked(self, rng):
+        x, y = rng.normal(size=20), rng.normal(size=20)
+
+        def corrupt(i, v):
+            if i == 0:
+                v = np.array(v, copy=True)
+                v[3] += 50.0
+            return v
+
+        np.testing.assert_allclose(tmr_axpy(1.0, x, y, corrupt=corrupt), y + x)
+
+    def test_double_corruption_detected(self, rng):
+        x = rng.normal(size=10)
+
+        def corrupt(i, v):
+            return v + float(i + 1)  # all three replicas differ
+
+        with pytest.raises(TMRError):
+            tmr_norm2(x, corrupt=corrupt)
+
+    def test_consistent_double_corruption_wins_vote(self, rng):
+        # Two replicas corrupted identically out-vote the truth: the
+        # documented TMR failure mode ("two out of three are correct"
+        # is an assumption, not a guarantee).
+        x = rng.normal(size=10)
+        truth = float(x @ x)
+
+        def corrupt(i, v):
+            return v + 7.0 if i in (0, 2) else v
+
+        assert tmr_norm2(x, corrupt=corrupt) == pytest.approx(truth + 7.0)

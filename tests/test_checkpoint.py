@@ -1,0 +1,89 @@
+"""Unit tests for checkpoint storage and policy."""
+
+import numpy as np
+import pytest
+
+from repro.checkpoint import CheckpointStore, PeriodicCheckpointPolicy
+
+
+class TestCheckpointStore:
+    def test_save_and_latest(self, small_lap):
+        store = CheckpointStore()
+        x = np.arange(3.0)
+        cp = store.save(5, {"x": x}, matrix=small_lap, scalars={"rr": 2.0})
+        assert store.latest is cp
+        assert cp.iteration == 5
+        assert cp.scalars["rr"] == 2.0
+
+    def test_snapshot_is_deep(self, small_lap):
+        store = CheckpointStore()
+        x = np.arange(3.0)
+        a = small_lap.copy()
+        store.save(0, {"x": x}, matrix=a)
+        x[0] = 99.0
+        a.val[0] = 99.0
+        assert store.latest.vectors["x"][0] == 0.0
+        assert store.latest.matrix.val[0] == small_lap.val[0]
+
+    def test_restore_returns_fresh_copies(self):
+        store = CheckpointStore()
+        store.save(0, {"x": np.zeros(4)})
+        r1 = store.restore()
+        r1.vectors["x"][0] = 7.0
+        r2 = store.restore()
+        assert r2.vectors["x"][0] == 0.0
+        assert store.restores == 2
+
+    def test_keep_limits_stack(self):
+        store = CheckpointStore(keep=2)
+        for i in range(5):
+            store.save(i, {"x": np.full(2, float(i))})
+        assert store.latest.iteration == 4
+        assert store.saves == 5
+
+    def test_empty_store_raises(self):
+        store = CheckpointStore()
+        assert store.empty
+        with pytest.raises(LookupError):
+            _ = store.latest
+
+    def test_size_words(self, small_lap):
+        store = CheckpointStore()
+        cp = store.save(0, {"x": np.zeros(10), "r": np.zeros(10)}, matrix=small_lap)
+        assert cp.size_words == 20 + small_lap.memory_words
+        assert store.words_written == cp.size_words
+
+    def test_keep_must_be_positive(self):
+        with pytest.raises(ValueError):
+            CheckpointStore(keep=0)
+
+    def test_checkpoint_without_matrix(self):
+        store = CheckpointStore()
+        cp = store.save(0, {"x": np.zeros(3)})
+        assert cp.matrix is None
+        assert store.restore().matrix is None
+
+
+class TestPeriodicPolicy:
+    def test_triggers_every_interval(self):
+        policy = PeriodicCheckpointPolicy(3)
+        hits = [policy.chunk_verified() for _ in range(9)]
+        assert hits == [False, False, True] * 3
+
+    def test_interval_one_always_triggers(self):
+        policy = PeriodicCheckpointPolicy(1)
+        assert all(policy.chunk_verified() for _ in range(5))
+
+    def test_rollback_resets_progress(self):
+        policy = PeriodicCheckpointPolicy(3)
+        policy.chunk_verified()
+        policy.chunk_verified()
+        policy.rolled_back()
+        assert policy.chunks_since_checkpoint == 0
+        assert not policy.chunk_verified()
+        assert not policy.chunk_verified()
+        assert policy.chunk_verified()
+
+    def test_rejects_bad_interval(self):
+        with pytest.raises(ValueError):
+            PeriodicCheckpointPolicy(0)

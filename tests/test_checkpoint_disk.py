@@ -1,0 +1,100 @@
+"""Unit tests for disk-backed checkpointing."""
+
+import numpy as np
+import pytest
+
+from repro.checkpoint import DiskCheckpointStore
+
+
+class TestDiskStore:
+    def test_save_restore_roundtrip(self, tmp_path, small_lap):
+        store = DiskCheckpointStore(tmp_path)
+        x = np.arange(5.0)
+        store.save(7, {"x": x, "r": 2 * x}, matrix=small_lap, scalars={"rr": 3.5})
+        cp = store.restore()
+        assert cp.iteration == 7
+        np.testing.assert_array_equal(cp.vectors["x"], x)
+        np.testing.assert_array_equal(cp.vectors["r"], 2 * x)
+        assert cp.scalars == {"rr": 3.5}
+        assert cp.matrix.equals(small_lap)
+
+    def test_restore_is_independent_copy(self, tmp_path):
+        store = DiskCheckpointStore(tmp_path)
+        x = np.zeros(3)
+        store.save(0, {"x": x})
+        x[0] = 9.0  # mutate after save: the file must hold the old value
+        cp = store.restore()
+        assert cp.vectors["x"][0] == 0.0
+
+    def test_keep_prunes_old_files(self, tmp_path):
+        store = DiskCheckpointStore(tmp_path, keep=2)
+        for i in range(5):
+            store.save(i, {"x": np.full(2, float(i))})
+        files = list(tmp_path.glob("ckpt-*.npz"))
+        assert len(files) == 2
+        assert store.restore().iteration == 4
+
+    def test_survives_reopen(self, tmp_path):
+        DiskCheckpointStore(tmp_path).save(3, {"x": np.ones(4)})
+        reopened = DiskCheckpointStore(tmp_path)
+        assert not reopened.empty
+        cp = reopened.restore()
+        assert cp.iteration == 3
+        # New saves continue the sequence rather than clobbering.
+        reopened.save(4, {"x": np.zeros(4)})
+        assert reopened.restore().iteration == 4
+
+    def test_empty_raises(self, tmp_path):
+        store = DiskCheckpointStore(tmp_path)
+        assert store.empty
+        with pytest.raises(LookupError):
+            store.restore()
+
+    def test_without_matrix(self, tmp_path):
+        store = DiskCheckpointStore(tmp_path)
+        store.save(0, {"x": np.ones(3)})
+        assert store.restore().matrix is None
+
+    def test_reserved_names_rejected(self, tmp_path):
+        store = DiskCheckpointStore(tmp_path)
+        with pytest.raises(ValueError, match="reserved"):
+            store.save(0, {"matrix_val": np.ones(3)})
+        with pytest.raises(ValueError, match="reserved"):
+            store.save(0, {"iteration": np.ones(3)})
+
+    def test_keep_validated(self, tmp_path):
+        with pytest.raises(ValueError):
+            DiskCheckpointStore(tmp_path, keep=0)
+
+    def test_counters(self, tmp_path):
+        store = DiskCheckpointStore(tmp_path)
+        store.save(0, {"x": np.ones(1)})
+        store.save(1, {"x": np.ones(1)})
+        store.restore()
+        assert store.saves == 2
+        assert store.restores == 1
+
+
+class TestAsciiPanel:
+    def test_renders_all_series(self):
+        from repro.sim.results import Figure1Point, ascii_panel
+
+        pts = []
+        for scheme, base in [("online-detection", 30), ("abft-detection", 20), ("abft-correction", 10)]:
+            for mtbf in (16.0, 100.0, 1000.0):
+                pts.append(
+                    Figure1Point(
+                        uid=1, scheme=scheme, alpha=1 / mtbf,
+                        mean_time=base + 100 / mtbf, sem_time=0.0, s_used=1, d_used=1,
+                    )
+                )
+        text = ascii_panel(pts, 1)
+        assert "Matrix #1" in text
+        for marker in (":", "-", "#"):
+            assert marker in text
+
+    def test_unknown_uid_raises(self):
+        from repro.sim.results import ascii_panel
+
+        with pytest.raises(ValueError):
+            ascii_panel([], 5)

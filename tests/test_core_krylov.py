@@ -1,0 +1,127 @@
+"""Unit tests for BiCGstab / BiCG / CGNE and their protected variants."""
+
+import numpy as np
+import pytest
+
+from repro.abft import ProtectedOperator, UncorrectableError
+from repro.core import bicg, bicgstab, cg, cgne
+from repro.sparse import CSRMatrix, stencil_spd
+
+
+@pytest.fixture(scope="module")
+def spd():
+    return stencil_spd(400, kind="cross", radius=1)
+
+
+@pytest.fixture(scope="module")
+def nonsym(spd):
+    """A mildly nonsymmetric, well-conditioned matrix."""
+    dense = spd.to_dense().copy()
+    rng = np.random.default_rng(5)
+    rows = rng.integers(0, dense.shape[0], size=60)
+    cols = rng.integers(0, dense.shape[0], size=60)
+    dense[rows, cols] += 0.2 * rng.random(60)
+    np.fill_diagonal(dense, np.abs(dense).sum(axis=1))  # keep it safe for BiCG
+    return CSRMatrix.from_dense(dense)
+
+
+@pytest.fixture(scope="module")
+def rhs(spd):
+    return np.random.default_rng(9).normal(size=spd.nrows)
+
+
+class TestBicgstab:
+    def test_solves_spd(self, spd, rhs):
+        res = bicgstab(spd, rhs, eps=1e-8)
+        assert res.converged
+        np.testing.assert_allclose(spd.matvec(res.x), rhs, atol=1e-3)
+
+    def test_solves_nonsymmetric(self, nonsym, rhs):
+        res = bicgstab(nonsym, rhs, eps=1e-10)
+        assert res.converged
+        np.testing.assert_allclose(nonsym.matvec(res.x), rhs, atol=1e-5)
+
+    def test_agrees_with_cg_on_spd(self, spd, rhs):
+        ours = bicgstab(spd, rhs, eps=1e-10)
+        ref = cg(spd, rhs, eps=1e-10)
+        np.testing.assert_allclose(ours.x, ref.x, atol=1e-4)
+
+    def test_maxiter(self, spd, rhs):
+        res = bicgstab(spd, rhs, eps=1e-14, maxiter=2)
+        assert res.iterations <= 2
+
+    def test_matvec_hook(self, spd, rhs):
+        calls = []
+
+        def mv(v):
+            calls.append(1)
+            return spd.matvec(v)
+
+        res = bicgstab(spd, rhs, eps=1e-8, matvec=mv)
+        assert res.converged
+        assert len(calls) >= res.iterations  # ≥ 2 products/iteration + init
+
+
+class TestBicg:
+    def test_solves_spd(self, spd, rhs):
+        res = bicg(spd, rhs, eps=1e-8)
+        assert res.converged
+        np.testing.assert_allclose(spd.matvec(res.x), rhs, atol=1e-3)
+
+    def test_on_spd_matches_cg_iterates(self, spd, rhs):
+        # For SPD A with r* = r, BiCG reduces to CG.
+        ours = bicg(spd, rhs, eps=1e-10)
+        ref = cg(spd, rhs, eps=1e-10)
+        assert abs(ours.iterations - ref.iterations) <= 1
+        np.testing.assert_allclose(ours.x, ref.x, atol=1e-5)
+
+    def test_solves_nonsymmetric(self, nonsym, rhs):
+        res = bicg(nonsym, rhs, eps=1e-10)
+        assert res.converged
+        np.testing.assert_allclose(nonsym.matvec(res.x), rhs, atol=1e-4)
+
+
+class TestCgne:
+    def test_solves_spd(self, spd, rhs):
+        res = cgne(spd, rhs, eps=1e-6, maxiter=8000)
+        assert res.converged
+        np.testing.assert_allclose(spd.matvec(res.x), rhs, atol=1e-2)
+
+    def test_solves_nonsymmetric(self, nonsym, rhs):
+        res = cgne(nonsym, rhs, eps=1e-8)
+        assert res.converged
+        np.testing.assert_allclose(nonsym.matvec(res.x), rhs, atol=1e-3)
+
+
+class TestProtectedVariants:
+    def test_bicgstab_with_protected_operator(self, spd, rhs):
+        op = ProtectedOperator(spd)
+        res = bicgstab(spd, rhs, eps=1e-8, matvec=op.matvec)
+        assert res.converged
+        assert op.stats.products > 0
+        assert op.stats.uncorrectable == 0
+
+    def test_bicg_protected_transpose(self, nonsym, rhs):
+        op = ProtectedOperator(nonsym)
+        res = bicg(nonsym, rhs, eps=1e-8, matvec=op.matvec, rmatvec=op.rmatvec)
+        assert res.converged
+        assert op.stats.products >= 2 * res.iterations
+
+    def test_cgne_protected_both_products(self, nonsym, rhs):
+        op = ProtectedOperator(nonsym)
+        res = cgne(nonsym, rhs, eps=1e-8, matvec=op.matvec, rmatvec=op.rmatvec)
+        assert res.converged
+        assert op.stats.uncorrectable == 0
+
+    def test_injected_error_corrected_in_flight(self, spd, rhs):
+        fired = {"done": False}
+
+        def hook(stage, a, x, y):
+            if stage == "pre" and not fired["done"]:
+                a.val[31] += 2.0
+                fired["done"] = True
+
+        op = ProtectedOperator(spd, fault_hook=hook)
+        res = bicgstab(spd, rhs, eps=1e-8, matvec=op.matvec)
+        assert res.converged
+        assert op.stats.corrections.get("val", 0) == 1

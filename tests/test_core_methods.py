@@ -1,0 +1,85 @@
+"""Unit tests for scheme descriptors and the cost model."""
+
+import pytest
+
+from repro.core import CostModel, Scheme, SchemeConfig
+
+
+class TestScheme:
+    def test_flags(self):
+        assert not Scheme.ONLINE_DETECTION.uses_abft
+        assert Scheme.ABFT_DETECTION.uses_abft
+        assert Scheme.ABFT_CORRECTION.uses_abft
+        assert Scheme.ABFT_CORRECTION.corrects
+        assert not Scheme.ABFT_DETECTION.corrects
+
+
+class TestCostModel:
+    def test_defaults_ordering(self):
+        c = CostModel()
+        assert c.t_verif_detect < c.t_verif_correct < c.t_verif_online
+
+    def test_verification_cost_dispatch(self):
+        c = CostModel()
+        assert c.verification_cost(Scheme.ONLINE_DETECTION) == c.t_verif_online
+        assert c.verification_cost(Scheme.ABFT_DETECTION) == c.t_verif_detect
+        assert c.verification_cost(Scheme.ABFT_CORRECTION) == c.t_verif_correct
+
+    def test_from_matrix_hierarchy(self, small_spd):
+        c = CostModel.from_matrix(small_spd)
+        # The paper's cost hierarchy: ABFT checksum overhead below
+        # Chen's (one extra SpMxV) verification; detection below
+        # correction.
+        assert c.t_verif_detect < c.t_verif_correct < c.t_verif_online
+        assert c.t_iter == 1.0
+
+    def test_from_matrix_abft_cheaper_for_denser_matrices(self):
+        from repro.sparse import stencil_spd
+
+        sparse = stencil_spd(900, kind="cross", radius=1)  # 5/row
+        dense = stencil_spd(900, kind="box", radius=3)  # 49/row
+        c_sparse = CostModel.from_matrix(sparse)
+        c_dense = CostModel.from_matrix(dense)
+        assert c_dense.t_verif_correct < c_sparse.t_verif_correct
+
+    def test_include_tmr_increases_abft_costs(self, small_spd):
+        base = CostModel.from_matrix(small_spd)
+        tmr = CostModel.from_matrix(small_spd, include_tmr=True)
+        assert tmr.t_verif_detect > base.t_verif_detect
+        assert tmr.t_verif_correct > base.t_verif_correct
+        assert tmr.t_verif_online == base.t_verif_online
+
+
+class TestSchemeConfig:
+    def test_defaults(self):
+        cfg = SchemeConfig(Scheme.ABFT_CORRECTION)
+        assert cfg.checkpoint_interval == 10
+        assert cfg.verification_interval == 1
+        assert cfg.chunk_time == 1.0
+
+    def test_online_chunk_time(self):
+        cfg = SchemeConfig(Scheme.ONLINE_DETECTION, verification_interval=5)
+        assert cfg.chunk_time == 5.0
+
+    def test_abft_requires_d_one(self):
+        with pytest.raises(ValueError, match="every iteration"):
+            SchemeConfig(Scheme.ABFT_DETECTION, verification_interval=3)
+
+    def test_with_intervals(self):
+        cfg = SchemeConfig(Scheme.ONLINE_DETECTION, checkpoint_interval=4, verification_interval=2)
+        new = cfg.with_intervals(s=7)
+        assert new.checkpoint_interval == 7
+        assert new.verification_interval == 2
+        new2 = cfg.with_intervals(d=9)
+        assert new2.verification_interval == 9
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SchemeConfig(Scheme.ABFT_CORRECTION, checkpoint_interval=0)
+        with pytest.raises(ValueError):
+            SchemeConfig(Scheme.ONLINE_DETECTION, verification_interval=0)
+
+    def test_verification_cost_property(self):
+        costs = CostModel(t_verif_correct=0.42)
+        cfg = SchemeConfig(Scheme.ABFT_CORRECTION, costs=costs)
+        assert cfg.verification_cost == 0.42

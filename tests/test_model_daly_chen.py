@@ -1,0 +1,62 @@
+"""Unit tests for Young/Daly closed forms and Chen's intervals."""
+
+import math
+
+import pytest
+
+from repro.model import chen_intervals, daly_period, young_period
+
+
+class TestYoung:
+    def test_formula(self):
+        assert young_period(2.0, 0.01) == pytest.approx(math.sqrt(400.0))
+
+    def test_scales_with_sqrt(self):
+        assert young_period(8.0, 0.01) == pytest.approx(2 * young_period(2.0, 0.01))
+        assert young_period(2.0, 0.04) == pytest.approx(young_period(2.0, 0.01) / 2)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            young_period(0.0, 0.1)
+        with pytest.raises(ValueError):
+            young_period(1.0, 0.0)
+
+
+class TestDaly:
+    def test_close_to_young_for_small_rate(self):
+        assert daly_period(1.0, 1e-6) == pytest.approx(young_period(1.0, 1e-6), rel=1e-2)
+
+    def test_below_young_for_large_cost(self):
+        # Daly subtracts δ; the correction matters when δ is significant.
+        assert daly_period(10.0, 0.01) < young_period(10.0, 0.01)
+
+    def test_degenerate_regime(self):
+        # δ ≥ 2M: Daly prescribes the MTBF itself.
+        assert daly_period(10.0, 1.0) == pytest.approx(1.0)
+
+
+class TestChenIntervals:
+    def test_intervals_positive(self):
+        ch = chen_intervals(1.0, 0.01, 1.5, 0.8)
+        assert ch.d >= 1 and ch.c >= 1
+        assert ch.waste > 0
+
+    def test_d_grows_as_rate_drops(self):
+        ds = [chen_intervals(1.0, lam, 1.0, 0.8).d for lam in (0.1, 0.01, 0.001)]
+        assert ds == sorted(ds)
+
+    def test_c_tracks_cost_ratio(self):
+        cheap_cp = chen_intervals(1.0, 0.01, 0.5, 0.5)
+        pricey_cp = chen_intervals(1.0, 0.01, 8.0, 0.5)
+        assert pricey_cp.c > cheap_cp.c
+
+    def test_first_order_d_formula(self):
+        lam, tv = 0.02, 0.9
+        ch = chen_intervals(1.0, lam, 1.0, tv)
+        assert ch.d == max(1, round(math.sqrt(2 * tv / lam)))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            chen_intervals(0.0, 0.1, 1.0, 0.5)
+        with pytest.raises(ValueError):
+            chen_intervals(1.0, 0.1, 1.0, 0.0)

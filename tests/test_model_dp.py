@@ -1,0 +1,49 @@
+"""Unit tests for the dynamic-programming checkpoint placement."""
+
+import pytest
+
+from repro.model import expected_frame_time, optimal_checkpoint_positions
+
+
+class TestDP:
+    def test_positions_partition_the_horizon(self):
+        dp = optimal_checkpoint_positions(20, 1.0, 0.9, 1.0, 1.0, 0.2)
+        assert dp.positions[-1] == 20
+        assert sum(dp.frame_sizes) == 20
+        assert all(s >= 1 for s in dp.frame_sizes)
+
+    def test_expected_time_is_sum_of_frames(self):
+        dp = optimal_checkpoint_positions(12, 1.0, 0.9, 1.0, 1.0, 0.2)
+        total = sum(
+            expected_frame_time(s, 1.0, 1.0, 1.0, 0.2, 0.9) for s in dp.frame_sizes
+        )
+        assert dp.expected_time == pytest.approx(total)
+
+    def test_beats_or_matches_uniform_partitions(self):
+        n, t, q, tcp, trec, tv = 24, 1.0, 0.92, 1.5, 1.0, 0.3
+        dp = optimal_checkpoint_positions(n, t, q, tcp, trec, tv)
+        for s in (1, 2, 3, 4, 6, 8, 12, 24):
+            uniform = (n // s) * expected_frame_time(s, t, tcp, trec, tv, q)
+            assert dp.expected_time <= uniform + 1e-9
+
+    def test_near_periodic_for_homogeneous_chunks(self):
+        """The ablation behind the paper's periodic policy: the exact
+        optimum uses (nearly) equal frames."""
+        dp = optimal_checkpoint_positions(30, 1.0, 0.9, 1.0, 1.0, 0.2)
+        assert max(dp.frame_sizes) - min(dp.frame_sizes) <= 1
+
+    def test_error_free_uses_one_frame(self):
+        dp = optimal_checkpoint_positions(10, 1.0, 1.0, 1.0, 1.0, 0.1)
+        assert dp.frame_sizes == (10,)
+
+    def test_high_rate_uses_small_frames(self):
+        dp = optimal_checkpoint_positions(20, 1.0, 0.5, 0.5, 0.5, 0.1)
+        assert max(dp.frame_sizes) <= 3
+
+    def test_max_frame_cap_respected(self):
+        dp = optimal_checkpoint_positions(20, 1.0, 0.99, 5.0, 1.0, 0.1, max_frame=4)
+        assert max(dp.frame_sizes) <= 4
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            optimal_checkpoint_positions(0, 1.0, 0.9, 1.0, 1.0, 0.1)

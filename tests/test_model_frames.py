@@ -1,0 +1,113 @@
+"""Unit tests for the Eq. 4/5 frame model."""
+
+import math
+
+import pytest
+
+from repro.model import expected_frame_time, expected_time_lost, frame_overhead
+
+
+class TestExpectedFrameTime:
+    def test_error_free_limit(self):
+        # q = 1: every chunk runs exactly once plus the checkpoint.
+        assert expected_frame_time(5, 2.0, 1.0, 1.0, 0.5, 1.0) == pytest.approx(
+            5 * 2.5 + 1.0
+        )
+
+    def test_continuity_at_q_near_one(self):
+        exact = expected_frame_time(5, 2.0, 1.0, 1.0, 0.5, 1.0)
+        near = expected_frame_time(5, 2.0, 1.0, 1.0, 0.5, 1 - 1e-12)
+        assert near == pytest.approx(exact, rel=1e-6)
+
+    def test_single_chunk_closed_form(self):
+        # s=1: E = Tcp + (1/q − 1)Trec + (T+Tverif)(1−q)/(q(1−q))
+        #        = Tcp + (1/q − 1)Trec + (T+Tverif)/q.
+        q = 0.8
+        got = expected_frame_time(1, 3.0, 1.0, 2.0, 0.5, q)
+        expect = 1.0 + (1 / q - 1) * 2.0 + 3.5 / q
+        assert got == pytest.approx(expect)
+
+    def test_increases_as_q_decreases(self):
+        times = [expected_frame_time(4, 1.0, 1.0, 1.0, 0.2, q) for q in (0.99, 0.9, 0.7, 0.5)]
+        assert times == sorted(times)
+
+    def test_increases_with_costs(self):
+        base = expected_frame_time(4, 1.0, 1.0, 1.0, 0.2, 0.9)
+        assert expected_frame_time(4, 1.0, 2.0, 1.0, 0.2, 0.9) > base
+        assert expected_frame_time(4, 1.0, 1.0, 2.0, 0.2, 0.9) > base
+        assert expected_frame_time(4, 1.0, 1.0, 1.0, 0.4, 0.9) > base
+
+    def test_matches_monte_carlo(self, rng):
+        """Eq. 5 against a direct simulation of the frame process."""
+        s, t, tcp, trec, tverif, q = 3, 1.0, 0.8, 0.6, 0.3, 0.85
+        n = 40000
+        total = 0.0
+        for _ in range(n):
+            while True:
+                failed_at = None
+                for i in range(s):
+                    if rng.random() > q:
+                        failed_at = i
+                        break
+                if failed_at is None:
+                    total += s * (t + tverif) + tcp
+                    break
+                total += (failed_at + 1) * (t + tverif) + trec
+        mc = total / n
+        model = expected_frame_time(s, t, tcp, trec, tverif, q)
+        assert model == pytest.approx(mc, rel=0.02)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            expected_frame_time(0, 1.0, 1.0, 1.0, 0.1, 0.9)
+        with pytest.raises(ValueError):
+            expected_frame_time(1, 0.0, 1.0, 1.0, 0.1, 0.9)
+        with pytest.raises(ValueError):
+            expected_frame_time(1, 1.0, 1.0, 1.0, 0.1, 1.5)
+        with pytest.raises(ValueError):
+            expected_frame_time(1, 1.0, 1.0, 1.0, 0.1, 0.0)
+
+
+class TestExpectedTimeLost:
+    def test_q_one_is_zero(self):
+        assert expected_time_lost(3, 1.0, 0.1, 1.0) == 0.0
+
+    def test_single_chunk(self):
+        # s=1: the whole (failed) chunk is always lost.
+        assert expected_time_lost(1, 2.0, 0.5, 0.7) == pytest.approx(2.5)
+
+    def test_bounded_by_frame_length(self):
+        lost = expected_time_lost(6, 1.0, 0.2, 0.9)
+        assert 1.2 <= lost <= 6 * 1.2
+
+    def test_matches_conditional_mc(self, rng):
+        s, t, tverif, q = 4, 1.0, 0.25, 0.8
+        losses = []
+        for _ in range(60000):
+            for i in range(s):
+                if rng.random() > q:
+                    losses.append((i + 1) * (t + tverif))
+                    break
+        mc = sum(losses) / len(losses)
+        assert expected_time_lost(s, t, tverif, q) == pytest.approx(mc, rel=0.02)
+
+
+class TestOverhead:
+    def test_definition(self):
+        e = expected_frame_time(4, 2.0, 1.0, 1.0, 0.5, 0.9)
+        assert frame_overhead(4, 2.0, 1.0, 1.0, 0.5, 0.9) == pytest.approx(e / 8.0)
+
+    def test_overhead_above_one(self):
+        # Overhead is time paid per useful unit: always > 1 with
+        # any resilience cost.
+        assert frame_overhead(4, 1.0, 0.5, 0.5, 0.2, 0.95) > 1.0
+
+    def test_unimodal_shape_in_s(self):
+        """With failures, overhead decreases then increases in s."""
+        q = 0.9
+        hs = [frame_overhead(s, 1.0, 2.0, 1.0, 0.1, q) for s in range(1, 80)]
+        best = hs.index(min(hs))
+        assert 0 < best < 78  # interior optimum
+        # decreasing before, increasing after (allowing tiny noise)
+        assert hs[0] > hs[best]
+        assert hs[-1] > hs[best]

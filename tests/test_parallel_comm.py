@@ -1,0 +1,92 @@
+"""Unit tests for the simulated communicator."""
+
+import numpy as np
+import pytest
+
+from repro.parallel import SimComm
+
+
+class TestCollectives:
+    def test_bcast(self):
+        comm = SimComm(4)
+        out = comm.bcast({"k": 1}, root=2)
+        assert len(out) == 4
+        assert all(o == {"k": 1} for o in out)
+
+    def test_scatter(self):
+        comm = SimComm(3)
+        out = comm.scatter([1, 2, 3])
+        assert out == [1, 2, 3]
+
+    def test_gather(self):
+        comm = SimComm(3)
+        out = comm.gather(["a", "b", "c"], root=1)
+        assert out[1] == ["a", "b", "c"]
+        assert out[0] is None and out[2] is None
+
+    def test_allgather(self):
+        comm = SimComm(2)
+        out = comm.allgather([10, 20])
+        assert out == [[10, 20], [10, 20]]
+
+    def test_allgather_concat(self):
+        comm = SimComm(3)
+        slices = [np.array([1.0]), np.array([2.0, 3.0]), np.array([4.0])]
+        out = comm.allgather_concat(slices)
+        for full in out:
+            np.testing.assert_array_equal(full, [1.0, 2.0, 3.0, 4.0])
+        # Each rank owns an independent copy.
+        out[0][0] = 99.0
+        assert out[1][0] == 1.0
+
+    def test_allreduce_sum_scalars(self):
+        comm = SimComm(4)
+        assert comm.allreduce_sum([1.0, 2.0, 3.0, 4.0]) == [10.0] * 4
+
+    def test_allreduce_sum_arrays(self):
+        comm = SimComm(2)
+        out = comm.allreduce_sum([np.array([1.0, 2.0]), np.array([3.0, 4.0])])
+        np.testing.assert_array_equal(out[0], [4.0, 6.0])
+        out[0][0] = 7.0
+        assert out[1][0] == 4.0  # independent copies
+
+
+class TestAccounting:
+    def test_allgather_volume(self):
+        comm = SimComm(4)
+        comm.allgather_concat([np.ones(10)] * 4)
+        assert comm.stats.words == 40 * 3
+        assert comm.stats.messages == 4 * 3
+        assert comm.stats.collectives == {"allgather": 1}
+
+    def test_bcast_volume(self):
+        comm = SimComm(5)
+        comm.bcast(np.ones(7))
+        assert comm.stats.words == 7 * 4
+
+    def test_barrier_counts_no_words(self):
+        comm = SimComm(3)
+        comm.barrier()
+        assert comm.stats.words == 0
+        assert comm.stats.collectives == {"barrier": 1}
+
+    def test_single_rank_moves_nothing(self):
+        comm = SimComm(1)
+        comm.allgather_concat([np.ones(5)])
+        assert comm.stats.words == 0
+
+
+class TestValidation:
+    def test_size_positive(self):
+        with pytest.raises(ValueError):
+            SimComm(0)
+
+    def test_contribution_count_checked(self):
+        comm = SimComm(3)
+        with pytest.raises(ValueError, match="contribution"):
+            comm.allgather([1, 2])
+
+    def test_root_range_checked(self):
+        comm = SimComm(2)
+        with pytest.raises(ValueError, match="rank"):
+            comm.bcast(1, root=5)

@@ -1,0 +1,101 @@
+"""Unit tests for row partitioning."""
+
+import numpy as np
+import pytest
+
+from repro.parallel import block_rows, partition_by_nnz
+from repro.sparse import stencil_spd
+
+
+class TestBlockRows:
+    def test_bounds_cover_all_rows(self):
+        part = block_rows(100, 7)
+        assert part.bounds[0] == 0
+        assert part.bounds[-1] == 100
+        assert part.nparts == 7
+
+    def test_balanced_row_counts(self):
+        part = block_rows(100, 4)
+        sizes = [part.rows_of(r)[1] - part.rows_of(r)[0] for r in range(4)]
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_owner_of(self):
+        part = block_rows(10, 2)
+        assert part.owner_of(0) == 0
+        assert part.owner_of(4) == 0
+        assert part.owner_of(5) == 1
+        assert part.owner_of(9) == 1
+        with pytest.raises(IndexError):
+            part.owner_of(10)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            block_rows(5, 6)
+        with pytest.raises(ValueError):
+            block_rows(5, 0)
+
+
+class TestLocalBlocks:
+    def test_blocks_reassemble_matrix(self, small_lap):
+        part = block_rows(small_lap.nrows, 3)
+        rows = []
+        for r in range(3):
+            blk = part.local_block(small_lap, r)
+            rows.append(blk.to_dense())
+        np.testing.assert_array_equal(np.vstack(rows), small_lap.to_dense())
+
+    def test_block_is_copy(self, small_lap):
+        part = block_rows(small_lap.nrows, 2)
+        blk = part.local_block(small_lap, 0)
+        blk.val[0] += 5.0
+        assert small_lap.val[0] != blk.val[0]
+
+    def test_block_rowidx_starts_at_zero(self, small_lap):
+        part = block_rows(small_lap.nrows, 4)
+        for r in range(4):
+            blk = part.local_block(small_lap, r)
+            assert blk.rowidx[0] == 0
+            assert blk.rowidx[-1] == blk.nnz
+
+    def test_slice_vector(self):
+        part = block_rows(10, 2)
+        x = np.arange(10.0)
+        np.testing.assert_array_equal(part.slice_vector(x, 1), np.arange(5.0, 10.0))
+
+
+class TestNnzBalance:
+    def test_partition_by_nnz_balances_better(self):
+        # A matrix with skewed row densities.
+        a = stencil_spd(900, kind="box", radius=2)
+        p = 4
+        by_rows = block_rows(a.nrows, p)
+        by_nnz = partition_by_nnz(a, p)
+
+        def imbalance(part):
+            loads = [
+                int(a.rowidx[part.rows_of(r)[1]] - a.rowidx[part.rows_of(r)[0]])
+                for r in range(p)
+            ]
+            return max(loads) / (sum(loads) / p)
+
+        assert imbalance(by_nnz) <= imbalance(by_rows) + 1e-9
+
+    def test_partition_by_nnz_covers_rows(self, small_lap):
+        part = partition_by_nnz(small_lap, 5)
+        assert part.bounds[0] == 0 and part.bounds[-1] == small_lap.nrows
+        assert all(b2 > b1 for b1, b2 in zip(part.bounds, part.bounds[1:]))
+
+
+class TestCommVolume:
+    def test_volume_zero_for_single_part(self, small_lap):
+        part = block_rows(small_lap.nrows, 1)
+        assert part.communication_volume(small_lap) == 0
+
+    def test_volume_positive_for_coupled_matrix(self, small_lap):
+        part = block_rows(small_lap.nrows, 4)
+        assert part.communication_volume(small_lap) > 0
+
+    def test_volume_grows_with_parts(self, small_lap):
+        v2 = block_rows(small_lap.nrows, 2).communication_volume(small_lap)
+        v8 = block_rows(small_lap.nrows, 8).communication_volume(small_lap)
+        assert v8 >= v2

@@ -1,0 +1,136 @@
+"""Unit tests for the distributed ABFT-protected SpMxV."""
+
+import numpy as np
+import pytest
+
+from repro.abft import SpmvStatus
+from repro.parallel import DistributedSpmv, partition_by_nnz, platform_mtbf, platform_rate
+
+
+class TestCleanProducts:
+    @pytest.mark.parametrize("p", [1, 2, 3, 8])
+    def test_matches_sequential(self, small_lap, rng, p):
+        op = DistributedSpmv(small_lap, p)
+        x = rng.normal(size=small_lap.ncols)
+        res = op.multiply(x)
+        assert res.global_status is SpmvStatus.OK
+        assert res.trusted
+        np.testing.assert_allclose(res.y, small_lap.matvec(x), rtol=1e-12)
+
+    def test_custom_partition(self, small_lap, rng):
+        part = partition_by_nnz(small_lap, 4)
+        op = DistributedSpmv(small_lap, 4, partition=part)
+        x = rng.normal(size=small_lap.ncols)
+        np.testing.assert_allclose(op.multiply(x).y, small_lap.matvec(x), rtol=1e-12)
+
+    def test_reusable_across_inputs(self, small_lap, rng):
+        op = DistributedSpmv(small_lap, 4)
+        for _ in range(3):
+            x = rng.normal(size=small_lap.ncols)
+            assert op.multiply(x).global_status is SpmvStatus.OK
+
+    def test_comm_volume_accounted(self, small_lap, rng):
+        op = DistributedSpmv(small_lap, 4)
+        op.multiply(rng.normal(size=small_lap.ncols))
+        assert op.comm.stats.words == small_lap.ncols * 3  # allgather volume
+        assert op.comm.stats.collectives["allgather"] == 1
+
+    def test_input_shape_checked(self, small_lap):
+        op = DistributedSpmv(small_lap, 2)
+        with pytest.raises(ValueError, match="shape"):
+            op.multiply(np.ones(small_lap.ncols + 1))
+
+    def test_partition_count_checked(self, small_lap):
+        part = partition_by_nnz(small_lap, 3)
+        with pytest.raises(ValueError, match="parts"):
+            DistributedSpmv(small_lap, 4, partition=part)
+
+
+class TestLocalRecovery:
+    """Local detection/correction ⇒ global detection/correction."""
+
+    def test_local_val_error_corrected_globally(self, small_lap, rng):
+        op = DistributedSpmv(small_lap, 4, correct=True)
+        x = rng.normal(size=small_lap.ncols)
+
+        def hook(stage, blk, xx, yy):
+            if stage == "pre":
+                blk.val[5] += 3.0
+
+        res = op.multiply(x, rank_hooks={1: hook})
+        assert res.global_status is SpmvStatus.CORRECTED
+        assert res.trusted
+        np.testing.assert_allclose(res.y, small_lap.matvec(x), rtol=1e-9)
+        assert [r.status for r in res.rank_results].count(SpmvStatus.CORRECTED) == 1
+
+    def test_errors_on_two_ranks_both_corrected(self, small_lap, rng):
+        """One error *per rank* is still locally single — the parallel
+        scheme's advantage over a global single-error budget."""
+        op = DistributedSpmv(small_lap, 4, correct=True)
+        x = rng.normal(size=small_lap.ncols)
+
+        def mk(pos):
+            def hook(stage, blk, xx, yy):
+                if stage == "pre":
+                    blk.val[pos] += 2.0
+            return hook
+
+        res = op.multiply(x, rank_hooks={0: mk(3), 2: mk(8)})
+        assert res.global_status is SpmvStatus.CORRECTED
+        np.testing.assert_allclose(res.y, small_lap.matvec(x), rtol=1e-9)
+
+    def test_double_error_one_rank_uncorrectable(self, small_lap, rng):
+        op = DistributedSpmv(small_lap, 4, correct=True)
+        x = rng.normal(size=small_lap.ncols)
+
+        def hook(stage, blk, xx, yy):
+            if stage == "pre":
+                blk.val[3] += 1.0
+                blk.val[40] += 2.0
+
+        res = op.multiply(x, rank_hooks={2: hook})
+        assert res.global_status is SpmvStatus.UNCORRECTABLE
+        assert not res.trusted
+
+    def test_detection_only_mode(self, small_lap, rng):
+        op = DistributedSpmv(small_lap, 3, correct=False)
+        x = rng.normal(size=small_lap.ncols)
+
+        def hook(stage, blk, xx, yy):
+            if stage == "pre":
+                blk.val[0] += 1.0
+
+        res = op.multiply(x, rank_hooks={0: hook})
+        assert res.global_status is SpmvStatus.DETECTED
+
+    def test_local_x_error_corrected(self, small_lap, rng):
+        """A rank's received copy of x is protected by its local block
+        checksums (rectangular-block input test)."""
+        op = DistributedSpmv(small_lap, 4, correct=True)
+        x = rng.normal(size=small_lap.ncols)
+
+        def hook(stage, blk, xx, yy):
+            if stage == "pre":
+                xx[17] += 4.0
+
+        res = op.multiply(x, rank_hooks={3: hook})
+        assert res.global_status is SpmvStatus.CORRECTED
+        np.testing.assert_allclose(res.y, small_lap.matvec(x), rtol=1e-9)
+
+
+class TestMtbfScaling:
+    def test_platform_mtbf(self):
+        assert platform_mtbf(1000.0, 10) == 100.0
+
+    def test_platform_rate(self):
+        assert platform_rate(0.001, 10) == pytest.approx(0.01)
+
+    def test_inverse_relation(self):
+        mu, p = 500.0, 8
+        assert platform_mtbf(mu, p) == pytest.approx(1.0 / platform_rate(1.0 / mu, p))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            platform_mtbf(0.0, 4)
+        with pytest.raises(ValueError):
+            platform_rate(0.1, 0)

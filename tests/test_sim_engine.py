@@ -1,0 +1,82 @@
+"""Unit tests for the experiment engine."""
+
+import numpy as np
+import pytest
+
+from repro.core import Scheme, SchemeConfig
+from repro.sim import repeat_run, sweep_checkpoint_interval
+from repro.sim.engine import make_rhs
+from repro.sparse import stencil_spd
+
+
+@pytest.fixture(scope="module")
+def problem():
+    a = stencil_spd(625, kind="cross", radius=1)
+    return a, make_rhs(a)
+
+
+class TestMakeRhs:
+    def test_deterministic(self, problem):
+        a, _ = problem
+        np.testing.assert_array_equal(make_rhs(a), make_rhs(a))
+
+    def test_not_an_eigenvector_direction(self, problem):
+        a, b = problem
+        # b and A·b must not be parallel (guards against the A·1 trap).
+        ab = a.matvec(b)
+        cos = abs(b @ ab) / (np.linalg.norm(b) * np.linalg.norm(ab))
+        assert cos < 0.99
+
+
+class TestRepeatRun:
+    def test_aggregates(self, problem):
+        a, b = problem
+        cfg = SchemeConfig(Scheme.ABFT_CORRECTION, checkpoint_interval=8)
+        stats = repeat_run(a, b, cfg, alpha=0.1, reps=4, base_seed=1, eps=1e-6)
+        assert stats.reps == 4
+        assert stats.min_time <= stats.mean_time <= stats.max_time
+        assert stats.convergence_rate == 1.0
+        assert stats.mean_faults > 0
+
+    def test_deterministic_given_seed(self, problem):
+        a, b = problem
+        cfg = SchemeConfig(Scheme.ABFT_DETECTION, checkpoint_interval=6)
+        s1 = repeat_run(a, b, cfg, alpha=0.1, reps=3, base_seed=5, eps=1e-6)
+        s2 = repeat_run(a, b, cfg, alpha=0.1, reps=3, base_seed=5, eps=1e-6)
+        assert s1.mean_time == s2.mean_time
+
+    def test_labels_decorrelate_streams(self, problem):
+        a, b = problem
+        cfg = SchemeConfig(Scheme.ABFT_DETECTION, checkpoint_interval=6)
+        s1 = repeat_run(a, b, cfg, alpha=0.1, reps=3, base_seed=5, labels=("A",), eps=1e-6)
+        s2 = repeat_run(a, b, cfg, alpha=0.1, reps=3, base_seed=5, labels=("B",), eps=1e-6)
+        assert s1.mean_time != s2.mean_time
+
+    def test_sem(self, problem):
+        a, b = problem
+        cfg = SchemeConfig(Scheme.ABFT_CORRECTION, checkpoint_interval=8)
+        stats = repeat_run(a, b, cfg, alpha=0.15, reps=4, base_seed=2, eps=1e-6)
+        assert stats.sem_time == pytest.approx(stats.std_time / 2.0)
+
+    def test_reps_validated(self, problem):
+        a, b = problem
+        cfg = SchemeConfig(Scheme.ABFT_CORRECTION)
+        with pytest.raises(ValueError):
+            repeat_run(a, b, cfg, alpha=0.1, reps=0)
+
+
+class TestSweep:
+    def test_sweep_returns_all_intervals(self, problem):
+        a, b = problem
+        cfg = SchemeConfig(Scheme.ABFT_CORRECTION, checkpoint_interval=1)
+        out = sweep_checkpoint_interval(a, b, cfg, [2, 5, 9], alpha=0.1, reps=2, eps=1e-6)
+        assert set(out) == {2, 5, 9}
+
+    def test_sweep_uses_interval(self, problem):
+        """Tiny s means frequent checkpointing: with the same fault
+        stream per rep, s=1 must cost more than a moderate s at low
+        fault rates."""
+        a, b = problem
+        cfg = SchemeConfig(Scheme.ABFT_CORRECTION, checkpoint_interval=1)
+        out = sweep_checkpoint_interval(a, b, cfg, [1, 30], alpha=0.01, reps=2, eps=1e-6)
+        assert out[1].mean_time > out[30].mean_time

@@ -1,0 +1,68 @@
+"""Unit tests for the nine-matrix suite registry."""
+
+import pytest
+
+from repro.sim import PAPER_SUITE, get_matrix, suite_specs
+from repro.sparse.validate import is_structurally_valid
+
+
+class TestSuiteSpecs:
+    def test_nine_entries_with_paper_ids(self):
+        uids = {s.uid for s in PAPER_SUITE}
+        assert uids == {341, 752, 924, 1288, 1289, 1311, 1312, 1848, 2213}
+
+    def test_paper_dimensions_and_densities(self):
+        by_id = {s.uid: s for s in PAPER_SUITE}
+        assert by_id[341].n == 23052 and by_id[341].density == pytest.approx(2.15e-3)
+        assert by_id[752].n == 74752 and by_id[752].density == pytest.approx(1.07e-4)
+        assert by_id[2213].n == 20000 and by_id[2213].density == pytest.approx(1.39e-3)
+
+    def test_dimension_range_matches_paper(self):
+        assert min(s.n for s in PAPER_SUITE) == 17456 or min(s.n for s in PAPER_SUITE) >= 17456
+        assert max(s.n for s in PAPER_SUITE) <= 74752
+        assert all(s.density < 1e-2 for s in PAPER_SUITE)
+
+    def test_filter_by_uid(self):
+        specs = suite_specs([341, 1312])
+        assert [s.uid for s in specs] == [341, 1312]
+
+    def test_unknown_uid_rejected(self):
+        with pytest.raises(KeyError, match="unknown"):
+            suite_specs([999])
+
+
+class TestInstantiation:
+    def test_scaled_instantiation_valid_and_spd_shaped(self):
+        for spec in PAPER_SUITE:
+            a = spec.instantiate(scale=64)
+            assert is_structurally_valid(a)
+            assert a.nrows == a.ncols
+            assert a.nrows >= 512
+
+    def test_scaling_preserves_row_density(self):
+        spec = suite_specs([341])[0]
+        a_small = spec.instantiate(scale=64)
+        a_mid = spec.instantiate(scale=16)
+        per_row_small = a_small.nnz / a_small.nrows
+        per_row_mid = a_mid.nnz / a_mid.nrows
+        assert per_row_small == pytest.approx(per_row_mid, rel=0.15)
+
+    def test_nnz_per_row_matches_paper_density(self):
+        for spec in PAPER_SUITE:
+            a = spec.instantiate(scale=32)
+            # Interior stencil size should approximate density·n of the
+            # paper entry (boundary rows pull the average down a bit).
+            assert a.nnz / a.nrows == pytest.approx(spec.nnz_per_row, rel=0.45)
+
+    def test_get_matrix_cached(self):
+        a1 = get_matrix(341, scale=64)
+        a2 = get_matrix(341, scale=64)
+        assert a1 is a2
+
+    def test_scale_validation(self):
+        with pytest.raises(ValueError):
+            suite_specs([341])[0].instantiate(scale=0)
+
+    def test_deterministic(self):
+        spec = suite_specs([924])[0]
+        assert spec.instantiate(scale=64).equals(spec.instantiate(scale=64))

@@ -1,0 +1,83 @@
+"""Unit tests for result containers and renderers."""
+
+import pytest
+
+from repro.sim.results import (
+    Figure1Point,
+    Table1Row,
+    ascii_panel,
+    format_figure1,
+    format_table1,
+    to_csv,
+)
+
+
+@pytest.fixture
+def rows():
+    return [
+        Table1Row(341, 1000, 2e-3, "abft-detection", 5, 70.0, 7, 65.0, 10),
+        Table1Row(341, 1000, 2e-3, "abft-correction", 20, 60.0, 20, 60.0, 10),
+    ]
+
+
+@pytest.fixture
+def points():
+    out = []
+    for scheme in ("online-detection", "abft-detection", "abft-correction"):
+        for mtbf in (16.0, 100.0):
+            out.append(
+                Figure1Point(
+                    uid=341, scheme=scheme, alpha=1 / mtbf,
+                    mean_time=50.0 + mtbf / 10, sem_time=1.0, s_used=3, d_used=2,
+                )
+            )
+    return out
+
+
+class TestTable1Row:
+    def test_loss_percent(self, rows):
+        assert rows[0].loss_percent == pytest.approx((70 - 65) / 65 * 100)
+        assert rows[1].loss_percent == 0.0
+
+    def test_loss_zero_time_guard(self):
+        r = Table1Row(1, 1, 1e-3, "abft-detection", 1, 0.0, 1, 0.0, 1)
+        assert r.loss_percent == 0.0
+
+
+class TestFigure1Point:
+    def test_normalized_mtbf(self, points):
+        assert points[0].normalized_mtbf == pytest.approx(16.0)
+
+
+class TestRenderers:
+    def test_table_renders_both_halves(self, rows):
+        text = format_table1(rows)
+        assert "341" in text
+        assert text.count("|") >= 3
+
+    def test_table_renders_missing_half(self, rows):
+        text = format_table1(rows[:1])
+        assert "-" in text  # blank correction half
+
+    def test_figure_renders_all_schemes(self, points):
+        text = format_figure1(points)
+        for scheme in ("online-detection", "abft-detection", "abft-correction"):
+            assert scheme in text
+
+    def test_ascii_panel_dimensions(self, points):
+        text = ascii_panel(points, 341, width=40, height=10)
+        lines = text.splitlines()
+        assert len([l for l in lines if l.startswith("|")]) == 10
+        assert all(len(l) <= 42 for l in lines if l.startswith("|"))
+
+
+class TestCsv:
+    def test_roundtrip_headers(self, rows, tmp_path):
+        path = tmp_path / "rows.csv"
+        to_csv(rows, str(path))
+        header = path.read_text().splitlines()[0]
+        assert header.startswith("uid,n,density,scheme")
+
+    def test_empty_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="nothing"):
+            to_csv([], str(tmp_path / "x.csv"))

@@ -1,0 +1,107 @@
+"""Unit tests for the CSR container."""
+
+import numpy as np
+import pytest
+
+from repro.sparse import CSRMatrix, StructureError
+from tests.conftest import dense_random_csr
+
+
+class TestConstruction:
+    def test_from_dense_roundtrip(self, rng):
+        dense = np.where(rng.random((7, 9)) < 0.4, rng.normal(size=(7, 9)), 0.0)
+        a = CSRMatrix.from_dense(dense)
+        assert a.shape == (7, 9)
+        np.testing.assert_array_equal(a.to_dense(), dense)
+
+    def test_from_scipy_roundtrip(self, small_lap):
+        back = CSRMatrix.from_scipy(small_lap.to_scipy())
+        assert back.equals(small_lap)
+
+    def test_from_coo_sums_duplicates(self):
+        a = CSRMatrix.from_coo(
+            np.array([0, 0, 1]), np.array([1, 1, 0]), np.array([2.0, 3.0, 4.0]), (2, 2)
+        )
+        assert a.to_dense()[0, 1] == 5.0
+        assert a.to_dense()[1, 0] == 4.0
+
+    def test_dtypes_coerced(self):
+        a = CSRMatrix(
+            np.array([1, 2], dtype=np.float32),
+            np.array([0, 1], dtype=np.int32),
+            np.array([0, 1, 2], dtype=np.int32),
+            (2, 2),
+        )
+        assert a.val.dtype == np.float64
+        assert a.colid.dtype == np.int64
+        assert a.rowidx.dtype == np.int64
+
+    def test_invalid_structure_rejected(self):
+        with pytest.raises(StructureError):
+            CSRMatrix(np.array([1.0]), np.array([5]), np.array([0, 1]), (1, 2))
+
+    def test_check_false_allows_corruption(self):
+        a = CSRMatrix(np.array([1.0]), np.array([5]), np.array([0, 1]), (1, 2), check=False)
+        assert a.nnz == 1
+
+    def test_from_dense_rejects_3d(self):
+        with pytest.raises(ValueError, match="2-D"):
+            CSRMatrix.from_dense(np.zeros((2, 2, 2)))
+
+
+class TestProperties:
+    def test_shape_accessors(self, small_lap):
+        assert small_lap.nrows == small_lap.ncols == 400
+        assert small_lap.shape == (400, 400)
+
+    def test_nnz_and_density(self, small_lap):
+        assert small_lap.nnz == small_lap.val.size
+        assert small_lap.density == pytest.approx(small_lap.nnz / 400**2)
+
+    def test_memory_words_counts_all_arrays(self, small_lap):
+        expected = small_lap.nnz * 2 + small_lap.nrows + 1
+        assert small_lap.memory_words == expected
+
+    def test_row_nnz_sums_to_nnz(self, small_spd):
+        assert small_spd.row_nnz().sum() == small_spd.nnz
+
+    def test_row_view_matches_dense(self, small_spd):
+        dense = small_spd.to_dense()
+        cols, vals = small_spd.row(5)
+        row = np.zeros(small_spd.ncols)
+        row[cols] = vals
+        np.testing.assert_allclose(row, dense[5])
+
+    def test_diagonal(self, small_lap):
+        np.testing.assert_allclose(small_lap.diagonal(), np.diag(small_lap.to_dense()))
+
+
+class TestOperations:
+    def test_matmul_operator(self, small_lap, xvec):
+        np.testing.assert_allclose(small_lap @ xvec, small_lap.matvec(xvec))
+
+    def test_transpose_of_symmetric_is_equal(self, small_lap):
+        assert small_lap.transpose().equals(small_lap)
+
+    def test_transpose_rectangular(self, rng):
+        a = dense_random_csr(rng, 5, 8, 0.5)
+        np.testing.assert_allclose(a.transpose().to_dense(), a.to_dense().T)
+
+    def test_copy_is_deep(self, small_lap):
+        c = small_lap.copy()
+        c.val[0] += 1.0
+        c.colid[0] += 1
+        c.rowidx[1] += 1
+        assert small_lap.val[0] != c.val[0]
+        assert small_lap.colid[0] != c.colid[0]
+        assert small_lap.rowidx[1] != c.rowidx[1]
+
+    def test_equals_detects_value_change(self, small_lap):
+        c = small_lap.copy()
+        c.val[3] *= 2.0
+        assert not c.equals(small_lap)
+
+    def test_equals_detects_structure_change(self, small_lap):
+        c = small_lap.copy()
+        c.colid[3] = (c.colid[3] + 1) % c.ncols
+        assert not c.equals(small_lap)

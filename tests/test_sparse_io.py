@@ -1,0 +1,30 @@
+"""Unit tests for Matrix-Market I/O."""
+
+import numpy as np
+
+from repro.sparse import load_matrix_market, save_matrix_market, random_spd
+
+
+class TestMatrixMarket:
+    def test_roundtrip(self, tmp_path, small_spd):
+        path = tmp_path / "mat.mtx"
+        save_matrix_market(small_spd, path)
+        back = load_matrix_market(path)
+        assert back.shape == small_spd.shape
+        np.testing.assert_allclose(back.to_dense(), small_spd.to_dense(), rtol=1e-12)
+
+    def test_symmetric_storage_expanded(self, tmp_path):
+        import scipy.io
+        import scipy.sparse as sp
+
+        a = random_spd(50, 0.1, seed=0)
+        tri = sp.tril(a.to_scipy())
+        path = tmp_path / "sym.mtx"
+        scipy.io.mmwrite(str(path), tri, symmetry="symmetric")
+        back = load_matrix_market(path)
+        np.testing.assert_allclose(back.to_dense(), a.to_dense(), rtol=1e-12)
+
+    def test_pathlib_and_str_paths(self, tmp_path, small_spd):
+        save_matrix_market(small_spd, str(tmp_path / "a.mtx"))
+        back = load_matrix_market(str(tmp_path / "a.mtx"))
+        assert back.nnz == small_spd.nnz

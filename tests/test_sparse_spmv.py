@@ -1,0 +1,77 @@
+"""Unit tests for the SpMxV kernels (vectorized vs reference oracle)."""
+
+import numpy as np
+import pytest
+
+from repro.sparse import CSRMatrix, spmv, spmv_reference
+from tests.conftest import dense_random_csr
+
+
+class TestAgainstDense:
+    @pytest.mark.parametrize("shape", [(1, 1), (5, 5), (13, 7), (7, 13), (40, 40)])
+    def test_matches_dense_product(self, rng, shape):
+        a = dense_random_csr(rng, *shape, 0.4)
+        x = rng.normal(size=shape[1])
+        np.testing.assert_allclose(spmv(a, x), a.to_dense() @ x, rtol=1e-12)
+
+    def test_vectorized_matches_reference(self, small_spd, rng):
+        x = rng.normal(size=small_spd.ncols)
+        np.testing.assert_allclose(spmv(small_spd, x), spmv_reference(small_spd, x), rtol=1e-12)
+
+    def test_empty_matrix(self):
+        a = CSRMatrix(np.array([]), np.array([], dtype=np.int64), np.zeros(4, dtype=np.int64), (3, 3))
+        np.testing.assert_array_equal(spmv(a, np.ones(3)), np.zeros(3))
+
+    def test_empty_rows(self):
+        # Row 1 has no nonzeros.
+        a = CSRMatrix(
+            np.array([1.0, 2.0]), np.array([0, 2]), np.array([0, 1, 1, 2]), (3, 3)
+        )
+        np.testing.assert_array_equal(spmv(a, np.ones(3)), [1.0, 0.0, 2.0])
+
+    def test_wrong_x_length_rejected(self, small_lap):
+        with pytest.raises(ValueError, match="shape"):
+            spmv(small_lap, np.ones(small_lap.ncols + 1))
+        with pytest.raises(ValueError, match="shape"):
+            spmv_reference(small_lap, np.ones(small_lap.ncols + 1))
+
+
+class TestCorruptedStructure:
+    """Corrupted matrices must produce *wrong answers*, never crashes."""
+
+    def test_out_of_range_colid_is_wrapped(self, small_lap, rng):
+        a = small_lap.copy()
+        a.colid[10] = a.ncols + 5  # out of range
+        x = rng.normal(size=a.ncols)
+        y = spmv(a, x)
+        assert np.all(np.isfinite(y))
+        ref = spmv_reference(a, x)
+        np.testing.assert_allclose(y, ref, rtol=1e-12)
+
+    def test_negative_colid_is_wrapped(self, small_lap, rng):
+        a = small_lap.copy()
+        a.colid[10] = -3
+        x = rng.normal(size=a.ncols)
+        np.testing.assert_allclose(spmv(a, x), spmv_reference(a, x), rtol=1e-12)
+
+    def test_huge_rowidx_clipped(self, small_lap, rng):
+        a = small_lap.copy()
+        a.rowidx[5] = 2**40
+        x = rng.normal(size=a.ncols)
+        y = spmv(a, x)
+        assert y.shape == (a.nrows,)
+
+    def test_decreasing_rowidx_falls_back_to_loop(self, small_lap, rng):
+        a = small_lap.copy()
+        a.rowidx[5] = 0  # non-monotone
+        x = rng.normal(size=a.ncols)
+        y = spmv(a, x)
+        ref = spmv_reference(a, x)
+        np.testing.assert_allclose(y, ref, rtol=1e-12)
+
+    def test_corruption_actually_changes_result(self, small_lap, rng):
+        x = rng.normal(size=small_lap.ncols)
+        clean = spmv(small_lap, x)
+        a = small_lap.copy()
+        a.val[17] += 10.0
+        assert not np.allclose(spmv(a, x), clean)

@@ -1,0 +1,66 @@
+"""Unit tests for CSR structural validation."""
+
+import numpy as np
+import pytest
+
+from repro.sparse import CSRMatrix, StructureError, validate_structure
+from repro.sparse.validate import is_structurally_valid
+
+
+@pytest.fixture
+def valid(small_lap):
+    return small_lap.copy()
+
+
+class TestValidate:
+    def test_clean_matrix_passes(self, valid):
+        validate_structure(valid)
+        assert is_structurally_valid(valid)
+
+    def test_colid_out_of_range(self, valid):
+        valid.colid[0] = valid.ncols
+        with pytest.raises(StructureError, match="column indices"):
+            validate_structure(valid)
+
+    def test_negative_colid(self, valid):
+        valid.colid[0] = -1
+        assert not is_structurally_valid(valid)
+
+    def test_rowidx_first_nonzero(self, valid):
+        valid.rowidx[0] = 1
+        with pytest.raises(StructureError, match="rowidx\\[0\\]"):
+            validate_structure(valid)
+
+    def test_rowidx_last_mismatch(self, valid):
+        valid.rowidx[-1] += 1
+        with pytest.raises(StructureError, match="rowidx\\[-1\\]"):
+            validate_structure(valid)
+
+    def test_rowidx_decreasing(self, valid):
+        valid.rowidx[3] = valid.rowidx[4] + 1
+        with pytest.raises(StructureError, match="decreases"):
+            validate_structure(valid)
+
+    def test_non_finite_value(self, valid):
+        valid.val[5] = np.inf
+        with pytest.raises(StructureError, match="non-finite"):
+            validate_structure(valid)
+
+    def test_nan_value(self, valid):
+        valid.val[5] = np.nan
+        assert not is_structurally_valid(valid)
+
+    def test_rowidx_wrong_length(self):
+        with pytest.raises(StructureError, match="length"):
+            CSRMatrix(np.array([1.0]), np.array([0]), np.array([0, 1, 1]), (1, 1))
+
+    def test_val_colid_length_mismatch(self):
+        with pytest.raises(StructureError, match="must match"):
+            CSRMatrix(np.array([1.0, 2.0]), np.array([0]), np.array([0, 2]), (1, 1))
+
+    def test_bit_flip_detected_as_invalid(self, valid, rng):
+        from repro.faults.bitflip import flip_bits_array
+
+        # Flip a high bit of a column index: must break validity.
+        flip_bits_array(valid.colid, np.array([4]), np.array([40]))
+        assert not is_structurally_valid(valid)
