@@ -1,0 +1,63 @@
+"""E7 — campaign engine: parallel-vs-serial wall-clock on a Table-1 grid.
+
+Measures the end-to-end wall-clock of the same small Table-1 campaign
+executed serially (``jobs=1``) and through the process pool
+(``jobs=min(4, cores)``), asserts the two are bit-identical, and emits
+a JSON record alongside the other regenerated artifacts in
+``benchmarks/results/``.
+
+On a single-core container the speedup hovers around 1.0× (the pool
+adds only IPC overhead); the record exists so multi-core runs have a
+number to quote and regressions in engine overhead are visible either
+way.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+
+from benchmarks.conftest import bench_reps, bench_scale
+from repro.campaign import CampaignSpec, default_jobs, run_campaign
+
+
+def _timed_run(tasks, jobs):
+    t0 = time.perf_counter()
+    records = run_campaign(tasks, jobs=jobs)
+    return records, time.perf_counter() - t0
+
+
+def test_bench_campaign_speedup(results_dir):
+    spec = CampaignSpec(
+        kind="table1",
+        scale=bench_scale(),
+        reps=bench_reps(),
+        uids=(341, 1312, 2213),
+        s_span=2,
+    )
+    tasks = spec.expand()
+    jobs = min(4, default_jobs())
+
+    serial, t_serial = _timed_run(tasks, 1)
+    parallel, t_parallel = _timed_run(tasks, max(2, jobs))
+
+    # Scheduling must never change results.
+    assert parallel == serial
+
+    record = {
+        "experiment": "campaign_speedup",
+        "tasks": len(tasks),
+        "scale": bench_scale(),
+        "reps": bench_reps(),
+        "jobs": max(2, jobs),
+        "available_cores": default_jobs(),
+        "t_serial_s": round(t_serial, 3),
+        "t_parallel_s": round(t_parallel, 3),
+        "speedup": round(t_serial / t_parallel, 3) if t_parallel > 0 else None,
+    }
+    (results_dir / "campaign_speedup.json").write_text(json.dumps(record, indent=2))
+    print("\n" + json.dumps(record, indent=2))
+
+    # Sanity, not a perf gate: the pool must not be pathologically
+    # slower than serial even on one core.
+    assert t_parallel < 3.0 * t_serial + 5.0

@@ -23,7 +23,9 @@ The library provides:
 - a simulated message-passing parallel SpMxV with local ABFT
   (:mod:`repro.parallel`);
 - the experiment drivers regenerating the paper's Table 1 and Figure 1
-  (:mod:`repro.sim`).
+  (:mod:`repro.sim`);
+- a parallel, resumable experiment-campaign engine with crash-safe
+  JSONL persistence (:mod:`repro.campaign`).
 
 Quickstart
 ----------

@@ -1,0 +1,106 @@
+"""Regroup raw per-task records into the paper's result shapes.
+
+The executor hands back one flat record per task; the experiment
+drivers need :class:`~repro.sim.results.Table1Row` and
+:class:`~repro.sim.results.Figure1Point` lists identical to what their
+serial loops used to build.  The aggregators here reproduce those
+loops' grouping, ordering and tie-breaking exactly:
+
+- Table 1 groups the interval sweep by (matrix, scheme) in task order
+  and picks ``s*`` as the argmin of mean time with first-wins ties —
+  the same resolution as ``min()`` over the serial sweep dict, whose
+  insertion order was the sorted grid;
+- Figure 1 is one point per task, in task order.
+
+Records may come fresh from workers or from a JSONL store; both paths
+produce bit-identical aggregates because floats survive the JSON
+round-trip exactly.
+"""
+
+from __future__ import annotations
+
+from repro.campaign.spec import TaskSpec
+from repro.sim.engine import RunStatistics
+from repro.sim.results import Figure1Point, Table1Row
+
+__all__ = ["stats_from_record", "aggregate_table1", "aggregate_figure1"]
+
+
+def stats_from_record(record: dict) -> RunStatistics:
+    """Rehydrate a record's ``"stats"`` payload into RunStatistics."""
+    return RunStatistics(**record["stats"])
+
+
+def _paired(tasks: "list[TaskSpec]", records: "list[dict]", experiment: str):
+    if len(tasks) != len(records):
+        raise ValueError(f"{len(tasks)} tasks but {len(records)} records")
+    for task, rec in zip(tasks, records):
+        if rec is None:
+            raise ValueError(f"missing record for task {task.task_hash()}")
+        if task.experiment != experiment:
+            raise ValueError(
+                f"expected {experiment!r} tasks, got {task.experiment!r}"
+            )
+        yield task, rec
+
+
+def aggregate_table1(
+    tasks: "list[TaskSpec]", records: "list[dict]"
+) -> "list[Table1Row]":
+    """Fold an interval-sweep campaign into Table-1 rows.
+
+    One row per (matrix, scheme) group, in first-appearance order.
+    ``s*`` is the interval with the smallest mean time; ``s̃`` and its
+    measured time come from the group's ``s_model``, which must be one
+    of the swept intervals.
+    """
+    groups: "dict[tuple[int, str], list[tuple[TaskSpec, dict]]]" = {}
+    for task, rec in _paired(tasks, records, "table1"):
+        groups.setdefault((task.uid, task.scheme), []).append((task, rec))
+    rows: "list[Table1Row]" = []
+    for (uid, scheme), pairs in groups.items():
+        sweep = {t.s: stats_from_record(r) for t, r in pairs}
+        first_task, first_rec = pairs[0]
+        s_model = first_task.s_model
+        if s_model not in sweep:
+            raise ValueError(
+                f"matrix {uid} / {scheme}: model interval {s_model} "
+                f"missing from sweep {sorted(sweep)}"
+            )
+        s_best = min(sweep, key=lambda s: sweep[s].mean_time)
+        rows.append(
+            Table1Row(
+                uid=uid,
+                n=first_rec["n"],
+                density=first_rec["density"],
+                scheme=scheme,
+                s_model=s_model,
+                time_model=sweep[s_model].mean_time,
+                s_best=s_best,
+                time_best=sweep[s_best].mean_time,
+                reps=first_task.reps,
+            )
+        )
+    return rows
+
+
+def aggregate_figure1(
+    tasks: "list[TaskSpec]", records: "list[dict]"
+) -> "list[Figure1Point]":
+    """Fold a scheme-comparison campaign into Figure-1 points (one per
+    task, task order)."""
+    points: "list[Figure1Point]" = []
+    for task, rec in _paired(tasks, records, "figure1"):
+        stats = stats_from_record(rec)
+        points.append(
+            Figure1Point(
+                uid=task.uid,
+                scheme=task.scheme,
+                alpha=task.alpha,
+                mean_time=stats.mean_time,
+                sem_time=stats.sem_time,
+                s_used=task.s,
+                d_used=task.d,
+            )
+        )
+    return points

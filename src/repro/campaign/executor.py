@@ -1,0 +1,228 @@
+"""Process-pool campaign execution with ordered results.
+
+The executor maps a list of :class:`~repro.campaign.spec.TaskSpec`
+over worker processes and returns one result record per task, in task
+order, regardless of completion order.  Correctness never depends on
+scheduling: each task derives its RNG streams from its own identity
+(see :mod:`repro.campaign.spec`), so ``jobs=N`` is bit-identical to
+``jobs=1``.
+
+Design notes
+------------
+- Workers receive only the tiny ``TaskSpec``; matrices are rebuilt
+  inside the worker from ``(uid, scale)`` through the process-local
+  :func:`~repro.sim.matrices.get_matrix` cache, so a worker that runs
+  a whole sweep of intervals for one matrix builds it once.
+- Scheduling is chunked (``~4`` chunks per worker) so pool IPC costs
+  amortize over many short tasks while the tail stays balanced.
+- Each chunk is its own future, persisted to the optional
+  :class:`~repro.campaign.store.ResultStore` *as it completes* — a
+  slow chunk never holds finished results hostage in parent memory,
+  so a crash loses at most the chunks still in flight.  The returned
+  record list is reassembled in task order regardless.
+- ``jobs=1`` (the library default) runs everything inline in the
+  calling process — no pool, no pickling, same records.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from typing import Iterable
+
+from repro.campaign.progress import ProgressReporter
+from repro.campaign.spec import TaskSpec
+from repro.campaign.store import ResultStore
+
+__all__ = ["default_jobs", "execute_task", "run_campaign"]
+
+#: Target chunks per worker: small enough to balance the tail, large
+#: enough to amortize pickling/IPC over many sub-second tasks.
+CHUNKS_PER_WORKER: int = 4
+
+
+def default_jobs() -> int:
+    """Default worker count: every core this process may schedule on."""
+    try:
+        return len(os.sched_getaffinity(0)) or 1
+    except AttributeError:  # platforms without sched_getaffinity
+        return os.cpu_count() or 1
+
+
+def execute_task(task: TaskSpec) -> dict:
+    """Run one task to completion and return its JSON-ready record.
+
+    This is the worker entry point — a module-level function so it
+    pickles under every multiprocessing start method.  The record
+    schema is::
+
+        {"hash": <task content hash>,
+         "task": <TaskSpec fields>,
+         "n": <matrix dimension>, "density": <matrix density>,
+         "stats": <RunStatistics fields>}
+    """
+    from dataclasses import asdict
+
+    from repro.core.methods import CostModel, Scheme, SchemeConfig
+    from repro.sim.engine import make_rhs, repeat_run
+    from repro.sim.matrices import get_matrix
+
+    a = get_matrix(task.uid, task.scale)
+    b = make_rhs(a)
+    costs = CostModel.from_matrix(a)
+    cfg = SchemeConfig(
+        Scheme(task.scheme),
+        checkpoint_interval=task.s,
+        verification_interval=task.d,
+        costs=costs,
+    )
+    stats = repeat_run(
+        a,
+        b,
+        cfg,
+        alpha=task.alpha,
+        reps=task.reps,
+        base_seed=task.base_seed,
+        labels=task.labels,
+        eps=task.eps,
+    )
+    return {
+        "hash": task.task_hash(),
+        "task": task.to_json(),
+        "n": a.nrows,
+        "density": a.density,
+        "stats": asdict(stats),
+    }
+
+
+def run_campaign(
+    tasks: "Iterable[TaskSpec]",
+    *,
+    jobs: "int | None" = None,
+    store: "ResultStore | str | os.PathLike[str] | None" = None,
+    progress: "ProgressReporter | None" = None,
+    chunksize: "int | None" = None,
+) -> "list[dict]":
+    """Execute every task, reusing stored results, and return records
+    aligned with ``tasks``.
+
+    Parameters
+    ----------
+    jobs:
+        Worker processes; ``None`` → :func:`default_jobs`, ``1`` →
+        serial in-process execution.
+    store:
+        Optional :class:`ResultStore` (or a path to one).  Tasks whose
+        hash is already present are served from the store without
+        recomputation; fresh results are appended as they complete.
+    progress:
+        Optional reporter; cache hits and fresh completions are both
+        counted.
+    chunksize:
+        Tasks per pool chunk (``None`` → ``~4`` chunks per worker).
+    """
+    tasks = list(tasks)
+    jobs = default_jobs() if jobs is None else int(jobs)
+    if jobs < 1:
+        raise ValueError(f"jobs must be >= 1, got {jobs}")
+    own_store = False
+    if store is not None and not isinstance(store, ResultStore):
+        store = ResultStore(store)
+        own_store = True
+
+    try:
+        done = store.load() if store is not None else {}
+        results: "list[dict | None]" = [None] * len(tasks)
+        pending: "list[tuple[int, TaskSpec]]" = []
+        for i, task in enumerate(tasks):
+            rec = done.get(task.task_hash())
+            if rec is not None:
+                results[i] = rec
+                if progress is not None:
+                    progress.update(cached=True)
+            else:
+                pending.append((i, task))
+
+        try:
+            if pending:
+                if jobs == 1 or len(pending) == 1:
+                    for i, task in pending:
+                        _deliver(i, execute_task(task), results, store, progress)
+                else:
+                    _run_pool(jobs, pending, chunksize, results, store, progress)
+        finally:
+            # Terminate the \r status line even when a task raised, so
+            # the traceback doesn't print on top of it.
+            if progress is not None:
+                progress.finish()
+        return results  # type: ignore[return-value]
+    finally:
+        if own_store and store is not None:
+            store.close()
+
+
+def _run_pool(
+    jobs: int,
+    pending: "list[tuple[int, TaskSpec]]",
+    chunksize: "int | None",
+    results: "list[dict | None]",
+    store: "ResultStore | None",
+    progress: "ProgressReporter | None",
+) -> None:
+    """Fan pending tasks over a process pool, one future per chunk."""
+    workers = min(jobs, len(pending))
+    chunk = chunksize or max(1, math.ceil(len(pending) / (workers * CHUNKS_PER_WORKER)))
+    groups = [pending[lo : lo + chunk] for lo in range(0, len(pending), chunk)]
+    with ProcessPoolExecutor(max_workers=workers) as pool:
+        futures = {
+            pool.submit(execute_chunk, [t for _, t in group]): group
+            for group in groups
+        }
+        try:
+            for fut in as_completed(futures):
+                for (i, _), rec in zip(futures[fut], fut.result()):
+                    _deliver(i, rec, results, store, progress)
+        except BaseException:
+            # Don't let the pool's __exit__ burn through every queued
+            # chunk only to discard the results: cancel what hasn't
+            # started, wait out what has, and persist any record that
+            # finished cleanly before propagating the failure — those
+            # survive for --resume.  The salvage itself is best-effort:
+            # if persistence is what broke (disk full), the original
+            # error must still be the one that propagates.
+            pool.shutdown(wait=True, cancel_futures=True)
+            try:
+                for fut, group in futures.items():
+                    if fut.done() and not fut.cancelled() and fut.exception() is None:
+                        for (i, _), rec in zip(group, fut.result()):
+                            if results[i] is None:  # not yet delivered
+                                _deliver(i, rec, results, store, progress)
+            except Exception:
+                pass
+            raise
+
+
+def execute_chunk(tasks: "list[TaskSpec]") -> "list[dict]":
+    """Worker entry point for one scheduling chunk (module-level so it
+    pickles under every multiprocessing start method)."""
+    return [execute_task(t) for t in tasks]
+
+
+def _deliver(
+    index: int,
+    record: dict,
+    results: "list[dict | None]",
+    store: "ResultStore | None",
+    progress: "ProgressReporter | None",
+) -> None:
+    """Persist one finished record, then slot it into place and count it.
+
+    The store append comes first so ``results[index] is None`` remains
+    a reliable "not yet durably delivered" test for crash salvage.
+    """
+    if store is not None:
+        store.append(record)
+    results[index] = record
+    if progress is not None:
+        progress.update()

@@ -1,0 +1,123 @@
+"""Throughput and ETA reporting for long campaigns.
+
+A campaign at paper scale runs thousands of tasks over hours; the
+reporter keeps a single carriage-return-updated status line on a
+stream (normally stderr, so piped stdout output stays clean):
+
+    table1: 135/324 tasks (41.7%) | 12 cached | 3.42 task/s | ETA 0:55
+
+The rate and ETA are computed over *freshly executed* tasks only —
+cache hits served from a result store complete in microseconds and
+would otherwise make the ETA uselessly optimistic right after a
+resume.  With ``stream=None`` the reporter is a no-op, which is the
+library default: only the CLI turns it on.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import IO
+
+__all__ = ["ProgressReporter", "format_duration"]
+
+
+def format_duration(seconds: float) -> str:
+    """Render a duration as ``m:ss`` (or ``h:mm:ss`` past an hour)."""
+    total = max(0, int(seconds + 0.5))
+    h, rem = divmod(total, 3600)
+    m, s = divmod(rem, 60)
+    return f"{h}:{m:02d}:{s:02d}" if h else f"{m}:{s:02d}"
+
+
+class ProgressReporter:
+    """Counts task completions and renders a throughput/ETA line.
+
+    Parameters
+    ----------
+    total:
+        Number of tasks in the campaign (cached + pending).
+    stream:
+        Where to write; ``None`` disables all output.
+    label:
+        Prefix naming the campaign.
+    min_interval:
+        Minimum seconds between redraws (the final line always
+        renders).
+    """
+
+    def __init__(
+        self,
+        total: int,
+        *,
+        stream: "IO[str] | None" = None,
+        label: str = "campaign",
+        min_interval: float = 0.25,
+    ) -> None:
+        if total < 0:
+            raise ValueError(f"total must be >= 0, got {total}")
+        self.total = total
+        self.done = 0
+        self.cached = 0
+        self._stream = stream
+        self._label = label
+        self._min_interval = min_interval
+        self._t0 = time.monotonic()
+        self._last_emit = 0.0
+        self._last_len = 0
+
+    @property
+    def fresh(self) -> int:
+        """Tasks actually executed (completions minus cache hits)."""
+        return self.done - self.cached
+
+    def rate(self) -> float:
+        """Fresh-task throughput in tasks/second since construction."""
+        elapsed = time.monotonic() - self._t0
+        return self.fresh / elapsed if elapsed > 0 else 0.0
+
+    def eta_seconds(self) -> "float | None":
+        """Projected seconds to finish, or ``None`` before any sample."""
+        r = self.rate()
+        if r <= 0:
+            return None
+        return (self.total - self.done) / r
+
+    def update(self, n: int = 1, *, cached: bool = False) -> None:
+        """Record ``n`` completed tasks (``cached`` = served from store)."""
+        self.done += n
+        if cached:
+            self.cached += n
+        self._emit()
+
+    def finish(self) -> None:
+        """Render the final line and terminate it with a newline."""
+        self._emit(force=True)
+        if self._stream is not None:
+            self._stream.write("\n")
+            self._stream.flush()
+
+    def render(self) -> str:
+        pct = 100.0 * self.done / self.total if self.total else 100.0
+        parts = [f"{self._label}: {self.done}/{self.total} tasks ({pct:.1f}%)"]
+        if self.cached:
+            parts.append(f"{self.cached} cached")
+        parts.append(f"{self.rate():.2f} task/s")
+        eta = self.eta_seconds()
+        if eta is not None:
+            parts.append(f"ETA {format_duration(eta)}")
+        return " | ".join(parts)
+
+    def _emit(self, force: bool = False) -> None:
+        if self._stream is None:
+            return
+        now = time.monotonic()
+        if not force and now - self._last_emit < self._min_interval:
+            return
+        self._last_emit = now
+        line = self.render()
+        # Pad over any residue of a longer previous render ("ETA 1:00:02"
+        # shrinking to "ETA 59:57" would otherwise leave stray digits).
+        pad = " " * max(0, self._last_len - len(line))
+        self._last_len = len(line)
+        self._stream.write("\r" + line + pad)
+        self._stream.flush()

@@ -1,0 +1,235 @@
+"""Declarative campaign specifications.
+
+A campaign is a flat list of independent *tasks*, each one the smallest
+schedulable unit of the paper's evaluation: run ``reps`` fault-injected
+solves of one (matrix, scheme, α, s, d) point and aggregate them.  A
+:class:`TaskSpec` carries everything a worker process needs to execute
+the point from scratch — matrices are referenced by ``(uid, scale)``
+and rebuilt (deterministically, from cache) inside the worker rather
+than pickled across the process boundary.
+
+Seeding is the load-bearing invariant: a task's repetitions draw their
+RNG from ``spawn_named(base_seed, scheme, alpha, *labels, rep)``,
+exactly the tuple the serial drivers in :mod:`repro.sim` have always
+used.  Because the seed depends only on the task's *identity* and never
+on execution order, a campaign sliced across N worker processes is
+bit-identical to the same campaign run serially.
+
+Tasks are content-hashable (:meth:`TaskSpec.task_hash`) so a result
+store can recognize completed work across process restarts.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, fields
+
+__all__ = ["TaskSpec", "CampaignSpec"]
+
+
+@dataclass(frozen=True)
+class TaskSpec:
+    """One schedulable unit: ``reps`` runs of a single parameter point.
+
+    Attributes
+    ----------
+    experiment:
+        Campaign family the task belongs to (``"table1"`` /
+        ``"figure1"`` / free-form for custom campaigns).
+    uid, scale:
+        Suite-matrix id and size divisor; the worker rebuilds the
+        matrix via :func:`repro.sim.matrices.get_matrix`.
+    scheme:
+        :class:`repro.core.methods.Scheme` value string.
+    alpha:
+        Fault-rate constant (strikes per iteration).
+    s, d:
+        Checkpoint and verification intervals under test.
+    reps, base_seed, eps:
+        Forwarded to :func:`repro.sim.engine.repeat_run`.
+    labels:
+        Seed-derivation labels, verbatim the tuple the serial drivers
+        pass to ``repeat_run`` — part of the task's identity.
+    s_model:
+        Model-predicted interval for this task's (matrix, scheme)
+        group; carried so aggregation can report ``s̃`` without
+        re-deriving the model (0 when not applicable).
+    """
+
+    experiment: str
+    uid: int
+    scale: int
+    scheme: str
+    alpha: float
+    s: int
+    d: int = 1
+    reps: int = 10
+    base_seed: int = 2015
+    eps: float = 1e-6
+    labels: tuple = ()
+    s_model: int = 0
+
+    def __post_init__(self) -> None:
+        if self.s < 1:
+            raise ValueError(f"s must be >= 1, got {self.s}")
+        if self.d < 1:
+            raise ValueError(f"d must be >= 1, got {self.d}")
+        if self.reps < 1:
+            raise ValueError(f"reps must be >= 1, got {self.reps}")
+
+    def task_hash(self) -> str:
+        """Content hash identifying this task across processes and runs.
+
+        Built from the ``repr`` of the full field tuple — ints, strings
+        and floats all round-trip exactly through ``repr``, so the hash
+        is stable across interpreter sessions (no reliance on Python's
+        randomized ``hash()``).
+        """
+        payload = repr(tuple(getattr(self, f.name) for f in fields(self)))
+        return hashlib.sha256(payload.encode()).hexdigest()
+
+    def to_json(self) -> dict:
+        """JSON-serializable view (tuples become lists)."""
+        out = {f.name: getattr(self, f.name) for f in fields(self)}
+        out["labels"] = list(self.labels)
+        return out
+
+
+@dataclass(frozen=True)
+class CampaignSpec:
+    """Declarative parameter grid for one of the paper's experiments.
+
+    ``expand()`` flattens the grid into the same (matrix, scheme, α,
+    interval) points, in the same order, that the serial drivers
+    iterate, so aggregation reproduces their output exactly.
+
+    Attributes
+    ----------
+    kind:
+        ``"table1"`` (interval sweep at the paper's fault constant) or
+        ``"figure1"`` (scheme comparison across MTBF values).
+    scale, reps, uids, eps, base_seed:
+        As in :func:`repro.sim.experiments.run_table1` /
+        :func:`~repro.sim.experiments.run_figure1`.
+    alpha:
+        Fault constant for Table-1 campaigns.
+    mtbf_values:
+        X-axis points ``1/α`` for Figure-1 campaigns (``None`` → the
+        driver's default span).
+    s_span:
+        Table-1 sweep half-width around the model prediction.
+    model_s_max:
+        Search ceiling for the Eq.-6 integer optimum (``None`` → the
+        driver default, :data:`repro.sim.experiments.MODEL_S_MAX`);
+        widen for large-λ campaigns whose optimum lies beyond it.
+    """
+
+    kind: str
+    scale: int = 16
+    reps: int = 10
+    uids: "tuple[int, ...] | None" = None
+    alpha: float = 1.0 / 16.0
+    mtbf_values: "tuple[float, ...] | None" = None
+    eps: float = 1e-6
+    base_seed: int = 2015
+    s_span: int = 6
+    model_s_max: "int | None" = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("table1", "figure1"):
+            raise ValueError(f"unknown campaign kind: {self.kind!r}")
+        if self.reps < 1:
+            raise ValueError(f"reps must be >= 1, got {self.reps}")
+        if self.s_span < 0:
+            raise ValueError(f"s_span must be >= 0, got {self.s_span}")
+
+    def expand(self) -> "list[TaskSpec]":
+        """Flatten the grid into an ordered list of tasks."""
+        if self.kind == "table1":
+            return self._expand_table1()
+        return self._expand_figure1()
+
+    # The imports below are deliberately local: repro.sim.experiments
+    # builds its drivers on top of this package, so the dependency from
+    # spec expansion back to the model helpers must stay lazy.
+
+    def _expand_table1(self) -> "list[TaskSpec]":
+        from repro.core.methods import CostModel, Scheme
+        from repro.sim.experiments import MODEL_S_MAX, default_s_grid, model_interval_for
+        from repro.sim.matrices import get_matrix, suite_specs
+
+        s_max = MODEL_S_MAX if self.model_s_max is None else self.model_s_max
+        tasks: list[TaskSpec] = []
+        for spec in suite_specs(list(self.uids) if self.uids is not None else None):
+            costs = CostModel.from_matrix(get_matrix(spec.uid, self.scale))
+            for scheme in (Scheme.ABFT_DETECTION, Scheme.ABFT_CORRECTION):
+                s_model, _ = model_interval_for(scheme, self.alpha, costs, s_max=s_max)
+                grid = default_s_grid(s_model, span=self.s_span)
+                if s_model not in grid:
+                    # Fail before any compute is spent: aggregation needs
+                    # Et(s̃), so a sweep that clips the model interval out
+                    # (its ceiling is default_s_grid's s_max) could only
+                    # error after the whole campaign had run.
+                    raise ValueError(
+                        f"matrix {spec.uid} / {scheme.value}: model interval "
+                        f"s~={s_model} falls outside the sweep grid "
+                        f"{grid}; lower alpha's MTBF or widen default_s_grid"
+                    )
+                for s in grid:
+                    tasks.append(
+                        TaskSpec(
+                            experiment="table1",
+                            uid=spec.uid,
+                            scale=self.scale,
+                            scheme=scheme.value,
+                            alpha=self.alpha,
+                            s=s,
+                            d=1,
+                            reps=self.reps,
+                            base_seed=self.base_seed,
+                            eps=self.eps,
+                            labels=("table1", spec.uid, "s", s),
+                            s_model=s_model,
+                        )
+                    )
+        return tasks
+
+    def _expand_figure1(self) -> "list[TaskSpec]":
+        from repro.core.methods import CostModel, Scheme
+        from repro.sim.experiments import (
+            DEFAULT_MTBF_VALUES,
+            MODEL_S_MAX,
+            model_interval_for,
+        )
+        from repro.sim.matrices import get_matrix, suite_specs
+
+        s_max = MODEL_S_MAX if self.model_s_max is None else self.model_s_max
+        mtbfs = DEFAULT_MTBF_VALUES if self.mtbf_values is None else self.mtbf_values
+        tasks: list[TaskSpec] = []
+        for spec in suite_specs(list(self.uids) if self.uids is not None else None):
+            costs = CostModel.from_matrix(get_matrix(spec.uid, self.scale))
+            for mtbf in mtbfs:
+                alpha = 1.0 / mtbf
+                for scheme in (
+                    Scheme.ONLINE_DETECTION,
+                    Scheme.ABFT_DETECTION,
+                    Scheme.ABFT_CORRECTION,
+                ):
+                    s, d = model_interval_for(scheme, alpha, costs, s_max=s_max)
+                    tasks.append(
+                        TaskSpec(
+                            experiment="figure1",
+                            uid=spec.uid,
+                            scale=self.scale,
+                            scheme=scheme.value,
+                            alpha=alpha,
+                            s=s,
+                            d=d,
+                            reps=self.reps,
+                            base_seed=self.base_seed,
+                            eps=self.eps,
+                            labels=("figure1", spec.uid, mtbf),
+                            s_model=s,
+                        )
+                    )
+        return tasks

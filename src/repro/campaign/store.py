@@ -1,0 +1,142 @@
+"""JSONL result store: crash-safe persistence and resume.
+
+One campaign store is one append-only file of JSON records, one per
+line, each carrying the task's content hash, its full parameters and
+its aggregated statistics.  Append-only JSONL gives exactly the
+durability model a long campaign needs:
+
+- every completed task is flushed to disk as soon as its result
+  arrives, so killing the process loses at most the tasks in flight;
+- a crash mid-write leaves at most one truncated *trailing* line,
+  which :meth:`ResultStore.load` silently drops (the task simply
+  reruns on resume) — corruption anywhere *else* is a real integrity
+  problem and raises :class:`StoreError`;
+- resuming is a pure set difference: tasks whose hash already appears
+  in the store are served from it, everything else runs.
+
+Floats survive the JSON round-trip exactly (``json`` serializes via
+``repr``), so aggregates computed from resumed records are
+bit-identical to a single uninterrupted run.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+
+from repro.campaign.spec import TaskSpec
+
+__all__ = ["ResultStore", "StoreError"]
+
+
+class StoreError(RuntimeError):
+    """A result store violates its integrity contract."""
+
+
+class ResultStore:
+    """Append-only JSONL store of per-task result records.
+
+    Parameters
+    ----------
+    path:
+        File to append to; created (with parents) on first write.
+
+    The store is usable as a context manager; :meth:`close` is also
+    safe to call repeatedly.  Records are plain dicts with at least a
+    ``"hash"`` key (see :func:`repro.campaign.executor.execute_task`
+    for the full schema).
+    """
+
+    def __init__(self, path: "str | os.PathLike[str]") -> None:
+        self.path = pathlib.Path(path)
+        self._fh = None
+
+    def load(self) -> "dict[str, dict]":
+        """Read all records, keyed by task hash.
+
+        A torn *final* line is dropped silently.  Torn means the crash
+        footprint and nothing else: records are written as one
+        ``line + "\\n"`` chunk, so an interrupted append leaves a tail
+        with *no* final newline.  A malformed line anywhere else —
+        including a corrupt but newline-terminated final record —
+        means the file was hand-edited or damaged, and raises
+        :class:`StoreError` rather than silently recomputing (or
+        worse, trusting) half a campaign.
+        """
+        if not self.path.exists():
+            return {}
+        data = self.path.read_bytes()
+        lines = data.decode().splitlines()
+        if data and not data.endswith(b"\n") and lines:
+            # Torn trailing write: drop it unconditionally — even if the
+            # fragment happens to parse (flush cut exactly at the closing
+            # brace), the next append() truncates it from disk, so
+            # serving it as a cached record here would lose it silently.
+            lines.pop()
+        records: dict[str, dict] = {}
+        for lineno, line in enumerate(lines):
+            if not line.strip():
+                continue  # blank lines carry no record
+            try:
+                rec = json.loads(line)
+                if not isinstance(rec, dict) or "hash" not in rec:
+                    raise ValueError("record is not a dict with a 'hash' key")
+            except ValueError as exc:
+                raise StoreError(
+                    f"{self.path}:{lineno + 1}: corrupt record ({exc})"
+                ) from exc
+            records[rec["hash"]] = rec
+        return records
+
+    def append(self, record: dict) -> None:
+        """Append one record and flush it to the OS immediately."""
+        if "hash" not in record:
+            raise ValueError("record must carry a 'hash' key")
+        if self._fh is None:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self._repair_torn_tail()
+            self._fh = open(self.path, "a")
+        self._fh.write(json.dumps(record) + "\n")
+        self._fh.flush()
+
+    def _repair_torn_tail(self) -> None:
+        """Truncate a torn trailing write before appending after it.
+
+        Each record is written as one ``line + "\\n"`` chunk, so a
+        crash mid-append leaves a tail with *no* final newline.  Left
+        in place, the next appended record would turn that fragment
+        into a corrupt mid-file line and poison every later
+        :meth:`load`; cutting back to the last newline restores the
+        invariant that the file is whole lines of whole records.
+        """
+        if not self.path.exists():
+            return
+        data = self.path.read_bytes()
+        if not data or data.endswith(b"\n"):
+            return
+        keep = data.rfind(b"\n") + 1
+        with open(self.path, "rb+") as fh:
+            fh.truncate(keep)
+
+    def resume(
+        self, tasks: "list[TaskSpec]"
+    ) -> "tuple[dict[str, dict], list[TaskSpec]]":
+        """Split ``tasks`` into (completed records, still-pending tasks)."""
+        done = self.load()
+        pending = [t for t in tasks if t.task_hash() not in done]
+        return done, pending
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+    def __enter__(self) -> "ResultStore":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def __len__(self) -> int:
+        return len(self.load())

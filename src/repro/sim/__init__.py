@@ -6,7 +6,9 @@
 - :mod:`repro.sim.engine` — repeated fault-injected runs with
   deterministic per-repetition seeding and aggregation;
 - :mod:`repro.sim.experiments` — drivers for Table 1 (model
-  validation) and Figure 1 (time vs normalized MTBF);
+  validation) and Figure 1 (time vs normalized MTBF), executing
+  through the :mod:`repro.campaign` engine (parallel ``jobs``,
+  persistent ``store``, resume);
 - :mod:`repro.sim.results` — result containers and paper-style text
   rendering.
 """

@@ -18,32 +18,63 @@ Both drivers take a ``scale`` divisor (see
 larger values shrink matrices for laptop-speed sweeps while preserving
 per-row density.  ``python -m repro.sim.experiments --help`` runs them
 from the command line.
+
+Execution goes through the campaign engine (:mod:`repro.campaign`):
+the grid of independent (matrix, scheme, α, interval) points is
+expanded into content-hashable tasks, fanned out over ``jobs`` worker
+processes, optionally persisted to a JSONL ``store`` for crash-safe
+resume, and re-aggregated into the same rows/points the old serial
+loops produced.  Seeding depends only on task identity, so any
+``jobs`` setting is bit-identical to ``jobs=1``.
 """
 
 from __future__ import annotations
 
-import math
+from typing import TYPE_CHECKING
 
-from repro.core.methods import CostModel, Scheme, SchemeConfig
+from repro.core.methods import CostModel, Scheme
 from repro.model.chen import chen_intervals
 from repro.model.instantiate import model_for_scheme
-from repro.sim.engine import make_rhs, repeat_run, sweep_checkpoint_interval
-from repro.sim.matrices import MatrixSpec, suite_specs
-from repro.sim.results import Figure1Point, Table1Row
 
-__all__ = ["run_table1", "run_figure1", "model_interval_for", "default_s_grid"]
+if TYPE_CHECKING:  # pragma: no cover
+    import os
+
+    from repro.campaign.store import ResultStore
+    from repro.sim.results import Figure1Point, Table1Row
+
+__all__ = [
+    "run_table1",
+    "run_figure1",
+    "model_interval_for",
+    "default_s_grid",
+    "MODEL_S_MAX",
+    "DEFAULT_MTBF_VALUES",
+]
 
 #: Paper's Table-1 fault constant: λ = 1/(16 M) per word → α = 1/16.
 TABLE1_ALPHA: float = 1.0 / 16.0
 
+#: Search ceiling for the Eq.-6 integer interval optimum.  Generous for
+#: the paper's fault rates (optima land well under 100); large-MTBF
+#: campaigns whose optimum grows past it can widen via the ``s_max``
+#: parameter of :func:`model_interval_for`.
+MODEL_S_MAX: int = 400
 
-def model_interval_for(scheme: Scheme, alpha: float, costs: CostModel) -> tuple[int, int]:
+#: Figure 1's default x-axis ``1/α``: the paper spans roughly 10²–10⁴,
+#: plus the Table-1 point 16 for continuity with the high-rate regime.
+DEFAULT_MTBF_VALUES: tuple[float, ...] = (16.0, 10**2, 10**2.5, 10**3, 10**3.5, 10**4)
+
+
+def model_interval_for(
+    scheme: Scheme, alpha: float, costs: CostModel, *, s_max: int = MODEL_S_MAX
+) -> tuple[int, int]:
     """Model-recommended ``(s, d)`` for a scheme at fault constant α.
 
     λ in the performance model is the cumulative rate per time unit,
     which equals α under the paper's normalization.  ONLINE-DETECTION
     uses Chen's closed-form intervals [9, Eq. 10-style]; the ABFT
-    schemes use the exact Eq.-6 integer optimum.
+    schemes use the exact Eq.-6 integer optimum, searched up to
+    ``s_max``.
     """
     lam = alpha / costs.t_iter
     if scheme is Scheme.ONLINE_DETECTION:
@@ -52,7 +83,7 @@ def model_interval_for(scheme: Scheme, alpha: float, costs: CostModel) -> tuple[
         )
         return ch.c, ch.d
     model = model_for_scheme(scheme, lam, costs)
-    return model.optimal(s_max=400).s, 1
+    return model.optimal(s_max=s_max).s, 1
 
 
 def default_s_grid(s_center: int, *, span: int = 6, s_max: int = 60) -> list[int]:
@@ -78,44 +109,35 @@ def run_table1(
     eps: float = 1e-6,
     base_seed: int = 2015,
     s_span: int = 6,
+    jobs: int = 1,
+    store: "ResultStore | str | os.PathLike[str] | None" = None,
+    progress: bool = False,
 ) -> list[Table1Row]:
     """Reproduce Table 1 (both ABFT schemes); returns one row per
-    (matrix, scheme)."""
-    rows: list[Table1Row] = []
-    for spec in suite_specs(uids):
-        a = spec.instantiate(scale)
-        b = make_rhs(a)
-        costs = CostModel.from_matrix(a)
-        for scheme in (Scheme.ABFT_DETECTION, Scheme.ABFT_CORRECTION):
-            s_model, _ = model_interval_for(scheme, alpha, costs)
-            grid = default_s_grid(s_model, span=s_span)
-            cfg = SchemeConfig(scheme, checkpoint_interval=s_model, costs=costs)
-            sweep = sweep_checkpoint_interval(
-                a,
-                b,
-                cfg,
-                grid,
-                alpha=alpha,
-                reps=reps,
-                base_seed=base_seed,
-                labels=("table1", spec.uid),
-                eps=eps,
-            )
-            s_best = min(sweep, key=lambda s: sweep[s].mean_time)
-            rows.append(
-                Table1Row(
-                    uid=spec.uid,
-                    n=a.nrows,
-                    density=a.density,
-                    scheme=scheme.value,
-                    s_model=s_model,
-                    time_model=sweep[s_model].mean_time,
-                    s_best=s_best,
-                    time_best=sweep[s_best].mean_time,
-                    reps=reps,
-                )
-            )
-    return rows
+    (matrix, scheme).
+
+    ``jobs`` fans the sweep out over worker processes (results are
+    bit-identical for any value); ``store`` persists per-task records
+    to a JSONL file, skipping tasks already completed there;
+    ``progress`` prints a throughput/ETA line to stderr.
+    """
+    from repro.campaign import CampaignSpec, aggregate_table1, run_campaign
+
+    spec = CampaignSpec(
+        kind="table1",
+        scale=scale,
+        reps=reps,
+        uids=tuple(uids) if uids is not None else None,
+        alpha=alpha,
+        eps=eps,
+        base_seed=base_seed,
+        s_span=s_span,
+    )
+    tasks = spec.expand()
+    records = run_campaign(
+        tasks, jobs=jobs, store=store, progress=_reporter(progress, tasks, "table1")
+    )
+    return aggregate_table1(tasks, records)
 
 
 def run_figure1(
@@ -126,53 +148,43 @@ def run_figure1(
     uids: "list[int] | None" = None,
     eps: float = 1e-6,
     base_seed: int = 2015,
+    jobs: int = 1,
+    store: "ResultStore | str | os.PathLike[str] | None" = None,
+    progress: bool = False,
 ) -> list[Figure1Point]:
     """Reproduce Figure 1: execution time vs normalized MTBF, all schemes.
 
-    ``mtbf_values`` are the x-axis points ``1/α``; the paper spans
-    roughly 10²–10⁴ (default: 6 log-spaced points plus the Table-1
-    point 16 for continuity with the high-rate regime).
+    ``mtbf_values`` are the x-axis points ``1/α`` (default:
+    :data:`DEFAULT_MTBF_VALUES`).  ``jobs`` / ``store`` / ``progress``
+    behave as in :func:`run_table1`.
     """
-    if mtbf_values is None:
-        mtbf_values = [16.0, 10**2, 10**2.5, 10**3, 10**3.5, 10**4]
-    points: list[Figure1Point] = []
-    for spec in suite_specs(uids):
-        a = spec.instantiate(scale)
-        b = make_rhs(a)
-        costs = CostModel.from_matrix(a)
-        for mtbf in mtbf_values:
-            alpha = 1.0 / mtbf
-            for scheme in (
-                Scheme.ONLINE_DETECTION,
-                Scheme.ABFT_DETECTION,
-                Scheme.ABFT_CORRECTION,
-            ):
-                s, d = model_interval_for(scheme, alpha, costs)
-                cfg = SchemeConfig(
-                    scheme, checkpoint_interval=s, verification_interval=d, costs=costs
-                )
-                stats = repeat_run(
-                    a,
-                    b,
-                    cfg,
-                    alpha=alpha,
-                    reps=reps,
-                    base_seed=base_seed,
-                    labels=("figure1", spec.uid, mtbf),
-                    eps=eps,
-                )
-                points.append(
-                    Figure1Point(
-                        uid=spec.uid,
-                        scheme=scheme.value,
-                        alpha=alpha,
-                        mean_time=stats.mean_time,
-                        sem_time=stats.sem_time,
-                        s_used=s,
-                        d_used=d,
-                    )
-                )
-    return points
+    from repro.campaign import CampaignSpec, aggregate_figure1, run_campaign
+
+    spec = CampaignSpec(
+        kind="figure1",
+        scale=scale,
+        reps=reps,
+        uids=tuple(uids) if uids is not None else None,
+        mtbf_values=tuple(mtbf_values) if mtbf_values is not None else None,
+        eps=eps,
+        base_seed=base_seed,
+    )
+    tasks = spec.expand()
+    records = run_campaign(
+        tasks, jobs=jobs, store=store, progress=_reporter(progress, tasks, "figure1")
+    )
+    return aggregate_figure1(tasks, records)
+
+
+def _reporter(enabled: bool, tasks: list, label: str):
+    """Stderr progress reporter when requested, else None."""
+    if not enabled:
+        return None
+    import sys
+
+    from repro.campaign import ProgressReporter
+
+    return ProgressReporter(len(tasks), stream=sys.stderr, label=label)
 
 
 def _main(argv: "list[str] | None" = None) -> int:
@@ -190,19 +202,65 @@ def _main(argv: "list[str] | None" = None) -> int:
     parser.add_argument("--reps", type=int, default=10, help="repetitions per point (paper: 50)")
     parser.add_argument("--uids", type=int, nargs="*", default=None, help="subset of matrix ids")
     parser.add_argument("--eps", type=float, default=1e-6, help="CG stopping epsilon")
+    parser.add_argument("--base-seed", type=int, default=2015, help="campaign base seed")
+    parser.add_argument(
+        "--s-span", type=int, default=6,
+        help="(table1) interval-sweep half-width around the model prediction",
+    )
+    parser.add_argument(
+        "--jobs", type=int, default=None,
+        help="parallel worker processes (default: all cores; 1 = serial)",
+    )
+    parser.add_argument(
+        "--store", type=str, default=None,
+        help="JSONL result store for crash-safe persistence / resume",
+    )
+    parser.add_argument(
+        "--resume", action="store_true",
+        help="reuse finished tasks from --store instead of starting fresh",
+    )
     parser.add_argument("--csv", type=str, default=None, help="also dump raw rows to CSV")
     parser.add_argument("--paper-scale", action="store_true", help="scale=1, reps=50 (slow)")
     args = parser.parse_args(argv)
     if args.paper_scale:
         args.scale, args.reps = 1, 50
 
+    if args.jobs is not None and args.jobs < 1:
+        parser.error(f"--jobs must be >= 1, got {args.jobs}")
+    if args.s_span < 0:
+        parser.error(f"--s-span must be >= 0, got {args.s_span}")
+    if args.resume and not args.store:
+        parser.error("--resume requires --store")
+    if args.store and not args.resume:
+        import pathlib
+
+        p = pathlib.Path(args.store)
+        if p.exists() and p.stat().st_size > 0:
+            parser.error(
+                f"store {args.store!r} already has results; "
+                "pass --resume to continue it or remove the file to start fresh"
+            )
+
+    from repro.campaign import default_jobs
+
+    jobs = default_jobs() if args.jobs is None else args.jobs
+    common = dict(
+        scale=args.scale,
+        reps=args.reps,
+        uids=args.uids,
+        eps=args.eps,
+        base_seed=args.base_seed,
+        jobs=jobs,
+        store=args.store,
+        progress=True,
+    )
     if args.experiment == "table1":
-        rows = run_table1(scale=args.scale, reps=args.reps, uids=args.uids, eps=args.eps)
+        rows = run_table1(s_span=args.s_span, **common)
         print(format_table1(rows))
         if args.csv:
             to_csv(rows, args.csv)
     else:
-        pts = run_figure1(scale=args.scale, reps=args.reps, uids=args.uids, eps=args.eps)
+        pts = run_figure1(**common)
         print(format_figure1(pts))
         if args.csv:
             to_csv(pts, args.csv)

@@ -1,0 +1,234 @@
+"""Campaign execution: determinism across jobs, resume, aggregation."""
+
+import pytest
+
+from repro.campaign import (
+    CampaignSpec,
+    ProgressReporter,
+    ResultStore,
+    aggregate_figure1,
+    aggregate_table1,
+    execute_task,
+    run_campaign,
+)
+from repro.sim import run_figure1, run_table1
+
+
+@pytest.fixture(scope="module")
+def small_spec():
+    return CampaignSpec(kind="table1", scale=48, reps=2, uids=(2213,), s_span=2)
+
+
+@pytest.fixture(scope="module")
+def small_tasks(small_spec):
+    return small_spec.expand()
+
+
+@pytest.fixture(scope="module")
+def serial_records(small_tasks):
+    return run_campaign(small_tasks, jobs=1)
+
+
+class TestDeterminism:
+    def test_jobs2_matches_jobs1(self, small_tasks, serial_records):
+        # The acceptance bar: parallel fan-out must be bit-identical to
+        # serial execution, statistics included.
+        parallel = run_campaign(small_tasks, jobs=2)
+        assert parallel == serial_records
+
+    def test_run_table1_jobs2_identical_rows(self):
+        rows1 = run_table1(scale=48, reps=2, uids=[2213], s_span=2, jobs=1)
+        rows2 = run_table1(scale=48, reps=2, uids=[2213], s_span=2, jobs=2)
+        assert rows1 == rows2  # RunStatistics floats compare exactly
+
+    def test_run_figure1_jobs2_identical_points(self):
+        kw = dict(scale=48, reps=2, uids=[2213], mtbf_values=[16.0, 500.0])
+        assert run_figure1(jobs=1, **kw) == run_figure1(jobs=2, **kw)
+
+    def test_rewired_driver_matches_known_shape(self):
+        rows = run_table1(scale=48, reps=2, uids=[2213], s_span=2)
+        assert {r.scheme for r in rows} == {"abft-detection", "abft-correction"}
+        for r in rows:
+            assert r.uid == 2213 and r.reps == 2
+            assert r.loss_percent >= -1e-9
+
+
+class TestResume:
+    def test_store_records_everything(self, small_tasks, tmp_path):
+        store = ResultStore(tmp_path / "c.jsonl")
+        records = run_campaign(small_tasks, jobs=1, store=store)
+        assert set(store.load()) == {t.task_hash() for t in small_tasks}
+        assert records == run_campaign(small_tasks, jobs=1)
+
+    def test_resume_skips_completed_tasks(self, small_tasks, tmp_path):
+        # Pre-populate the store with sentinel results for half the
+        # tasks; the campaign must serve those verbatim (proving no
+        # recomputation) and execute only the rest.
+        store = ResultStore(tmp_path / "c.jsonl")
+        sentinel_tasks = small_tasks[::2]
+        with store:
+            for t in sentinel_tasks:
+                store.append({"hash": t.task_hash(), "task": t.to_json(),
+                              "n": -1, "density": -1.0,
+                              "stats": {"sentinel": True}})
+        records = run_campaign(small_tasks, jobs=1, store=store)
+        for t, rec in zip(small_tasks, records):
+            if t in sentinel_tasks:
+                assert rec["stats"] == {"sentinel": True}
+            else:
+                assert "mean_time" in rec["stats"]
+        # ... and the freshly computed half landed in the store.
+        assert len(store.load()) == len(small_tasks)
+
+    def test_resumed_campaign_bit_identical(self, small_tasks, serial_records,
+                                            tmp_path):
+        # Interrupt after k tasks, then resume: the final records must
+        # equal an uninterrupted run (floats survive the JSON trip).
+        store = ResultStore(tmp_path / "c.jsonl")
+        k = len(small_tasks) // 2
+        with store:
+            for rec in serial_records[:k]:
+                store.append(rec)
+        resumed = run_campaign(small_tasks, jobs=1, store=store)
+        assert resumed == serial_records
+
+    def test_progress_counts_cached(self, small_tasks, serial_records,
+                                    tmp_path):
+        store = ResultStore(tmp_path / "c.jsonl")
+        with store:
+            for rec in serial_records[:3]:
+                store.append(rec)
+        progress = ProgressReporter(len(small_tasks))
+        run_campaign(small_tasks, jobs=1, store=store, progress=progress)
+        assert progress.done == len(small_tasks)
+        assert progress.cached == 3
+        assert progress.fresh == len(small_tasks) - 3
+
+
+class TestExecutorContract:
+    def test_worker_failure_propagates_and_keeps_store_valid(self, small_tasks,
+                                                             tmp_path):
+        # One poisoned task (unknown scheme -> ValueError in the
+        # worker): the error must propagate, the campaign must not
+        # hang, and whatever finished must land in a loadable store
+        # for --resume rather than being silently discarded.
+        import dataclasses
+
+        bad = dataclasses.replace(small_tasks[0], scheme="no-such-scheme")
+        tasks = [bad] + list(small_tasks[1:5])
+        store = ResultStore(tmp_path / "fail.jsonl")
+        with pytest.raises(ValueError):
+            run_campaign(tasks, jobs=2, store=store, chunksize=1)
+        loaded = store.load()  # must parse cleanly
+        good_hashes = {t.task_hash() for t in tasks[1:]}
+        assert set(loaded) <= good_hashes
+
+    def test_jobs_must_be_positive(self, small_tasks):
+        with pytest.raises(ValueError):
+            run_campaign(small_tasks, jobs=0)
+
+    def test_empty_campaign(self):
+        assert run_campaign([], jobs=2) == []
+
+    def test_execute_task_record_schema(self, small_tasks):
+        rec = execute_task(small_tasks[0])
+        assert rec["hash"] == small_tasks[0].task_hash()
+        assert rec["n"] >= 512 and 0 < rec["density"] < 1
+        stats = rec["stats"]
+        assert stats["reps"] == 2
+        assert stats["mean_time"] > 0
+        assert 0.0 <= stats["convergence_rate"] <= 1.0
+
+    def test_store_accepts_plain_path(self, small_tasks, tmp_path):
+        path = tmp_path / "by_path.jsonl"
+        run_campaign(small_tasks[:2], jobs=1, store=path)
+        assert len(ResultStore(path).load()) == 2
+
+
+class TestAggregation:
+    def test_table1_aggregate_requires_model_point(self, small_tasks,
+                                                   serial_records):
+        # Dropping the model-interval task from a group must fail loudly
+        # rather than fabricate a row.
+        s_model = small_tasks[0].s_model
+        keep = [i for i, t in enumerate(small_tasks)
+                if not (t.scheme == small_tasks[0].scheme and t.s == s_model)]
+        with pytest.raises(ValueError, match="missing from sweep"):
+            aggregate_table1([small_tasks[i] for i in keep],
+                             [serial_records[i] for i in keep])
+
+    def test_mismatched_lengths_rejected(self, small_tasks, serial_records):
+        with pytest.raises(ValueError):
+            aggregate_table1(small_tasks, serial_records[:-1])
+
+    def test_wrong_experiment_rejected(self, small_tasks, serial_records):
+        with pytest.raises(ValueError, match="figure1"):
+            aggregate_figure1(small_tasks, serial_records)
+
+
+class TestCli:
+    def test_cli_jobs_and_store(self, capsys, tmp_path):
+        from repro.sim.experiments import _main
+
+        store = tmp_path / "cli.jsonl"
+        rc = _main(["table1", "--scale", "48", "--reps", "1",
+                    "--uids", "2213", "--s-span", "1",
+                    "--jobs", "2", "--store", str(store)])
+        assert rc == 0
+        assert "2213" in capsys.readouterr().out
+        assert len(ResultStore(store).load()) > 0
+
+    def test_cli_resume_completes_without_recompute(self, capsys, tmp_path):
+        from repro.sim.experiments import _main
+
+        store = tmp_path / "cli.jsonl"
+        args = ["table1", "--scale", "48", "--reps", "1", "--uids", "2213",
+                "--s-span", "1", "--jobs", "1", "--store", str(store)]
+        _main(args)
+        first = capsys.readouterr().out
+        done = ResultStore(store).load()
+        _main(args + ["--resume"])
+        second = capsys.readouterr().out
+        assert second == first
+        # Resume appended nothing: every task was already stored.
+        assert ResultStore(store).load() == done
+        assert sum(1 for _ in open(store)) == len(done)
+
+    def test_cli_refuses_clobbering_store(self, tmp_path):
+        from repro.sim.experiments import _main
+
+        store = tmp_path / "cli.jsonl"
+        store.write_text('{"hash": "x"}\n')
+        with pytest.raises(SystemExit):
+            _main(["table1", "--store", str(store)])
+
+    def test_cli_resume_requires_store(self):
+        from repro.sim.experiments import _main
+
+        with pytest.raises(SystemExit):
+            _main(["table1", "--resume"])
+
+    def test_unknown_subcommand_fails_nonzero(self, capsys):
+        from repro.__main__ import main
+
+        assert main(["tabl1"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown subcommand" in err and "tabl1" in err
+        assert main([]) == 0  # bare invocation still prints the banner
+
+    def test_cli_negative_s_span_rejected(self):
+        from repro.sim.experiments import _main
+
+        with pytest.raises(SystemExit):
+            _main(["table1", "--s-span", "-3"])
+
+    def test_cli_base_seed_changes_results(self, capsys):
+        from repro.sim.experiments import _main
+
+        base = ["table1", "--scale", "48", "--reps", "2", "--uids", "2213",
+                "--s-span", "1", "--jobs", "1"]
+        _main(base)
+        out_default = capsys.readouterr().out
+        _main(base + ["--base-seed", "99"])
+        out_reseeded = capsys.readouterr().out
+        assert out_default != out_reseeded

@@ -1,0 +1,149 @@
+"""Campaign specs: grid expansion, content hashing, picklability."""
+
+import pickle
+
+import pytest
+
+from repro.campaign import CampaignSpec, TaskSpec
+from repro.core import CostModel, Scheme, SchemeConfig
+from repro.sim.engine import RunStatistics
+
+
+class TestTaskSpec:
+    def test_hash_is_content_derived(self):
+        a = TaskSpec("table1", uid=2213, scale=48, scheme="abft-detection",
+                     alpha=1 / 16, s=5, labels=("table1", 2213, "s", 5))
+        b = TaskSpec("table1", uid=2213, scale=48, scheme="abft-detection",
+                     alpha=1 / 16, s=5, labels=("table1", 2213, "s", 5))
+        assert a.task_hash() == b.task_hash()
+
+    def test_hash_distinguishes_fields(self):
+        base = dict(experiment="table1", uid=2213, scale=48,
+                    scheme="abft-detection", alpha=1 / 16, s=5)
+        ref = TaskSpec(**base).task_hash()
+        for tweak in (dict(s=6), dict(uid=341), dict(alpha=1 / 32),
+                      dict(reps=11), dict(base_seed=7), dict(labels=("x",))):
+            assert TaskSpec(**{**base, **tweak}).task_hash() != ref
+
+    def test_hash_stable_across_sessions(self):
+        # Regression pin: a changed hash silently invalidates every
+        # existing result store.
+        t = TaskSpec("table1", uid=2213, scale=48, scheme="abft-detection",
+                     alpha=0.0625, s=5, labels=("table1", 2213, "s", 5))
+        assert t.task_hash() == (
+            "e56dd3d8938027d5c5bb1204579d555d189e19fe0f7d2b326a9ab600bf0c78bd"
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TaskSpec("table1", uid=1, scale=1, scheme="abft-detection",
+                     alpha=0.1, s=0)
+        with pytest.raises(ValueError):
+            TaskSpec("table1", uid=1, scale=1, scheme="abft-detection",
+                     alpha=0.1, s=1, reps=0)
+
+    def test_to_json_roundtrips_labels(self):
+        t = TaskSpec("figure1", uid=341, scale=16, scheme="online-detection",
+                     alpha=0.01, s=9, d=3, labels=("figure1", 341, 100.0))
+        d = t.to_json()
+        assert d["labels"] == ["figure1", 341, 100.0]
+        assert d["scheme"] == "online-detection"
+
+
+class TestCampaignSpecExpansion:
+    def test_table1_matches_serial_grid(self):
+        from repro.sim.experiments import (
+            TABLE1_ALPHA, default_s_grid, model_interval_for,
+        )
+        from repro.sim.matrices import get_matrix
+
+        spec = CampaignSpec(kind="table1", scale=48, reps=2, uids=(2213,), s_span=2)
+        tasks = spec.expand()
+        costs = CostModel.from_matrix(get_matrix(2213, 48))
+        expected = []
+        for scheme in (Scheme.ABFT_DETECTION, Scheme.ABFT_CORRECTION):
+            s_model, _ = model_interval_for(scheme, TABLE1_ALPHA, costs)
+            expected += [(scheme.value, s, s_model)
+                         for s in default_s_grid(s_model, span=2)]
+        assert [(t.scheme, t.s, t.s_model) for t in tasks] == expected
+        # labels are exactly the serial drivers' seed tuple
+        assert all(t.labels == ("table1", 2213, "s", t.s) for t in tasks)
+
+    def test_figure1_grid_shape(self):
+        spec = CampaignSpec(kind="figure1", scale=48, reps=2, uids=(2213,),
+                            mtbf_values=(16.0, 500.0))
+        tasks = spec.expand()
+        assert len(tasks) == 2 * 3  # mtbfs x schemes
+        assert {t.scheme for t in tasks} == {
+            "online-detection", "abft-detection", "abft-correction"}
+        assert all(t.alpha in (1 / 16.0, 1 / 500.0) for t in tasks)
+        online = [t for t in tasks if t.scheme == "online-detection"]
+        assert all(t.d >= 1 for t in online)
+
+    def test_expansion_is_deterministic(self):
+        spec = CampaignSpec(kind="table1", scale=48, reps=2, uids=(2213,), s_span=2)
+        h1 = [t.task_hash() for t in spec.expand()]
+        h2 = [t.task_hash() for t in spec.expand()]
+        assert h1 == h2
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            CampaignSpec(kind="table2")
+
+    def test_clipped_model_interval_fails_at_expansion(self):
+        # α small enough that the Eq.-6 optimum exceeds the sweep
+        # ceiling: the campaign must refuse up front, not after hours
+        # of compute when aggregation misses Et(s~).
+        spec = CampaignSpec(kind="table1", scale=48, uids=(2213,), alpha=1e-4)
+        with pytest.raises(ValueError, match="outside the sweep grid"):
+            spec.expand()
+
+    def test_negative_s_span_rejected(self):
+        with pytest.raises(ValueError, match="s_span"):
+            CampaignSpec(kind="table1", s_span=-3)
+
+    def test_empty_uids_expands_to_nothing(self):
+        # () means "no matrices", matching the serial drivers' old
+        # suite_specs([]) behavior — not "the whole suite".
+        assert CampaignSpec(kind="table1", uids=()).expand() == []
+        assert CampaignSpec(kind="figure1", uids=()).expand() == []
+
+    def test_empty_uids_through_drivers(self):
+        from repro.sim import run_figure1, run_table1
+
+        assert run_table1(scale=48, reps=1, uids=[]) == []
+        assert run_figure1(scale=48, reps=1, uids=[], mtbf_values=[16.0]) == []
+
+    def test_model_s_max_widens_search(self):
+        from repro.sim.experiments import model_interval_for
+
+        costs = CostModel()
+        # A tiny ceiling clamps the optimum; the default does not.
+        s_clamped, _ = model_interval_for(Scheme.ABFT_CORRECTION, 1 / 16,
+                                          costs, s_max=2)
+        s_free, _ = model_interval_for(Scheme.ABFT_CORRECTION, 1 / 16, costs)
+        assert s_clamped <= 2 < s_free
+
+
+class TestPicklability:
+    """Everything that crosses the worker-process boundary must pickle."""
+
+    def test_core_config_objects_roundtrip(self):
+        for obj in (
+            Scheme.ABFT_CORRECTION,
+            CostModel(),
+            SchemeConfig(Scheme.ABFT_DETECTION, checkpoint_interval=5),
+            SchemeConfig(Scheme.ONLINE_DETECTION, checkpoint_interval=3,
+                         verification_interval=4),
+        ):
+            assert pickle.loads(pickle.dumps(obj)) == obj
+
+    def test_task_and_stats_roundtrip(self):
+        t = TaskSpec("table1", uid=2213, scale=48, scheme="abft-detection",
+                     alpha=1 / 16, s=5, labels=("table1", 2213, "s", 5))
+        assert pickle.loads(pickle.dumps(t)) == t
+        st = RunStatistics(mean_time=1.0, std_time=0.1, min_time=0.9,
+                           max_time=1.2, mean_iterations=10.0,
+                           mean_rollbacks=0.0, mean_corrections=0.0,
+                           mean_faults=0.5, convergence_rate=1.0, reps=2)
+        assert pickle.loads(pickle.dumps(st)) == st
