@@ -1,0 +1,16 @@
+"""Repo-root pytest bootstrap.
+
+The package lives under ``src/``; the first-class setup is an editable
+install (``pip install -e .``, see pyproject.toml).  Prepending
+``src/`` here keeps ``python -m pytest`` working from a fresh clone
+without any install or ``PYTHONPATH`` juggling — and an installed
+``repro`` still wins nothing over it, since both resolve to the same
+source tree.
+"""
+
+import pathlib
+import sys
+
+_SRC = str(pathlib.Path(__file__).resolve().parent / "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)

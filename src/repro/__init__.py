@@ -15,9 +15,11 @@ The library provides:
 - bit-flip silent-error injection under the paper's fault model
   (:mod:`repro.faults`);
 - verified checkpointing (:mod:`repro.checkpoint`);
-- plain, preconditioned and fault-tolerant CG solvers implementing the
-  ONLINE-DETECTION / ABFT-DETECTION / ABFT-CORRECTION schemes
-  (:mod:`repro.core`);
+- a solver-agnostic resilience engine whose recurrence plugins (CG,
+  BiCGstab, Jacobi-PCG) run under the ONLINE-DETECTION /
+  ABFT-DETECTION / ABFT-CORRECTION schemes (:mod:`repro.resilience`);
+- plain CG / PCG / Krylov baselines and the fault-tolerant entry
+  points (:mod:`repro.core`);
 - the abstract performance model with numerical interval optimization
   (:mod:`repro.model`);
 - a simulated message-passing parallel SpMxV with local ABFT
@@ -65,9 +67,13 @@ from repro.core import (
     pcg,
     jacobi_preconditioner,
     Scheme,
+    Method,
     SchemeConfig,
     CostModel,
     run_ft_cg,
+    run_ft_bicgstab,
+    run_ft_pcg,
+    run_ft_method,
     FTCGResult,
 )
 from repro.model import (
@@ -77,7 +83,7 @@ from repro.model import (
     model_for_scheme,
 )
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "CSRMatrix",
@@ -105,9 +111,13 @@ __all__ = [
     "pcg",
     "jacobi_preconditioner",
     "Scheme",
+    "Method",
     "SchemeConfig",
     "CostModel",
     "run_ft_cg",
+    "run_ft_bicgstab",
+    "run_ft_pcg",
+    "run_ft_method",
     "FTCGResult",
     "expected_frame_time",
     "frame_overhead",

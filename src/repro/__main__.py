@@ -32,12 +32,14 @@ def main(argv: "list[str] | None" = None) -> int:
         "  python -m repro table1  [--scale N] [--reps R] [--uids ...]\n"
         "                          [--jobs J] [--store FILE] [--resume]\n"
         "                          [--base-seed S] [--s-span W]\n"
+        "                          [--method cg,bicgstab,pcg]\n"
         "  python -m repro figure1 [--scale N] [--reps R] [--uids ...]\n"
         "                          [--jobs J] [--store FILE] [--resume]\n"
-        "                          [--base-seed S]\n\n"
+        "                          [--base-seed S] [--method ...]\n\n"
         "campaign engine: --jobs fans tasks over worker processes\n"
         "(bit-identical to serial), --store persists results to JSONL,\n"
-        "--resume continues a killed campaign without recomputation\n\n"
+        "--resume continues a killed campaign without recomputation,\n"
+        "--method sweeps the solver axis (CG / BiCGstab / Jacobi-PCG)\n\n"
         "see README.md for the library API and examples/ for runnable demos"
     )
     return 0

@@ -6,10 +6,10 @@ drivers need :class:`~repro.sim.results.Table1Row` and
 serial loops used to build.  The aggregators here reproduce those
 loops' grouping, ordering and tie-breaking exactly:
 
-- Table 1 groups the interval sweep by (matrix, scheme) in task order
-  and picks ``s*`` as the argmin of mean time with first-wins ties —
-  the same resolution as ``min()`` over the serial sweep dict, whose
-  insertion order was the sorted grid;
+- Table 1 groups the interval sweep by (matrix, method, scheme) in
+  task order and picks ``s*`` as the argmin of mean time with
+  first-wins ties — the same resolution as ``min()`` over the serial
+  sweep dict, whose insertion order was the sorted grid;
 - Figure 1 is one point per task, in task order.
 
 Records may come fresh from workers or from a JSONL store; both paths
@@ -49,22 +49,22 @@ def aggregate_table1(
 ) -> "list[Table1Row]":
     """Fold an interval-sweep campaign into Table-1 rows.
 
-    One row per (matrix, scheme) group, in first-appearance order.
-    ``s*`` is the interval with the smallest mean time; ``s̃`` and its
-    measured time come from the group's ``s_model``, which must be one
-    of the swept intervals.
+    One row per (matrix, method, scheme) group, in first-appearance
+    order.  ``s*`` is the interval with the smallest mean time; ``s̃``
+    and its measured time come from the group's ``s_model``, which must
+    be one of the swept intervals.
     """
-    groups: "dict[tuple[int, str], list[tuple[TaskSpec, dict]]]" = {}
+    groups: "dict[tuple[int, str, str], list[tuple[TaskSpec, dict]]]" = {}
     for task, rec in _paired(tasks, records, "table1"):
-        groups.setdefault((task.uid, task.scheme), []).append((task, rec))
+        groups.setdefault((task.uid, task.method, task.scheme), []).append((task, rec))
     rows: "list[Table1Row]" = []
-    for (uid, scheme), pairs in groups.items():
+    for (uid, method, scheme), pairs in groups.items():
         sweep = {t.s: stats_from_record(r) for t, r in pairs}
         first_task, first_rec = pairs[0]
         s_model = first_task.s_model
         if s_model not in sweep:
             raise ValueError(
-                f"matrix {uid} / {scheme}: model interval {s_model} "
+                f"matrix {uid} / {method} / {scheme}: model interval {s_model} "
                 f"missing from sweep {sorted(sweep)}"
             )
         s_best = min(sweep, key=lambda s: sweep[s].mean_time)
@@ -79,6 +79,7 @@ def aggregate_table1(
                 s_best=s_best,
                 time_best=sweep[s_best].mean_time,
                 reps=first_task.reps,
+                method=method,
             )
         )
     return rows
@@ -101,6 +102,7 @@ def aggregate_figure1(
                 sem_time=stats.sem_time,
                 s_used=task.s,
                 d_used=task.d,
+                method=task.method,
             )
         )
     return points

@@ -86,6 +86,7 @@ def execute_task(task: TaskSpec) -> dict:
         base_seed=task.base_seed,
         labels=task.labels,
         eps=task.eps,
+        method=task.method,
     )
     return {
         "hash": task.task_hash(),

@@ -2,7 +2,8 @@
 
 A campaign is a flat list of independent *tasks*, each one the smallest
 schedulable unit of the paper's evaluation: run ``reps`` fault-injected
-solves of one (matrix, scheme, α, s, d) point and aggregate them.  A
+solves of one (method, matrix, scheme, α, s, d) point and aggregate
+them.  A
 :class:`TaskSpec` carries everything a worker process needs to execute
 the point from scratch — matrices are referenced by ``(uid, scale)``
 and rebuilt (deterministically, from cache) inside the worker rather
@@ -54,6 +55,11 @@ class TaskSpec:
         Model-predicted interval for this task's (matrix, scheme)
         group; carried so aggregation can report ``s̃`` without
         re-deriving the model (0 when not applicable).
+    method:
+        :class:`repro.core.methods.Method` value string — the solver
+        axis of the grid.  Adding this field changed the task-hash
+        schema (stores written before the solver axis existed are not
+        recognized and their tasks recompute).
     """
 
     experiment: str
@@ -68,6 +74,7 @@ class TaskSpec:
     eps: float = 1e-6
     labels: tuple = ()
     s_model: int = 0
+    method: str = "cg"
 
     def __post_init__(self) -> None:
         if self.s < 1:
@@ -76,6 +83,9 @@ class TaskSpec:
             raise ValueError(f"d must be >= 1, got {self.d}")
         if self.reps < 1:
             raise ValueError(f"reps must be >= 1, got {self.reps}")
+        from repro.core.methods import Method
+
+        Method.parse(self.method)  # raises on an unknown solver
 
     def task_hash(self) -> str:
         """Content hash identifying this task across processes and runs.
@@ -122,6 +132,12 @@ class CampaignSpec:
         Search ceiling for the Eq.-6 integer optimum (``None`` → the
         driver default, :data:`repro.sim.experiments.MODEL_S_MAX`);
         widen for large-λ campaigns whose optimum lies beyond it.
+    methods:
+        Solver axis of the grid (:class:`repro.core.methods.Method`
+        value strings).  Combinations a solver does not support —
+        ONLINE-DETECTION under anything but CG — are silently skipped
+        during expansion, so ``methods=("cg", "bicgstab", "pcg")`` on a
+        figure-1 campaign yields 3+2+2 scheme series per matrix.
     """
 
     kind: str
@@ -134,14 +150,21 @@ class CampaignSpec:
     base_seed: int = 2015
     s_span: int = 6
     model_s_max: "int | None" = None
+    methods: "tuple[str, ...]" = ("cg",)
 
     def __post_init__(self) -> None:
+        from repro.core.methods import Method
+
         if self.kind not in ("table1", "figure1"):
             raise ValueError(f"unknown campaign kind: {self.kind!r}")
         if self.reps < 1:
             raise ValueError(f"reps must be >= 1, got {self.reps}")
         if self.s_span < 0:
             raise ValueError(f"s_span must be >= 0, got {self.s_span}")
+        if not self.methods:
+            raise ValueError("methods must name at least one solver")
+        for m in self.methods:
+            Method.parse(m)  # raises on an unknown solver
 
     def expand(self) -> "list[TaskSpec]":
         """Flatten the grid into an ordered list of tasks."""
@@ -154,7 +177,7 @@ class CampaignSpec:
     # spec expansion back to the model helpers must stay lazy.
 
     def _expand_table1(self) -> "list[TaskSpec]":
-        from repro.core.methods import CostModel, Scheme
+        from repro.core.methods import CostModel, Method, Scheme
         from repro.sim.experiments import MODEL_S_MAX, default_s_grid, model_interval_for
         from repro.sim.matrices import get_matrix, suite_specs
 
@@ -162,6 +185,9 @@ class CampaignSpec:
         tasks: list[TaskSpec] = []
         for spec in suite_specs(list(self.uids) if self.uids is not None else None):
             costs = CostModel.from_matrix(get_matrix(spec.uid, self.scale))
+            # The Eq.-6 optimization depends only on (matrix, scheme),
+            # so hoist it out of the method loop.
+            sweeps: "dict[Scheme, tuple[int, list[int]]]" = {}
             for scheme in (Scheme.ABFT_DETECTION, Scheme.ABFT_CORRECTION):
                 s_model, _ = model_interval_for(scheme, self.alpha, costs, s_max=s_max)
                 grid = default_s_grid(s_model, span=self.s_span)
@@ -175,27 +201,31 @@ class CampaignSpec:
                         f"s~={s_model} falls outside the sweep grid "
                         f"{grid}; lower alpha's MTBF or widen default_s_grid"
                     )
-                for s in grid:
-                    tasks.append(
-                        TaskSpec(
-                            experiment="table1",
-                            uid=spec.uid,
-                            scale=self.scale,
-                            scheme=scheme.value,
-                            alpha=self.alpha,
-                            s=s,
-                            d=1,
-                            reps=self.reps,
-                            base_seed=self.base_seed,
-                            eps=self.eps,
-                            labels=("table1", spec.uid, "s", s),
-                            s_model=s_model,
+                sweeps[scheme] = (s_model, grid)
+            for method in (Method.parse(m) for m in self.methods):
+                for scheme, (s_model, grid) in sweeps.items():
+                    for s in grid:
+                        tasks.append(
+                            TaskSpec(
+                                experiment="table1",
+                                uid=spec.uid,
+                                scale=self.scale,
+                                scheme=scheme.value,
+                                alpha=self.alpha,
+                                s=s,
+                                d=1,
+                                reps=self.reps,
+                                base_seed=self.base_seed,
+                                eps=self.eps,
+                                labels=("table1", spec.uid, "s", s),
+                                s_model=s_model,
+                                method=method.value,
+                            )
                         )
-                    )
         return tasks
 
     def _expand_figure1(self) -> "list[TaskSpec]":
-        from repro.core.methods import CostModel, Scheme
+        from repro.core.methods import CostModel, Method
         from repro.sim.experiments import (
             DEFAULT_MTBF_VALUES,
             MODEL_S_MAX,
@@ -208,28 +238,36 @@ class CampaignSpec:
         tasks: list[TaskSpec] = []
         for spec in suite_specs(list(self.uids) if self.uids is not None else None):
             costs = CostModel.from_matrix(get_matrix(spec.uid, self.scale))
-            for mtbf in mtbfs:
-                alpha = 1.0 / mtbf
-                for scheme in (
-                    Scheme.ONLINE_DETECTION,
-                    Scheme.ABFT_DETECTION,
-                    Scheme.ABFT_CORRECTION,
-                ):
-                    s, d = model_interval_for(scheme, alpha, costs, s_max=s_max)
-                    tasks.append(
-                        TaskSpec(
-                            experiment="figure1",
-                            uid=spec.uid,
-                            scale=self.scale,
-                            scheme=scheme.value,
-                            alpha=alpha,
-                            s=s,
-                            d=d,
-                            reps=self.reps,
-                            base_seed=self.base_seed,
-                            eps=self.eps,
-                            labels=("figure1", spec.uid, mtbf),
-                            s_model=s,
+            # The interval optimization depends only on (matrix, mtbf,
+            # scheme); cache it so extra methods don't re-run it.
+            intervals: "dict[tuple[float, object], tuple[int, int]]" = {}
+            for method in (Method.parse(m) for m in self.methods):
+                for mtbf in mtbfs:
+                    alpha = 1.0 / mtbf
+                    # supported_schemes keeps the paper's series order
+                    # (online, abft-detection, abft-correction) and drops
+                    # ONLINE-DETECTION for the non-CG solvers.
+                    for scheme in method.supported_schemes:
+                        if (mtbf, scheme) not in intervals:
+                            intervals[mtbf, scheme] = model_interval_for(
+                                scheme, alpha, costs, s_max=s_max
+                            )
+                        s, d = intervals[mtbf, scheme]
+                        tasks.append(
+                            TaskSpec(
+                                experiment="figure1",
+                                uid=spec.uid,
+                                scale=self.scale,
+                                scheme=scheme.value,
+                                alpha=alpha,
+                                s=s,
+                                d=d,
+                                reps=self.reps,
+                                base_seed=self.base_seed,
+                                eps=self.eps,
+                                labels=("figure1", spec.uid, mtbf),
+                                s_model=s,
+                                method=method.value,
+                            )
                         )
-                    )
         return tasks

@@ -7,21 +7,26 @@
   solver list, with injectable (protectable) products;
 - :mod:`repro.core.stability` — Chen's verification tests
   (orthogonality + recomputed residual) used by ONLINE-DETECTION;
-- :mod:`repro.core.methods` — scheme descriptors and cost models for
-  the three protection schemes;
-- :mod:`repro.core.ft_cg` — the fault-tolerant CG driver combining
-  verification, forward recovery (ABFT correction) and backward
-  recovery (checkpoint rollback);
-- :mod:`repro.core.ft_krylov` — the same combination for BiCGstab.
+- :mod:`repro.core.methods` — scheme/method descriptors and cost
+  models for the three protection schemes;
+- :mod:`repro.core.ft_cg` — fault-tolerant CG (a thin wrapper over the
+  resilience engine's CG plugin);
+- :mod:`repro.core.ft_krylov` — the same for BiCGstab.
+
+The protection machinery itself (protected products, TMR voting,
+checkpoint/rollback orchestration, accounting) lives in
+:mod:`repro.resilience`; new solvers are added there as recurrence
+plugins — see :func:`repro.resilience.run_ft_method`.
 """
 
 from repro.core.cg import cg, CGResult
 from repro.core.pcg import pcg, jacobi_preconditioner, ssor_preconditioner
 from repro.core.krylov import bicgstab, bicg, cgne
 from repro.core.stability import orthogonality_check, residual_check, chen_verify
-from repro.core.methods import Scheme, CostModel, SchemeConfig
+from repro.core.methods import Scheme, Method, CostModel, SchemeConfig
 from repro.core.ft_cg import run_ft_cg, FTCGResult, RecoveryCounters, TimeBreakdown
 from repro.core.ft_krylov import run_ft_bicgstab
+from repro.resilience.registry import run_ft_method, run_ft_pcg
 
 __all__ = [
     "cg",
@@ -36,10 +41,13 @@ __all__ = [
     "residual_check",
     "chen_verify",
     "Scheme",
+    "Method",
     "CostModel",
     "SchemeConfig",
     "run_ft_cg",
     "run_ft_bicgstab",
+    "run_ft_pcg",
+    "run_ft_method",
     "FTCGResult",
     "RecoveryCounters",
     "TimeBreakdown",

@@ -2,52 +2,34 @@
 
 Section 3 claims the combination of ABFT-protected products, TMR vector
 kernels and verified checkpointing carries over to "CGNE, BiCG,
-BiCGstab".  This driver makes that concrete for BiCGstab, whose two
-products per iteration (``A·p`` and ``A·s``) are both routed through
-the protected SpMxV:
+BiCGstab".  :func:`run_ft_bicgstab` makes that concrete for BiCGstab;
+since the resilience-engine refactor it is a thin wrapper over
+:class:`repro.resilience.bicgstab.BiCGstabPlugin` on
+:mod:`repro.resilience.engine`, reproducing the original monolithic
+driver bit-for-bit for fixed seeds
+(``tests/test_resilience_golden.py``).
 
-- every iteration both products are ABFT-verified (detection or
-  detect-2/correct-1, per the scheme);
-- single errors in the matrix arrays, the product inputs or outputs are
-  forward-corrected (ABFT-CORRECTION) — no rollback;
-- detections / uncorrectable strikes roll back to the last verified
-  checkpoint, which snapshots all five iteration vectors, the scalars
-  of the recurrence, and the matrix;
-- strikes on vectors outside the product windows are TMR-handled as in
-  :mod:`repro.core.ft_cg` (single strike per kernel masked, double
-  strike defeats the vote).
-
+Both products per iteration (``A·p`` and ``A·s``) run through the
+protected SpMxV; single errors are forward-corrected under
+ABFT-CORRECTION, detections roll back to the last verified checkpoint,
+and strikes on vectors outside the product windows are TMR-handled.
 Time accounting: one BiCGstab iteration is normalized to 1 (it costs
-roughly two CG iterations in flops; the cost model's ``t_iter`` is the
-unit, so compare within the method, not across methods).
+roughly two CG iterations in flops; compare within the method, not
+across methods).
 """
 
 from __future__ import annotations
 
-import time as _time
-
 import numpy as np
 
+from repro.core.ft_cg import FTCGResult
+from repro.core.methods import SchemeConfig
+from repro.resilience.bicgstab import BiCGstabPlugin
+from repro.resilience.engine import run_protected
 from repro.sparse.csr import CSRMatrix
-from repro.sparse.spmv import spmv
-from repro.abft.checksums import compute_checksums
-from repro.abft.spmv import protected_spmv
-from repro.checkpoint.policy import PeriodicCheckpointPolicy
-from repro.checkpoint.store import CheckpointStore
-from repro.core.cg import cg_tolerance_threshold
-from repro.core.ft_cg import FTCGResult, RecoveryCounters, TimeBreakdown
-from repro.core.methods import Scheme, SchemeConfig
-from repro.faults.bitflip import flip_bits_array
-from repro.faults.injector import FaultInjector, FaultModel
 from repro.util.log import EventLog
-from repro.util.rng import as_generator
 
 __all__ = ["run_ft_bicgstab"]
-
-#: Strike routing: matrix arrays + each product's input vector land in
-#: that product's protected window; everything else is TMR territory.
-_WINDOW1 = frozenset({"val", "colid", "rowidx", "p"})
-_WINDOW2 = frozenset({"s"})
 
 
 def run_ft_bicgstab(
@@ -68,224 +50,15 @@ def run_ft_bicgstab(
     must be one of the ABFT schemes (ONLINE-DETECTION's stability tests
     are CG-specific — Chen's conjugacy argument does not port).
     """
-    if not config.scheme.uses_abft:
-        raise ValueError("run_ft_bicgstab supports the ABFT schemes only")
-    wall_start = _time.perf_counter()
-    rng = as_generator(rng)
-    log = event_log if event_log is not None else EventLog()
-    costs = config.costs
-    n = a.nrows
-    maxiter = 20 * n if maxiter is None else int(maxiter)
-    b = np.asarray(b, dtype=np.float64)
-
-    live = a.copy()
-    x = np.zeros(n)
-    r = b - spmv(live, x)
-    r_hat = r.copy()
-    p = np.zeros(n)
-    v = np.zeros(n)
-    s = np.zeros(n)
-    scal = {"rho": 1.0, "alpha": 1.0, "omega": 1.0, "iteration": 0}
-    threshold = cg_tolerance_threshold(a, b, r, eps)
-    checksums = compute_checksums(a, nchecks=2 if config.scheme.corrects else 1)
-
-    injector: FaultInjector | None = None
-    if alpha > 0:
-        words = live.memory_words + 6 * n
-        injector = FaultInjector(FaultModel(alpha=alpha, memory_words=words), rng)
-        injector.register("val", live.val)
-        injector.register("colid", live.colid)
-        injector.register("rowidx", live.rowidx)
-        for name, vec in (("x", x), ("r", r), ("r_hat", r_hat), ("p", p), ("v", v), ("s", s)):
-            injector.register(name, vec)
-
-    store = CheckpointStore(keep=1)
-    policy = PeriodicCheckpointPolicy(config.checkpoint_interval)
-    counters = RecoveryCounters()
-    breakdown = TimeBreakdown()
-
-    def snapshot() -> None:
-        store.save(
-            scal["iteration"],
-            vectors={"x": x, "r": r, "r_hat": r_hat, "p": p, "v": v, "s": s},
-            matrix=live,
-            scalars=dict(scal),
-        )
-
-    def restore() -> None:
-        cp = store.restore()
-        for name, vec in (("x", x), ("r", r), ("r_hat", r_hat), ("p", p), ("v", v), ("s", s)):
-            vec[:] = cp.vectors[name]
-        live.val[:] = cp.matrix.val
-        live.colid[:] = cp.matrix.colid
-        live.rowidx[:] = cp.matrix.rowidx
-        scal.update(cp.scalars)
-        scal["iteration"] = int(cp.scalars["iteration"])
-
-    snapshot()
-    time_units = 0.0
-    uncommitted = 0.0
-    executed = 0
-    stuck = 0
-    stuck_threshold = max(8, 2 * config.checkpoint_interval)
-
-    def rollback(reason: str) -> None:
-        nonlocal time_units, uncommitted, stuck
-        counters.rollbacks += 1
-        stuck += 1
-        time_units += costs.t_rec
-        breakdown.recovery += costs.t_rec
-        breakdown.wasted_work += uncommitted
-        uncommitted = 0.0
-        if stuck > stuck_threshold:
-            # Re-read initial data: heal a tainted checkpoint.
-            live.val[:] = a.val
-            live.colid[:] = a.colid
-            live.rowidx[:] = a.rowidx
-            cp = store.restore()
-            x[:] = cp.vectors["x"]
-            r[:] = b - spmv(a, x)
-            r_hat[:] = r
-            p[:] = 0.0
-            v[:] = 0.0
-            s[:] = 0.0
-            scal.update({"rho": 1.0, "alpha": 1.0, "omega": 1.0})
-            snapshot()
-            stuck = 0
-            log.emit("refresh-rollback", scal["iteration"])
-            return
-        restore()
-        policy.rolled_back()
-        log.emit("rollback", scal["iteration"], reason=reason)
-
-    def protected_product(x_in: np.ndarray, pre, post) -> "np.ndarray | None":
-        """One ABFT product with window-routed strikes; None on failure."""
-
-        def hook(stage, _a, xx, y) -> None:
-            if injector is None:
-                return
-            if stage == "pre":
-                for st in pre:
-                    injector.apply_strike(scal["iteration"], st)
-            elif stage == "post" and y is not None:
-                for name, posn, bit in post:
-                    flip_bits_array(y, np.array([posn]), np.array([bit]))
-
-        res = protected_spmv(
-            live, x_in, checksums, correct=config.scheme.corrects, fault_hook=hook
-        )
-        if res.status.value == "corrected" and res.correction is not None:
-            counters.record_correction(res.correction.kind)
-            log.emit("correction", scal["iteration"], what=res.correction.kind)
-        if not res.trusted:
-            counters.detections += 1
-            return None
-        return res.y
-
-    rnorm = float(np.linalg.norm(r))
-    converged = rnorm <= threshold
-    while not converged and executed < maxiter:
-        if max_time_units is not None and time_units > max_time_units:
-            break
-        strikes = injector.sample_strikes() if injector is not None else []
-        counters.faults_injected += len(strikes)
-        executed += 1
-        time_units += costs.t_iter + config.verification_cost
-        uncommitted += costs.t_iter
-        breakdown.verification += config.verification_cost
-        counters.verifications += 1
-
-        pre1 = [st for st in strikes if st[0] in _WINDOW1]
-        post1 = [st for st in strikes if st[0] == "v"]
-        pre2 = [st for st in strikes if st[0] in _WINDOW2]
-        tmr_phase = [st for st in strikes if st[0] in ("x", "r", "r_hat")]
-
-        # TMR-protected vector phase (same semantics as FT-CG).
-        failed_tmr = False
-        if tmr_phase and injector is not None:
-            by_target: dict[str, list] = {}
-            for st in tmr_phase:
-                by_target.setdefault(st[0], []).append(st)
-            for target, hits in by_target.items():
-                if len(hits) >= 2:
-                    for st in hits:
-                        injector.apply_strike(scal["iteration"], st)
-                    counters.tmr_detections += 1
-                    failed_tmr = True
-                else:
-                    rec = injector.apply_strike(scal["iteration"], hits[0])
-                    injector.revert(rec)
-                    counters.tmr_corrections += 1
-        if failed_tmr:
-            rollback("tmr")
-            continue
-
-        rho_new = float(r_hat @ r)
-        if rho_new == 0.0 or scal["omega"] == 0.0:
-            rollback("breakdown")
-            continue
-        beta = (rho_new / scal["rho"]) * (scal["alpha"] / scal["omega"])
-        p[:] = r + beta * (p - scal["omega"] * v)
-
-        y1 = protected_product(p, pre1, post1)
-        if y1 is None:
-            rollback("abft")
-            continue
-        v[:] = y1
-        denom = float(r_hat @ v)
-        if denom == 0.0 or not np.isfinite(denom):
-            rollback("breakdown")
-            continue
-        alpha_k = rho_new / denom
-        s[:] = r - alpha_k * v
-
-        y2 = protected_product(s, pre2, [])
-        if y2 is None:
-            rollback("abft")
-            continue
-        t = y2
-        tt = float(t @ t)
-        if tt == 0.0 or not np.isfinite(tt):
-            rollback("breakdown")
-            continue
-        omega_k = float(t @ s) / tt
-        x += alpha_k * p + omega_k * s
-        r[:] = s - omega_k * t
-        scal.update({"rho": rho_new, "alpha": alpha_k, "omega": omega_k})
-        scal["iteration"] += 1
-
-        rnorm = float(np.linalg.norm(r))
-        converged = bool(np.isfinite(rnorm) and rnorm <= threshold)
-        if converged:
-            true_norm = float(np.linalg.norm(b - spmv(a, x)))
-            if true_norm > threshold:
-                counters.final_check_failures += 1
-                rollback("final-check")
-                converged = False
-                continue
-        else:
-            if policy.chunk_verified():
-                snapshot()
-                counters.checkpoints += 1
-                stuck = 0
-                time_units += costs.t_cp
-                breakdown.checkpoint += costs.t_cp
-                breakdown.useful_work += uncommitted
-                uncommitted = 0.0
-                log.emit("checkpoint", scal["iteration"])
-
-    breakdown.useful_work += uncommitted
-    true_residual = float(np.linalg.norm(b - spmv(a, x)))
-    return FTCGResult(
-        x=x.copy(),
-        converged=bool(true_residual <= threshold),
-        iterations=int(scal["iteration"]),
-        iterations_executed=executed,
-        time_units=time_units,
-        wall_seconds=_time.perf_counter() - wall_start,
-        residual_norm=true_residual,
-        threshold=threshold,
-        counters=counters,
-        breakdown=breakdown,
-        config=config,
+    return run_protected(
+        BiCGstabPlugin(),
+        a,
+        b,
+        config,
+        alpha=alpha,
+        eps=eps,
+        maxiter=maxiter,
+        rng=rng,
+        max_time_units=max_time_units,
+        event_log=event_log,
     )

@@ -28,7 +28,7 @@ from dataclasses import dataclass, field, replace
 
 from repro.sparse.csr import CSRMatrix
 
-__all__ = ["Scheme", "CostModel", "SchemeConfig"]
+__all__ = ["Scheme", "Method", "CostModel", "SchemeConfig"]
 
 
 class Scheme(enum.Enum):
@@ -47,6 +47,48 @@ class Scheme(enum.Enum):
     def corrects(self) -> bool:
         """Whether single errors are forward-corrected."""
         return self is Scheme.ABFT_CORRECTION
+
+
+class Method(enum.Enum):
+    """The protected solvers available on the resilience engine.
+
+    The paper's Section 3 claims its protection machinery "carries over
+    to CGNE, BiCG, BiCGstab"; this enum is the experiment grid's solver
+    axis.  Each member maps to a recurrence plugin in
+    :mod:`repro.resilience` (see
+    :func:`repro.resilience.registry.run_ft_method`).
+    """
+
+    CG = "cg"
+    BICGSTAB = "bicgstab"
+    PCG = "pcg"  #: Jacobi-preconditioned CG
+
+    @property
+    def supported_schemes(self) -> "tuple[Scheme, ...]":
+        """Schemes this solver can run under.
+
+        Chen's stability tests (ONLINE-DETECTION) argue from the plain
+        CG recurrence, so only CG supports all three; the other solvers
+        take the two ABFT schemes.
+        """
+        if self is Method.CG:
+            return (Scheme.ONLINE_DETECTION, Scheme.ABFT_DETECTION, Scheme.ABFT_CORRECTION)
+        return (Scheme.ABFT_DETECTION, Scheme.ABFT_CORRECTION)
+
+    def supports(self, scheme: Scheme) -> bool:
+        """Whether this solver can run under ``scheme``."""
+        return scheme in self.supported_schemes
+
+    @classmethod
+    def parse(cls, value: "Method | str") -> "Method":
+        """Coerce a method name (``"cg"``/``"bicgstab"``/``"pcg"``)."""
+        if isinstance(value, Method):
+            return value
+        try:
+            return cls(str(value).lower())
+        except ValueError:
+            known = ", ".join(m.value for m in cls)
+            raise ValueError(f"unknown method {value!r} (expected one of: {known})") from None
 
 
 @dataclass(frozen=True)

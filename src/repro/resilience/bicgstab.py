@@ -1,0 +1,164 @@
+"""BiCGstab as a recurrence plugin (the paper's scheme beyond CG).
+
+Section 3 claims the combination of ABFT-protected products, TMR vector
+kernels and verified checkpointing carries over to "CGNE, BiCG,
+BiCGstab".  This plugin makes that concrete for BiCGstab, whose two
+products per iteration (``A·p`` and ``A·s``) are both routed through
+the engine's protected SpMxV; strikes on the matrix arrays and each
+product's input vector land in that product's window, ``v`` strikes
+corrupt the first product's output, and ``x``/``r``/``r_hat`` strikes
+are TMR-voted at the head of the iteration.
+
+ONLINE-DETECTION is rejected: Chen's stability tests are CG-specific
+(the conjugacy argument does not port).
+
+Time accounting: one BiCGstab iteration is normalized to 1 (it costs
+roughly two CG iterations in flops; the cost model's ``t_iter`` is the
+unit, so compare within the method, not across methods).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.checkpoint.store import Checkpoint
+from repro.core.methods import Scheme, SchemeConfig
+from repro.resilience.protocol import KRYLOV_RECOVERY, SPMV_PRE_TARGETS, StepOutcome
+from repro.sparse.csr import CSRMatrix
+from repro.sparse.spmv import spmv
+
+__all__ = ["BiCGstabPlugin"]
+
+#: Second-product (``A·s``) window: only its input vector — the matrix
+#: arrays already belong to the first product's window
+#: (:data:`~repro.resilience.protocol.SPMV_PRE_TARGETS`).
+_WINDOW2 = frozenset({"s"})
+
+
+class BiCGstabPlugin:
+    """The BiCGstab recurrence behind the engine (ABFT schemes only)."""
+
+    name = "bicgstab"
+    recovery = KRYLOV_RECOVERY
+
+    def check_scheme(self, scheme: Scheme) -> None:
+        if not scheme.uses_abft:
+            raise ValueError(f"{self.name} supports the ABFT schemes only")
+
+    def init_state(
+        self,
+        a: CSRMatrix,
+        live: CSRMatrix,
+        b: np.ndarray,
+        x0: "np.ndarray | None",
+        config: SchemeConfig,
+    ) -> None:
+        n = a.nrows
+        self.live = live
+        self.b = b
+        self.x = np.zeros(n) if x0 is None else np.array(x0, dtype=np.float64, copy=True)
+        self.r = b - spmv(live, self.x)
+        self.r_hat = self.r.copy()
+        self.p = np.zeros(n)
+        self.v = np.zeros(n)
+        self.s = np.zeros(n)
+        self.scal: dict[str, float] = {"rho": 1.0, "alpha": 1.0, "omega": 1.0, "iteration": 0}
+
+    @property
+    def iteration(self) -> int:
+        return int(self.scal["iteration"])
+
+    @iteration.setter
+    def iteration(self, value: int) -> None:
+        self.scal["iteration"] = int(value)
+
+    @property
+    def vectors(self) -> dict[str, np.ndarray]:
+        return {
+            "x": self.x,
+            "r": self.r,
+            "r_hat": self.r_hat,
+            "p": self.p,
+            "v": self.v,
+            "s": self.s,
+        }
+
+    def scalars(self) -> dict[str, float]:
+        return dict(self.scal)
+
+    def load_scalars(self, cp: Checkpoint) -> None:
+        self.scal.update(cp.scalars)
+        self.scal["iteration"] = int(cp.scalars["iteration"])
+
+    def initial_converged(self, threshold: float) -> bool:
+        return float(np.linalg.norm(self.r)) <= threshold
+
+    def after_rollback(self) -> None:
+        """BiCGstab keeps no verification-chunk state."""
+
+    def refresh(self, cp: Checkpoint, a: CSRMatrix, b: np.ndarray) -> None:
+        """Re-read initial data: heal a tainted checkpoint.
+
+        The recurrence restarts from the checkpointed iterate with the
+        matrix from reliable storage and a reliably recomputed
+        residual; the logical iteration count is kept (the restart is
+        a continuation, not a rewind).
+        """
+        self.live.val[:] = a.val
+        self.live.colid[:] = a.colid
+        self.live.rowidx[:] = a.rowidx
+        self.x[:] = cp.vectors["x"]
+        self.r[:] = b - spmv(a, self.x)
+        self.r_hat[:] = self.r
+        self.p[:] = 0.0
+        self.v[:] = 0.0
+        self.s[:] = 0.0
+        self.scal.update({"rho": 1.0, "alpha": 1.0, "omega": 1.0})
+
+    # ------------------------------------------------------------------
+    # one iteration
+    # ------------------------------------------------------------------
+    def step(self, ctx, strikes: "list[tuple[str, int, int]]") -> StepOutcome:
+        ctx.charge_verified_iteration()
+
+        pre1 = [st for st in strikes if st[0] in SPMV_PRE_TARGETS]
+        post1 = [st for st in strikes if st[0] == "v"]
+        pre2 = [st for st in strikes if st[0] in _WINDOW2]
+        tmr_phase = [st for st in strikes if st[0] in ("x", "r", "r_hat")]
+
+        # TMR-protected vector phase (same semantics as FT-CG, but the
+        # remaining votes finish even after one fails).
+        if not ctx.tmr_vote(tmr_phase, stop_on_failure=False):
+            return StepOutcome.rollback("tmr")
+
+        rho_new = float(self.r_hat @ self.r)
+        if rho_new == 0.0 or self.scal["omega"] == 0.0:
+            return StepOutcome.rollback("breakdown")
+        beta = (rho_new / self.scal["rho"]) * (self.scal["alpha"] / self.scal["omega"])
+        self.p[:] = self.r + beta * (self.p - self.scal["omega"] * self.v)
+
+        y1 = ctx.protected_product(self.p, pre1, post1, count_detection=True)
+        if y1 is None:
+            return StepOutcome.rollback("abft")
+        self.v[:] = y1
+        denom = float(self.r_hat @ self.v)
+        if denom == 0.0 or not np.isfinite(denom):
+            return StepOutcome.rollback("breakdown")
+        alpha_k = rho_new / denom
+        self.s[:] = self.r - alpha_k * self.v
+
+        y2 = ctx.protected_product(self.s, pre2, [], count_detection=True)
+        if y2 is None:
+            return StepOutcome.rollback("abft")
+        t = y2
+        tt = float(t @ t)
+        if tt == 0.0 or not np.isfinite(tt):
+            return StepOutcome.rollback("breakdown")
+        omega_k = float(t @ self.s) / tt
+        self.x += alpha_k * self.p + omega_k * self.s
+        self.r[:] = self.s - omega_k * t
+        self.scal.update({"rho": rho_new, "alpha": alpha_k, "omega": omega_k})
+        self.scal["iteration"] += 1
+
+        rnorm = float(np.linalg.norm(self.r))
+        return StepOutcome.advanced(bool(np.isfinite(rnorm) and rnorm <= ctx.threshold))

@@ -1,0 +1,180 @@
+"""Conjugate Gradient as a recurrence plugin (all three schemes).
+
+This is the paper's flagship solver on the resilience engine:
+
+ONLINE-DETECTION (Chen [9], extended to checkpoint the matrix)
+    Iterations run unprotected; every ``d`` iterations Chen's stability
+    tests (orthogonality + recomputed residual) run, and every ``s``
+    verified chunks a checkpoint is taken.  Any detection rolls back.
+
+ABFT-DETECTION / ABFT-CORRECTION
+    Every SpMxV runs through the engine's protected product (one or
+    two checksum rows); vector kernels are TMR-voted; single errors
+    are forward-corrected under ABFT-CORRECTION.
+
+Strike routing follows Section 5.1: ``val``/``colid``/``rowidx``/``p``
+strikes land before the product, ``q`` strikes corrupt its output, and
+``r``/``x`` strikes land in the TMR-protected vector-kernel phase (in
+ONLINE-DETECTION there is no TMR, so every strike lands directly in
+memory and persists until a verification catches it).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.checkpoint.store import Checkpoint
+from repro.core.methods import Scheme, SchemeConfig
+from repro.core.stability import chen_verify
+from repro.resilience.protocol import CG_RECOVERY, SPMV_PRE_TARGETS, StepOutcome
+from repro.sparse.csr import CSRMatrix
+from repro.sparse.spmv import spmv
+
+__all__ = ["CGPlugin"]
+
+
+class CGPlugin:
+    """The CG recurrence (paper Algorithm 1) behind the engine."""
+
+    name = "cg"
+    recovery = CG_RECOVERY
+
+    def check_scheme(self, scheme: Scheme) -> None:
+        """CG supports all three schemes."""
+
+    def init_state(
+        self,
+        a: CSRMatrix,
+        live: CSRMatrix,
+        b: np.ndarray,
+        x0: "np.ndarray | None",
+        config: SchemeConfig,
+    ) -> None:
+        n = a.nrows
+        self.live = live
+        self.b = b
+        self.config = config
+        self.x = np.zeros(n) if x0 is None else np.array(x0, dtype=np.float64, copy=True)
+        self.r = b - spmv(live, self.x)
+        self.p = self.r.copy()
+        self.q = np.zeros(n)
+        self.rr = float(self.r @ self.r)
+        self.iteration = 0
+        self.iter_in_chunk = 0  #: ONLINE-DETECTION's position inside the chunk
+
+    @property
+    def vectors(self) -> dict[str, np.ndarray]:
+        return {"x": self.x, "r": self.r, "p": self.p, "q": self.q}
+
+    def scalars(self) -> dict[str, float]:
+        return {"rr": self.rr}
+
+    def load_scalars(self, cp: Checkpoint) -> None:
+        self.rr = float(cp.scalars["rr"])
+        self.iteration = cp.iteration
+
+    def initial_converged(self, threshold: float) -> bool:
+        return bool(np.sqrt(self.rr) <= threshold)
+
+    def after_rollback(self) -> None:
+        self.iter_in_chunk = 0
+
+    def refresh(self, cp: Checkpoint, a: CSRMatrix, b: np.ndarray) -> None:
+        """Restart CG from the checkpointed iterate with reliable data."""
+        self.x[:] = cp.vectors["x"]
+        self.live.val[:] = a.val
+        self.live.colid[:] = a.colid
+        self.live.rowidx[:] = a.rowidx
+        self.r[:] = self.b - spmv(a, self.x)
+        self.p[:] = self.r
+        self.q[:] = 0.0
+        self.rr = float(self.r @ self.r)
+        self.iteration = cp.iteration
+
+    # ------------------------------------------------------------------
+    # one iteration
+    # ------------------------------------------------------------------
+    def step(self, ctx, strikes: "list[tuple[str, int, int]]") -> StepOutcome:
+        if ctx.scheme.uses_abft:
+            return self._abft_step(ctx, strikes)
+        return self._online_step(ctx, strikes)
+
+    def _abft_step(self, ctx, strikes: "list[tuple[str, int, int]]") -> StepOutcome:
+        """One ABFT-protected iteration (product, TMR vote, update)."""
+        ok = self._abft_iteration(ctx, strikes)
+        ctx.charge_verified_iteration()
+        if not ok:
+            ctx.counters.detections += 1
+            return StepOutcome.rollback("abft")
+        self.iteration += 1
+        return StepOutcome.advanced(bool(np.sqrt(self.rr) <= ctx.threshold))
+
+    def _abft_iteration(self, ctx, strikes: "list[tuple[str, int, int]]") -> bool:
+        pre = [s for s in strikes if s[0] in SPMV_PRE_TARGETS]
+        post = [s for s in strikes if s[0] == "q"]
+        vector_phase = [s for s in strikes if s[0] in ("r", "x")]
+
+        y = ctx.protected_product(self.p, pre, post)
+        if y is None:
+            return False
+        self.q[:] = y
+
+        # Vector-kernel phase under TMR; a double strike in one vector
+        # defeats the vote and forces a rollback.
+        if not ctx.tmr_vote(vector_phase, stop_on_failure=True):
+            return False
+
+        # Reliable CG update (TMR-voted kernels).
+        pq = float(self.p @ self.q)
+        if not np.isfinite(pq) or pq <= 0.0:
+            # Curvature corrupted below detection thresholds; treat as a
+            # detected error rather than dividing by garbage.
+            ctx.log.emit("breakdown", self.iteration, pq=pq)
+            return False
+        alpha_step = self.rr / pq
+        self.x += alpha_step * self.p
+        self.r -= alpha_step * self.q
+        rr_new = float(self.r @ self.r)
+        beta = rr_new / self.rr
+        self.p *= beta
+        self.p += self.r
+        self.rr = rr_new
+        return True
+
+    def _online_step(self, ctx, strikes: "list[tuple[str, int, int]]") -> StepOutcome:
+        """One unprotected iteration: all strikes land directly in memory."""
+        if ctx.injector is not None:
+            for s in strikes:
+                ctx.injector.apply_strike(self.iteration, s)
+        with np.errstate(all="ignore"):
+            self.q[:] = spmv(self.live, self.p)
+            pq = float(self.p @ self.q)
+            alpha_step = self.rr / pq if pq != 0.0 else np.nan
+            self.x += alpha_step * self.p
+            self.r -= alpha_step * self.q
+            rr_new = float(self.r @ self.r)
+            beta = rr_new / self.rr if self.rr != 0.0 else np.nan
+            self.p *= beta
+            self.p += self.r
+            self.rr = rr_new
+        ctx.charge_iteration()
+        self.iteration += 1
+        self.iter_in_chunk += 1
+        rr_says_done = bool(np.isfinite(self.rr) and np.sqrt(self.rr) <= ctx.threshold)
+        if self.iter_in_chunk >= self.config.verification_interval or rr_says_done:
+            report = chen_verify(
+                self.live,
+                self.b,
+                self.x,
+                self.r,
+                self.p,
+                self.q,
+                check_orthogonality=not rr_says_done,
+            )
+            ctx.charge_verification(ctx.costs.t_verif_online)
+            self.iter_in_chunk = 0
+            if not report.passed:
+                ctx.counters.detections += 1
+                return StepOutcome.rollback("chen")
+            return StepOutcome.advanced(rr_says_done)
+        return StepOutcome.advanced(False, verified=False)

@@ -1,0 +1,451 @@
+"""Solver-agnostic resilience engine.
+
+One engine executes any recurrence plugin under the paper's three
+protection schemes.  The engine owns every solver-independent piece of
+the fault-tolerance machinery that the seed tree used to duplicate in
+``core/ft_cg.py`` and ``core/ft_krylov.py``:
+
+- the Poisson strike sampler and the live (corruptible) matrix copy;
+- ABFT checksum metadata and the protected SpMxV service, with strikes
+  routed into the pre-/post-product windows the plugin declares;
+- TMR voting over the vector-kernel phase (single strike out-voted,
+  double strike defeats the vote);
+- checkpoint/restore orchestration, including the stuck-rollback
+  probe that escalates to a refresh (re-read of initial data) when a
+  checkpoint itself is tainted;
+- the reliable final convergence check;
+- all accounting: simulated ``Titer`` time, the
+  :class:`~repro.resilience.accounting.TimeBreakdown`, the
+  :class:`~repro.resilience.accounting.RecoveryCounters` and the
+  event log.
+
+Plugins advance their recurrence through the :class:`EngineContext`
+services inside :meth:`RecurrencePlugin.step`; everything before and
+after the step — sampling, rollback, checkpointing, the final check —
+is the engine's.  The engine reproduces the seed drivers' trajectories
+bit-for-bit (``tests/test_resilience_golden.py``): the RNG stream is
+consumed only by strike sampling, and both the floating-point
+accounting order and the injector registration order are preserved.
+"""
+
+from __future__ import annotations
+
+import time as _time
+
+import numpy as np
+
+from repro.abft.checksums import compute_checksums
+from repro.abft.spmv import SpmvStatus, protected_spmv
+from repro.checkpoint.policy import PeriodicCheckpointPolicy
+from repro.checkpoint.store import CheckpointStore
+from repro.core.cg import cg_tolerance_threshold
+from repro.core.methods import SchemeConfig
+from repro.faults.bitflip import flip_bits_array
+from repro.faults.injector import FaultInjector, FaultModel
+from repro.faults.record import FaultRecord
+from repro.resilience.accounting import RecoveryCounters, SolveResult, TimeBreakdown
+from repro.resilience.protocol import RecurrencePlugin
+from repro.sparse.csr import CSRMatrix
+from repro.sparse.spmv import spmv
+from repro.util.log import EventLog
+from repro.util.rng import as_generator
+
+__all__ = ["EngineContext", "run_protected"]
+
+
+class EngineContext:
+    """The protected services a plugin may use inside one run.
+
+    The context wraps the engine's mutable run state (time ledger,
+    injector, checksums, counters, log) and exposes the operations the
+    paper's schemes are built from.  Charging methods mirror the seed
+    drivers' accounting exactly — each is one specific sequence of
+    float additions, preserved so trajectories stay bit-identical.
+    """
+
+    def __init__(
+        self,
+        plugin: RecurrencePlugin,
+        a: CSRMatrix,
+        live: CSRMatrix,
+        b: np.ndarray,
+        config: SchemeConfig,
+        log: EventLog,
+    ) -> None:
+        self.plugin = plugin
+        self.a = a  #: pristine input matrix (reliable storage)
+        self.live = live  #: the corruptible working copy
+        self.b = b
+        self.config = config
+        self.costs = config.costs
+        self.scheme = config.scheme
+        self.log = log
+        self.counters = RecoveryCounters()
+        self.breakdown = TimeBreakdown()
+        self.time_units = 0.0
+        self.uncommitted = 0.0  #: iteration time not yet saved by a checkpoint
+        self.threshold = 0.0  #: set by the engine once the initial residual exists
+        self.injector: FaultInjector | None = None
+        self.checksums = None
+        self.store = CheckpointStore(keep=1)
+        self.policy = PeriodicCheckpointPolicy(config.checkpoint_interval)
+        # A rollback loop longer than this means the checkpoint itself
+        # is tainted (e.g. a matrix corruption that slipped verification
+        # while its column's input entry was ≈ 0): fall back to
+        # re-reading the initial data, the paper's recovery of last
+        # resort.
+        self.stuck_threshold = max(8, 2 * config.checkpoint_interval)
+        self.stuck = 0
+
+    # ------------------------------------------------------------------
+    # accounting services
+    # ------------------------------------------------------------------
+    def charge_iteration(self) -> None:
+        """Bill one unverified iteration (ONLINE-DETECTION mid-chunk)."""
+        self.time_units += self.costs.t_iter
+        self.uncommitted += self.costs.t_iter
+
+    def charge_verified_iteration(self) -> None:
+        """Bill one iteration plus its per-iteration ABFT verification."""
+        self.time_units += self.costs.t_iter + self.config.verification_cost
+        self.uncommitted += self.costs.t_iter
+        self.breakdown.verification += self.config.verification_cost
+        self.counters.verifications += 1
+
+    def charge_verification(self, cost: float) -> None:
+        """Bill one standalone verification (Chen's periodic tests)."""
+        self.time_units += cost
+        self.breakdown.verification += cost
+        self.counters.verifications += 1
+
+    # ------------------------------------------------------------------
+    # protected operations
+    # ------------------------------------------------------------------
+    def protected_product(
+        self,
+        x_in: np.ndarray,
+        pre: "list[tuple[str, int, int]]",
+        post: "list[tuple[str, int, int]]",
+        *,
+        count_detection: bool = False,
+    ) -> "np.ndarray | None":
+        """One ABFT-protected SpMxV with window-routed strikes.
+
+        ``pre`` strikes (matrix arrays + the product's input vector)
+        land after the reliable input snapshot is taken, so they are
+        the ABFT layer's to catch; ``post`` strikes corrupt the freshly
+        computed output.  Single errors are forward-corrected when the
+        scheme corrects; returns the trusted product or ``None`` when
+        the caller must roll back.
+        """
+        plugin = self.plugin
+
+        def hook(stage: str, _a, _x, y) -> None:
+            if self.injector is None:
+                return
+            if stage == "pre":
+                for s in pre:
+                    self.injector.apply_strike(plugin.iteration, s)
+            elif stage == "post" and y is not None:
+                for name, posn, bit in post:
+                    old = y[posn]
+                    flip_bits_array(y, np.array([posn]), np.array([bit]))
+                    self.injector.records.append(
+                        FaultRecord(plugin.iteration, name, posn, bit, float(old), float(y[posn]))
+                    )
+
+        result = protected_spmv(
+            self.live,
+            x_in,
+            self.checksums,
+            correct=self.scheme.corrects,
+            fault_hook=hook,
+        )
+        if result.status is SpmvStatus.CORRECTED and result.correction is not None:
+            self.counters.record_correction(result.correction.kind)
+            self.log.emit(
+                "correction",
+                plugin.iteration,
+                what=result.correction.kind,
+                detail=result.correction.detail,
+            )
+        if not result.trusted:
+            if count_detection:
+                self.counters.detections += 1
+            return None
+        return result.y
+
+    def tmr_vote(
+        self, strikes: "list[tuple[str, int, int]]", *, stop_on_failure: bool
+    ) -> bool:
+        """Vector-kernel phase under TMR.
+
+        A single strike per vector is out-voted (applied then reverted,
+        modelling the vote restoring the replicated value); a double
+        strike in one vector defeats the vote and the corruption
+        persists.  Returns False when any vote failed;
+        ``stop_on_failure`` returns at the first failed target (CG)
+        instead of finishing the remaining votes (BiCGstab).
+        """
+        if not strikes or self.injector is None:
+            return True
+        by_target: dict[str, list[tuple[str, int, int]]] = {}
+        for s in strikes:
+            by_target.setdefault(s[0], []).append(s)
+        ok = True
+        for target, hits in by_target.items():
+            if len(hits) >= 2:
+                for s in hits:  # the corruption happened; TMR failed to mask it
+                    self.injector.apply_strike(self.plugin.iteration, s)
+                self.counters.tmr_detections += 1
+                self.log.emit(
+                    "tmr-detection", self.plugin.iteration, target=target, strikes=len(hits)
+                )
+                ok = False
+                if stop_on_failure:
+                    return False
+            else:
+                rec = self.injector.apply_strike(self.plugin.iteration, hits[0])
+                self.injector.revert(rec)
+                self.counters.tmr_corrections += 1
+                self.log.emit("tmr-correction", self.plugin.iteration, target=target)
+        return ok
+
+    # ------------------------------------------------------------------
+    # checkpoint / rollback orchestration
+    # ------------------------------------------------------------------
+    def snapshot(self) -> None:
+        """Checkpoint the full protected state (vectors + matrix + scalars)."""
+        self.store.save(
+            self.plugin.iteration,
+            vectors=self.plugin.vectors,
+            matrix=self.live,
+            scalars=self.plugin.scalars(),
+        )
+
+    def _restore(self) -> None:
+        """Copy checkpoint data back **into** the live arrays.
+
+        In-place restore is essential: the fault injector holds
+        references to these arrays, so rebinding would silently
+        decouple injection from the solver state.
+        """
+        cp = self.store.restore()
+        for name, vec in self.plugin.vectors.items():
+            vec[:] = cp.vectors[name]
+        assert cp.matrix is not None
+        self.live.val[:] = cp.matrix.val
+        self.live.colid[:] = cp.matrix.colid
+        self.live.rowidx[:] = cp.matrix.rowidx
+        self.plugin.load_scalars(cp)
+
+    def _charge_recovery(self, cost: float) -> None:
+        self.time_units += cost
+        self.breakdown.recovery += cost
+        self.breakdown.wasted_work += self.uncommitted
+        self.uncommitted = 0.0
+
+    def rollback(self, reason: str) -> None:
+        """Backward recovery to the last verified checkpoint.
+
+        Escalates to :meth:`refresh_rollback` when the stuck probe
+        says the checkpoint itself is tainted.  The charging order
+        follows the plugin's :class:`RecoveryPolicy`.
+        """
+        pol = self.plugin.recovery
+        if pol.charge_before_stuck_check:
+            self.counters.rollbacks += 1
+            self.stuck += 1
+            self._charge_recovery(self.costs.t_rec)
+            if self.stuck > self.stuck_threshold:
+                self.refresh_rollback()
+                return
+        else:
+            self.stuck += 1
+            if self.stuck > self.stuck_threshold:
+                self.refresh_rollback()
+                return
+            self.counters.rollbacks += 1
+            self._charge_recovery(self.costs.t_rec)
+        self._restore()
+        self.policy.rolled_back()
+        self.plugin.after_rollback()
+        self.log.emit("rollback", self.plugin.iteration, reason=reason)
+
+    def refresh_rollback(self) -> None:
+        """Recovery from state the checkpoints cannot heal.
+
+        The paper's recovery baseline — re-reading initial data —
+        applies: the plugin restores the solution vector from the
+        checkpoint, the matrix from the original input (reliable
+        storage), and recomputes the residual reliably.  The refreshed
+        (known-good) state is re-checkpointed so future rollbacks
+        return here rather than to the tainted snapshot.
+        """
+        pol = self.plugin.recovery
+        if pol.refresh_counts_rollback:
+            self.counters.rollbacks += 1
+        self.stuck = 0
+        if pol.refresh_charges_restart:
+            # One recovery plus one iteration (the residual SpMxV).
+            self._charge_recovery(self.costs.t_rec + self.costs.t_iter)
+        cp = self.store.restore()
+        self.plugin.refresh(cp, self.a, self.b)
+        self.snapshot()
+        if pol.refresh_notifies_policy:
+            self.policy.rolled_back()
+        self.plugin.after_rollback()
+        self.log.emit("refresh-rollback", self.plugin.iteration)
+
+    def maybe_checkpoint(self) -> None:
+        """Take a checkpoint when the policy says the chunk is due."""
+        if self.policy.chunk_verified():
+            self.snapshot()
+            self.counters.checkpoints += 1
+            self.stuck = 0
+            self.time_units += self.costs.t_cp
+            self.breakdown.checkpoint += self.costs.t_cp
+            self.breakdown.useful_work += self.uncommitted
+            self.uncommitted = 0.0
+            self.log.emit("checkpoint", self.plugin.iteration)
+
+    def reliably_converged(self) -> bool:
+        """Trustworthy convergence decision (reliable arithmetic, clean A)."""
+        true_r = self.b - spmv(self.a, self.plugin.vectors["x"])
+        return float(np.linalg.norm(true_r)) <= self.threshold
+
+
+def run_protected(
+    plugin: RecurrencePlugin,
+    a: CSRMatrix,
+    b: np.ndarray,
+    config: SchemeConfig,
+    *,
+    alpha: float = 0.0,
+    x0: "np.ndarray | None" = None,
+    eps: float = 1e-8,
+    maxiter: "int | None" = None,
+    rng: "int | np.random.Generator | None" = None,
+    max_time_units: "float | None" = None,
+    event_log: "EventLog | None" = None,
+    final_check: bool = True,
+) -> SolveResult:
+    """Run one recurrence plugin under silent-error injection.
+
+    Parameters
+    ----------
+    plugin:
+        A fresh (single-use) recurrence plugin.
+    a:
+        System matrix (never mutated; the engine works on a live copy).
+    b:
+        Right-hand side.
+    config:
+        Scheme, intervals and cost model.
+    alpha:
+        Fault-rate constant: strikes per iteration ~ Poisson(α)
+        (``λ = α/M`` per word).  Zero disables injection.
+    eps, maxiter, x0:
+        As in :func:`repro.core.cg.cg`; ``maxiter`` caps *executed*
+        iterations and defaults to ``20 n`` (faulty runs need headroom).
+    rng:
+        Seed or generator for the fault process.
+    max_time_units:
+        Optional bail-out on simulated time (pathological runs).
+    event_log:
+        Optional :class:`~repro.util.log.EventLog` receiving recovery
+        events.
+    final_check:
+        Reliably re-verify the residual on apparent convergence and
+        keep iterating if it is bogus (recommended; disable only to
+        study undetected-error impact).
+
+    Returns
+    -------
+    SolveResult
+    """
+    plugin.check_scheme(config.scheme)
+    wall_start = _time.perf_counter()
+    rng = as_generator(rng)
+    log = event_log if event_log is not None else EventLog()
+    n = a.nrows
+    maxiter = 20 * n if maxiter is None else int(maxiter)
+    scheme = config.scheme
+    b = np.asarray(b, dtype=np.float64)
+
+    live = a.copy()  # live matrix: the injector corrupts this copy
+    ctx = EngineContext(plugin, a, live, b, config, log)
+    plugin.init_state(a, live, b, x0, config)
+    ctx.threshold = cg_tolerance_threshold(a, b, plugin.vectors["r"], eps)
+
+    # ABFT metadata comes from the clean input matrix and lives in
+    # reliable memory for the whole solve.
+    if scheme.uses_abft:
+        ctx.checksums = compute_checksums(a, nchecks=2 if scheme.corrects else 1)
+
+    # Fault machinery: strikes are sampled centrally, then applied in
+    # the operation window where each struck word is live.  The
+    # registration order (matrix arrays, then the plugin's vectors in
+    # declaration order) is part of the RNG contract.
+    if alpha > 0:
+        words = live.memory_words + n * len(plugin.vectors)
+        ctx.injector = FaultInjector(FaultModel(alpha=alpha, memory_words=words), rng)
+        ctx.injector.register("val", live.val)
+        ctx.injector.register("colid", live.colid)
+        ctx.injector.register("rowidx", live.rowidx)
+        for name, vec in plugin.vectors.items():
+            ctx.injector.register(name, vec)
+
+    # Initial checkpoint = the initial data (the paper: the first frame
+    # recovers "by reading initial data again", at the same cost).
+    ctx.snapshot()
+
+    executed = 0
+    pol = plugin.recovery
+    converged = plugin.initial_converged(ctx.threshold)
+    while not converged and executed < maxiter:
+        if max_time_units is not None and ctx.time_units > max_time_units:
+            break
+        strikes = ctx.injector.sample_strikes() if ctx.injector is not None else []
+        ctx.counters.faults_injected += len(strikes)
+        executed += 1
+
+        outcome = plugin.step(ctx, strikes)
+        if outcome.rolled_back:
+            ctx.rollback(outcome.reason)
+            converged = False
+            continue
+        if outcome.converged:
+            converged = True
+        elif outcome.verified:
+            ctx.maybe_checkpoint()
+
+        if converged and final_check and not ctx.reliably_converged():
+            ctx.counters.final_check_failures += 1
+            if pol.final_check_counts_detection:
+                ctx.counters.detections += 1
+            if pol.final_check_refreshes:
+                ctx.refresh_rollback()
+            else:
+                ctx.rollback("final-check")
+            converged = False
+
+    # Work executed since the last checkpoint but never rolled back
+    # counts as useful (the run ends with it in the solution).
+    ctx.breakdown.useful_work += ctx.uncommitted
+
+    x = plugin.vectors["x"]
+    true_residual = float(np.linalg.norm(b - spmv(a, x)))
+    return SolveResult(
+        x=x.copy(),
+        converged=bool(true_residual <= ctx.threshold or (converged and not final_check)),
+        iterations=int(plugin.iteration),
+        iterations_executed=executed,
+        time_units=ctx.time_units,
+        wall_seconds=_time.perf_counter() - wall_start,
+        residual_norm=true_residual,
+        threshold=ctx.threshold,
+        counters=ctx.counters,
+        breakdown=ctx.breakdown,
+        config=config,
+    )

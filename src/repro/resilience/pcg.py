@@ -1,0 +1,138 @@
+"""Jacobi-preconditioned CG as a recurrence plugin (FT-PCG).
+
+The paper's Section 6 singles out diagonal (Jacobi) preconditioners as
+attractive because the preconditioner application is itself a
+(diagonal) SpMxV the same ABFT machinery can protect.  This plugin is
+the first solver added *on* the resilience engine rather than as
+another monolithic driver — the proof that the solver axis is open:
+
+- the ``A·p`` product runs through the engine's protected SpMxV
+  (strikes on ``val``/``colid``/``rowidx``/``p`` land in its window,
+  ``q`` strikes corrupt its output);
+- the Jacobi diagonal ``M⁻¹ = diag(A)⁻¹`` is extracted once from the
+  *clean* input matrix and lives in reliable memory for the whole
+  solve, exactly like the ABFT checksum metadata (selective
+  reliability); its application is a TMR-replicated vector kernel;
+- strikes on ``x``/``r``/``z`` land in the TMR-voted vector phase: a
+  single strike per kernel is out-voted, a double strike defeats the
+  vote and forces a rollback.
+
+ONLINE-DETECTION is rejected: Chen's orthogonality test assumes the
+unpreconditioned CG recurrence.  Recovery follows the CG ledger
+(:data:`~repro.resilience.protocol.CG_RECOVERY`).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.checkpoint.store import Checkpoint
+from repro.core.methods import Scheme, SchemeConfig
+from repro.resilience.protocol import CG_RECOVERY, SPMV_PRE_TARGETS, StepOutcome
+from repro.sparse.csr import CSRMatrix
+from repro.sparse.spmv import spmv
+
+__all__ = ["JacobiPCGPlugin"]
+
+
+class JacobiPCGPlugin:
+    """Preconditioned CG (Saad, Alg. 9.1) with a protected product."""
+
+    name = "pcg"
+    recovery = CG_RECOVERY
+
+    def check_scheme(self, scheme: Scheme) -> None:
+        if not scheme.uses_abft:
+            raise ValueError(f"{self.name} supports the ABFT schemes only")
+
+    def init_state(
+        self,
+        a: CSRMatrix,
+        live: CSRMatrix,
+        b: np.ndarray,
+        x0: "np.ndarray | None",
+        config: SchemeConfig,
+    ) -> None:
+        n = a.nrows
+        diag = a.diagonal()
+        if np.any(diag == 0.0):
+            raise ValueError("Jacobi preconditioner requires a zero-free diagonal")
+        self.minv = 1.0 / diag  # reliable metadata, like the checksums
+        self.live = live
+        self.b = b
+        self.x = np.zeros(n) if x0 is None else np.array(x0, dtype=np.float64, copy=True)
+        self.r = b - spmv(live, self.x)
+        self.z = self.minv * self.r
+        self.p = self.z.copy()
+        self.q = np.zeros(n)
+        self.rz = float(self.r @ self.z)
+        self.iteration = 0
+
+    @property
+    def vectors(self) -> dict[str, np.ndarray]:
+        return {"x": self.x, "r": self.r, "p": self.p, "q": self.q, "z": self.z}
+
+    def scalars(self) -> dict[str, float]:
+        return {"rz": self.rz}
+
+    def load_scalars(self, cp: Checkpoint) -> None:
+        self.rz = float(cp.scalars["rz"])
+        self.iteration = cp.iteration
+
+    def initial_converged(self, threshold: float) -> bool:
+        return float(np.linalg.norm(self.r)) <= threshold
+
+    def after_rollback(self) -> None:
+        """PCG keeps no verification-chunk state."""
+
+    def refresh(self, cp: Checkpoint, a: CSRMatrix, b: np.ndarray) -> None:
+        """Restart PCG from the checkpointed iterate with reliable data."""
+        self.x[:] = cp.vectors["x"]
+        self.live.val[:] = a.val
+        self.live.colid[:] = a.colid
+        self.live.rowidx[:] = a.rowidx
+        self.r[:] = b - spmv(a, self.x)
+        self.z[:] = self.minv * self.r
+        self.p[:] = self.z
+        self.q[:] = 0.0
+        self.rz = float(self.r @ self.z)
+        self.iteration = cp.iteration
+
+    # ------------------------------------------------------------------
+    # one iteration
+    # ------------------------------------------------------------------
+    def step(self, ctx, strikes: "list[tuple[str, int, int]]") -> StepOutcome:
+        ctx.charge_verified_iteration()
+
+        pre = [s for s in strikes if s[0] in SPMV_PRE_TARGETS]
+        post = [s for s in strikes if s[0] == "q"]
+        vector_phase = [s for s in strikes if s[0] in ("r", "x", "z")]
+
+        y = ctx.protected_product(self.p, pre, post, count_detection=True)
+        if y is None:
+            return StepOutcome.rollback("abft")
+        self.q[:] = y
+
+        if not ctx.tmr_vote(vector_phase, stop_on_failure=True):
+            return StepOutcome.rollback("tmr")
+
+        # Reliable PCG update (TMR-voted kernels, reliable M⁻¹ apply).
+        pq = float(self.p @ self.q)
+        if not np.isfinite(pq) or pq <= 0.0:
+            ctx.log.emit("breakdown", self.iteration, pq=pq)
+            return StepOutcome.rollback("breakdown")
+        alpha_step = self.rz / pq
+        self.x += alpha_step * self.p
+        self.r -= alpha_step * self.q
+        self.z[:] = self.minv * self.r
+        rz_new = float(self.r @ self.z)
+        if not np.isfinite(rz_new):
+            return StepOutcome.rollback("breakdown")
+        beta = rz_new / self.rz
+        self.p *= beta
+        self.p += self.z
+        self.rz = rz_new
+        self.iteration += 1
+
+        rnorm = float(np.linalg.norm(self.r))
+        return StepOutcome.advanced(bool(np.isfinite(rnorm) and rnorm <= ctx.threshold))

@@ -1,10 +1,13 @@
 """Repeated fault-injected runs and their aggregation.
 
-The experiment drivers need, for many (matrix, scheme, α, interval)
-tuples, the mean execution time over ``reps`` independent runs.  Each
-repetition derives its RNG deterministically from
-``(base_seed, matrix id, scheme, α, s, rep)`` so any single point of
-any table can be re-run in isolation and reproduce exactly.
+The experiment drivers need, for many (method, matrix, scheme, α,
+interval) tuples, the mean execution time over ``reps`` independent
+runs.  Each repetition derives its RNG deterministically from
+``(base_seed, [method,] scheme, α, labels…, rep)`` so any single point
+of any table can be re-run in isolation and reproduce exactly.  For
+``method="cg"`` the derivation tuple omits the method name — verbatim
+what the drivers used before the solver axis existed — so historical
+campaigns stay bit-identical.
 """
 
 from __future__ import annotations
@@ -15,8 +18,8 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.sparse.csr import CSRMatrix
-from repro.core.ft_cg import run_ft_cg
-from repro.core.methods import SchemeConfig
+from repro.core.methods import Method, SchemeConfig
+from repro.resilience.registry import run_ft_method
 from repro.util.rng import spawn_named
 
 __all__ = ["RunStatistics", "repeat_run", "sweep_checkpoint_interval", "make_rhs"]
@@ -66,18 +69,27 @@ def repeat_run(
     eps: float = 1e-6,
     maxiter: int | None = None,
     max_time_units: float | None = None,
+    method: "Method | str" = Method.CG,
 ) -> RunStatistics:
     """Run ``reps`` independent fault-injected solves and aggregate.
 
     ``labels`` extends the seed-derivation tuple (matrix id, scheme …)
-    so distinct experiment points never share fault streams.
+    so distinct experiment points never share fault streams;
+    ``method`` selects the protected solver (the resilience engine's
+    recurrence plugin) and, when it is not CG, additionally enters the
+    seed tuple so methods never share fault streams either.
     """
     if reps < 1:
         raise ValueError(f"reps must be >= 1, got {reps}")
+    method = Method.parse(method)
     times, iters, rbs, corrs, faults, convs = [], [], [], [], [], []
     for rep in range(reps):
-        rng = spawn_named(base_seed, config.scheme.value, alpha, *labels, rep)
-        res = run_ft_cg(
+        if method is Method.CG:
+            rng = spawn_named(base_seed, config.scheme.value, alpha, *labels, rep)
+        else:
+            rng = spawn_named(base_seed, method.value, config.scheme.value, alpha, *labels, rep)
+        res = run_ft_method(
+            method,
             a,
             b,
             config,
@@ -120,6 +132,7 @@ def sweep_checkpoint_interval(
     labels: tuple = (),
     eps: float = 1e-6,
     maxiter: int | None = None,
+    method: "Method | str" = Method.CG,
 ) -> dict[int, RunStatistics]:
     """Measure mean execution time for each checkpoint interval ``s``.
 
@@ -139,5 +152,6 @@ def sweep_checkpoint_interval(
             labels=(*labels, "s", s),
             eps=eps,
             maxiter=maxiter,
+            method=method,
         )
     return out

@@ -20,8 +20,8 @@ per-row density.  ``python -m repro.sim.experiments --help`` runs them
 from the command line.
 
 Execution goes through the campaign engine (:mod:`repro.campaign`):
-the grid of independent (matrix, scheme, α, interval) points is
-expanded into content-hashable tasks, fanned out over ``jobs`` worker
+the grid of independent (method, matrix, scheme, α, interval) points
+is expanded into content-hashable tasks, fanned out over ``jobs`` worker
 processes, optionally persisted to a JSONL ``store`` for crash-safe
 resume, and re-aggregated into the same rows/points the old serial
 loops produced.  Seeding depends only on task identity, so any
@@ -112,14 +112,16 @@ def run_table1(
     jobs: int = 1,
     store: "ResultStore | str | os.PathLike[str] | None" = None,
     progress: bool = False,
+    methods: "list[str] | None" = None,
 ) -> list[Table1Row]:
     """Reproduce Table 1 (both ABFT schemes); returns one row per
-    (matrix, scheme).
+    (matrix, method, scheme).
 
     ``jobs`` fans the sweep out over worker processes (results are
     bit-identical for any value); ``store`` persists per-task records
     to a JSONL file, skipping tasks already completed there;
-    ``progress`` prints a throughput/ETA line to stderr.
+    ``progress`` prints a throughput/ETA line to stderr; ``methods``
+    opens the solver axis (default: classic CG only).
     """
     from repro.campaign import CampaignSpec, aggregate_table1, run_campaign
 
@@ -132,6 +134,7 @@ def run_table1(
         eps=eps,
         base_seed=base_seed,
         s_span=s_span,
+        methods=tuple(methods) if methods is not None else ("cg",),
     )
     tasks = spec.expand()
     records = run_campaign(
@@ -151,12 +154,15 @@ def run_figure1(
     jobs: int = 1,
     store: "ResultStore | str | os.PathLike[str] | None" = None,
     progress: bool = False,
+    methods: "list[str] | None" = None,
 ) -> list[Figure1Point]:
     """Reproduce Figure 1: execution time vs normalized MTBF, all schemes.
 
     ``mtbf_values`` are the x-axis points ``1/α`` (default:
     :data:`DEFAULT_MTBF_VALUES`).  ``jobs`` / ``store`` / ``progress``
-    behave as in :func:`run_table1`.
+    / ``methods`` behave as in :func:`run_table1` (non-CG methods
+    contribute only the two ABFT series — Chen's ONLINE-DETECTION is
+    CG-specific).
     """
     from repro.campaign import CampaignSpec, aggregate_figure1, run_campaign
 
@@ -168,6 +174,7 @@ def run_figure1(
         mtbf_values=tuple(mtbf_values) if mtbf_values is not None else None,
         eps=eps,
         base_seed=base_seed,
+        methods=tuple(methods) if methods is not None else ("cg",),
     )
     tasks = spec.expand()
     records = run_campaign(
@@ -208,6 +215,10 @@ def _main(argv: "list[str] | None" = None) -> int:
         help="(table1) interval-sweep half-width around the model prediction",
     )
     parser.add_argument(
+        "--method", type=str, default="cg", metavar="M1,M2,...",
+        help="comma-separated solver axis: cg, bicgstab, pcg (default: cg)",
+    )
+    parser.add_argument(
         "--jobs", type=int, default=None,
         help="parallel worker processes (default: all cores; 1 = serial)",
     )
@@ -229,6 +240,14 @@ def _main(argv: "list[str] | None" = None) -> int:
         parser.error(f"--jobs must be >= 1, got {args.jobs}")
     if args.s_span < 0:
         parser.error(f"--s-span must be >= 0, got {args.s_span}")
+    from repro.core.methods import Method
+
+    try:
+        methods = [Method.parse(m).value for m in args.method.split(",") if m.strip()]
+    except ValueError as exc:
+        parser.error(str(exc))
+    if not methods:
+        parser.error("--method must name at least one solver")
     if args.resume and not args.store:
         parser.error("--resume requires --store")
     if args.store and not args.resume:
@@ -253,6 +272,7 @@ def _main(argv: "list[str] | None" = None) -> int:
         jobs=jobs,
         store=args.store,
         progress=True,
+        methods=methods,
     )
     if args.experiment == "table1":
         rows = run_table1(s_span=args.s_span, **common)

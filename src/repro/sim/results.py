@@ -24,7 +24,7 @@ __all__ = [
 
 @dataclass(frozen=True)
 class Table1Row:
-    """One matrix's model-validation results for one scheme."""
+    """One matrix's model-validation results for one (method, scheme)."""
 
     uid: int
     n: int
@@ -35,6 +35,7 @@ class Table1Row:
     s_best: int  #: s* — empirically best interval
     time_best: float  #: Et(s*) — measured mean time at s*
     reps: int
+    method: str = "cg"  #: solver axis (Method value string)
 
     @property
     def loss_percent(self) -> float:
@@ -46,7 +47,7 @@ class Table1Row:
 
 @dataclass(frozen=True)
 class Figure1Point:
-    """One point of one scheme's series in one Figure-1 panel."""
+    """One point of one (method, scheme) series in one Figure-1 panel."""
 
     uid: int
     scheme: str
@@ -55,6 +56,7 @@ class Figure1Point:
     sem_time: float
     s_used: int
     d_used: int
+    method: str = "cg"  #: solver axis (Method value string)
 
     @property
     def normalized_mtbf(self) -> float:
@@ -62,16 +64,38 @@ class Figure1Point:
         return 1.0 / self.alpha
 
 
+def _ordered_methods(items) -> "list[str]":
+    """Distinct method names in first-appearance order."""
+    out: list[str] = []
+    for it in items:
+        if it.method not in out:
+            out.append(it.method)
+    return out
+
+
 def format_table1(rows: "list[Table1Row]") -> str:
     """Render Table 1 in the paper's layout (two schemes side by side).
 
     Rows must come in (uid, scheme) pairs covering 'abft-detection' and
-    'abft-correction'; missing halves render as blanks.
+    'abft-correction'; missing halves render as blanks.  Multi-method
+    campaigns render one block per method; a single-method (classic)
+    campaign keeps the paper's exact layout.
     """
+    methods = _ordered_methods(rows)
+    buf = io.StringIO()
+    for method in methods:
+        if len(methods) > 1:
+            buf.write(f"method: {method}\n")
+        _format_table1_block(buf, [r for r in rows if r.method == method])
+        if len(methods) > 1:
+            buf.write("\n")
+    return buf.getvalue()
+
+
+def _format_table1_block(buf: io.StringIO, rows: "list[Table1Row]") -> None:
     by_uid: dict[int, dict[str, Table1Row]] = {}
     for r in rows:
         by_uid.setdefault(r.uid, {})[r.scheme] = r
-    buf = io.StringIO()
     head = (
         f"{'id':>6} {'n':>7} {'density':>9} | "
         f"{'s~1':>4} {'Et(s~1)':>9} {'s*1':>4} {'Et(s*1)':>9} {'l1%':>7} | "
@@ -96,27 +120,41 @@ def format_table1(rows: "list[Table1Row]") -> str:
                 )
             buf.write(" | " if r is det else "")
         buf.write("\n")
-    return buf.getvalue()
 
 
 def format_figure1(points: "list[Figure1Point]") -> str:
-    """Render Figure 1's series as one text block per matrix panel."""
+    """Render Figure 1's series as one text block per matrix panel.
+
+    Multi-method campaigns label each series ``method:scheme``; a
+    single-method (classic) campaign keeps the paper's scheme-only
+    column labels.
+    """
+    multi = len(_ordered_methods(points)) > 1
+
+    def label(p: Figure1Point) -> str:
+        return f"{p.method}:{p.scheme}" if multi else p.scheme
+
     by_uid: dict[int, list[Figure1Point]] = {}
     for p in points:
         by_uid.setdefault(p.uid, []).append(p)
     buf = io.StringIO()
     for uid in sorted(by_uid):
         pts = by_uid[uid]
-        schemes = sorted({p.scheme for p in pts})
+        series = sorted({label(p) for p in pts})
+        width = max(18, *(len(s) for s in series))
         mtbfs = sorted({p.normalized_mtbf for p in pts})
         buf.write(f"Matrix #{uid} — execution time (Titer units) vs normalized MTBF (1/alpha)\n")
-        buf.write(f"{'1/alpha':>10} " + " ".join(f"{s:>18}" for s in schemes) + "\n")
-        lookup = {(p.normalized_mtbf, p.scheme): p for p in pts}
+        buf.write(f"{'1/alpha':>10} " + " ".join(f"{s:>{width}}" for s in series) + "\n")
+        lookup = {(p.normalized_mtbf, label(p)): p for p in pts}
         for m in mtbfs:
             buf.write(f"{m:>10.0f} ")
-            for s in schemes:
+            for s in series:
                 p = lookup.get((m, s))
-                buf.write(f"{p.mean_time:>12.1f}±{p.sem_time:<5.1f}" if p else f"{'-':>18}")
+                if p:
+                    cell = f"{p.mean_time:>12.1f}±{p.sem_time:<5.1f}"
+                    buf.write(f"{cell:>{width}}")
+                else:
+                    buf.write(f"{'-':>{width}}")
                 buf.write(" ")
             buf.write("\n")
         buf.write("\n")

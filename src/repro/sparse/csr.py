@@ -149,11 +149,13 @@ class CSRMatrix:
         )
 
     def to_dense(self) -> np.ndarray:
-        """Materialize as a dense array (small matrices / tests only)."""
+        """Materialize as a dense array (small matrices / tests only).
+
+        Duplicate entries are summed, matching the row-loop semantics.
+        """
         out = np.zeros(self.shape, dtype=np.float64)
-        for i in range(self.nrows):
-            lo, hi = self.rowidx[i], self.rowidx[i + 1]
-            np.add.at(out[i], self.colid[lo:hi], self.val[lo:hi])
+        rows = np.repeat(np.arange(self.nrows), self.row_nnz())
+        np.add.at(out, (rows, self.colid), self.val)
         return out
 
     def copy(self) -> "CSRMatrix":
@@ -175,14 +177,18 @@ class CSRMatrix:
         return np.diff(self.rowidx)
 
     def diagonal(self) -> np.ndarray:
-        """Extract the main diagonal (missing entries are zero)."""
+        """Extract the main diagonal (missing entries are zero;
+        duplicates are summed).
+
+        Vectorized — this sits on the Jacobi-preconditioner setup path
+        of FT-PCG, where a pure-Python row loop would dominate setup
+        for large matrices.
+        """
         n = min(self.nrows, self.ncols)
         diag = np.zeros(n, dtype=np.float64)
-        for i in range(n):
-            cols, vals = self.row(i)
-            hit = np.nonzero(cols == i)[0]
-            if hit.size:
-                diag[i] = vals[hit].sum()
+        rows = np.repeat(np.arange(self.nrows), self.row_nnz())
+        on_diag = (rows == self.colid) & (rows < n)
+        np.add.at(diag, rows[on_diag], self.val[on_diag])
         return diag
 
     def matvec(self, x: np.ndarray) -> np.ndarray:

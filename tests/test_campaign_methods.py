@@ -1,0 +1,138 @@
+"""The solver axis through the campaign stack (spec → executor →
+aggregate → formatters)."""
+
+import numpy as np
+import pytest
+
+from repro.campaign import (
+    CampaignSpec,
+    aggregate_figure1,
+    aggregate_table1,
+    run_campaign,
+)
+from repro.sim.results import format_figure1, format_table1
+
+UID = 2213  # smallest suite matrix at high scale
+
+
+class TestSpecExpansion:
+    def test_default_is_classic_cg(self):
+        spec = CampaignSpec(kind="figure1", scale=64, uids=(UID,), mtbf_values=(16.0,))
+        tasks = spec.expand()
+        assert {t.method for t in tasks} == {"cg"}
+        assert [t.scheme for t in tasks] == [
+            "online-detection", "abft-detection", "abft-correction",
+        ]
+
+    def test_online_dropped_for_non_cg(self):
+        spec = CampaignSpec(
+            kind="figure1", scale=64, uids=(UID,), mtbf_values=(16.0,),
+            methods=("cg", "bicgstab", "pcg"),
+        )
+        tasks = spec.expand()
+        per_method = {}
+        for t in tasks:
+            per_method.setdefault(t.method, []).append(t.scheme)
+        assert len(per_method["cg"]) == 3
+        assert per_method["bicgstab"] == ["abft-detection", "abft-correction"]
+        assert per_method["pcg"] == ["abft-detection", "abft-correction"]
+
+    def test_table1_grid_per_method(self):
+        one = CampaignSpec(kind="table1", scale=64, uids=(UID,), s_span=1).expand()
+        three = CampaignSpec(
+            kind="table1", scale=64, uids=(UID,), s_span=1,
+            methods=("cg", "bicgstab", "pcg"),
+        ).expand()
+        assert len(three) == 3 * len(one)
+
+    def test_unknown_method_rejected(self):
+        with pytest.raises(ValueError, match="unknown method"):
+            CampaignSpec(kind="table1", methods=("cg", "gmres"))
+
+    def test_empty_methods_rejected(self):
+        with pytest.raises(ValueError, match="at least one"):
+            CampaignSpec(kind="table1", methods=())
+
+    def test_method_distinguishes_tasks(self):
+        kw = dict(kind="figure1", scale=64, uids=(UID,), mtbf_values=(16.0,))
+        cg = CampaignSpec(**kw).expand()
+        pcg = CampaignSpec(**kw, methods=("pcg",)).expand()
+        assert {t.task_hash() for t in cg}.isdisjoint(t.task_hash() for t in pcg)
+
+
+@pytest.fixture(scope="module")
+def solver_scheme_sweep():
+    """One tiny figure-1 campaign across 3 methods x 3 schemes."""
+    spec = CampaignSpec(
+        kind="figure1", scale=64, reps=2, uids=(UID,), mtbf_values=(16.0,),
+        methods=("cg", "bicgstab", "pcg"),
+    )
+    tasks = spec.expand()
+    records = run_campaign(tasks, jobs=1)
+    return tasks, records
+
+
+class TestExecutionAndAggregation:
+    def test_methods_take_distinct_trajectories(self, solver_scheme_sweep):
+        tasks, records = solver_scheme_sweep
+        by_key = {
+            (t.method, t.scheme): r["stats"]["mean_time"]
+            for t, r in zip(tasks, records)
+        }
+        # Same scheme, different solver -> different fault stream and
+        # recurrence, hence (almost surely) different mean time.
+        assert by_key[("cg", "abft-detection")] != by_key[("pcg", "abft-detection")]
+        assert by_key[("cg", "abft-detection")] != by_key[("bicgstab", "abft-detection")]
+
+    def test_figure1_points_carry_method(self, solver_scheme_sweep):
+        tasks, records = solver_scheme_sweep
+        points = aggregate_figure1(tasks, records)
+        assert len(points) == 7  # 3 (cg) + 2 (bicgstab) + 2 (pcg)
+        assert {p.method for p in points} == {"cg", "bicgstab", "pcg"}
+        for p in points:
+            assert np.isfinite(p.mean_time) and p.mean_time > 0
+
+    def test_format_figure1_labels_multi_method_series(self, solver_scheme_sweep):
+        tasks, records = solver_scheme_sweep
+        out = format_figure1(aggregate_figure1(tasks, records))
+        assert "cg:abft-detection" in out
+        assert "pcg:abft-correction" in out
+        assert "bicgstab:abft-detection" in out
+        # online-detection exists only as a CG series
+        assert "pcg:online-detection" not in out
+
+    def test_format_figure1_single_method_unchanged(self, solver_scheme_sweep):
+        tasks, records = solver_scheme_sweep
+        cg_only = [(t, r) for t, r in zip(tasks, records) if t.method == "cg"]
+        out = format_figure1(aggregate_figure1(*map(list, zip(*cg_only))))
+        # classic scheme-only labels, no method prefix
+        assert "cg:" not in out
+        assert "online-detection" in out
+
+
+class TestTable1MethodAxis:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        spec = CampaignSpec(
+            kind="table1", scale=64, reps=2, uids=(UID,), s_span=0,
+            methods=("cg", "pcg"),
+        )
+        tasks = spec.expand()
+        records = run_campaign(tasks, jobs=1)
+        return aggregate_table1(tasks, records)
+
+    def test_one_row_per_method_scheme(self, rows):
+        keys = {(r.method, r.scheme) for r in rows}
+        assert keys == {
+            ("cg", "abft-detection"), ("cg", "abft-correction"),
+            ("pcg", "abft-detection"), ("pcg", "abft-correction"),
+        }
+
+    def test_format_emits_method_blocks(self, rows):
+        out = format_table1(rows)
+        assert "method: cg" in out
+        assert "method: pcg" in out
+
+    def test_format_single_method_has_no_block_header(self, rows):
+        out = format_table1([r for r in rows if r.method == "cg"])
+        assert "method:" not in out

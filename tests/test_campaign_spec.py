@@ -27,12 +27,25 @@ class TestTaskSpec:
 
     def test_hash_stable_across_sessions(self):
         # Regression pin: a changed hash silently invalidates every
-        # existing result store.
+        # existing result store.  (Schema v2: the `method` field — the
+        # solver axis — entered the hash when the resilience engine
+        # opened the method dimension.)
         t = TaskSpec("table1", uid=2213, scale=48, scheme="abft-detection",
                      alpha=0.0625, s=5, labels=("table1", 2213, "s", 5))
         assert t.task_hash() == (
-            "e56dd3d8938027d5c5bb1204579d555d189e19fe0f7d2b326a9ab600bf0c78bd"
+            "8997bf4a1b396df3166dd0663f96ca205c9dfa681b35e48bd1faaf5955bae337"
         )
+
+    def test_method_in_hash(self):
+        base = dict(experiment="table1", uid=2213, scale=48,
+                    scheme="abft-detection", alpha=0.0625, s=5)
+        assert (TaskSpec(**base, method="pcg").task_hash()
+                != TaskSpec(**base).task_hash())
+
+    def test_unknown_method_rejected(self):
+        with pytest.raises(ValueError, match="unknown method"):
+            TaskSpec("table1", uid=1, scale=1, scheme="abft-detection",
+                     alpha=0.1, s=1, method="gmres")
 
     def test_validation(self):
         with pytest.raises(ValueError):

@@ -1,0 +1,243 @@
+"""Tests for the resilience engine, its plugins and the method axis."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    Method,
+    Scheme,
+    SchemeConfig,
+    pcg,
+    run_ft_bicgstab,
+    run_ft_cg,
+    run_ft_method,
+    run_ft_pcg,
+)
+from repro.resilience import (
+    BiCGstabPlugin,
+    CGPlugin,
+    JacobiPCGPlugin,
+    make_plugin,
+    run_protected,
+)
+from repro.sim.engine import make_rhs, repeat_run
+from repro.sparse import stencil_spd
+from repro.util.log import EventLog
+
+
+@pytest.fixture(scope="module")
+def problem():
+    a = stencil_spd(900, kind="cross", radius=2)
+    return a, make_rhs(a)
+
+
+def config(scheme, s=8, d=1):
+    return SchemeConfig(scheme, checkpoint_interval=s, verification_interval=d)
+
+
+class TestMethodEnum:
+    def test_parse(self):
+        assert Method.parse("cg") is Method.CG
+        assert Method.parse("PCG") is Method.PCG
+        assert Method.parse(Method.BICGSTAB) is Method.BICGSTAB
+
+    def test_parse_rejects_unknown(self):
+        with pytest.raises(ValueError, match="unknown method"):
+            Method.parse("gmres")
+
+    def test_scheme_support(self):
+        assert Method.CG.supports(Scheme.ONLINE_DETECTION)
+        assert not Method.PCG.supports(Scheme.ONLINE_DETECTION)
+        assert not Method.BICGSTAB.supports(Scheme.ONLINE_DETECTION)
+        for m in Method:
+            assert m.supports(Scheme.ABFT_DETECTION)
+            assert m.supports(Scheme.ABFT_CORRECTION)
+
+    def test_registry_covers_every_method(self):
+        for m in Method:
+            plugin = make_plugin(m)
+            assert plugin.name == m.value
+
+
+class TestDispatch:
+    def test_run_ft_method_matches_wrappers(self, problem):
+        a, b = problem
+        cfg = config(Scheme.ABFT_CORRECTION)
+        via_method = run_ft_method(Method.CG, a, b, cfg, alpha=0.1, rng=7, eps=1e-6)
+        via_wrapper = run_ft_cg(a, b, cfg, alpha=0.1, rng=7, eps=1e-6)
+        assert via_method.time_units == via_wrapper.time_units
+        np.testing.assert_array_equal(via_method.x, via_wrapper.x)
+
+    def test_run_ft_method_accepts_strings(self, problem):
+        a, b = problem
+        cfg = config(Scheme.ABFT_DETECTION)
+        r1 = run_ft_method("bicgstab", a, b, cfg, alpha=0.1, rng=3, eps=1e-6)
+        r2 = run_ft_bicgstab(a, b, cfg, alpha=0.1, rng=3, eps=1e-6)
+        assert r1.time_units == r2.time_units
+
+    def test_plugins_are_single_use_fresh(self):
+        assert make_plugin("cg") is not make_plugin("cg")
+
+
+class TestFTPCG:
+    @pytest.mark.parametrize("scheme", [Scheme.ABFT_DETECTION, Scheme.ABFT_CORRECTION])
+    def test_converges_without_faults(self, problem, scheme):
+        a, b = problem
+        res = run_ft_pcg(a, b, config(scheme), alpha=0.0, rng=0, eps=1e-6)
+        assert res.converged
+        assert res.residual_norm <= res.threshold
+        assert res.counters.rollbacks == 0
+
+    def test_matches_plain_pcg_iterations(self, problem):
+        """Fault-free FT-PCG is plain Jacobi-PCG plus protection."""
+        a, b = problem
+        from repro.core import jacobi_preconditioner
+
+        plain = pcg(a, b, preconditioner=jacobi_preconditioner(a), eps=1e-6)
+        ft = run_ft_pcg(a, b, config(Scheme.ABFT_CORRECTION), alpha=0.0, rng=0, eps=1e-6)
+        assert ft.converged
+        np.testing.assert_allclose(ft.x, plain.x, rtol=1e-6, atol=1e-8)
+
+    def test_preconditioning_beats_plain_cg(self, problem):
+        """The diagonal preconditioner must pay for itself in iterations."""
+        a, b = problem
+        ft_cg = run_ft_cg(a, b, config(Scheme.ABFT_CORRECTION), alpha=0.0, rng=0, eps=1e-6)
+        ft_pcg = run_ft_pcg(a, b, config(Scheme.ABFT_CORRECTION), alpha=0.0, rng=0, eps=1e-6)
+        assert ft_pcg.iterations < ft_cg.iterations
+
+    @pytest.mark.parametrize("scheme", [Scheme.ABFT_DETECTION, Scheme.ABFT_CORRECTION])
+    def test_converges_under_injection(self, problem, scheme):
+        a, b = problem
+        res = run_ft_pcg(a, b, config(scheme), alpha=0.1, rng=42, eps=1e-6)
+        assert res.converged
+        assert res.counters.faults_injected > 0
+        assert res.residual_norm <= res.threshold
+
+    def test_correction_forward_recovers(self, problem):
+        a, b = problem
+        res = run_ft_pcg(a, b, config(Scheme.ABFT_CORRECTION), alpha=0.25, rng=11, eps=1e-6)
+        assert res.converged
+        assert res.counters.total_corrections > 0
+        assert res.counters.rollbacks < res.counters.total_corrections
+
+    def test_detection_rolls_back(self, problem):
+        a, b = problem
+        res = run_ft_pcg(a, b, config(Scheme.ABFT_DETECTION), alpha=0.25, rng=11, eps=1e-6)
+        assert res.converged
+        assert res.counters.rollbacks > 0
+        assert res.counters.total_corrections == 0
+
+    def test_determinism(self, problem):
+        a, b = problem
+        r1 = run_ft_pcg(a, b, config(Scheme.ABFT_CORRECTION), alpha=0.2, rng=5, eps=1e-6)
+        r2 = run_ft_pcg(a, b, config(Scheme.ABFT_CORRECTION), alpha=0.2, rng=5, eps=1e-6)
+        assert r1.time_units == r2.time_units
+        np.testing.assert_array_equal(r1.x, r2.x)
+
+    def test_input_matrix_never_mutated(self, problem):
+        a, b = problem
+        snap = a.copy()
+        run_ft_pcg(a, b, config(Scheme.ABFT_CORRECTION), alpha=0.3, rng=2, eps=1e-6)
+        assert a.equals(snap)
+
+    def test_online_scheme_rejected(self, problem):
+        a, b = problem
+        with pytest.raises(ValueError, match="ABFT"):
+            run_ft_pcg(a, b, SchemeConfig(Scheme.ONLINE_DETECTION, verification_interval=4))
+
+    def test_zero_diagonal_rejected(self):
+        from repro.sparse import CSRMatrix
+
+        dense = np.array([[0.0, 1.0], [1.0, 2.0]])
+        a = CSRMatrix.from_dense(dense)
+        with pytest.raises(ValueError, match="zero-free diagonal"):
+            run_ft_pcg(a, np.ones(2), config(Scheme.ABFT_DETECTION))
+
+    def test_breakdown_sums(self, problem):
+        a, b = problem
+        res = run_ft_pcg(a, b, config(Scheme.ABFT_CORRECTION), alpha=0.15, rng=9, eps=1e-6)
+        assert res.breakdown.total == pytest.approx(res.time_units)
+
+    def test_event_log_records_recoveries(self, problem):
+        a, b = problem
+        log = EventLog()
+        res = run_ft_pcg(
+            a, b, config(Scheme.ABFT_CORRECTION), alpha=0.3, rng=11, eps=1e-6, event_log=log
+        )
+        kinds = {ev.kind for ev in log.events}
+        assert "checkpoint" in kinds
+        if res.counters.total_corrections:
+            assert "correction" in kinds
+
+
+class TestEngineGenerics:
+    def test_run_protected_rejects_scheme_before_work(self, problem):
+        a, b = problem
+        with pytest.raises(ValueError, match="ABFT"):
+            run_protected(
+                BiCGstabPlugin(), a, b,
+                SchemeConfig(Scheme.ONLINE_DETECTION, verification_interval=4),
+            )
+
+    def test_plugin_vector_registration_order(self, problem):
+        """The injector registration order is part of the RNG contract."""
+        assert list(_init_plugin(CGPlugin(), problem).vectors) == ["x", "r", "p", "q"]
+        assert list(_init_plugin(BiCGstabPlugin(), problem).vectors) == [
+            "x", "r", "r_hat", "p", "v", "s",
+        ]
+        assert list(_init_plugin(JacobiPCGPlugin(), problem).vectors) == [
+            "x", "r", "p", "q", "z",
+        ]
+
+    def test_memory_words_scale_with_vector_count(self, problem):
+        """λ = α/M must count each plugin's actual protected state."""
+        a, b = problem
+        cg_plugin = _init_plugin(CGPlugin(), problem)
+        pcg_plugin = _init_plugin(JacobiPCGPlugin(), problem)
+        assert len(pcg_plugin.vectors) == len(cg_plugin.vectors) + 1
+
+    def test_max_time_units_bails(self, problem):
+        a, b = problem
+        res = run_ft_pcg(
+            a, b, config(Scheme.ABFT_CORRECTION), alpha=0.0, rng=0, eps=1e-14,
+            max_time_units=10.0,
+        )
+        assert res.time_units <= 13.0  # one iteration of slack
+
+    def test_maxiter_bails(self, problem):
+        a, b = problem
+        res = run_ft_pcg(
+            a, b, config(Scheme.ABFT_CORRECTION), alpha=0.0, rng=0, eps=1e-14, maxiter=7
+        )
+        assert res.iterations_executed == 7
+        assert not res.converged
+
+
+def _init_plugin(plugin, problem):
+    a, b = problem
+    plugin.init_state(a, a.copy(), b, None, config(Scheme.ABFT_DETECTION))
+    return plugin
+
+
+class TestRepeatRunMethodAxis:
+    def test_cg_seeding_unchanged(self, problem):
+        """method=cg must reproduce the historical seed derivation."""
+        a, b = problem
+        cfg = config(Scheme.ABFT_DETECTION)
+        base = repeat_run(a, b, cfg, alpha=0.1, reps=2, base_seed=9, labels=("t", 1))
+        via_enum = repeat_run(
+            a, b, cfg, alpha=0.1, reps=2, base_seed=9, labels=("t", 1), method=Method.CG
+        )
+        via_str = repeat_run(
+            a, b, cfg, alpha=0.1, reps=2, base_seed=9, labels=("t", 1), method="cg"
+        )
+        assert base == via_enum == via_str
+
+    def test_methods_get_distinct_fault_streams(self, problem):
+        a, b = problem
+        cfg = config(Scheme.ABFT_DETECTION)
+        kw = dict(alpha=0.1, reps=2, base_seed=9, labels=("t", 1))
+        r_cg = repeat_run(a, b, cfg, method="cg", **kw)
+        r_pcg = repeat_run(a, b, cfg, method="pcg", **kw)
+        r_bi = repeat_run(a, b, cfg, method="bicgstab", **kw)
+        assert len({r_cg.mean_time, r_pcg.mean_time, r_bi.mean_time}) == 3

@@ -75,3 +75,89 @@ class TestCorruptedStructure:
         a = small_lap.copy()
         a.val[17] += 10.0
         assert not np.allclose(spmv(a, x), clean)
+
+
+class TestCorruptedRowidxBranches:
+    """Directed coverage of spmv's two corrupted-``rowidx`` code paths.
+
+    The vectorized kernel has two rarely-taken branches that only a
+    corrupted row-pointer array can reach: the ``_spmv_loop`` fallback
+    (non-monotone segments break ``np.add.reduceat``'s precondition)
+    and the overshoot-trimming pass (a shrunk trailing pointer makes
+    ``reduceat`` sum past a row's true end).  Both must agree with the
+    reference oracle on the *same corrupted bytes* — that equivalence
+    is what lets the ABFT study treat the kernels interchangeably.
+    """
+
+    def _assert_matches_reference(self, a, rng):
+        x = rng.normal(size=a.ncols)
+        y = spmv(a, x)
+        assert y.shape == (a.nrows,)
+        np.testing.assert_allclose(y, spmv_reference(a, x), rtol=1e-12)
+        return y
+
+    def test_non_monotone_rowidx_takes_loop_fallback(self, small_lap, rng, monkeypatch):
+        import importlib
+
+        mod = importlib.import_module("repro.sparse.spmv")
+        a = small_lap.copy()
+        a.rowidx[7] = int(a.rowidx[9])  # start[7] > start[8]: non-monotone
+        a.rowidx[8] = 1
+        calls = []
+        real = mod._spmv_loop
+        monkeypatch.setattr(
+            mod, "_spmv_loop", lambda *args: calls.append(1) or real(*args)
+        )
+        self._assert_matches_reference(a, rng)
+        assert calls, "corrupted rowidx should have routed through _spmv_loop"
+
+    def test_clean_matrix_avoids_loop_fallback(self, small_lap, rng, monkeypatch):
+        import importlib
+
+        mod = importlib.import_module("repro.sparse.spmv")
+        monkeypatch.setattr(
+            mod, "_spmv_loop",
+            lambda *args: pytest.fail("clean matrix must stay vectorized"),
+        )
+        x = rng.normal(size=small_lap.ncols)
+        np.testing.assert_allclose(
+            spmv(small_lap, x), spmv_reference(small_lap, x), rtol=1e-12
+        )
+
+    def test_end_below_start_takes_loop_fallback(self, small_lap, rng):
+        a = small_lap.copy()
+        # ends[4] < starts[4] while starts stay monotone after clipping.
+        a.rowidx[5] = -17
+        self._assert_matches_reference(a, rng)
+
+    def test_shrunk_final_pointer_takes_overshoot_trim(self, small_lap, rng):
+        a = small_lap.copy()
+        # The last nonempty segment now ends before nnz, so reduceat
+        # sums the tail of `products` past the row's true end; the trim
+        # pass must re-sum exactly products[start:end].
+        a.rowidx[-1] = int(a.rowidx[-2]) + 1
+        y = self._assert_matches_reference(a, rng)
+        # The last row must only see its single remaining nonzero.
+        lo = int(a.rowidx[-2])
+        x_used = np.zeros(a.ncols)
+        x_used[a.colid[lo]] = 1.0
+        assert spmv(a, x_used)[-1] == pytest.approx(a.val[lo])
+
+    def test_shrunk_middle_trailing_pointers_trim_each_segment(self, small_lap, rng):
+        a = small_lap.copy()
+        # Shrink the last three pointers: several nonempty segments end
+        # early, so more than one overshoot entry needs trimming.
+        base = int(a.rowidx[-4])
+        a.rowidx[-3] = base + 1
+        a.rowidx[-2] = base + 2
+        a.rowidx[-1] = base + 3
+        self._assert_matches_reference(a, rng)
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_random_rowidx_corruption_matches_reference(self, small_lap, seed):
+        rng = np.random.default_rng(seed)
+        a = small_lap.copy()
+        for _ in range(3):
+            pos = int(rng.integers(a.rowidx.size))
+            a.rowidx[pos] = int(rng.integers(-5, a.nnz + 5))
+        self._assert_matches_reference(a, rng)
