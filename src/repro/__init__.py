@@ -27,17 +27,20 @@ The library provides:
 - the experiment drivers regenerating the paper's Table 1 and Figure 1
   (:mod:`repro.sim`);
 - a parallel, resumable experiment-campaign engine with crash-safe
-  JSONL persistence (:mod:`repro.campaign`).
+  JSONL persistence (:mod:`repro.campaign`);
+- the stable public API: the :func:`solve` facade, declarative
+  :class:`Study` sweeps and the ``repro`` console script
+  (:mod:`repro.api`).
 
 Quickstart
 ----------
->>> from repro import laplacian_2d, run_ft_cg, Scheme, SchemeConfig
+>>> from repro import laplacian_2d, solve, FaultSpec
 >>> import numpy as np
 >>> a = laplacian_2d(30)                      # 900x900 SPD matrix
->>> b = a.matvec(np.ones(a.nrows))
->>> cfg = SchemeConfig(Scheme.ABFT_CORRECTION, checkpoint_interval=10)
->>> res = run_ft_cg(a, b, cfg, alpha=0.05, rng=0)
->>> bool(res.converged)
+>>> b = np.random.default_rng(0).standard_normal(a.nrows)
+>>> report = solve(a, b, scheme="abft-correction",
+...                faults=FaultSpec(alpha=0.05, seed=0))
+>>> bool(report.converged)
 True
 """
 
@@ -82,8 +85,15 @@ from repro.model import (
     optimal_interval,
     model_for_scheme,
 )
+from repro.api import (
+    solve,
+    SolveReport,
+    FaultSpec,
+    CheckpointSpec,
+    Study,
+)
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "CSRMatrix",
@@ -123,5 +133,10 @@ __all__ = [
     "frame_overhead",
     "optimal_interval",
     "model_for_scheme",
+    "solve",
+    "SolveReport",
+    "FaultSpec",
+    "CheckpointSpec",
+    "Study",
     "__version__",
 ]

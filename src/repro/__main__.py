@@ -1,53 +1,14 @@
 """Command-line entry point: ``python -m repro``.
 
-Prints the library banner and forwards experiment subcommands to
-:mod:`repro.sim.experiments`.
+Same argparse subcommand tree as the installed ``repro`` console
+script — see :mod:`repro.api.cli`.
 """
 
 from __future__ import annotations
 
-import sys
+from repro.api.cli import entry, main
 
-import repro
-
-
-def main(argv: "list[str] | None" = None) -> int:
-    argv = sys.argv[1:] if argv is None else argv
-    if argv and argv[0] in ("table1", "figure1"):
-        from repro.sim.experiments import _main
-
-        return _main(argv)
-    if argv and argv[0] not in ("-h", "--help"):
-        # A typo'd subcommand must not look like a successful run to
-        # scripts; usage goes to stderr and the exit code is nonzero.
-        print(f"error: unknown subcommand {argv[0]!r}", file=sys.stderr)
-        print("expected 'table1' or 'figure1'; run without arguments for usage",
-              file=sys.stderr)
-        return 2
-    print(
-        f"repro {repro.__version__} — backward + forward recovery for "
-        "silent errors in iterative solvers\n"
-        "(reproduction of Fasi, Robert, Uçar, PDSEC 2015)\n\n"
-        "usage:\n"
-        "  python -m repro table1  [--scale N] [--reps R] [--uids ...]\n"
-        "                          [--jobs J] [--store FILE] [--resume]\n"
-        "                          [--base-seed S] [--s-span W]\n"
-        "                          [--method cg,bicgstab,pcg]\n"
-        "  python -m repro figure1 [--scale N] [--reps R] [--uids ...]\n"
-        "                          [--jobs J] [--store FILE] [--resume]\n"
-        "                          [--base-seed S] [--method ...]\n\n"
-        "campaign engine: --jobs fans tasks over worker processes\n"
-        "(bit-identical to serial), --store persists results to JSONL,\n"
-        "--resume continues a killed campaign without recomputation,\n"
-        "--method sweeps the solver axis (CG / BiCGstab / Jacobi-PCG)\n\n"
-        "see README.md for the library API and examples/ for runnable demos"
-    )
-    return 0
-
+__all__ = ["main"]
 
 if __name__ == "__main__":  # pragma: no cover
-    try:
-        raise SystemExit(main())
-    except BrokenPipeError:
-        # Downstream pager/head closed the pipe — standard CLI etiquette.
-        raise SystemExit(0)
+    entry()

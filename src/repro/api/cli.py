@@ -1,0 +1,463 @@
+"""The ``repro`` command-line interface.
+
+One argparse subcommand tree, installed as the ``repro`` console
+script (``pyproject.toml``) and doubling as ``python -m repro``:
+
+- ``repro solve``   — protect one solve and print its report;
+- ``repro table1``  — regenerate the paper's Table 1 (model validation);
+- ``repro figure1`` — regenerate the paper's Figure 1 (time vs MTBF);
+- ``repro study run <spec.json>`` — execute a declarative
+  :class:`~repro.api.study.Study` exported with ``Study.save()``;
+- ``repro report <store.jsonl>`` — summarize a campaign result store.
+
+The campaign flags (``--jobs`` / ``--store`` / ``--resume`` /
+``--base-seed``) are one shared option group wired into every
+subcommand that executes tasks, so fan-out and resume behave
+identically everywhere.
+
+:func:`main` returns an exit code instead of raising ``SystemExit``
+(argparse's exits — including ``--help``'s code 0 and usage-error code
+2 — are translated), which keeps it embeddable;
+:func:`entry` is the console-script wrapper adding the BrokenPipeError
+etiquette.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+__all__ = ["build_parser", "main", "entry"]
+
+
+def _banner() -> str:
+    import repro
+
+    return (
+        f"repro {repro.__version__} — backward + forward recovery for "
+        "silent errors in iterative solvers\n"
+        "(reproduction of Fasi, Robert, Uçar, PDSEC 2015)"
+    )
+
+
+def _add_campaign_options(parser: argparse.ArgumentParser) -> None:
+    """The shared campaign-engine flags (fan-out, persistence, resume)."""
+    group = parser.add_argument_group("campaign engine")
+    group.add_argument(
+        "--jobs", type=int, default=None,
+        help="parallel worker processes (default: all cores; 1 = serial; "
+             "any value is bit-identical to serial)",
+    )
+    group.add_argument(
+        "--store", type=str, default=None,
+        help="JSONL result store for crash-safe persistence / resume",
+    )
+    group.add_argument(
+        "--resume", action="store_true",
+        help="reuse finished tasks from --store instead of starting fresh",
+    )
+
+
+def _add_experiment_options(parser: argparse.ArgumentParser) -> None:
+    """Flags shared by the table1 / figure1 drivers."""
+    parser.add_argument(
+        "--base-seed", type=int, default=2015, help="campaign base seed"
+    )
+    parser.add_argument(
+        "--scale", type=int, default=16, help="matrix size divisor (1 = paper scale)"
+    )
+    parser.add_argument(
+        "--reps", type=int, default=10, help="repetitions per point (paper: 50)"
+    )
+    parser.add_argument(
+        "--uids", type=int, nargs="*", default=None, help="subset of matrix ids"
+    )
+    parser.add_argument("--eps", type=float, default=1e-6, help="CG stopping epsilon")
+    parser.add_argument(
+        "--method", type=str, default="cg", metavar="M1,M2,...",
+        help="comma-separated solver axis: cg, bicgstab, pcg (default: cg)",
+    )
+    parser.add_argument("--csv", type=str, default=None, help="also dump raw rows to CSV")
+    parser.add_argument(
+        "--paper-scale", action="store_true", help="scale=1, reps=50 (slow)"
+    )
+    _add_campaign_options(parser)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The full ``repro`` subcommand tree."""
+    import repro
+
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=_banner(),
+        epilog="see README.md for the library API and examples/ for runnable demos",
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"repro {repro.__version__}"
+    )
+    sub = parser.add_subparsers(dest="command", metavar="COMMAND")
+
+    # --- solve ------------------------------------------------------------
+    p = sub.add_parser(
+        "solve",
+        help="protect one linear solve and print its report",
+        description="Run one fault-tolerant solve on a suite matrix (--uid) "
+                    "or a generated stencil system (--n) and print the report.",
+    )
+    src = p.add_mutually_exclusive_group()
+    src.add_argument(
+        "--uid", type=int, default=2213,
+        help="suite matrix id (the paper's Table-1 ids; default: 2213)",
+    )
+    src.add_argument(
+        "--n", type=int, default=None,
+        help="instead of a suite matrix: generate an n-point 2-D stencil SPD system",
+    )
+    p.add_argument("--scale", type=int, default=32, help="suite-matrix size divisor")
+    p.add_argument("--method", type=str, default="cg", help="cg, bicgstab or pcg")
+    p.add_argument(
+        "--scheme", type=str, default="abft-correction",
+        help="online-detection, abft-detection or abft-correction",
+    )
+    p.add_argument(
+        "--alpha", type=float, default=1.0 / 16.0,
+        help="fault-rate constant (strikes per iteration; 0 disables injection)",
+    )
+    p.add_argument("--seed", type=int, default=2015, help="fault-stream seed")
+    p.add_argument(
+        "--interval", type=str, default="auto",
+        help="checkpoint interval s (integer or 'auto' = model-optimal)",
+    )
+    p.add_argument(
+        "--d", type=str, default="auto",
+        help="verification interval d (integer or 'auto'; >1 only for online-detection)",
+    )
+    p.add_argument("--eps", type=float, default=1e-6, help="stopping epsilon")
+    p.add_argument("--maxiter", type=int, default=None, help="executed-iteration cap")
+    p.add_argument(
+        "--json", action="store_true", help="print the full report as JSON"
+    )
+    p.set_defaults(func=_cmd_solve)
+
+    # --- table1 / figure1 -------------------------------------------------
+    p = sub.add_parser(
+        "table1",
+        help="regenerate the paper's Table 1 (model validation)",
+        description="Sweep the checkpoint interval around the model prediction "
+                    "and report the empirical optimum per (matrix, method, scheme).",
+    )
+    _add_experiment_options(p)
+    p.add_argument(
+        "--s-span", type=int, default=6,
+        help="interval-sweep half-width around the model prediction",
+    )
+    p.set_defaults(func=_cmd_table1)
+
+    p = sub.add_parser(
+        "figure1",
+        help="regenerate the paper's Figure 1 (time vs normalized MTBF)",
+        description="Compare the three protection schemes across MTBF values.",
+    )
+    _add_experiment_options(p)
+    p.add_argument(
+        "--mtbf", type=float, nargs="*", default=None,
+        help="x-axis points 1/alpha (default: the paper's span)",
+    )
+    p.set_defaults(func=_cmd_figure1)
+
+    # --- study ------------------------------------------------------------
+    p = sub.add_parser(
+        "study",
+        help="run a declarative Study exported to JSON",
+        description="Operate on declarative Study specs (see repro.api.Study).",
+    )
+    study_sub = p.add_subparsers(dest="study_command", metavar="ACTION")
+    pr = study_sub.add_parser(
+        "run",
+        help="execute a Study spec through the campaign engine",
+        description="Compile a Study spec to tasks and execute them; with "
+                    "--store/--resume, completed tasks are served from the store.",
+    )
+    pr.add_argument("spec", type=str, help="Study spec JSON (written by Study.save())")
+    pr.add_argument(
+        "--dry-run", action="store_true",
+        help="print the compiled task count and hashes without executing",
+    )
+    pr.add_argument("--csv", type=str, default=None, help="dump typed points to CSV")
+    _add_campaign_options(pr)
+    p.set_defaults(func=_cmd_study)
+
+    # --- report -----------------------------------------------------------
+    p = sub.add_parser(
+        "report",
+        help="summarize a campaign result store (JSONL)",
+        description="Fold a JSONL result store into per-(experiment, method, "
+                    "scheme) aggregates without re-running anything.",
+    )
+    p.add_argument("store", type=str, help="path to a JSONL result store")
+    p.add_argument("--json", action="store_true", help="print the summary as JSON")
+    p.set_defaults(func=_cmd_report)
+
+    return parser
+
+
+# ----------------------------------------------------------------------
+# subcommand implementations
+# ----------------------------------------------------------------------
+def _parse_methods(parser: argparse.ArgumentParser, raw: str) -> "list[str]":
+    from repro.core.methods import Method
+
+    try:
+        methods = [Method.parse(m).value for m in raw.split(",") if m.strip()]
+    except ValueError as exc:
+        parser.error(str(exc))
+    if not methods:
+        parser.error("--method must name at least one solver")
+    return methods
+
+
+def _check_campaign_args(parser: argparse.ArgumentParser, args: argparse.Namespace) -> int:
+    """Validate the shared campaign flags; returns the resolved job count."""
+    from repro.campaign.executor import default_jobs
+
+    if args.jobs is not None and args.jobs < 1:
+        parser.error(f"--jobs must be >= 1, got {args.jobs}")
+    if args.resume and not args.store:
+        parser.error("--resume requires --store")
+    if args.store and not args.resume:
+        import pathlib
+
+        p = pathlib.Path(args.store)
+        if p.exists() and p.stat().st_size > 0:
+            parser.error(
+                f"store {args.store!r} already has results; "
+                "pass --resume to continue it or remove the file to start fresh"
+            )
+    return default_jobs() if args.jobs is None else args.jobs
+
+
+def _cmd_solve(parser: argparse.ArgumentParser, args: argparse.Namespace) -> int:
+    from repro.api.facade import CheckpointSpec, FaultSpec, solve
+    from repro.core.methods import Method, Scheme
+
+    def interval(name: str, raw: str) -> "int | str":
+        if raw == "auto":
+            return raw
+        try:
+            v = int(raw)
+        except ValueError:
+            parser.error(f"{name} must be an integer or 'auto', got {raw!r}")
+        if v < 1:
+            parser.error(f"{name} must be >= 1, got {v}")
+        return v
+
+    if args.alpha < 0:
+        parser.error(f"--alpha must be >= 0, got {args.alpha}")
+    try:
+        method = Method.parse(args.method)
+        scheme = Scheme.parse(args.scheme)
+    except ValueError as exc:
+        parser.error(str(exc))
+
+    if args.n is not None:
+        from repro.sparse.generators import stencil_spd
+
+        if args.n < 9:
+            parser.error(f"--n must be >= 9, got {args.n}")
+        a = stencil_spd(args.n, kind="cross", radius=2)
+    else:
+        from repro.sim.matrices import get_matrix
+
+        try:
+            a = get_matrix(args.uid, args.scale)
+        except KeyError as exc:
+            parser.error(str(exc))
+    from repro.sim.engine import make_rhs
+
+    b = make_rhs(a)
+    try:
+        report = solve(
+            a,
+            b,
+            method=method,
+            scheme=scheme,
+            faults=FaultSpec(alpha=args.alpha, seed=args.seed),
+            checkpoint=CheckpointSpec(
+                interval=interval("--interval", args.interval),
+                verification_interval=interval("--d", args.d),
+            ),
+            eps=args.eps,
+            maxiter=args.maxiter,
+        )
+    except ValueError as exc:
+        parser.error(str(exc))
+    if args.json:
+        print(report.to_json(indent=2))
+    else:
+        print(report.summary())
+    return 0 if report.converged else 1
+
+
+def _run_experiment(
+    parser: argparse.ArgumentParser, args: argparse.Namespace, kind: str
+) -> int:
+    from repro.sim.results import format_figure1, format_table1, to_csv
+
+    if args.paper_scale:
+        args.scale, args.reps = 1, 50
+    methods = _parse_methods(parser, args.method)
+    jobs = _check_campaign_args(parser, args)
+    common = dict(
+        scale=args.scale,
+        reps=args.reps,
+        uids=args.uids,
+        eps=args.eps,
+        base_seed=args.base_seed,
+        jobs=jobs,
+        store=args.store,
+        progress=True,
+        methods=methods,
+    )
+    if kind == "table1":
+        from repro.sim.experiments import run_table1
+
+        if args.s_span < 0:
+            parser.error(f"--s-span must be >= 0, got {args.s_span}")
+        rows = run_table1(s_span=args.s_span, **common)
+        print(format_table1(rows))
+        if args.csv:
+            to_csv(rows, args.csv)
+    else:
+        from repro.sim.experiments import run_figure1
+
+        pts = run_figure1(mtbf_values=args.mtbf, **common)
+        print(format_figure1(pts))
+        if args.csv:
+            to_csv(pts, args.csv)
+    return 0
+
+
+def _cmd_table1(parser: argparse.ArgumentParser, args: argparse.Namespace) -> int:
+    return _run_experiment(parser, args, "table1")
+
+
+def _cmd_figure1(parser: argparse.ArgumentParser, args: argparse.Namespace) -> int:
+    return _run_experiment(parser, args, "figure1")
+
+
+def _cmd_study(parser: argparse.ArgumentParser, args: argparse.Namespace) -> int:
+    if args.study_command != "run":
+        parser.error("expected an action: repro study run <spec.json>")
+    from repro.api.study import Study
+
+    try:
+        study = Study.load(args.spec)
+    except (OSError, ValueError, KeyError, TypeError) as exc:
+        parser.error(f"cannot load study spec {args.spec!r}: {exc}")
+    tasks = study.tasks()
+    if args.dry_run:
+        print(f"study {study.name!r}: {len(tasks)} tasks")
+        for t in tasks:
+            print(f"  {t.task_hash()[:16]}  {t.experiment} uid={t.uid} "
+                  f"method={t.method} scheme={t.scheme} alpha={t.alpha:g} "
+                  f"s={t.s} d={t.d} reps={t.reps}")
+        return 0
+    jobs = _check_campaign_args(parser, args)
+    print(f"study {study.name!r}: {len(tasks)} tasks over {jobs} worker(s)",
+          file=sys.stderr)
+    result = study.run(jobs=jobs, store=args.store, progress=True)
+    if result.tasks and all(t.experiment == "table1" for t in result.tasks):
+        from repro.sim.results import format_table1
+
+        print(format_table1(result.table1_rows()))
+    elif result.tasks and all(t.experiment == "figure1" for t in result.tasks):
+        from repro.sim.results import format_figure1
+
+        print(format_figure1(result.figure1_points()))
+    else:
+        print(result.format_table())
+    if args.csv:
+        import csv
+
+        rows = [
+            {
+                "uid": p.uid, "method": p.method, "scheme": p.scheme,
+                "alpha": p.alpha, "s": p.s, "d": p.d, "n": p.n,
+                **{m: getattr(p.stats, m) for m in result.metrics},
+            }
+            for p in result.points()
+        ]
+        with open(args.csv, "w", newline="") as fh:
+            writer = csv.DictWriter(fh, fieldnames=list(rows[0]) if rows else [])
+            writer.writeheader()
+            writer.writerows(rows)
+    return 0
+
+
+def _cmd_report(parser: argparse.ArgumentParser, args: argparse.Namespace) -> int:
+    import json
+    import pathlib
+
+    from repro.api.report import format_summary, summarize_store
+    from repro.campaign.store import StoreError
+
+    if not pathlib.Path(args.store).exists():
+        parser.error(f"no such store: {args.store}")
+    try:
+        summary = summarize_store(args.store)
+    except StoreError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    if args.json:
+        print(json.dumps(summary.to_dict(), indent=2))
+    else:
+        print(format_summary(summary))
+    return 0
+
+
+# ----------------------------------------------------------------------
+# entry points
+# ----------------------------------------------------------------------
+def main(argv: "list[str] | None" = None) -> int:
+    """Parse and dispatch; returns an exit code.
+
+    Bare invocation prints the banner plus usage and exits 0; argparse
+    exits (``--help`` → 0, usage errors → 2) are translated to return
+    codes so callers never have to catch ``SystemExit``.
+    """
+    argv = sys.argv[1:] if argv is None else list(argv)
+    parser = build_parser()
+    if not argv:
+        print(_banner() + "\n")
+        parser.print_help()
+        return 0
+    try:
+        args = parser.parse_args(argv)
+    except SystemExit as exc:
+        return _exit_code(exc)
+    if getattr(args, "func", None) is None:
+        parser.print_help()
+        return 0
+    try:
+        return args.func(parser, args)
+    except SystemExit as exc:  # parser.error() inside a subcommand
+        return _exit_code(exc)
+
+
+def _exit_code(exc: SystemExit) -> int:
+    if exc.code is None:
+        return 0
+    if isinstance(exc.code, int):
+        return exc.code
+    print(exc.code, file=sys.stderr)
+    return 1
+
+
+def entry() -> None:  # pragma: no cover - exercised via the console script
+    """Console-script entry point with BrokenPipeError etiquette."""
+    try:
+        raise SystemExit(main())
+    except BrokenPipeError:
+        # Downstream pager/head closed the pipe — standard CLI etiquette.
+        raise SystemExit(0)

@@ -1,0 +1,120 @@
+"""Reporting over campaign result stores (``repro report``).
+
+A campaign's JSONL store is its durable record: one line per completed
+task, carrying the task's full parameters and aggregated statistics.
+This module folds a store into a human-readable summary — one line per
+(experiment, method, scheme) group with task counts, repetition
+totals, time and convergence aggregates — without re-running anything.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+
+from repro.campaign.store import ResultStore
+
+__all__ = ["GroupSummary", "StoreSummary", "summarize_store", "format_summary"]
+
+
+@dataclass(frozen=True)
+class GroupSummary:
+    """Aggregate of one (experiment, method, scheme) group of records."""
+
+    experiment: str
+    method: str
+    scheme: str
+    tasks: int
+    reps: int  #: total repetitions across the group's tasks
+    mean_time: float  #: average of per-task mean simulated times
+    min_time: float
+    max_time: float
+    convergence_rate: float  #: rep-weighted average convergence rate
+
+
+@dataclass(frozen=True)
+class StoreSummary:
+    """Everything ``repro report`` prints about one store."""
+
+    path: str
+    records: int  #: parseable task records in the store
+    skipped: int  #: records without usable statistics (foreign schema)
+    groups: "list[GroupSummary]"
+
+    def to_dict(self) -> dict:
+        from dataclasses import asdict
+
+        return asdict(self)
+
+
+def summarize_store(path: "str | os.PathLike[str]") -> StoreSummary:
+    """Load a JSONL result store and fold it into a :class:`StoreSummary`.
+
+    Records missing the executor's ``task``/``stats`` schema (for
+    example hand-written entries) are counted as ``skipped`` rather
+    than failing the whole report.
+    """
+    records = ResultStore(path).load()
+    groups: "dict[tuple[str, str, str], list[dict]]" = {}
+    skipped = 0
+    needed = ("mean_time", "min_time", "max_time", "convergence_rate", "reps")
+    for rec in records.values():
+        task = rec.get("task")
+        stats = rec.get("stats")
+        if not isinstance(task, dict) or not isinstance(stats, dict) \
+                or any(k not in stats for k in needed):
+            skipped += 1
+            continue
+        key = (
+            str(task.get("experiment", "?")),
+            str(task.get("method", "cg")),
+            str(task.get("scheme", "?")),
+        )
+        groups.setdefault(key, []).append(rec)
+
+    summaries: "list[GroupSummary]" = []
+    for (experiment, method, scheme), recs in sorted(groups.items()):
+        stats = [r["stats"] for r in recs]
+        reps = sum(s["reps"] for s in stats)
+        summaries.append(
+            GroupSummary(
+                experiment=experiment,
+                method=method,
+                scheme=scheme,
+                tasks=len(recs),
+                reps=reps,
+                mean_time=sum(s["mean_time"] for s in stats) / len(stats),
+                min_time=min(s["min_time"] for s in stats),
+                max_time=max(s["max_time"] for s in stats),
+                convergence_rate=(
+                    sum(s["convergence_rate"] * s["reps"] for s in stats) / reps
+                    if reps
+                    else 0.0
+                ),
+            )
+        )
+    return StoreSummary(
+        path=str(path), records=len(records), skipped=skipped, groups=summaries
+    )
+
+
+def format_summary(summary: StoreSummary) -> str:
+    """Render a :class:`StoreSummary` as an aligned text table."""
+    lines = [
+        f"store: {summary.path}",
+        f"records: {summary.records}"
+        + (f" ({summary.skipped} without usable statistics)" if summary.skipped else ""),
+    ]
+    if summary.groups:
+        head = (
+            f"{'experiment':>16} {'method':>9} {'scheme':>17} {'tasks':>6} "
+            f"{'reps':>6} {'mean_t':>9} {'min_t':>9} {'max_t':>9} {'conv%':>6}"
+        )
+        lines += ["", head, "-" * len(head)]
+        for g in summary.groups:
+            lines.append(
+                f"{g.experiment:>16} {g.method:>9} {g.scheme:>17} {g.tasks:>6} "
+                f"{g.reps:>6} {g.mean_time:>9.2f} {g.min_time:>9.2f} "
+                f"{g.max_time:>9.2f} {g.convergence_rate * 100:>6.1f}"
+            )
+    return "\n".join(lines) + "\n"

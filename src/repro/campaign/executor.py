@@ -72,7 +72,7 @@ def execute_task(task: TaskSpec) -> dict:
     b = make_rhs(a)
     costs = CostModel.from_matrix(a)
     cfg = SchemeConfig(
-        Scheme(task.scheme),
+        Scheme.parse(task.scheme),
         checkpoint_interval=task.s,
         verification_interval=task.d,
         costs=costs,

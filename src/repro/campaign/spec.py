@@ -83,9 +83,10 @@ class TaskSpec:
             raise ValueError(f"d must be >= 1, got {self.d}")
         if self.reps < 1:
             raise ValueError(f"reps must be >= 1, got {self.reps}")
-        from repro.core.methods import Method
+        from repro.core.methods import Method, Scheme
 
         Method.parse(self.method)  # raises on an unknown solver
+        Scheme.parse(self.scheme)  # raises on an unknown scheme
 
     def task_hash(self) -> str:
         """Content hash identifying this task across processes and runs.
@@ -103,6 +104,18 @@ class TaskSpec:
         out = {f.name: getattr(self, f.name) for f in fields(self)}
         out["labels"] = list(self.labels)
         return out
+
+    @classmethod
+    def from_json(cls, data: dict) -> "TaskSpec":
+        """Invert :meth:`to_json`; the round trip preserves the task hash
+        (labels come back as the original tuple, floats exactly)."""
+        kwargs = dict(data)
+        kwargs["labels"] = tuple(kwargs.get("labels", ()))
+        known = {f.name for f in fields(cls)}
+        unknown = set(kwargs) - known
+        if unknown:
+            raise ValueError(f"unknown TaskSpec fields: {sorted(unknown)}")
+        return cls(**kwargs)
 
 
 @dataclass(frozen=True)

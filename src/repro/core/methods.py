@@ -43,6 +43,18 @@ class Scheme(enum.Enum):
         """Whether the SpMxV is checksum-protected."""
         return self is not Scheme.ONLINE_DETECTION
 
+    @classmethod
+    def parse(cls, value: "Scheme | str") -> "Scheme":
+        """Coerce a scheme name (``"online-detection"``/``"abft-detection"``/
+        ``"abft-correction"``), with a helpful error listing valid values."""
+        if isinstance(value, Scheme):
+            return value
+        try:
+            return cls(str(value).lower())
+        except ValueError:
+            known = ", ".join(s.value for s in cls)
+            raise ValueError(f"unknown scheme {value!r} (expected one of: {known})") from None
+
     @property
     def corrects(self) -> bool:
         """Whether single errors are forward-corrected."""

@@ -31,6 +31,7 @@ accounting order and the injector registration order are preserved.
 from __future__ import annotations
 
 import time as _time
+from typing import Callable
 
 import numpy as np
 
@@ -329,6 +330,7 @@ def run_protected(
     max_time_units: "float | None" = None,
     event_log: "EventLog | None" = None,
     final_check: bool = True,
+    observer: "Callable[[EngineContext], None] | None" = None,
 ) -> SolveResult:
     """Run one recurrence plugin under silent-error injection.
 
@@ -359,6 +361,13 @@ def run_protected(
         Reliably re-verify the residual on apparent convergence and
         keep iterating if it is bogus (recommended; disable only to
         study undetected-error impact).
+    observer:
+        Optional callable invoked with the :class:`EngineContext` once
+        per executed iteration (after the step and any recovery).  Pure
+        observation — it must not mutate engine or plugin state; it
+        consumes no RNG and charges no time, so passing one cannot
+        change a trajectory.  Used by :func:`repro.api.solve` to record
+        the convergence history.
 
     Returns
     -------
@@ -414,6 +423,8 @@ def run_protected(
         if outcome.rolled_back:
             ctx.rollback(outcome.reason)
             converged = False
+            if observer is not None:
+                observer(ctx)
             continue
         if outcome.converged:
             converged = True
@@ -429,6 +440,8 @@ def run_protected(
             else:
                 ctx.rollback("final-check")
             converged = False
+        if observer is not None:
+            observer(ctx)
 
     # Work executed since the last checkpoint but never rolled back
     # counts as useful (the run ends with it in the solution).

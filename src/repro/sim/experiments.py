@@ -19,13 +19,13 @@ larger values shrink matrices for laptop-speed sweeps while preserving
 per-row density.  ``python -m repro.sim.experiments --help`` runs them
 from the command line.
 
-Execution goes through the campaign engine (:mod:`repro.campaign`):
-the grid of independent (method, matrix, scheme, α, interval) points
-is expanded into content-hashable tasks, fanned out over ``jobs`` worker
-processes, optionally persisted to a JSONL ``store`` for crash-safe
-resume, and re-aggregated into the same rows/points the old serial
-loops produced.  Seeding depends only on task identity, so any
-``jobs`` setting is bit-identical to ``jobs=1``.
+Both drivers are thin :class:`repro.api.study.Study` definitions: the
+preset ``Study.table1()`` / ``Study.figure1()`` grids expand to the
+same content-hashable tasks the serial loops used to iterate, execute
+through the campaign engine (``jobs`` fan-out, JSONL ``store``,
+resume), and aggregate back into the same rows/points.  Seeding
+depends only on task identity, so any ``jobs`` setting is
+bit-identical to ``jobs=1``.
 """
 
 from __future__ import annotations
@@ -46,6 +46,7 @@ __all__ = [
     "run_table1",
     "run_figure1",
     "model_interval_for",
+    "resolve_intervals",
     "default_s_grid",
     "MODEL_S_MAX",
     "DEFAULT_MTBF_VALUES",
@@ -86,6 +87,52 @@ def model_interval_for(
     return model.optimal(s_max=s_max).s, 1
 
 
+def resolve_intervals(
+    scheme: Scheme,
+    alpha: float,
+    costs,
+    *,
+    s: "int | str" = "auto",
+    d: "int | str" = "auto",
+    s_max: int = MODEL_S_MAX,
+    default_s: int = 10,
+    recommend: bool = False,
+) -> "tuple[int, int, int | None]":
+    """Resolve ``"auto"`` checkpoint/verification intervals for one run.
+
+    The single statement of the auto-interval policy shared by
+    :func:`repro.api.solve` and :class:`repro.api.study.Study`:
+    ``s="auto"`` takes the Eq.-6/Chen model optimum (``default_s`` when
+    injection is off and the model is moot); ``d="auto"`` takes Chen's
+    value for ONLINE-DETECTION and 1 for the ABFT schemes.
+
+    Returns ``(s, d, s_model)`` with ``s_model`` the model's
+    recommendation.  The model is only evaluated when an interval
+    actually needs it (or ``recommend`` forces it for reporting) and
+    ``alpha > 0`` — otherwise ``s_model`` is ``None``.  ``costs`` may
+    be a :class:`~repro.core.methods.CostModel` or a zero-argument
+    callable producing one, evaluated only if the model runs (so
+    callers can defer a matrix build that pinned intervals never need).
+    """
+    needs_model = (
+        recommend or s == "auto" or (d == "auto" and scheme is Scheme.ONLINE_DETECTION)
+    )
+    rec_s: "int | None" = None
+    rec_d: "int | None" = None
+    if alpha > 0 and needs_model:
+        if callable(costs):
+            costs = costs()
+        rec_s, rec_d = model_interval_for(scheme, alpha, costs, s_max=s_max)
+    out_s = s if isinstance(s, int) else (rec_s if rec_s is not None else default_s)
+    if isinstance(d, int):
+        out_d = d
+    elif scheme is Scheme.ONLINE_DETECTION and rec_d is not None:
+        out_d = rec_d
+    else:
+        out_d = 1
+    return out_s, out_d, rec_s
+
+
 def default_s_grid(s_center: int, *, span: int = 6, s_max: int = 60) -> list[int]:
     """Interval sweep grid around the model prediction.
 
@@ -123,24 +170,19 @@ def run_table1(
     ``progress`` prints a throughput/ETA line to stderr; ``methods``
     opens the solver axis (default: classic CG only).
     """
-    from repro.campaign import CampaignSpec, aggregate_table1, run_campaign
+    from repro.api.study import Study
 
-    spec = CampaignSpec(
-        kind="table1",
+    study = Study.table1(
         scale=scale,
         reps=reps,
-        uids=tuple(uids) if uids is not None else None,
         alpha=alpha,
+        uids=uids,
         eps=eps,
         base_seed=base_seed,
         s_span=s_span,
-        methods=tuple(methods) if methods is not None else ("cg",),
+        methods=methods,
     )
-    tasks = spec.expand()
-    records = run_campaign(
-        tasks, jobs=jobs, store=store, progress=_reporter(progress, tasks, "table1")
-    )
-    return aggregate_table1(tasks, records)
+    return _run_study(study, jobs, store, progress).table1_rows()
 
 
 def run_figure1(
@@ -164,127 +206,40 @@ def run_figure1(
     contribute only the two ABFT series — Chen's ONLINE-DETECTION is
     CG-specific).
     """
-    from repro.campaign import CampaignSpec, aggregate_figure1, run_campaign
+    from repro.api.study import Study
 
-    spec = CampaignSpec(
-        kind="figure1",
+    study = Study.figure1(
         scale=scale,
         reps=reps,
-        uids=tuple(uids) if uids is not None else None,
-        mtbf_values=tuple(mtbf_values) if mtbf_values is not None else None,
+        mtbf_values=mtbf_values,
+        uids=uids,
         eps=eps,
         base_seed=base_seed,
-        methods=tuple(methods) if methods is not None else ("cg",),
+        methods=methods,
     )
-    tasks = spec.expand()
-    records = run_campaign(
-        tasks, jobs=jobs, store=store, progress=_reporter(progress, tasks, "figure1")
-    )
-    return aggregate_figure1(tasks, records)
+    return _run_study(study, jobs, store, progress).figure1_points()
 
 
-def _reporter(enabled: bool, tasks: list, label: str):
-    """Stderr progress reporter when requested, else None."""
-    if not enabled:
-        return None
-    import sys
+def _run_study(study, jobs, store, progress):
+    """Execute a preset study with the drivers' store/progress plumbing.
 
-    from repro.campaign import ProgressReporter
-
-    return ProgressReporter(len(tasks), stream=sys.stderr, label=label)
+    Accepts a pre-built :class:`~repro.campaign.store.ResultStore` as
+    well as a path (the drivers' historical contract), which
+    :meth:`Study.run` forwards to the campaign executor untouched.
+    """
+    return study.run(jobs=jobs, store=store, progress=bool(progress))
 
 
 def _main(argv: "list[str] | None" = None) -> int:
-    """Command-line entry: ``python -m repro.sim.experiments ...``."""
-    import argparse
+    """Command-line entry: ``python -m repro.sim.experiments ...``.
 
-    from repro.sim.results import format_figure1, format_table1, to_csv
+    Kept as a back-compat alias of the ``repro`` subcommand CLI
+    (:mod:`repro.api.cli`): ``table1``/``figure1`` plus their flags
+    parse identically there.
+    """
+    from repro.api.cli import main
 
-    parser = argparse.ArgumentParser(
-        prog="repro.sim.experiments",
-        description="Regenerate the paper's Table 1 / Figure 1",
-    )
-    parser.add_argument("experiment", choices=["table1", "figure1"])
-    parser.add_argument("--scale", type=int, default=16, help="matrix size divisor (1 = paper scale)")
-    parser.add_argument("--reps", type=int, default=10, help="repetitions per point (paper: 50)")
-    parser.add_argument("--uids", type=int, nargs="*", default=None, help="subset of matrix ids")
-    parser.add_argument("--eps", type=float, default=1e-6, help="CG stopping epsilon")
-    parser.add_argument("--base-seed", type=int, default=2015, help="campaign base seed")
-    parser.add_argument(
-        "--s-span", type=int, default=6,
-        help="(table1) interval-sweep half-width around the model prediction",
-    )
-    parser.add_argument(
-        "--method", type=str, default="cg", metavar="M1,M2,...",
-        help="comma-separated solver axis: cg, bicgstab, pcg (default: cg)",
-    )
-    parser.add_argument(
-        "--jobs", type=int, default=None,
-        help="parallel worker processes (default: all cores; 1 = serial)",
-    )
-    parser.add_argument(
-        "--store", type=str, default=None,
-        help="JSONL result store for crash-safe persistence / resume",
-    )
-    parser.add_argument(
-        "--resume", action="store_true",
-        help="reuse finished tasks from --store instead of starting fresh",
-    )
-    parser.add_argument("--csv", type=str, default=None, help="also dump raw rows to CSV")
-    parser.add_argument("--paper-scale", action="store_true", help="scale=1, reps=50 (slow)")
-    args = parser.parse_args(argv)
-    if args.paper_scale:
-        args.scale, args.reps = 1, 50
-
-    if args.jobs is not None and args.jobs < 1:
-        parser.error(f"--jobs must be >= 1, got {args.jobs}")
-    if args.s_span < 0:
-        parser.error(f"--s-span must be >= 0, got {args.s_span}")
-    from repro.core.methods import Method
-
-    try:
-        methods = [Method.parse(m).value for m in args.method.split(",") if m.strip()]
-    except ValueError as exc:
-        parser.error(str(exc))
-    if not methods:
-        parser.error("--method must name at least one solver")
-    if args.resume and not args.store:
-        parser.error("--resume requires --store")
-    if args.store and not args.resume:
-        import pathlib
-
-        p = pathlib.Path(args.store)
-        if p.exists() and p.stat().st_size > 0:
-            parser.error(
-                f"store {args.store!r} already has results; "
-                "pass --resume to continue it or remove the file to start fresh"
-            )
-
-    from repro.campaign import default_jobs
-
-    jobs = default_jobs() if args.jobs is None else args.jobs
-    common = dict(
-        scale=args.scale,
-        reps=args.reps,
-        uids=args.uids,
-        eps=args.eps,
-        base_seed=args.base_seed,
-        jobs=jobs,
-        store=args.store,
-        progress=True,
-        methods=methods,
-    )
-    if args.experiment == "table1":
-        rows = run_table1(s_span=args.s_span, **common)
-        print(format_table1(rows))
-        if args.csv:
-            to_csv(rows, args.csv)
-    else:
-        pts = run_figure1(**common)
-        print(format_figure1(pts))
-        if args.csv:
-            to_csv(pts, args.csv)
-    return 0
+    return main(argv)
 
 
 if __name__ == "__main__":  # pragma: no cover

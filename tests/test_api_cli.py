@@ -1,0 +1,225 @@
+"""The ``repro`` subcommand CLI: exit codes, help, end-to-end flows."""
+
+import json
+
+import pytest
+
+from repro import Study
+from repro.api.cli import main
+from repro.campaign import ResultStore
+
+
+class TestHelpAndDispatch:
+    def test_help_exits_zero_with_usage_on_stdout(self, capsys):
+        assert main(["--help"]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("usage: repro")
+        for sub in ("solve", "table1", "figure1", "study", "report"):
+            assert sub in out
+
+    def test_h_short_flag(self, capsys):
+        assert main(["-h"]) == 0
+        assert "usage: repro" in capsys.readouterr().out
+
+    def test_subcommand_help_exits_zero(self, capsys):
+        for sub in ("solve", "table1", "figure1", "report"):
+            assert main([sub, "--help"]) == 0
+            assert "usage: repro" in capsys.readouterr().out
+
+    def test_bare_invocation_prints_banner_and_usage(self, capsys):
+        assert main([]) == 0
+        out = capsys.readouterr().out
+        assert "repro" in out and "PDSEC 2015" in out and "usage:" in out
+
+    def test_unknown_subcommand_exits_2(self, capsys):
+        assert main(["tabel1"]) == 2
+        err = capsys.readouterr().err
+        assert "invalid choice" in err and "tabel1" in err
+
+    def test_unknown_flag_exits_2(self, capsys):
+        assert main(["table1", "--such-flag"]) == 2
+        assert "usage:" in capsys.readouterr().err
+
+    def test_version(self, capsys):
+        import repro
+
+        assert main(["--version"]) == 0
+        assert repro.__version__ in capsys.readouterr().out
+
+
+class TestSolveCommand:
+    def test_solve_suite_matrix(self, capsys):
+        rc = main(["solve", "--scale", "48", "--seed", "7"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "converged" in out and "abft-correction" in out
+
+    def test_solve_generated_system_json(self, capsys):
+        rc = main(["solve", "--n", "400", "--method", "pcg", "--json"])
+        assert rc == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["converged"] is True
+        assert data["method"] == "pcg"
+        assert data["n"] == 400  # stencil grids land on perfect squares
+
+    def test_solve_pinned_interval(self, capsys):
+        rc = main(["solve", "--scale", "48", "--interval", "5", "--json"])
+        assert rc == 0
+        assert json.loads(capsys.readouterr().out)["checkpoint_interval"] == 5
+
+    def test_solve_bad_method_exits_2(self, capsys):
+        assert main(["solve", "--method", "gmres"]) == 2
+        assert "cg, bicgstab, pcg" in capsys.readouterr().err
+
+    def test_solve_bad_scheme_exits_2(self, capsys):
+        assert main(["solve", "--scheme", "abft"]) == 2
+        assert "abft-correction" in capsys.readouterr().err
+
+    def test_solve_bad_combo_exits_2(self, capsys):
+        assert main(["solve", "--method", "pcg", "--scheme", "online-detection"]) == 2
+        assert "does not support" in capsys.readouterr().err
+
+    def test_solve_bad_interval_exits_2(self, capsys):
+        assert main(["solve", "--interval", "soon"]) == 2
+        assert "--interval" in capsys.readouterr().err
+
+    def test_solve_unknown_uid_exits_2(self, capsys):
+        assert main(["solve", "--uid", "999"]) == 2
+        assert "unknown matrix ids" in capsys.readouterr().err
+
+
+class TestExperimentCommands:
+    def test_table1_smoke(self, capsys):
+        rc = main(["table1", "--scale", "48", "--reps", "1", "--uids", "2213",
+                   "--s-span", "1", "--jobs", "1"])
+        assert rc == 0
+        assert "2213" in capsys.readouterr().out
+
+    def test_figure1_custom_mtbf(self, capsys):
+        rc = main(["figure1", "--scale", "48", "--reps", "1", "--uids", "2213",
+                   "--mtbf", "16", "500", "--jobs", "1"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "Matrix #2213" in out and "1/alpha" in out
+
+    def test_invalid_jobs_exits_2(self, capsys):
+        assert main(["table1", "--jobs", "0"]) == 2
+        assert "--jobs" in capsys.readouterr().err
+
+    def test_bad_method_exits_2(self, capsys):
+        assert main(["table1", "--method", "cg,gmres"]) == 2
+        assert "unknown method" in capsys.readouterr().err
+
+
+class TestStudyCommand:
+    @pytest.fixture()
+    def spec(self, tmp_path):
+        path = tmp_path / "study.json"
+        (Study("cli-sweep")
+         .axis("s", [2, 4])
+         .fix(uid=2213, scale=48, reps=1, alpha=1 / 16.0)).save(path)
+        return path
+
+    def test_dry_run_lists_tasks(self, spec, capsys):
+        assert main(["study", "run", str(spec), "--dry-run"]) == 0
+        out = capsys.readouterr().out
+        assert "2 tasks" in out and "uid=2213" in out
+
+    def test_missing_action_exits_2(self, capsys):
+        assert main(["study"]) == 2
+        assert "study run" in capsys.readouterr().err
+
+    def test_unreadable_spec_exits_2(self, tmp_path, capsys):
+        assert main(["study", "run", str(tmp_path / "nope.json")]) == 2
+        assert "cannot load" in capsys.readouterr().err
+
+    def test_run_and_resume_round_trip(self, spec, tmp_path, capsys):
+        # The satellite acceptance flow: export a Study to JSON, run it
+        # with a store, re-run with --resume — everything must come
+        # from the cache (store unchanged, identical output).
+        store = tmp_path / "study.jsonl"
+        rc = main(["study", "run", str(spec), "--store", str(store), "--jobs", "1"])
+        assert rc == 0
+        first_out = capsys.readouterr().out
+        stored = store.read_text()
+        assert len(ResultStore(store).load()) == 2
+
+        rc = main(["study", "run", str(spec), "--store", str(store),
+                   "--resume", "--jobs", "1"])
+        assert rc == 0
+        assert capsys.readouterr().out == first_out
+        assert store.read_text() == stored  # zero recomputation
+
+    def test_store_clobber_refused(self, spec, tmp_path, capsys):
+        store = tmp_path / "study.jsonl"
+        store.write_text('{"hash": "x"}\n')
+        assert main(["study", "run", str(spec), "--store", str(store)]) == 2
+        assert "--resume" in capsys.readouterr().err
+
+    def test_csv_export(self, spec, tmp_path, capsys):
+        csv_path = tmp_path / "points.csv"
+        rc = main(["study", "run", str(spec), "--jobs", "1", "--csv", str(csv_path)])
+        assert rc == 0
+        capsys.readouterr()
+        content = csv_path.read_text()
+        assert "mean_time" in content.splitlines()[0]
+        assert len(content.splitlines()) == 3  # header + 2 points
+
+
+class TestReportCommand:
+    @pytest.fixture()
+    def store(self, tmp_path):
+        path = tmp_path / "campaign.jsonl"
+        study = Study("rep").axis("s", [2, 4]).fix(uid=2213, scale=48, reps=1)
+        study.run(jobs=1, store=path)
+        return path
+
+    def test_report_summarizes_groups(self, store, capsys):
+        assert main(["report", str(store)]) == 0
+        out = capsys.readouterr().out
+        assert "records: 2" in out
+        assert "study:rep" in out and "abft-correction" in out
+
+    def test_report_json(self, store, capsys):
+        assert main(["report", str(store), "--json"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["records"] == 2
+        assert data["groups"][0]["scheme"] == "abft-correction"
+        assert data["groups"][0]["tasks"] == 2
+
+    def test_report_counts_foreign_records(self, store, capsys):
+        with open(store, "a") as fh:
+            fh.write('{"hash": "handmade"}\n')
+            # Partial stats (mean_time but no min/max/convergence) must
+            # also be skipped, not crash the aggregation.
+            fh.write('{"hash": "partial", "task": {}, '
+                     '"stats": {"mean_time": 1.0, "reps": 1}}\n')
+        assert main(["report", str(store)]) == 0
+        assert "2 without usable statistics" in capsys.readouterr().out
+
+    def test_report_missing_store_exits_2(self, tmp_path, capsys):
+        assert main(["report", str(tmp_path / "nope.jsonl")]) == 2
+        assert "no such store" in capsys.readouterr().err
+
+    def test_report_corrupt_store_exits_1(self, tmp_path, capsys):
+        path = tmp_path / "bad.jsonl"
+        path.write_text("not json at all\n")
+        assert main(["report", str(path)]) == 1
+        assert "corrupt" in capsys.readouterr().err
+
+
+class TestModuleEntryCompat:
+    def test_python_m_repro_still_routes_table1(self, capsys):
+        from repro.__main__ import main as module_main
+
+        rc = module_main(["table1", "--scale", "48", "--reps", "1",
+                          "--uids", "2213", "--s-span", "1", "--jobs", "1"])
+        assert rc == 0
+        assert "2213" in capsys.readouterr().out
+
+    def test_experiments_main_is_cli_alias(self, capsys):
+        from repro.sim.experiments import _main
+
+        assert _main(["figure1", "--scale", "48", "--reps", "1", "--uids", "2213",
+                      "--mtbf", "16", "--jobs", "1"]) == 0
+        assert "Matrix #2213" in capsys.readouterr().out

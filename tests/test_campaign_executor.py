@@ -112,9 +112,13 @@ class TestExecutorContract:
         # worker): the error must propagate, the campaign must not
         # hang, and whatever finished must land in a loadable store
         # for --resume rather than being silently discarded.
-        import dataclasses
+        # TaskSpec validates the scheme at construction now, so the
+        # poison has to bypass the frozen dataclass to model a task
+        # corrupted after validation (e.g. a hand-edited spec file).
+        import copy
 
-        bad = dataclasses.replace(small_tasks[0], scheme="no-such-scheme")
+        bad = copy.copy(small_tasks[0])
+        object.__setattr__(bad, "scheme", "no-such-scheme")
         tasks = [bad] + list(small_tasks[1:5])
         store = ResultStore(tmp_path / "fail.jsonl")
         with pytest.raises(ValueError):
@@ -194,33 +198,34 @@ class TestCli:
         assert ResultStore(store).load() == done
         assert sum(1 for _ in open(store)) == len(done)
 
-    def test_cli_refuses_clobbering_store(self, tmp_path):
+    def test_cli_refuses_clobbering_store(self, tmp_path, capsys):
         from repro.sim.experiments import _main
 
         store = tmp_path / "cli.jsonl"
         store.write_text('{"hash": "x"}\n')
-        with pytest.raises(SystemExit):
-            _main(["table1", "--store", str(store)])
+        assert _main(["table1", "--store", str(store)]) == 2
+        assert "--resume" in capsys.readouterr().err
 
-    def test_cli_resume_requires_store(self):
+    def test_cli_resume_requires_store(self, capsys):
         from repro.sim.experiments import _main
 
-        with pytest.raises(SystemExit):
-            _main(["table1", "--resume"])
+        assert _main(["table1", "--resume"]) == 2
+        assert "--resume requires --store" in capsys.readouterr().err
 
     def test_unknown_subcommand_fails_nonzero(self, capsys):
         from repro.__main__ import main
 
         assert main(["tabl1"]) == 2
         err = capsys.readouterr().err
-        assert "unknown subcommand" in err and "tabl1" in err
+        assert "invalid choice" in err and "tabl1" in err
         assert main([]) == 0  # bare invocation still prints the banner
+        assert "table1" in capsys.readouterr().out
 
-    def test_cli_negative_s_span_rejected(self):
+    def test_cli_negative_s_span_rejected(self, capsys):
         from repro.sim.experiments import _main
 
-        with pytest.raises(SystemExit):
-            _main(["table1", "--s-span", "-3"])
+        assert _main(["table1", "--s-span", "-3"]) == 2
+        assert "--s-span" in capsys.readouterr().err
 
     def test_cli_base_seed_changes_results(self, capsys):
         from repro.sim.experiments import _main

@@ -47,6 +47,27 @@ class TestTaskSpec:
             TaskSpec("table1", uid=1, scale=1, scheme="abft-detection",
                      alpha=0.1, s=1, method="gmres")
 
+    def test_unknown_scheme_rejected(self):
+        with pytest.raises(ValueError, match="unknown scheme"):
+            TaskSpec("table1", uid=1, scale=1, scheme="abft",
+                     alpha=0.1, s=1)
+
+    def test_from_json_inverts_to_json(self):
+        t = TaskSpec("figure1", uid=341, scale=16, scheme="online-detection",
+                     alpha=0.01, s=9, d=3, labels=("figure1", 341, 100.0),
+                     method="cg")
+        clone = TaskSpec.from_json(t.to_json())
+        assert clone == t
+        assert clone.task_hash() == t.task_hash()
+
+    def test_from_json_rejects_unknown_fields(self):
+        t = TaskSpec("table1", uid=1, scale=1, scheme="abft-detection",
+                     alpha=0.1, s=1)
+        data = t.to_json()
+        data["solver"] = "cg"
+        with pytest.raises(ValueError, match="unknown TaskSpec fields"):
+            TaskSpec.from_json(data)
+
     def test_validation(self):
         with pytest.raises(ValueError):
             TaskSpec("table1", uid=1, scale=1, scheme="abft-detection",

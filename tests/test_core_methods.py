@@ -13,6 +13,34 @@ class TestScheme:
         assert Scheme.ABFT_CORRECTION.corrects
         assert not Scheme.ABFT_DETECTION.corrects
 
+    def test_parse_accepts_strings_and_members(self):
+        assert Scheme.parse("abft-correction") is Scheme.ABFT_CORRECTION
+        assert Scheme.parse("ABFT-Detection") is Scheme.ABFT_DETECTION
+        assert Scheme.parse(Scheme.ONLINE_DETECTION) is Scheme.ONLINE_DETECTION
+
+    def test_parse_error_lists_valid_values(self):
+        with pytest.raises(ValueError) as excinfo:
+            Scheme.parse("abft")
+        msg = str(excinfo.value)
+        assert "abft" in msg
+        for s in Scheme:
+            assert s.value in msg
+
+
+class TestMethodParse:
+    def test_parse_accepts_strings_and_members(self):
+        from repro.core import Method
+
+        assert Method.parse("cg") is Method.CG
+        assert Method.parse("PCG") is Method.PCG
+        assert Method.parse(Method.BICGSTAB) is Method.BICGSTAB
+
+    def test_parse_error_lists_valid_values(self):
+        from repro.core import Method
+
+        with pytest.raises(ValueError, match="cg, bicgstab, pcg"):
+            Method.parse("gmres")
+
 
 class TestCostModel:
     def test_defaults_ordering(self):
