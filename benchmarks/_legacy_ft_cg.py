@@ -1,8 +1,13 @@
 """Frozen pre-refactor FT-CG driver (PR-1 tree), kept verbatim for
-``benchmarks/bench_resilience.py``: the engine-based ``run_ft_cg`` is
-benchmarked against this monolith to confirm the resilience-engine
-refactor added no overhead.  Do not modernize this file — its value is
-being the exact code the golden trajectories were captured from.
+``benchmarks/bench_resilience.py`` and ``benchmarks/bench_hotpath.py``:
+the engine-based ``run_ft_cg`` is benchmarked against this monolith to
+confirm the resilience-engine refactor added no overhead, and the
+workspace hot path against the full seed stack to measure what it
+bought.  Do not modernize this file — its value is being the exact code
+the golden trajectories were captured from.  The SpMxV/ABFT kernels are
+likewise the *frozen seed* versions (``benchmarks/_seed_kernels.py``):
+the zero-copy-hot-path PR made the live kernels themselves faster, so
+importing them here would silently flatter the baseline.
 """
 
 from __future__ import annotations
@@ -12,9 +17,12 @@ import time as _time
 import numpy as np
 
 from repro.sparse.csr import CSRMatrix
-from repro.sparse.spmv import spmv
 from repro.abft.checksums import compute_checksums
-from repro.abft.spmv import protected_spmv, SpmvStatus
+from benchmarks._seed_kernels import (
+    seed_spmv as spmv,
+    seed_protected_spmv as protected_spmv,
+    SpmvStatus,
+)
 from repro.checkpoint.store import CheckpointStore
 from repro.checkpoint.policy import PeriodicCheckpointPolicy
 from repro.core.cg import cg_tolerance_threshold

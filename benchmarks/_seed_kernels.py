@@ -1,0 +1,629 @@
+"""Frozen *seed* hot-path kernels (pre-PR-4 tree), for benchmarking.
+
+Concatenated verbatim from the seed versions of ``sparse/spmv.py``,
+``abft/spmv.py`` and ``abft/correction.py`` (only the imports between
+the three fragments are rewired so they call each other instead of the
+live tree).  ``benchmarks/bench_hotpath.py`` runs the frozen legacy
+FT-CG driver on these kernels to measure exactly what the zero-copy
+hot path bought over the seed, with bit-identical trajectories as the
+precondition.  Do not modernize this file — its value is being the
+exact code (and hence the exact wall-clock profile) of the seed.
+"""
+
+# ruff: noqa
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from repro.sparse.csr import CSRMatrix
+from repro.abft.checksums import SpmvChecksums, compute_checksums
+
+__all__ = ["seed_spmv", "seed_protected_spmv", "SpmvStatus"]
+
+
+# ======================================================================
+# seed sparse/spmv.py
+# ======================================================================
+def seed_spmv(a: CSRMatrix, x: np.ndarray) -> np.ndarray:
+    """Vectorized CSR SpMxV.
+
+    Parameters
+    ----------
+    a:
+        The matrix.  May be structurally corrupted (out-of-range column
+        indices are clipped into range to emulate a wild read, matching
+        what the reference kernel would fault on — see Notes).
+    x:
+        Dense input vector of length ``a.ncols``.
+
+    Notes
+    -----
+    When a bit flip corrupts ``colid`` or ``rowidx``, a C kernel would
+    read out-of-bounds memory.  To keep the simulation memory-safe while
+    still producing a *wrong* answer for ABFT to catch, indices are
+    taken modulo the valid range.  A flag in the result is unnecessary:
+    ABFT's checksums are the detection mechanism under study.
+    """
+    x = np.asarray(x, dtype=np.float64)
+    if x.shape != (a.ncols,):
+        raise ValueError(f"x must have shape ({a.ncols},), got {x.shape}")
+    n = a.nrows
+    y = np.zeros(n, dtype=np.float64)
+    if a.nnz == 0:
+        return y
+
+    colid = a.colid
+    # Memory-safe emulation of wild reads caused by corrupted indices.
+    if colid.size and (colid.min() < 0 or colid.max() >= a.ncols):
+        colid = np.mod(colid, a.ncols)
+    # Corrupted values can overflow to ±inf — that is the silent error
+    # propagating, not a kernel bug; ABFT flags the non-finite result.
+    with np.errstate(over="ignore", invalid="ignore"):
+        products = a.val * x[colid]
+
+    rowptr = a.rowidx
+    starts = np.clip(rowptr[:-1], 0, a.nnz)
+    ends = np.clip(rowptr[1:], 0, a.nnz)
+    # reduceat needs monotone segments; a corrupted rowidx can violate
+    # that, in which case we fall back to the (safe) reference loop.
+    if np.all(starts[1:] >= starts[:-1]) and np.all(ends >= starts):
+        nonempty = ends > starts
+        if nonempty.any():
+            seg = np.add.reduceat(products, starts[nonempty])
+            # reduceat sums from each start to the next start; trim the
+            # tail of each segment that spills past its row's end.
+            ends_ne = ends[nonempty]
+            starts_ne = starts[nonempty]
+            next_starts = np.empty_like(starts_ne)
+            next_starts[:-1] = starts_ne[1:]
+            next_starts[-1] = a.nnz
+            overshoot = next_starts - ends_ne
+            if np.any(overshoot > 0):
+                # rare (only for corrupted rowidx); correct per segment
+                idx = np.nonzero(overshoot > 0)[0]
+                for k in idx:
+                    seg[k] = products[starts_ne[k] : ends_ne[k]].sum()
+            y[nonempty] = seg
+        return y
+    return _spmv_loop(a.val, colid, rowptr, x, n, a.nnz)
+
+
+def _spmv_loop(
+    val: np.ndarray,
+    colid: np.ndarray,
+    rowidx: np.ndarray,
+    x: np.ndarray,
+    n: int,
+    nnz: int,
+) -> np.ndarray:
+    """Row-loop kernel tolerant of corrupted row pointers."""
+    y = np.zeros(n, dtype=np.float64)
+    for i in range(n):
+        lo = int(np.clip(rowidx[i], 0, nnz))
+        hi = int(np.clip(rowidx[i + 1], 0, nnz))
+        if hi > lo:
+            y[i] = float(val[lo:hi] @ x[colid[lo:hi]])
+    return y
+
+
+def seed_spmv_reference(a: CSRMatrix, x: np.ndarray) -> np.ndarray:
+    """Pure-Python row-loop SpMxV mirroring Algorithm 2's inner loop.
+
+    Used as the oracle in tests and by the line-by-line protected
+    kernel; orders of magnitude slower than :func:`spmv`, so only call
+    it on small matrices.
+    """
+    x = np.asarray(x, dtype=np.float64)
+    if x.shape != (a.ncols,):
+        raise ValueError(f"x must have shape ({a.ncols},), got {x.shape}")
+    n = a.nrows
+    nnz = a.nnz
+    y = np.zeros(n, dtype=np.float64)
+    for i in range(n):
+        yi = 0.0
+        lo = int(np.clip(a.rowidx[i], 0, nnz))
+        hi = int(np.clip(a.rowidx[i + 1], 0, nnz))
+        for j in range(lo, hi):
+            ind = int(a.colid[j]) % a.ncols
+            yi += a.val[j] * x[ind]
+        y[i] = yi
+    return y
+
+
+# ======================================================================
+# seed abft/spmv.py
+# ======================================================================
+class SpmvStatus(enum.Enum):
+    """Outcome of a protected SpMxV."""
+
+    OK = "ok"  #: all checksums passed; y is trusted
+    CORRECTED = "corrected"  #: a single error was detected and repaired
+    DETECTED = "detected"  #: an error was detected (detection-only mode)
+    UNCORRECTABLE = "uncorrectable"  #: ≥ 2 errors; caller must roll back
+
+
+@dataclass(frozen=True)
+class SpmvResiduals:
+    """The raw checksum residuals of one verification pass."""
+
+    dr: np.ndarray  #: row-pointer residuals, one per checksum row (exact)
+    dx: np.ndarray  #: output/matrix residuals, one per checksum row
+    dxp: np.ndarray  #: input-vector residuals, one per checksum row
+    thresholds: np.ndarray  #: Theorem-2 thresholds for dx/dxp rows
+
+    @property
+    def rowidx_flagged(self) -> bool:
+        """True when the (exact) row-pointer test fails.
+
+        Pointers are integers, so any true discrepancy is ≥ 1; a
+        non-finite residual (overflowed corrupted pointer) also flags.
+        """
+        return bool(np.any(~np.isfinite(self.dr)) or np.any(np.abs(self.dr) >= 0.5))
+
+    @property
+    def dx_flagged(self) -> bool:
+        """True when the matrix/computation test exceeds tolerance.
+
+        NaN/inf residuals — a flipped exponent bit can push a value to
+        ~1e300 and overflow the checksum algebra — always flag.
+        """
+        return bool(
+            np.any(~np.isfinite(self.dx)) or np.any(np.abs(self.dx) > self.thresholds)
+        )
+
+    @property
+    def dxp_flagged(self) -> bool:
+        """True when the input-vector test exceeds tolerance (NaN/inf flags)."""
+        return bool(
+            np.any(~np.isfinite(self.dxp)) or np.any(np.abs(self.dxp) > self.thresholds)
+        )
+
+    @property
+    def clean(self) -> bool:
+        """True when every test passes."""
+        return not (self.rowidx_flagged or self.dx_flagged or self.dxp_flagged)
+
+
+@dataclass
+class ProtectedSpmvResult:
+    """Result of :func:`protected_spmv`.
+
+    Attributes
+    ----------
+    y:
+        The output vector.  Trustworthy iff ``status`` is ``OK`` or
+        ``CORRECTED``.
+    status:
+        See :class:`SpmvStatus`.
+    residuals:
+        The residuals of the *first* verification pass (before any
+        correction), for diagnostics.
+    correction:
+        The correction outcome when a repair was attempted, else None.
+    """
+
+    y: np.ndarray
+    status: SpmvStatus
+    residuals: SpmvResiduals
+    correction: "object | None" = field(default=None)
+
+    @property
+    def trusted(self) -> bool:
+        """Whether the caller may use ``y`` without recovery."""
+        return self.status in (SpmvStatus.OK, SpmvStatus.CORRECTED)
+
+
+def _verify(
+    a: CSRMatrix,
+    x: np.ndarray,
+    y: np.ndarray,
+    x_ref: np.ndarray,
+    cks: SpmvChecksums,
+) -> SpmvResiduals:
+    """Evaluate all checksum residuals for the current state."""
+    w = cks.weights
+    c = cks.column_checksums
+    # Corrupted data can hold ±1e300-scale values whose checksum algebra
+    # overflows; the resulting inf/NaN residuals are flagged as errors,
+    # so the overflow itself is expected, not exceptional.
+    with np.errstate(over="ignore", invalid="ignore"):
+        # Row-pointer test (exact integer arithmetic in float64).
+        sr = w @ a.rowidx[1:].astype(np.float64)
+        dr = cks.rowidx_checksums - sr
+        # Matrix/computation test: Wᵀy − Cᵀx̃.
+        dx = w @ y - c @ x
+    # Input-vector test.
+    with np.errstate(over="ignore", invalid="ignore"):
+        if cks.nchecks == 1:
+            # Theorem-1 shifted form: (c+k)ᵀx' − (Σy + kΣx̃).
+            shifted = cks.shifted_first_row
+            dxp = np.array([float(shifted @ x_ref - (y.sum() + cks.shift * x.sum()))])
+        elif cks.is_square:
+            # Algorithm-2 line-22 form: Wᵀ(x'−y) − (W−C)ᵀx̃.
+            dxp = w @ (x_ref - y) - (w - c) @ x
+        else:
+            # Rectangular local block of a row-partitioned parallel SpMxV
+            # (Section 1's MPI discussion): the line-22 form mixes row- and
+            # column-length vectors, so the input test compares the
+            # reliable copy against the live input with column weights —
+            # algebraically what line 22 reduces to when only x is struck.
+            dxp = cks.column_weights @ (x_ref - x)
+    # Theorem 2 bounds the rounding of the products actually computed,
+    # which involve the *live* x̃ (possibly corrupted, hence possibly
+    # much larger than the snapshot); take the max of both magnitudes
+    # so a large corruption of x cannot push benign rounding of the
+    # matrix test over its threshold.
+    with np.errstate(invalid="ignore"):
+        x_inf = float(
+            max(np.abs(x_ref).max(initial=0.0), np.abs(x).max(initial=0.0))
+        )
+    if not np.isfinite(x_inf):
+        x_inf = float(np.abs(x_ref).max(initial=0.0))
+    thresholds = cks.tolerance.thresholds(x_inf)
+    return SpmvResiduals(dr=dr, dx=dx, dxp=dxp, thresholds=thresholds)
+
+
+def seed_protected_spmv(
+    a: CSRMatrix,
+    x: np.ndarray,
+    checksums: SpmvChecksums | None = None,
+    *,
+    correct: bool = True,
+    fault_hook: Callable[[str, CSRMatrix, np.ndarray, np.ndarray | None], None] | None = None,
+    ratio_tol: float = 1e-4,
+) -> ProtectedSpmvResult:
+    """Compute ``y = A x`` with ABFT protection.
+
+    Parameters
+    ----------
+    a:
+        The matrix.  Mutated in place if a matrix error is corrected.
+    x:
+        The input vector.  Mutated in place if an x-error is corrected.
+    checksums:
+        Precomputed metadata from :func:`compute_checksums`; when None
+        it is computed on the fly (which assumes ``a`` is currently
+        clean — amortize it across calls in real use).
+    correct:
+        True → double-detect / single-correct (requires 2 checksum
+        rows); False → detection only.
+    fault_hook:
+        Test/simulation hook.  Called as ``hook("pre", a, x, None)``
+        after the reliable snapshot of ``x`` is taken (inject memory
+        errors here) and ``hook("post", a, x, y)`` after the raw
+        product (inject computation errors into ``y`` here).
+    ratio_tol:
+        The ε of Section 3.2: maximum distance of a residual ratio from
+        the nearest integer for single-error localization.
+
+    Returns
+    -------
+    ProtectedSpmvResult
+    """
+    x = np.asarray(x, dtype=np.float64)
+    if checksums is None:
+        checksums = compute_checksums(a, nchecks=2 if correct else 1)
+    if correct and checksums.nchecks < 2:
+        raise ValueError("correction requires nchecks=2 checksums")
+    if checksums.shape != a.shape:
+        raise ValueError(
+            f"checksums were computed for shape {checksums.shape}, matrix is {a.shape}"
+        )
+
+    # Reliable snapshot (Algorithm 2 line 3) and input checksum (line 10),
+    # taken before any unreliable work.
+    x_ref = x.copy()
+    cx = checksums.x_checksums(x)
+
+    if fault_hook is not None:
+        fault_hook("pre", a, x, None)
+    y = seed_spmv(a, x)
+    if fault_hook is not None:
+        fault_hook("post", a, x, y)
+
+    residuals = _verify(a, x, y, x_ref, checksums)
+    if residuals.clean:
+        return ProtectedSpmvResult(y=y, status=SpmvStatus.OK, residuals=residuals)
+
+    if not correct:
+        return ProtectedSpmvResult(y=y, status=SpmvStatus.DETECTED, residuals=residuals)
+
+    outcome = correct_errors(
+        a, x, y, x_ref, cx, checksums, residuals, ratio_tol=ratio_tol
+    )
+    if outcome.corrected:
+        # Re-verify after repair: the repaired state must be fully clean.
+        post = _verify(a, x, y, x_ref, checksums)
+        if post.clean:
+            return ProtectedSpmvResult(
+                y=y, status=SpmvStatus.CORRECTED, residuals=residuals, correction=outcome
+            )
+    return ProtectedSpmvResult(
+        y=y, status=SpmvStatus.UNCORRECTABLE, residuals=residuals, correction=outcome
+    )
+
+
+def detect_errors(
+    a: CSRMatrix,
+    x: np.ndarray,
+    y: np.ndarray,
+    x_ref: np.ndarray,
+    checksums: SpmvChecksums,
+) -> SpmvResiduals:
+    """Stand-alone verification of an already-computed product.
+
+    Exposed for tests and for callers that interleave fault injection
+    with their own kernels; :func:`protected_spmv` is the normal entry
+    point.
+    """
+    return _verify(a, np.asarray(x, dtype=np.float64), y, x_ref, checksums)
+
+
+# ======================================================================
+# seed abft/correction.py
+# ======================================================================
+@dataclass(frozen=True)
+class CorrectionOutcome:
+    """What the decoder did.
+
+    Attributes
+    ----------
+    corrected:
+        True when a single error was located and repaired.
+    kind:
+        One of ``"rowidx"``, ``"val"``, ``"colid"``, ``"computation"``,
+        ``"x"`` or ``"none"`` (no repair possible).
+    position:
+        The repaired location: row-pointer index, output row, or vector
+        entry, depending on ``kind``; −1 when not applicable.
+    detail:
+        Human-readable description for the event log.
+    """
+
+    corrected: bool
+    kind: str
+    position: int = -1
+    detail: str = ""
+
+
+def _near_integer(ratio: float, ratio_tol: float) -> int | None:
+    """Round ``ratio`` to the nearest integer if within ``ratio_tol`` of it.
+
+    Non-finite ratios (overflowed residuals from extreme bit flips)
+    are never localizable.
+    """
+    if not np.isfinite(ratio):
+        return None
+    nearest = round(ratio)
+    if abs(ratio - nearest) <= ratio_tol * max(1.0, abs(ratio)):
+        return int(nearest)
+    return None
+
+
+def _recompute_row(a: CSRMatrix, x: np.ndarray, y: np.ndarray, i: int) -> None:
+    """Recompute ``y[i]`` from the current matrix and input (clipped bounds)."""
+    nnz = a.nnz
+    lo = int(np.clip(a.rowidx[i], 0, nnz))
+    hi = int(np.clip(a.rowidx[i + 1], 0, nnz))
+    if hi > lo:
+        cols = np.mod(a.colid[lo:hi], a.ncols)
+        y[i] = float(a.val[lo:hi] @ x[cols])
+    else:
+        y[i] = 0.0
+
+
+def _column_entries(a: CSRMatrix, j: int) -> tuple[np.ndarray, np.ndarray]:
+    """Rows and values of column ``j`` (O(nnz) scan; correction-path only)."""
+    mask = a.colid == j
+    positions = np.nonzero(mask)[0]
+    rows = np.searchsorted(a.rowidx, positions, side="right") - 1
+    return rows, a.val[positions]
+
+
+def _current_column_checksums(a: CSRMatrix, cks: SpmvChecksums) -> np.ndarray:
+    """``C' = WᵀÃ`` of the current (possibly corrupted) matrix."""
+    n_rows, n_cols = a.shape
+    out = np.zeros((cks.nchecks, n_cols), dtype=np.float64)
+    row_of_nnz = np.repeat(np.arange(n_rows), np.diff(np.clip(a.rowidx, 0, a.nnz)))
+    # A corrupted rowidx can make the repeat counts disagree with nnz;
+    # in that case the rowidx branch should have handled it first, but
+    # guard anyway so the decoder never crashes mid-recovery.
+    m = min(row_of_nnz.size, a.nnz)
+    cols = np.mod(a.colid[:m], n_cols)
+    with np.errstate(over="ignore", invalid="ignore"):
+        for l in range(cks.nchecks):
+            np.add.at(out[l], cols, a.val[:m] * cks.weights[l, row_of_nnz[:m]])
+    return out
+
+
+def correct_errors(
+    a: CSRMatrix,
+    x: np.ndarray,
+    y: np.ndarray,
+    x_ref: np.ndarray,
+    cx: np.ndarray,
+    cks: SpmvChecksums,
+    residuals,
+    *,
+    ratio_tol: float = 1e-4,
+) -> CorrectionOutcome:
+    """Attempt single-error repair; mutates ``a``, ``x`` and ``y`` in place.
+
+    Parameters mirror the state of :func:`repro.abft.spmv.protected_spmv`
+    at verification time; ``residuals`` is the failed
+    :class:`~repro.abft.spmv.SpmvResiduals`.
+    """
+    n = a.nrows
+
+    # ------------------------------------------------------------------
+    # Case 1: row-pointer corruption.
+    # ------------------------------------------------------------------
+    if residuals.rowidx_flagged:
+        # Recompute the residuals in exact integer arithmetic: a flipped
+        # pointer can be ~2⁶², where the float64 sums used for the fast
+        # detection pass round away the low bits the repair delta needs.
+        ridx_int = [int(v) for v in a.rowidx[1:]]
+        dr0 = cks.rowidx_checksums_exact[0] - sum(ridx_int)
+        dr1 = cks.rowidx_checksums_exact[1] - sum(
+            (i + 1) * v for i, v in enumerate(ridx_int)
+        )
+        if dr0 == 0:
+            # Second checksum trips but the first cancels: two pointer
+            # errors of opposite sign — beyond single-error correction.
+            return CorrectionOutcome(False, "none", detail="rowidx residuals inconsistent")
+        if dr1 % dr0 != 0:
+            return CorrectionOutcome(False, "none", detail="rowidx ratio not localizable")
+        d = dr1 // dr0
+        if not (1 <= d <= n):
+            return CorrectionOutcome(False, "none", detail="rowidx position out of range")
+        # dr = clean − faulty, so adding dr₀ restores the clean pointer.
+        # The sum is carried in Python integers: a sign-bit flip makes
+        # |faulty| ≈ 2⁶³ and the *delta* overflows int64 even though the
+        # restored value is small.
+        delta = dr0
+        restored = int(a.rowidx[d]) + delta
+        if not (0 <= restored <= a.nnz):
+            return CorrectionOutcome(
+                False, "none", detail=f"rowidx repair out of range: {restored}"
+            )
+        a.rowidx[d] = restored
+        # Pointer rowidx[d] delimits (0-based) rows d−1 and d.
+        _recompute_row(a, x, y, d - 1)
+        if d < n:
+            _recompute_row(a, x, y, d)
+        return CorrectionOutcome(
+            True, "rowidx", position=d, detail=f"rowidx[{d}] += {delta}"
+        )
+
+    # ------------------------------------------------------------------
+    # Case 2: matrix-array or computation error (dx over tolerance).
+    # ------------------------------------------------------------------
+    if residuals.dx_flagged:
+        dx = residuals.dx
+        if np.all(np.isfinite(dx)):
+            if abs(dx[0]) <= residuals.thresholds[0]:
+                return CorrectionOutcome(False, "none", detail="dx residuals inconsistent")
+            d1 = _near_integer(float(dx[1] / dx[0]), ratio_tol)
+            if d1 is None or not (1 <= d1 <= n):
+                return CorrectionOutcome(False, "none", detail="dx ratio not localizable")
+            d = d1 - 1  # 0-based output row
+        else:
+            # The residual algebra overflowed (a flipped exponent can
+            # push a value to ~1e300, and the ramp-weighted sums top
+            # out float64).  The ratio is unusable, but the faulty row
+            # announces itself: locate the unique non-finite or
+            # astronomically large entry of y and fall through to the
+            # column-checksum decode.
+            with np.errstate(invalid="ignore"):
+                suspicious = np.nonzero(~np.isfinite(y) | (np.abs(y) > 1e150))[0]
+            if suspicious.size != 1:
+                return CorrectionOutcome(
+                    False, "none", detail="dx residuals non-finite, row ambiguous"
+                )
+            d = int(suspicious[0])
+
+        cur = _current_column_checksums(a, cks)
+        with np.errstate(invalid="ignore"):
+            diff = cks.column_checksums - cur
+        col_tol = cks.tolerance.per_check_factor[:, None]
+        flagged = np.nonzero(
+            np.any(~np.isfinite(diff) | (np.abs(diff) > col_tol), axis=0)
+        )[0]
+        z = flagged.size
+
+        if z == 0:
+            # Matrix intact: the computation of y_d was hit; recompute it.
+            _recompute_row(a, x, y, d)
+            return CorrectionOutcome(True, "computation", position=d, detail=f"recomputed y[{d}]")
+
+        if z == 1:
+            f = int(flagged[0])
+            lo, hi = int(a.rowidx[d]), int(a.rowidx[d + 1])
+            hits = lo + np.nonzero(a.colid[lo:hi] == f)[0]
+            if hits.size != 1:
+                return CorrectionOutcome(
+                    False, "none", detail=f"val decode ambiguous in row {d}, col {f}"
+                )
+            p = int(hits[0])
+            if np.isfinite(diff[0, f]):
+                # diff[0, f] = (clean − current) column sum = −δ·w₁[d] = −δ.
+                a.val[p] += float(diff[0, f])
+            else:
+                # The corrupted value overflowed the checksum delta;
+                # rebuild val[p] directly from the clean (unit-weight)
+                # column checksum minus the other entries of column f.
+                others = np.nonzero(np.mod(a.colid, a.ncols) == f)[0]
+                others = others[others != p]
+                a.val[p] = float(cks.column_checksums[0, f] - a.val[others].sum())
+            _recompute_row(a, x, y, d)
+            return CorrectionOutcome(
+                True, "val", position=p, detail=f"val[{p}] repaired via column {f} checksum"
+            )
+
+        if z == 2:
+            f1, f2 = int(flagged[0]), int(flagged[1])
+            lo, hi = int(a.rowidx[d]), int(a.rowidx[d + 1])
+            # Match on *effective* columns (index mod n): a bit flip can
+            # push a column id far out of range, but the kernel — and
+            # hence the checksum drift — sees it modulo n.
+            eff = np.mod(a.colid[lo:hi], a.ncols)
+            candidates = lo + np.nonzero(np.isin(eff, (f1, f2)))[0]
+            # Trial-flip each candidate; keep the first flip that makes
+            # the column checksums consistent again.
+            for p in candidates:
+                p = int(p)
+                original = int(a.colid[p])
+                a.colid[p] = f2 if original % a.ncols == f1 else f1
+                trial = _current_column_checksums(a, cks)
+                if np.all(
+                    np.abs(cks.column_checksums[:, (f1, f2)] - trial[:, (f1, f2)])
+                    <= col_tol
+                ):
+                    _recompute_row(a, x, y, d)
+                    return CorrectionOutcome(
+                        True,
+                        "colid",
+                        position=p,
+                        detail=f"colid[{p}]: {original} -> {int(a.colid[p])}",
+                    )
+                a.colid[p] = original
+            return CorrectionOutcome(False, "none", detail="colid decode failed")
+
+        return CorrectionOutcome(
+            False, "none", detail=f"{z} checksum columns differ (>2): multiple errors"
+        )
+
+    # ------------------------------------------------------------------
+    # Case 3: input-vector error (only dxp over tolerance).
+    # ------------------------------------------------------------------
+    if residuals.dxp_flagged:
+        dxp = residuals.dxp
+        if cks.nchecks < 2 or abs(dxp[0]) <= residuals.thresholds[0]:
+            return CorrectionOutcome(False, "none", detail="dxp residuals inconsistent")
+        d1 = _near_integer(float(dxp[1] / dxp[0]), ratio_tol)
+        if d1 is None or not (1 <= d1 <= a.ncols):
+            return CorrectionOutcome(False, "none", detail="dxp ratio not localizable")
+        d = d1 - 1  # 0-based entry of x
+        # τ = Σx̃ − cx₁ (Section 3.2) identifies the perturbation; the
+        # restoration itself copies the reliable snapshot entry, which
+        # is exact where subtracting the float τ would leave O(u·Σ|x̃|)
+        # rounding behind for large corruptions.
+        tau = float(x.sum() - cx[0])
+        x[d] = x_ref[d]
+        # The paper updates y by subtracting A·(τ eₐ); subtracting a
+        # large τ back out leaves O(u·τ) cancellation residue that the
+        # re-verification would flag, so the affected rows (column d's
+        # support) are recomputed from the repaired x instead — same
+        # O(column) cost, exact result.
+        rows, _ = _column_entries(a, d)
+        for i in np.unique(rows):
+            _recompute_row(a, x, y, int(i))
+        return CorrectionOutcome(True, "x", position=d, detail=f"x[{d}] -= {tau:.6e}")
+
+    return CorrectionOutcome(False, "none", detail="no residual flagged")
+

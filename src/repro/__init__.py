@@ -28,6 +28,9 @@ The library provides:
   (:mod:`repro.sim`);
 - a parallel, resumable experiment-campaign engine with crash-safe
   JSONL persistence (:mod:`repro.campaign`);
+- the zero-copy hot path: reusable solve workspaces with strike-undo
+  matrix restore and per-process checksum/matrix caches, bit-identical
+  to the fresh-allocation oracle (:mod:`repro.perf`);
 - the stable public API: the :func:`solve` facade, declarative
   :class:`Study` sweeps and the ``repro`` console script
   (:mod:`repro.api`).
@@ -92,8 +95,9 @@ from repro.api import (
     CheckpointSpec,
     Study,
 )
+from repro.perf import SolveWorkspace
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "CSRMatrix",
@@ -138,5 +142,6 @@ __all__ = [
     "FaultSpec",
     "CheckpointSpec",
     "Study",
+    "SolveWorkspace",
     "__version__",
 ]

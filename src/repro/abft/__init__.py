@@ -17,7 +17,12 @@ Implements the paper's Algorithm 2 and its supporting machinery:
 """
 
 from repro.abft.weights import ones_weights, ramp_weights, weight_matrix, choose_shift
-from repro.abft.checksums import SpmvChecksums, compute_checksums
+from repro.abft.checksums import (
+    SpmvChecksums,
+    compute_checksums,
+    cached_checksums,
+    clear_checksum_cache,
+)
 from repro.abft.spmv import (
     ProtectedSpmvResult,
     SpmvStatus,
@@ -37,6 +42,8 @@ __all__ = [
     "choose_shift",
     "SpmvChecksums",
     "compute_checksums",
+    "cached_checksums",
+    "clear_checksum_cache",
     "ProtectedSpmvResult",
     "SpmvStatus",
     "protected_spmv",

@@ -38,6 +38,7 @@ fault-free product can never be flagged (no false positives).
 from __future__ import annotations
 
 import enum
+import math
 from dataclasses import dataclass, field
 from typing import Callable
 
@@ -75,7 +76,13 @@ class SpmvResiduals:
         Pointers are integers, so any true discrepancy is ≥ 1; a
         non-finite residual (overflowed corrupted pointer) also flags.
         """
-        return bool(np.any(~np.isfinite(self.dr)) or np.any(np.abs(self.dr) >= 0.5))
+        # Scalar arithmetic on purpose: these residual vectors have one
+        # or two entries, and the ndarray reductions this replaces cost
+        # ~15µs per protected product — pure dispatch overhead.
+        for v in self.dr.tolist():
+            if not math.isfinite(v) or abs(v) >= 0.5:
+                return True
+        return False
 
     @property
     def dx_flagged(self) -> bool:
@@ -84,16 +91,18 @@ class SpmvResiduals:
         NaN/inf residuals — a flipped exponent bit can push a value to
         ~1e300 and overflow the checksum algebra — always flag.
         """
-        return bool(
-            np.any(~np.isfinite(self.dx)) or np.any(np.abs(self.dx) > self.thresholds)
-        )
+        for v, t in zip(self.dx.tolist(), self.thresholds.tolist()):
+            if not math.isfinite(v) or abs(v) > t:
+                return True
+        return False
 
     @property
     def dxp_flagged(self) -> bool:
         """True when the input-vector test exceeds tolerance (NaN/inf flags)."""
-        return bool(
-            np.any(~np.isfinite(self.dxp)) or np.any(np.abs(self.dxp) > self.thresholds)
-        )
+        for v, t in zip(self.dxp.tolist(), self.thresholds.tolist()):
+            if not math.isfinite(v) or abs(v) > t:
+                return True
+        return False
 
     @property
     def clean(self) -> bool:
@@ -136,8 +145,21 @@ def _verify(
     y: np.ndarray,
     x_ref: np.ndarray,
     cks: SpmvChecksums,
+    buffers: "tuple | None" = None,
+    dr_zero: bool = False,
 ) -> SpmvResiduals:
-    """Evaluate all checksum residuals for the current state."""
+    """Evaluate all checksum residuals for the current state.
+
+    ``buffers`` — optional workspace pair ``(ridx, xdiff)`` of O(n)
+    ``float64`` scratch arrays for the row-pointer cast and the
+    ``x' − y`` difference; the floats computed are identical either way.
+
+    ``dr_zero`` — caller certifies ``a.rowidx`` is byte-identical to
+    the row pointers the checksums were computed from, making the
+    (exact) row-pointer residual ``cr − Wᵀ·Rowidx`` identically zero
+    without the O(n) evaluation: both sides are the same dot product of
+    the same bytes.
+    """
     w = cks.weights
     c = cks.column_checksums
     # Corrupted data can hold ±1e300-scale values whose checksum algebra
@@ -145,19 +167,34 @@ def _verify(
     # so the overflow itself is expected, not exceptional.
     with np.errstate(over="ignore", invalid="ignore"):
         # Row-pointer test (exact integer arithmetic in float64).
-        sr = w @ a.rowidx[1:].astype(np.float64)
-        dr = cks.rowidx_checksums - sr
+        if dr_zero:
+            dr = np.zeros(cks.nchecks, dtype=np.float64)
+        else:
+            if buffers is None:
+                ridx = a.rowidx[1:].astype(np.float64)
+            else:
+                ridx = buffers[0]
+                np.copyto(ridx, a.rowidx[1:])  # casting copy ≡ astype
+            sr = w @ ridx
+            dr = cks.rowidx_checksums - sr
         # Matrix/computation test: Wᵀy − Cᵀx̃.
         dx = w @ y - c @ x
-    # Input-vector test.
-    with np.errstate(over="ignore", invalid="ignore"):
+        # Input-vector test.
         if cks.nchecks == 1:
             # Theorem-1 shifted form: (c+k)ᵀx' − (Σy + kΣx̃).
             shifted = cks.shifted_first_row
             dxp = np.array([float(shifted @ x_ref - (y.sum() + cks.shift * x.sum()))])
         elif cks.is_square:
             # Algorithm-2 line-22 form: Wᵀ(x'−y) − (W−C)ᵀx̃.
-            dxp = w @ (x_ref - y) - (w - c) @ x
+            wmc = cks.weights_minus_checksums
+            if wmc is None:  # hand-built checksums without the cache
+                wmc = w - c
+            if buffers is None:
+                dxp = w @ (x_ref - y) - wmc @ x
+            else:
+                diff = buffers[1]
+                np.subtract(x_ref, y, out=diff)
+                dxp = w @ diff - wmc @ x
         else:
             # Rectangular local block of a row-partitioned parallel SpMxV
             # (Section 1's MPI discussion): the line-22 form mixes row- and
@@ -165,16 +202,18 @@ def _verify(
             # reliable copy against the live input with column weights —
             # algebraically what line 22 reduces to when only x is struck.
             dxp = cks.column_weights @ (x_ref - x)
-    # Theorem 2 bounds the rounding of the products actually computed,
-    # which involve the *live* x̃ (possibly corrupted, hence possibly
-    # much larger than the snapshot); take the max of both magnitudes
-    # so a large corruption of x cannot push benign rounding of the
-    # matrix test over its threshold.
-    with np.errstate(invalid="ignore"):
-        x_inf = float(
-            max(np.abs(x_ref).max(initial=0.0), np.abs(x).max(initial=0.0))
-        )
-    if not np.isfinite(x_inf):
+        # Theorem 2 bounds the rounding of the products actually computed,
+        # which involve the *live* x̃ (possibly corrupted, hence possibly
+        # much larger than the snapshot); take the max of both magnitudes
+        # so a large corruption of x cannot push benign rounding of the
+        # matrix test over its threshold.
+        if x.shape[0]:
+            # ``initial=0.0`` is redundant for nonempty |·| arrays (all
+            # entries ≥ 0) and routes through the slow reduction wrapper.
+            x_inf = float(max(np.abs(x_ref).max(), np.abs(x).max()))
+        else:
+            x_inf = 0.0
+    if not math.isfinite(x_inf):
         x_inf = float(np.abs(x_ref).max(initial=0.0))
     thresholds = cks.tolerance.thresholds(x_inf)
     return SpmvResiduals(dr=dr, dx=dx, dxp=dxp, thresholds=thresholds)
@@ -188,6 +227,8 @@ def protected_spmv(
     correct: bool = True,
     fault_hook: Callable[[str, CSRMatrix, np.ndarray, np.ndarray | None], None] | None = None,
     ratio_tol: float = 1e-4,
+    workspace: "object | None" = None,
+    trust_structure_stamp: bool = False,
 ) -> ProtectedSpmvResult:
     """Compute ``y = A x`` with ABFT protection.
 
@@ -212,6 +253,22 @@ def protected_spmv(
     ratio_tol:
         The ε of Section 3.2: maximum distance of a residual ratio from
         the nearest integer for single-error localization.
+    workspace:
+        Optional :class:`repro.perf.SolveWorkspace` (duck-typed)
+        providing preallocated buffers for the reliable input snapshot,
+        the output vector and the SpMxV scratch.  **Aliasing contract:**
+        with a workspace, the returned ``y`` is workspace-owned and only
+        valid until the next workspace-backed call — copy it out if it
+        must survive.  The arithmetic is bit-identical either way.
+    trust_structure_stamp:
+        Caller certifies that ``a.structure_clean`` (evaluated lazily,
+        *after* the fault hook has run) implies ``a.rowidx`` is
+        byte-identical to the row pointers the checksums were computed
+        from — true for the resilience engine's workspace-managed live
+        matrix, whose stamp is only re-armed on verified byte-equality.
+        Lets the exact row-pointer residual be taken as zero without
+        the O(n) evaluation.  Leave False for hand-stamped matrices,
+        where the stamp certifies validity, not equality.
 
     Returns
     -------
@@ -229,16 +286,32 @@ def protected_spmv(
 
     # Reliable snapshot (Algorithm 2 line 3) and input checksum (line 10),
     # taken before any unreliable work.
-    x_ref = x.copy()
+    if workspace is None:
+        x_ref = x.copy()
+        y_buf = scratch = verify_buffers = None
+    else:
+        x_ref, y_buf, scratch, ridx_buf, xdiff_buf = workspace.abft_buffers(
+            a.nrows, a.ncols, a.nnz
+        )
+        np.copyto(x_ref, x)
+        verify_buffers = (ridx_buf, xdiff_buf)
     cx = checksums.x_checksums(x)
 
     if fault_hook is not None:
         fault_hook("pre", a, x, None)
-    y = spmv(a, x)
+    y = spmv(a, x, out=y_buf, scratch=scratch)
     if fault_hook is not None:
         fault_hook("post", a, x, y)
 
-    residuals = _verify(a, x, y, x_ref, checksums)
+    residuals = _verify(
+        a,
+        x,
+        y,
+        x_ref,
+        checksums,
+        verify_buffers,
+        dr_zero=trust_structure_stamp and a.structure_clean,
+    )
     if residuals.clean:
         return ProtectedSpmvResult(y=y, status=SpmvStatus.OK, residuals=residuals)
 
@@ -252,7 +325,7 @@ def protected_spmv(
     )
     if outcome.corrected:
         # Re-verify after repair: the repaired state must be fully clean.
-        post = _verify(a, x, y, x_ref, checksums)
+        post = _verify(a, x, y, x_ref, checksums, verify_buffers)
         if post.clean:
             return ProtectedSpmvResult(
                 y=y, status=SpmvStatus.CORRECTED, residuals=residuals, correction=outcome

@@ -33,6 +33,11 @@ __all__ = ["gamma", "spmv_checksum_tolerance", "ToleranceModel"]
 #: Unit roundoff of IEEE-754 binary64.
 UNIT_ROUNDOFF: float = float(np.finfo(np.float64).eps) / 2.0
 
+#: Smallest positive normal binary64, hoisted: ``np.finfo`` lookups are
+#: surprisingly costly and :meth:`ToleranceModel.thresholds` sits on the
+#: per-product verification path.
+_TINY: float = float(np.finfo(np.float64).tiny)
+
 
 def gamma(m: int, u: float = UNIT_ROUNDOFF) -> float:
     """Higham's ``γ_m = m·u / (1 − m·u)``; requires ``m·u < 1``."""
@@ -101,4 +106,4 @@ class ToleranceModel:
 
     def thresholds(self, x_inf: float) -> np.ndarray:
         """Per-checksum-row comparison thresholds for input magnitude ``‖x‖∞``."""
-        return self.per_check_factor * max(x_inf, np.finfo(np.float64).tiny)
+        return self.per_check_factor * max(x_inf, _TINY)

@@ -248,6 +248,7 @@ def solve(
     x0: "np.ndarray | None" = None,
     validate: bool = True,
     record_history: bool = True,
+    reuse_workspace: "bool | object" = False,
 ) -> SolveReport:
     """Solve ``A x = b`` with a fault-tolerant iterative method.
 
@@ -285,11 +286,22 @@ def solve(
         Record the per-iteration convergence history (believed residual
         norm vs simulated time).  Costs one vector norm per iteration
         of wall time; never affects the trajectory.
+    reuse_workspace:
+        Zero-copy hot path for repeated solves of the same matrix
+        object: ``True`` uses the process-wide
+        :func:`repro.perf.default_workspace` (live-matrix strike-undo
+        reuse, cached ABFT checksums, preallocated buffers), or pass
+        your own :class:`repro.perf.SolveWorkspace`.  Bit-identical to
+        the default fresh-allocation path; leave off for one-shot
+        solves or when calling from multiple threads, and see
+        :func:`repro.perf.clear_caches` if you mutate a previously
+        solved matrix in place.
 
     Returns
     -------
     SolveReport
     """
+    from repro.perf import SolveWorkspace, default_workspace
     from repro.resilience.registry import run_ft_method
     from repro.util.log import EventLog
 
@@ -341,6 +353,21 @@ def solve(
                 }
             )
 
+    if isinstance(reuse_workspace, SolveWorkspace):
+        workspace = reuse_workspace
+    elif reuse_workspace is True:
+        workspace = default_workspace()
+    elif reuse_workspace is False or reuse_workspace is None:
+        workspace = None
+    else:
+        # A truthy stand-in must not silently become the *shared*
+        # process-wide workspace (the exact unsafe sharing the
+        # docstring warns multi-threaded callers about).
+        raise TypeError(
+            "reuse_workspace must be a bool or a repro.perf.SolveWorkspace, "
+            f"got {reuse_workspace!r}"
+        )
+
     log = EventLog()
     res = run_ft_method(
         meth,
@@ -354,6 +381,7 @@ def solve(
         rng=fa.seed,
         event_log=log,
         observer=observer,
+        workspace=workspace,
     )
 
     return SolveReport(

@@ -421,6 +421,7 @@ class Study:
         store: "str | os.PathLike[str] | None" = None,
         progress: bool = False,
         chunksize: "int | None" = None,
+        reuse_workspace: bool = True,
     ) -> StudyResult:
         """Execute the study through the campaign engine.
 
@@ -429,7 +430,10 @@ class Study:
         to JSONL and serves already-completed tasks from it without
         recomputation (this *is* resume — pointing a re-run at the same
         store only executes what is missing); ``progress`` prints a
-        throughput/ETA line to stderr.
+        throughput/ETA line to stderr.  ``reuse_workspace`` (default
+        on) runs repetitions through per-worker solve workspaces — the
+        zero-copy hot path; records and task hashes are identical
+        either way, so stores mix freely across the switch.
         """
         from repro.campaign.executor import run_campaign
         from repro.campaign.progress import ProgressReporter
@@ -441,7 +445,12 @@ class Study:
 
             reporter = ProgressReporter(len(tasks), stream=sys.stderr, label=self.name)
         records = run_campaign(
-            tasks, jobs=jobs, store=store, progress=reporter, chunksize=chunksize
+            tasks,
+            jobs=jobs,
+            store=store,
+            progress=reporter,
+            chunksize=chunksize,
+            reuse_workspace=reuse_workspace,
         )
         return StudyResult(tasks, records, metrics=self._metrics)
 

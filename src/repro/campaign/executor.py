@@ -41,6 +41,34 @@ __all__ = ["default_jobs", "execute_task", "run_campaign"]
 #: enough to amortize pickling/IPC over many sub-second tasks.
 CHUNKS_PER_WORKER: int = 4
 
+#: Per-process solve workspace (see :mod:`repro.perf`): one per worker,
+#: reused across every task the worker executes — repetitions restore
+#: the live matrix by strike-undo instead of recopying, and buffers
+#: survive task boundaries.  Created lazily so importing the executor
+#: stays cheap.
+_WORKER_WORKSPACE = None
+
+
+def _worker_workspace():
+    global _WORKER_WORKSPACE
+    if _WORKER_WORKSPACE is None:
+        from repro.perf import SolveWorkspace
+
+        _WORKER_WORKSPACE = SolveWorkspace()
+    return _WORKER_WORKSPACE
+
+
+def release_worker_workspace() -> None:
+    """Drop the worker workspace's held arrays (incl. its strong
+    reference to the last task's matrix).  Part of the
+    :func:`repro.perf.clear_caches` contract — without this, the
+    workspace would pin the largest objects a memory-bounding clear is
+    trying to free."""
+    global _WORKER_WORKSPACE
+    if _WORKER_WORKSPACE is not None:
+        _WORKER_WORKSPACE.release()
+    _WORKER_WORKSPACE = None
+
 
 def default_jobs() -> int:
     """Default worker count: every core this process may schedule on."""
@@ -50,7 +78,7 @@ def default_jobs() -> int:
         return os.cpu_count() or 1
 
 
-def execute_task(task: TaskSpec) -> dict:
+def execute_task(task: TaskSpec, *, reuse_workspace: bool = True) -> dict:
     """Run one task to completion and return its JSON-ready record.
 
     This is the worker entry point — a module-level function so it
@@ -61,6 +89,11 @@ def execute_task(task: TaskSpec) -> dict:
          "task": <TaskSpec fields>,
          "n": <matrix dimension>, "density": <matrix density>,
          "stats": <RunStatistics fields>}
+
+    ``reuse_workspace`` routes every repetition through the worker's
+    process-local :class:`repro.perf.SolveWorkspace` — results are
+    bit-identical either way (the task's content hash covers only the
+    physics, so stores stay compatible across the switch).
     """
     from dataclasses import asdict
 
@@ -87,6 +120,8 @@ def execute_task(task: TaskSpec) -> dict:
         labels=task.labels,
         eps=task.eps,
         method=task.method,
+        reuse_workspace=reuse_workspace,
+        workspace=_worker_workspace() if reuse_workspace else None,
     )
     return {
         "hash": task.task_hash(),
@@ -104,6 +139,7 @@ def run_campaign(
     store: "ResultStore | str | os.PathLike[str] | None" = None,
     progress: "ProgressReporter | None" = None,
     chunksize: "int | None" = None,
+    reuse_workspace: bool = True,
 ) -> "list[dict]":
     """Execute every task, reusing stored results, and return records
     aligned with ``tasks``.
@@ -122,6 +158,10 @@ def run_campaign(
         counted.
     chunksize:
         Tasks per pool chunk (``None`` → ``~4`` chunks per worker).
+    reuse_workspace:
+        Run repetitions through per-worker solve workspaces (the
+        zero-copy hot path; bit-identical records).  ``False`` restores
+        the historical fresh-allocation path.
     """
     tasks = list(tasks)
     jobs = default_jobs() if jobs is None else int(jobs)
@@ -149,9 +189,17 @@ def run_campaign(
             if pending:
                 if jobs == 1 or len(pending) == 1:
                     for i, task in pending:
-                        _deliver(i, execute_task(task), results, store, progress)
+                        _deliver(
+                            i,
+                            execute_task(task, reuse_workspace=reuse_workspace),
+                            results,
+                            store,
+                            progress,
+                        )
                 else:
-                    _run_pool(jobs, pending, chunksize, results, store, progress)
+                    _run_pool(
+                        jobs, pending, chunksize, results, store, progress, reuse_workspace
+                    )
         finally:
             # Terminate the \r status line even when a task raised, so
             # the traceback doesn't print on top of it.
@@ -170,6 +218,7 @@ def _run_pool(
     results: "list[dict | None]",
     store: "ResultStore | None",
     progress: "ProgressReporter | None",
+    reuse_workspace: bool = True,
 ) -> None:
     """Fan pending tasks over a process pool, one future per chunk."""
     workers = min(jobs, len(pending))
@@ -177,7 +226,7 @@ def _run_pool(
     groups = [pending[lo : lo + chunk] for lo in range(0, len(pending), chunk)]
     with ProcessPoolExecutor(max_workers=workers) as pool:
         futures = {
-            pool.submit(execute_chunk, [t for _, t in group]): group
+            pool.submit(execute_chunk, [t for _, t in group], reuse_workspace): group
             for group in groups
         }
         try:
@@ -204,10 +253,10 @@ def _run_pool(
             raise
 
 
-def execute_chunk(tasks: "list[TaskSpec]") -> "list[dict]":
+def execute_chunk(tasks: "list[TaskSpec]", reuse_workspace: bool = True) -> "list[dict]":
     """Worker entry point for one scheduling chunk (module-level so it
     pickles under every multiprocessing start method)."""
-    return [execute_task(t) for t in tasks]
+    return [execute_task(t, reuse_workspace=reuse_workspace) for t in tasks]
 
 
 def _deliver(

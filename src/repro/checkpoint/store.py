@@ -59,10 +59,11 @@ class CheckpointStore:
         more can be kept for multi-version ablations).
     """
 
-    def __init__(self, keep: int = 1) -> None:
+    def __init__(self, keep: int = 1, *, recycle: bool = False) -> None:
         if keep < 1:
             raise ValueError(f"keep must be >= 1, got {keep}")
         self.keep = keep
+        self.recycle = recycle
         self._stack: list[Checkpoint] = []
         self.saves = 0
         self.restores = 0
@@ -75,11 +76,47 @@ class CheckpointStore:
         matrix: CSRMatrix | None = None,
         scalars: dict[str, float] | None = None,
     ) -> Checkpoint:
-        """Deep-copy the given state and push it as the newest checkpoint."""
+        """Deep-copy the given state and push it as the newest checkpoint.
+
+        With ``recycle=True`` the arrays of the checkpoint evicted by
+        this save are reused as the copy destinations when their layout
+        matches, making steady-state checkpointing allocation-free.
+        Only enable it when no reference to an evicted
+        :class:`Checkpoint` outlives the eviction (the resilience
+        engine's private store qualifies; a store whose checkpoints are
+        handed to callers does not).
+        """
+        staging: "Checkpoint | None" = None
+        if self.recycle and len(self._stack) >= self.keep:
+            staging = self._stack[len(self._stack) - self.keep]
+        new_vectors: dict[str, np.ndarray] = {}
+        for k, v in vectors.items():
+            dst = staging.vectors.get(k) if staging is not None else None
+            if dst is not None and dst.shape == v.shape:
+                np.copyto(dst, v)
+                new_vectors[k] = dst
+            else:
+                new_vectors[k] = np.array(v, dtype=np.float64, copy=True)
+        new_matrix: "CSRMatrix | None" = None
+        if matrix is not None:
+            old = staging.matrix if staging is not None else None
+            if (
+                old is not None
+                and old.shape == matrix.shape
+                and old.nnz == matrix.nnz
+            ):
+                old.val[:] = matrix.val
+                old.colid[:] = matrix.colid
+                old.rowidx[:] = matrix.rowidx
+                old._structure_clean = matrix._structure_clean
+                old._rows_nonempty = matrix._rows_nonempty
+                new_matrix = old
+            else:
+                new_matrix = matrix.copy()
         cp = Checkpoint(
             iteration=iteration,
-            vectors={k: np.array(v, dtype=np.float64, copy=True) for k, v in vectors.items()},
-            matrix=matrix.copy() if matrix is not None else None,
+            vectors=new_vectors,
+            matrix=new_matrix,
             scalars=dict(scalars or {}),
         )
         self._stack.append(cp)
@@ -116,3 +153,15 @@ class CheckpointStore:
             matrix=cp.matrix.copy() if cp.matrix is not None else None,
             scalars=dict(cp.scalars),
         )
+
+    def borrow_latest(self) -> Checkpoint:
+        """The latest checkpoint itself — zero copies, read-only loan.
+
+        For callers (the resilience engine) that copy values *out of*
+        the snapshot into their own live arrays and never hand the
+        snapshot's arrays to the injector.  The borrow counts as a
+        restore; mutating the returned state corrupts the store.
+        """
+        cp = self.latest
+        self.restores += 1
+        return cp

@@ -48,9 +48,23 @@ class CGResult:
     threshold: float
 
 
-def cg_tolerance_threshold(a: CSRMatrix, b: np.ndarray, r0: np.ndarray, eps: float) -> float:
-    """Algorithm 1's stopping threshold ``ε (‖A‖·‖r₀‖ + ‖b‖)``."""
-    return eps * (norm1(a) * float(np.linalg.norm(r0)) + float(np.linalg.norm(b)))
+def cg_tolerance_threshold(
+    a: CSRMatrix,
+    b: np.ndarray,
+    r0: np.ndarray,
+    eps: float,
+    *,
+    norm1_a: "float | None" = None,
+) -> float:
+    """Algorithm 1's stopping threshold ``ε (‖A‖·‖r₀‖ + ‖b‖)``.
+
+    ``norm1_a`` lets a caller supply a cached ``‖A‖₁`` (the solve
+    workspace computes it once per matrix) instead of the O(nnz)
+    evaluation; the formula stays in one place either way.
+    """
+    if norm1_a is None:
+        norm1_a = norm1(a)
+    return eps * (norm1_a * float(np.linalg.norm(r0)) + float(np.linalg.norm(b)))
 
 
 def cg(

@@ -69,6 +69,7 @@ def run_ft_cg(
     max_time_units: float | None = None,
     event_log: EventLog | None = None,
     final_check: bool = True,
+    workspace: "object | None" = None,
 ) -> FTCGResult:
     """Run fault-tolerant CG under silent-error injection.
 
@@ -97,6 +98,10 @@ def run_ft_cg(
         Reliably re-verify the residual on apparent convergence and
         keep iterating if it is bogus (recommended; disable only to
         study undetected-error impact).
+    workspace:
+        Optional :class:`repro.perf.SolveWorkspace` for the zero-copy
+        hot path (bit-identical; see
+        :func:`repro.resilience.engine.run_protected`).
 
     Returns
     -------
@@ -115,4 +120,5 @@ def run_ft_cg(
         max_time_units=max_time_units,
         event_log=event_log,
         final_check=final_check,
+        workspace=workspace,
     )

@@ -43,6 +43,7 @@ def run_ft_bicgstab(
     rng: "int | np.random.Generator | None" = None,
     max_time_units: float | None = None,
     event_log: EventLog | None = None,
+    workspace: "object | None" = None,
 ) -> FTCGResult:
     """Run fault-tolerant BiCGstab under silent-error injection.
 
@@ -58,6 +59,7 @@ def run_ft_bicgstab(
         alpha=alpha,
         eps=eps,
         maxiter=maxiter,
+        workspace=workspace,
         rng=rng,
         max_time_units=max_time_units,
         event_log=event_log,

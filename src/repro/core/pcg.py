@@ -26,16 +26,27 @@ __all__ = ["pcg", "jacobi_preconditioner", "ssor_preconditioner"]
 Preconditioner = Callable[[np.ndarray], np.ndarray]
 
 
-def jacobi_preconditioner(a: CSRMatrix) -> Preconditioner:
-    """Diagonal (Jacobi) preconditioner ``M = diag(A)``.
+def jacobi_inverse_diagonal(a: CSRMatrix) -> np.ndarray:
+    """``diag(A)⁻¹`` as a raw vector; raises if the diagonal has zeros
+    (the matrix would not be SPD anyway).
 
-    Returns a callable computing ``M⁻¹ z``; raises if the diagonal has
-    zeros (the matrix would not be SPD anyway).
+    The single source of the Jacobi setup: the closure form below, the
+    FT-PCG plugin and the solve workspace's per-matrix cache all call
+    this, so the check and the arithmetic cannot drift apart.
     """
     diag = a.diagonal()
     if np.any(diag == 0.0):
         raise ValueError("Jacobi preconditioner requires a zero-free diagonal")
-    inv = 1.0 / diag
+    return 1.0 / diag
+
+
+def jacobi_preconditioner(a: CSRMatrix) -> Preconditioner:
+    """Diagonal (Jacobi) preconditioner ``M = diag(A)``.
+
+    Returns a callable computing ``M⁻¹ z``; raises if the diagonal has
+    zeros.
+    """
+    inv = jacobi_inverse_diagonal(a)
     return lambda z: inv * z
 
 

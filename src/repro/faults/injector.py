@@ -107,20 +107,36 @@ class FaultInjector:
         self.model = model
         self.rng = as_generator(rng)
         self._targets: dict[str, np.ndarray] = {}
+        self._on_strike: dict[str, "object"] = {}
+        self._tables: "tuple[list[str], np.ndarray] | None" = None
         self.records: list[FaultRecord] = []
 
     # ------------------------------------------------------------------
     # target registry
     # ------------------------------------------------------------------
-    def register(self, name: str, arr: np.ndarray) -> None:
-        """Register (or re-register) a corruptible array under ``name``."""
+    def register(self, name: str, arr: np.ndarray, *, on_strike=None) -> None:
+        """Register (or re-register) a corruptible array under ``name``.
+
+        ``on_strike`` — optional callable ``(position) -> None`` invoked
+        after every flip applied to this target (sampling-free, so it
+        cannot perturb the RNG stream).  The resilience engine uses it
+        to keep the workspace's strike-undo ledger and the live
+        matrix's structure flag in sync with injected corruption.
+        """
         if arr.dtype not in (np.dtype(np.float64), np.dtype(np.int64)):
             raise TypeError(f"target {name!r} must be float64 or int64, got {arr.dtype}")
         self._targets[name] = arr
+        if on_strike is not None:
+            self._on_strike[name] = on_strike
+        else:
+            self._on_strike.pop(name, None)
+        self._tables = None
 
     def unregister(self, name: str) -> None:
         """Remove a target (e.g. a vector freed by the solver)."""
         self._targets.pop(name, None)
+        self._on_strike.pop(name, None)
+        self._tables = None
 
     @property
     def target_names(self) -> list[str]:
@@ -155,9 +171,14 @@ class FaultInjector:
             n_strikes = self.model.strikes_per_iteration(self.rng)
         if n_strikes == 0:
             return []
-        names = list(self._targets)
-        sizes = np.array([self._targets[n].size for n in names], dtype=np.float64)
-        probs = sizes / sizes.sum()
+        # The name/probability tables depend only on the registry, which
+        # changes rarely (normally: never after solver setup) — caching
+        # them keeps the per-iteration sampling allocation-free.
+        if self._tables is None:
+            names = list(self._targets)
+            sizes = np.array([self._targets[n].size for n in names], dtype=np.float64)
+            self._tables = (names, sizes / sizes.sum())
+        names, probs = self._tables
         strikes: list[tuple[str, int, int]] = []
         for _ in range(n_strikes):
             name = names[int(self.rng.choice(len(names), p=probs))]
@@ -197,4 +218,7 @@ class FaultInjector:
             new_value=arr[position].item(),
         )
         self.records.append(rec)
+        hook = self._on_strike.get(name)
+        if hook is not None:
+            hook(position)
         return rec

@@ -1,0 +1,357 @@
+"""Preallocated solve workspaces and the strike-undo live-matrix pool.
+
+The paper's evaluation metric is *mean execution time over many
+repeated fault-injected solves* (Section 5), so the reproduction's
+throughput ceiling is whatever every repetition re-does from scratch.
+Before this layer, each repetition paid
+
+- one full ``a.copy()`` to produce the corruptible live matrix
+  (O(nnz)),
+- one ABFT checksum recomputation (O(nchecks·nnz) — the setup cost
+  Section 3.2 says to pay *once* per matrix),
+- and per iteration a fresh O(nnz) scratch array, a fresh output
+  vector and a defensive ``colid`` range scan inside every SpMxV.
+
+A :class:`SolveWorkspace` removes all of it without changing a single
+float:
+
+- **named buffer pool** — ``buffer(name, size)`` hands out persistent
+  ``float64`` arrays the SpMxV/ABFT/engine layers overwrite in place;
+- **live-matrix reuse with strike-undo restore** — the fault injector
+  and the ABFT corrector report every matrix word they touch
+  (:meth:`note_matrix_mutation`); between repetitions the workspace
+  rewrites exactly those words from the pristine source (O(#faults),
+  typically single digits) instead of recopying O(nnz) arrays, and
+  restores the :attr:`~repro.sparse.csr.CSRMatrix.structure_clean`
+  stamp so unfaulted SpMxVs skip their index scans;
+- **delta matrix checkpoints** — a checkpoint stores only the words
+  currently deviating from the pristine source
+  (:meth:`capture_matrix_state`), and a rollback restores them in
+  O(#faults) (:meth:`restore_matrix_state`);
+- **per-source caches** — ``‖A‖₁`` for the stopping threshold (the
+  checksum cache itself is process-global, see
+  :func:`repro.abft.checksums.cached_checksums`).
+
+Workspaces are **not** thread-safe and must not be shared across
+concurrently running solves; the campaign executor keeps one per
+worker process.
+
+Correctness argument for strike-undo (the taint superset invariant):
+at every instant, the set of live-matrix words differing from the
+pristine source is a subset of the recorded taint. Strikes and ABFT
+repairs are recorded at the point of mutation; a checkpoint restore
+copies values whose deviations were recorded before the snapshot; an
+engine refresh copies pristine data (removing deviations, never adding
+any). Rewriting the tainted words from the source therefore restores
+bit-equality — positions tainted but not currently deviating are
+rewritten with the value they already hold.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.sparse.csr import CSRMatrix
+from repro.sparse.validate import structure_arrays_clean
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.abft.checksums import SpmvChecksums
+
+__all__ = ["SolveWorkspace"]
+
+#: The corruptible matrix arrays, in injector registration order.
+_MATRIX_ARRAYS = ("val", "colid", "rowidx")
+
+
+class SolveWorkspace:
+    """Reusable buffers + live-matrix pool for repeated protected solves.
+
+    One workspace serves one solve at a time; reusing it across
+    repetitions (and across matrices — switching sources just rebuilds
+    the live copy) is what :func:`repro.sim.engine.repeat_run`,
+    the campaign executor and ``solve(reuse_workspace=True)`` do.
+    Every code path through a workspace is locked bit-identical to the
+    fresh-allocation path by ``tests/test_perf_workspace.py``.
+    """
+
+    def __init__(self) -> None:
+        self._buffers: dict[str, np.ndarray] = {}
+        self._abft_bundle: "tuple | None" = None  #: (n, nnz, buffers…)
+        self._live: "CSRMatrix | None" = None
+        self._live_source: "CSRMatrix | None" = None
+        self._source_view: "CSRMatrix | None" = None
+        self._live_clean = False  #: structure verdict for the *source*
+        self._live_rows_nonempty: "bool | None" = None  #: hoisted with the verdict
+        self._taint: dict[str, set[int]] = {n: set() for n in _MATRIX_ARRAYS}
+        self._norm1: "float | None" = None
+        self._jacobi_minv: "np.ndarray | None" = None
+        # Telemetry for tests/benchmarks (no behavioural role).
+        self.live_copies = 0
+        self.live_restores = 0
+
+    # ------------------------------------------------------------------
+    # named buffer pool
+    # ------------------------------------------------------------------
+    def buffer(self, name: str, size: int, dtype: "np.dtype | type" = np.float64) -> np.ndarray:
+        """A persistent scratch array of at least ``size`` elements.
+
+        Contents are *unspecified* on return — callers overwrite.  The
+        same name always maps to the same storage (grown on demand), so
+        two concurrently-live uses of one name would alias; buffer
+        names are namespaced per call site (``"abft.y"``,
+        ``"spmv.scratch"``, …) to prevent that.
+        """
+        buf = self._buffers.get(name)
+        if buf is None or buf.shape[0] < size or buf.dtype != np.dtype(dtype):
+            buf = np.empty(max(size, 1), dtype=dtype)
+            self._buffers[name] = buf
+        return buf[:size] if buf.shape[0] != size else buf
+
+    def zeros(self, name: str, size: int) -> np.ndarray:
+        """:meth:`buffer`, zero-filled."""
+        buf = self.buffer(name, size)
+        buf[:] = 0.0
+        return buf
+
+    def abft_buffers(self, nrows: int, ncols: int, nnz: int) -> tuple:
+        """The protected-SpMxV buffer set, resolved in one call.
+
+        Returns ``(x_ref, y, scratch, ridx, xdiff)`` with ``x_ref``
+        input-sized and the rest output/nnz-sized; one protected
+        product draws five buffers per call, so the per-name dict
+        lookups are folded into a single shape-keyed slot.
+        """
+        bundle = self._abft_bundle
+        if bundle is not None and bundle[0] == (nrows, ncols, nnz):
+            return bundle[1]
+        bufs = (
+            self.buffer("abft.xref", ncols),
+            self.buffer("abft.y", nrows),
+            self.buffer("spmv.scratch", nnz),
+            self.buffer("verify.ridx", nrows),
+            self.buffer("verify.xdiff", nrows),
+        )
+        self._abft_bundle = ((nrows, ncols, nnz), bufs)
+        return bufs
+
+    # ------------------------------------------------------------------
+    # live-matrix pool (strike-undo restore)
+    # ------------------------------------------------------------------
+    def acquire_live(self, a: CSRMatrix) -> CSRMatrix:
+        """A corruptible working copy of ``a``, bit-equal to ``a``.
+
+        First acquisition for a source copies O(nnz); subsequent
+        acquisitions for the *same object* un-write exactly the tainted
+        words (O(#faults)) and reuse the same arrays — essential
+        because the fault injector and the recurrence plugins hold
+        references into them.
+        """
+        if self._live is not None and self._live_source is a:
+            self._undo_taint()
+            self.live_restores += 1
+            return self._live
+        self._live = a.copy()
+        self._live_source = a
+        self._live_clean = structure_arrays_clean(a)
+        if self._live_clean:
+            self._live.assume_clean_structure()
+            self._live_rows_nonempty = self._live._rows_nonempty
+            # Flag-stamped *view* of the source (shares its arrays, has
+            # its own stamp): products against the pristine matrix —
+            # the engine's reliable convergence checks and refreshes —
+            # skip the SpMxV guards without mutating the user's object.
+            view = CSRMatrix(a.val, a.colid, a.rowidx, a.shape, check=False)
+            view.assume_clean_structure()
+            self._source_view = view
+        else:
+            self._live.mark_structure_dirty()
+            self._live_rows_nonempty = None
+            self._source_view = a
+        for s in self._taint.values():
+            s.clear()
+        self._norm1 = None
+        self._jacobi_minv = None
+        self.live_copies += 1
+        return self._live
+
+    def source_view(self) -> "CSRMatrix":
+        """The bound source, through its flag-stamped view.
+
+        Same bytes (the view shares the source's arrays); only the
+        structure stamp differs, living on the view so the caller's
+        object is never mutated.
+        """
+        assert self._source_view is not None
+        return self._source_view
+
+    def _rearm_live(self) -> None:
+        """Re-stamp the live matrix with the source's structure verdict."""
+        live = self._live
+        if live is not None and self._live_clean:
+            live._structure_clean = True
+            live._rows_nonempty = self._live_rows_nonempty
+
+    def note_matrix_mutation(self, name: str, position: int) -> None:
+        """Record that one word of a live matrix array was rewritten.
+
+        Called by the engine for every injector strike on
+        ``val``/``colid``/``rowidx`` and for every ABFT in-place repair.
+        Index-array mutations also revoke the live matrix's
+        ``structure_clean`` stamp, so subsequent SpMxVs fall back to
+        their defensive scans.
+        """
+        self._taint[name].add(int(position))
+        if name != "val" and self._live is not None:
+            self._live.mark_structure_dirty()
+
+    def _unwrite_tainted(self, *, clear: bool) -> None:
+        """Rewrite every tainted word of the live arrays from the
+        pristine source (the single copy of the un-write mechanics)."""
+        live, src = self._live, self._live_source
+        assert live is not None and src is not None
+        for name, positions in self._taint.items():
+            if positions:
+                idx = np.fromiter(positions, dtype=np.int64, count=len(positions))
+                getattr(live, name)[idx] = getattr(src, name)[idx]
+                if clear:
+                    positions.clear()
+
+    def _undo_taint(self) -> None:
+        """Restore the live matrix to bit-equality with the source."""
+        self._unwrite_tainted(clear=True)
+        self._rearm_live()
+
+    # ------------------------------------------------------------------
+    # delta matrix checkpoints
+    # ------------------------------------------------------------------
+    def capture_matrix_state(self) -> dict:
+        """Snapshot the live matrix as deviations from the source.
+
+        Returns per-array ``(positions, values)`` pairs for the words
+        tainted *now*; :meth:`restore_matrix_state` reproduces the
+        exact byte state from them.  O(#faults) instead of the O(nnz)
+        full-matrix checkpoint copy.
+        """
+        live = self._live
+        assert live is not None
+        deltas = {}
+        for name, positions in self._taint.items():
+            if positions:
+                idx = np.fromiter(positions, dtype=np.int64, count=len(positions))
+                deltas[name] = (idx, getattr(live, name)[idx].copy())
+        return deltas
+
+    def restore_matrix_state(self, deltas: dict) -> None:
+        """Restore the live matrix to a :meth:`capture_matrix_state` state.
+
+        Implemented as strike-undo to the pristine source followed by
+        re-applying the captured deviations (which re-taints nothing:
+        captured positions are already in the taint set — it only ever
+        shrinks at :meth:`acquire_live`).
+        """
+        live = self._live
+        assert live is not None
+        self._unwrite_tainted(clear=False)
+        for name, (idx, values) in deltas.items():
+            getattr(live, name)[idx] = values
+        # The restored state deviates from the source only at the
+        # captured words; if none of them sit in an index array, the
+        # structure verdict of the source holds again — re-arm the fast
+        # path that the strike had disarmed.
+        if "colid" not in deltas and "rowidx" not in deltas:
+            self._rearm_live()
+
+    def reverify_structure(self) -> None:
+        """Re-arm the live structure stamp if no index word deviates.
+
+        Called after a *forward* repair of ``colid``/``rowidx`` (which
+        restores the exact original integer, but never rolls back — so
+        nothing else would clear the dirty flag).  Compares only the
+        tainted index words against the source: O(#faults).
+        """
+        live, src = self._live, self._live_source
+        if live is None or not self._live_clean or live.structure_clean:
+            return
+        for name in ("colid", "rowidx"):
+            positions = self._taint[name]
+            if positions:
+                idx = np.fromiter(positions, dtype=np.int64, count=len(positions))
+                if not np.array_equal(getattr(live, name)[idx], getattr(src, name)[idx]):
+                    return
+        self._rearm_live()
+
+    def mark_live_pristine(self) -> None:
+        """Declare the live matrix byte-equal to the source *right now*.
+
+        Called by the engine after a refresh re-read the pristine data
+        into the live arrays wholesale; restores the source's structure
+        verdict (the taint ledger is untouched — it is a superset
+        contract, and re-undoing an already-pristine word is harmless).
+        """
+        self._rearm_live()
+
+    # ------------------------------------------------------------------
+    # per-source caches
+    # ------------------------------------------------------------------
+    def source_norm1(self, a: CSRMatrix) -> float:
+        """``‖A‖₁`` of the pristine source, computed once per binding."""
+        if self._live_source is not a or self._norm1 is None:
+            from repro.sparse.norms import norm1
+
+            value = norm1(a)
+            if self._live_source is not a:
+                return value  # not bound to this source: don't cache
+            self._norm1 = value
+        return self._norm1
+
+    def jacobi_minv(self, a: CSRMatrix) -> np.ndarray:
+        """``diag(A)⁻¹`` of the pristine source, computed once per binding.
+
+        Same computation (and zero-diagonal ``ValueError``) as the
+        uncached path — both call
+        :func:`repro.core.pcg.jacobi_inverse_diagonal`.  The returned
+        array is shared read-only metadata (like the checksums) —
+        callers must not mutate it.
+        """
+        if self._live_source is not a or self._jacobi_minv is None:
+            from repro.core.pcg import jacobi_inverse_diagonal
+
+            minv = jacobi_inverse_diagonal(a)
+            if self._live_source is not a:
+                return minv  # not bound to this source: don't cache
+            self._jacobi_minv = minv
+        return self._jacobi_minv
+
+    def checksums(self, a: CSRMatrix, *, nchecks: int) -> "SpmvChecksums":
+        """Process-cached ABFT metadata for ``a`` (see
+        :func:`repro.abft.checksums.cached_checksums`)."""
+        from repro.abft.checksums import cached_checksums
+
+        return cached_checksums(a, nchecks=nchecks)
+
+    def release(self) -> None:
+        """Drop every held array and matrix reference.
+
+        Un-binds the live copy (and the strong reference to its source
+        matrix) and empties the buffer pool, so a long-lived process can
+        actually reclaim the memory; the workspace remains usable — the
+        next solve simply re-allocates.
+        """
+        self._buffers.clear()
+        self._abft_bundle = None
+        self._live = None
+        self._live_source = None
+        self._source_view = None
+        self._live_clean = False
+        self._live_rows_nonempty = None
+        for s in self._taint.values():
+            s.clear()
+        self._norm1 = None
+        self._jacobi_minv = None
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        nbuf = len(self._buffers)
+        bound = "unbound" if self._live_source is None else f"n={self._live_source.nrows}"
+        return f"SolveWorkspace({nbuf} buffers, {bound}, copies={self.live_copies}, restores={self.live_restores})"

@@ -49,15 +49,31 @@ class CGPlugin:
         b: np.ndarray,
         x0: "np.ndarray | None",
         config: SchemeConfig,
+        workspace=None,
     ) -> None:
         n = a.nrows
         self.live = live
         self.b = b
         self.config = config
-        self.x = np.zeros(n) if x0 is None else np.array(x0, dtype=np.float64, copy=True)
-        self.r = b - spmv(live, self.x)
-        self.p = self.r.copy()
-        self.q = np.zeros(n)
+        self.workspace = workspace
+        if workspace is None:
+            self.x = np.zeros(n) if x0 is None else np.array(x0, dtype=np.float64, copy=True)
+            self.r = b - spmv(live, self.x)
+            self.p = self.r.copy()
+            self.q = np.zeros(n)
+        else:
+            # Workspace-backed vectors: same names, same initial values,
+            # storage reused across runs (every entry is overwritten here,
+            # so nothing can leak from a previous repetition).
+            self.x = workspace.zeros("cg.x", n)
+            if x0 is not None:
+                self.x[:] = x0
+            self.r = workspace.buffer("cg.r", n)
+            spmv(live, self.x, out=self.r, scratch=workspace.buffer("spmv.scratch", live.nnz))
+            np.subtract(b, self.r, out=self.r)
+            self.p = workspace.buffer("cg.p", n)
+            self.p[:] = self.r
+            self.q = workspace.zeros("cg.q", n)
         self.rr = float(self.r @ self.r)
         self.iteration = 0
         self.iter_in_chunk = 0  #: ONLINE-DETECTION's position inside the chunk
@@ -110,9 +126,12 @@ class CGPlugin:
         return StepOutcome.advanced(bool(np.sqrt(self.rr) <= ctx.threshold))
 
     def _abft_iteration(self, ctx, strikes: "list[tuple[str, int, int]]") -> bool:
-        pre = [s for s in strikes if s[0] in SPMV_PRE_TARGETS]
-        post = [s for s in strikes if s[0] == "q"]
-        vector_phase = [s for s in strikes if s[0] in ("r", "x")]
+        if strikes:
+            pre = [s for s in strikes if s[0] in SPMV_PRE_TARGETS]
+            post = [s for s in strikes if s[0] == "q"]
+            vector_phase = [s for s in strikes if s[0] in ("r", "x")]
+        else:  # the common iteration: nothing landed, skip the filters
+            pre = post = vector_phase = strikes
 
         y = ctx.protected_product(self.p, pre, post)
         if y is None:
@@ -132,8 +151,18 @@ class CGPlugin:
             ctx.log.emit("breakdown", self.iteration, pq=pq)
             return False
         alpha_step = self.rr / pq
-        self.x += alpha_step * self.p
-        self.r -= alpha_step * self.q
+        ws = self.workspace
+        if ws is None:
+            self.x += alpha_step * self.p
+            self.r -= alpha_step * self.q
+        else:
+            # Same axpy floats, explicit temporary instead of a fresh
+            # allocation per operation.
+            t = ws.buffer("cg.tmp", self.x.shape[0])
+            np.multiply(alpha_step, self.p, out=t)
+            self.x += t
+            np.multiply(alpha_step, self.q, out=t)
+            self.r -= t
         rr_new = float(self.r @ self.r)
         beta = rr_new / self.rr
         self.p *= beta
@@ -147,7 +176,15 @@ class CGPlugin:
             for s in strikes:
                 ctx.injector.apply_strike(self.iteration, s)
         with np.errstate(all="ignore"):
-            self.q[:] = spmv(self.live, self.p)
+            if self.workspace is None:
+                self.q[:] = spmv(self.live, self.p)
+            else:
+                spmv(
+                    self.live,
+                    self.p,
+                    out=self.q,
+                    scratch=self.workspace.buffer("spmv.scratch", self.live.nnz),
+                )
             pq = float(self.p @ self.q)
             alpha_step = self.rr / pq if pq != 0.0 else np.nan
             self.x += alpha_step * self.p

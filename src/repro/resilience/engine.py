@@ -31,7 +31,7 @@ accounting order and the injector registration order are preserved.
 from __future__ import annotations
 
 import time as _time
-from typing import Callable
+from typing import TYPE_CHECKING, Callable
 
 import numpy as np
 
@@ -48,10 +48,19 @@ from repro.resilience.accounting import RecoveryCounters, SolveResult, TimeBreak
 from repro.resilience.protocol import RecurrencePlugin
 from repro.sparse.csr import CSRMatrix
 from repro.sparse.spmv import spmv
+from repro.sparse.validate import structure_arrays_clean
 from repro.util.log import EventLog
 from repro.util.rng import as_generator
 
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.perf.workspace import SolveWorkspace
+
 __all__ = ["EngineContext", "run_protected"]
+
+#: Matrix arrays whose in-place repair by the ABFT decoder must enter
+#: the workspace's strike-undo ledger (vector repairs need no ledger —
+#: iteration vectors are fully re-initialized per run).
+_MATRIX_CORRECTION_KINDS = frozenset({"val", "colid", "rowidx"})
 
 
 class EngineContext:
@@ -72,23 +81,41 @@ class EngineContext:
         b: np.ndarray,
         config: SchemeConfig,
         log: EventLog,
+        workspace: "SolveWorkspace | None" = None,
     ) -> None:
         self.plugin = plugin
         self.a = a  #: pristine input matrix (reliable storage)
+        #: ``a`` through a flag-stamped view (same bytes, own structure
+        #: stamp) so reliable products skip the SpMxV guards; set by the
+        #: runner, defaults to ``a`` itself.
+        self.a_view = a
         self.live = live  #: the corruptible working copy
         self.b = b
         self.config = config
         self.costs = config.costs
         self.scheme = config.scheme
         self.log = log
+        self.workspace = workspace
         self.counters = RecoveryCounters()
         self.breakdown = TimeBreakdown()
         self.time_units = 0.0
         self.uncommitted = 0.0  #: iteration time not yet saved by a checkpoint
+        #: ``Tverif`` for this scheme, hoisted out of the charge path
+        #: (the property re-derives it from the scheme on every call).
+        self._verification_cost = config.verification_cost
         self.threshold = 0.0  #: set by the engine once the initial residual exists
         self.injector: FaultInjector | None = None
         self.checksums = None
-        self.store = CheckpointStore(keep=1)
+        #: Structure verdict of the pristine input (set by the runner);
+        #: lets a refresh re-arm the live matrix's fast-path stamp.
+        self._live_clean0 = False
+        # Recycling is safe here because the store is engine-private:
+        # borrowed checkpoints are only read before the next save.
+        self.store = CheckpointStore(keep=1, recycle=True)
+        #: Matrix deviations from ``a`` at the latest checkpoint, in
+        #: workspace mode (where checkpoints skip the O(nnz) matrix
+        #: copy and store only the tainted words).
+        self._cp_matrix_deltas: "dict | None" = None
         self.policy = PeriodicCheckpointPolicy(config.checkpoint_interval)
         # A rollback loop longer than this means the checkpoint itself
         # is tainted (e.g. a matrix corruption that slipped verification
@@ -108,9 +135,9 @@ class EngineContext:
 
     def charge_verified_iteration(self) -> None:
         """Bill one iteration plus its per-iteration ABFT verification."""
-        self.time_units += self.costs.t_iter + self.config.verification_cost
+        self.time_units += self.costs.t_iter + self._verification_cost
         self.uncommitted += self.costs.t_iter
-        self.breakdown.verification += self.config.verification_cost
+        self.breakdown.verification += self._verification_cost
         self.counters.verifications += 1
 
     def charge_verification(self, cost: float) -> None:
@@ -141,19 +168,20 @@ class EngineContext:
         """
         plugin = self.plugin
 
-        def hook(stage: str, _a, _x, y) -> None:
-            if self.injector is None:
-                return
-            if stage == "pre":
-                for s in pre:
-                    self.injector.apply_strike(plugin.iteration, s)
-            elif stage == "post" and y is not None:
-                for name, posn, bit in post:
-                    old = y[posn]
-                    flip_bits_array(y, np.array([posn]), np.array([bit]))
-                    self.injector.records.append(
-                        FaultRecord(plugin.iteration, name, posn, bit, float(old), float(y[posn]))
-                    )
+        hook = None
+        if self.injector is not None and (pre or post):
+
+            def hook(stage: str, _a, _x, y) -> None:
+                if stage == "pre":
+                    for s in pre:
+                        self.injector.apply_strike(plugin.iteration, s)
+                elif stage == "post" and y is not None:
+                    for name, posn, bit in post:
+                        old = y[posn]
+                        flip_bits_array(y, np.array([posn]), np.array([bit]))
+                        self.injector.records.append(
+                            FaultRecord(plugin.iteration, name, posn, bit, float(old), float(y[posn]))
+                        )
 
         result = protected_spmv(
             self.live,
@@ -161,14 +189,46 @@ class EngineContext:
             self.checksums,
             correct=self.scheme.corrects,
             fault_hook=hook,
+            workspace=self.workspace,
+            # The workspace only re-arms the live stamp on verified
+            # byte-equality with the checksum source, so the stamp may
+            # stand in for the exact row-pointer test.
+            trust_structure_stamp=self.workspace is not None,
         )
-        if result.status is SpmvStatus.CORRECTED and result.correction is not None:
-            self.counters.record_correction(result.correction.kind)
+        corr = result.correction
+        if (
+            corr is not None
+            and getattr(corr, "corrected", False)
+            and corr.kind in _MATRIX_CORRECTION_KINDS
+        ):
+            if self.workspace is not None:
+                # The decoder patched a matrix word in place (even an
+                # UNCORRECTABLE outcome may carry a patch that re-verify
+                # rejected): it must enter the strike-undo ledger.
+                self.workspace.note_matrix_mutation(corr.kind, corr.position)
+                if corr.kind != "val" and result.status is SpmvStatus.CORRECTED:
+                    # Forward repair restored the exact index word and
+                    # re-verified clean; nothing else will re-arm the
+                    # fast path (correction never rolls back).
+                    self.workspace.reverify_structure()
+            elif (
+                corr.kind != "val"
+                and result.status is SpmvStatus.CORRECTED
+                and self._live_clean0
+                and not self.live.structure_clean
+            ):
+                # Legacy mode has no taint ledger: one full O(nnz)
+                # re-check per (rare) index repair, amortized against
+                # the per-call scans it re-enables.
+                if structure_arrays_clean(self.live):
+                    self.live.assume_clean_structure()
+        if result.status is SpmvStatus.CORRECTED and corr is not None:
+            self.counters.record_correction(corr.kind)
             self.log.emit(
                 "correction",
                 plugin.iteration,
-                what=result.correction.kind,
-                detail=result.correction.detail,
+                what=corr.kind,
+                detail=corr.detail,
             )
         if not result.trusted:
             if count_detection:
@@ -216,11 +276,22 @@ class EngineContext:
     # checkpoint / rollback orchestration
     # ------------------------------------------------------------------
     def snapshot(self) -> None:
-        """Checkpoint the full protected state (vectors + matrix + scalars)."""
+        """Checkpoint the full protected state (vectors + matrix + scalars).
+
+        In workspace mode the matrix member of the checkpoint is the
+        O(#faults) deviation record kept by the workspace instead of an
+        O(nnz) array copy — the restore path reproduces the same bytes
+        either way.
+        """
+        if self.workspace is not None:
+            self._cp_matrix_deltas = self.workspace.capture_matrix_state()
+            matrix = None
+        else:
+            matrix = self.live
         self.store.save(
             self.plugin.iteration,
             vectors=self.plugin.vectors,
-            matrix=self.live,
+            matrix=matrix,
             scalars=self.plugin.scalars(),
         )
 
@@ -229,15 +300,29 @@ class EngineContext:
 
         In-place restore is essential: the fault injector holds
         references to these arrays, so rebinding would silently
-        decouple injection from the solver state.
+        decouple injection from the solver state.  The checkpoint is
+        *borrowed* (no defensive copy): values are copied out of it
+        into the live arrays, never the reverse.
         """
-        cp = self.store.restore()
+        cp = self.store.borrow_latest()
         for name, vec in self.plugin.vectors.items():
             vec[:] = cp.vectors[name]
-        assert cp.matrix is not None
-        self.live.val[:] = cp.matrix.val
-        self.live.colid[:] = cp.matrix.colid
-        self.live.rowidx[:] = cp.matrix.rowidx
+        if self.workspace is not None:
+            assert self._cp_matrix_deltas is not None
+            self.workspace.restore_matrix_state(self._cp_matrix_deltas)
+        else:
+            assert cp.matrix is not None
+            self.live.val[:] = cp.matrix.val
+            self.live.colid[:] = cp.matrix.colid
+            self.live.rowidx[:] = cp.matrix.rowidx
+            # The snapshot carried its structure verdict (copy() and the
+            # recycling save both preserve it); restoring the bytes
+            # restores the verdict — typically re-arming the SpMxV fast
+            # path a structure strike had disarmed.
+            if cp.matrix._structure_clean:
+                self.live.assume_clean_structure()
+            else:
+                self.live.mark_structure_dirty()
         self.plugin.load_scalars(cp)
 
     def _charge_recovery(self, cost: float) -> None:
@@ -290,8 +375,16 @@ class EngineContext:
         if pol.refresh_charges_restart:
             # One recovery plus one iteration (the residual SpMxV).
             self._charge_recovery(self.costs.t_rec + self.costs.t_iter)
-        cp = self.store.restore()
-        self.plugin.refresh(cp, self.a, self.b)
+        # Borrowed, not copied: the plugin only reads the checkpointed
+        # iterate, and the snapshot below happens after that read.
+        cp = self.store.borrow_latest()
+        self.plugin.refresh(cp, self.a_view, self.b)
+        # The refresh re-read the pristine matrix wholesale: the input's
+        # structure verdict holds again.
+        if self.workspace is not None:
+            self.workspace.mark_live_pristine()
+        elif self._live_clean0:
+            self.live.assume_clean_structure()
         self.snapshot()
         if pol.refresh_notifies_policy:
             self.policy.rolled_back()
@@ -312,7 +405,7 @@ class EngineContext:
 
     def reliably_converged(self) -> bool:
         """Trustworthy convergence decision (reliable arithmetic, clean A)."""
-        true_r = self.b - spmv(self.a, self.plugin.vectors["x"])
+        true_r = self.b - spmv(self.a_view, self.plugin.vectors["x"])
         return float(np.linalg.norm(true_r)) <= self.threshold
 
 
@@ -331,6 +424,7 @@ def run_protected(
     event_log: "EventLog | None" = None,
     final_check: bool = True,
     observer: "Callable[[EngineContext], None] | None" = None,
+    workspace: "SolveWorkspace | None" = None,
 ) -> SolveResult:
     """Run one recurrence plugin under silent-error injection.
 
@@ -368,6 +462,15 @@ def run_protected(
         consumes no RNG and charges no time, so passing one cannot
         change a trajectory.  Used by :func:`repro.api.solve` to record
         the convergence history.
+    workspace:
+        Optional :class:`repro.perf.SolveWorkspace`.  When given, the
+        live matrix, the per-iteration buffers and the checkpoint
+        staging come from the workspace (reused across runs, restored
+        between runs by strike-undo) and the ABFT metadata comes from
+        the per-process checksum cache.  Bit-identical to the fresh
+        path — the fresh path remains the oracle
+        (``tests/test_perf_workspace.py``).  One workspace must not be
+        shared by concurrently running solves.
 
     Returns
     -------
@@ -382,15 +485,47 @@ def run_protected(
     scheme = config.scheme
     b = np.asarray(b, dtype=np.float64)
 
-    live = a.copy()  # live matrix: the injector corrupts this copy
-    ctx = EngineContext(plugin, a, live, b, config, log)
-    plugin.init_state(a, live, b, x0, config)
-    ctx.threshold = cg_tolerance_threshold(a, b, plugin.vectors["r"], eps)
+    if workspace is not None:
+        # Reused live copy, restored to bit-equality with ``a`` by
+        # un-writing exactly the previously tainted words.
+        live = workspace.acquire_live(a)
+        a_view = workspace.source_view()
+    else:
+        live = a.copy()  # live matrix: the injector corrupts this copy
+        # One up-front structural check lets every SpMxV on the live
+        # copy skip its defensive colid/rowidx guards until an index
+        # array is actually struck (the guards would pass anyway, so
+        # results are unchanged).  An invalid input matrix keeps the
+        # seed's scan-and-wrap behaviour.
+        a_view = a
+        if structure_arrays_clean(live):
+            live.assume_clean_structure()
+            # Same stamp for products against the pristine input (the
+            # reliable convergence checks and refreshes), carried by a
+            # view sharing ``a``'s arrays so the caller's object is
+            # never touched.
+            a_view = CSRMatrix(a.val, a.colid, a.rowidx, a.shape, check=False)
+            a_view.assume_clean_structure()
+    ctx = EngineContext(plugin, a, live, b, config, log, workspace=workspace)
+    ctx.a_view = a_view
+    ctx._live_clean0 = live.structure_clean
+    plugin.init_state(a, live, b, x0, config, workspace=workspace)
+    ctx.threshold = cg_tolerance_threshold(
+        a,
+        b,
+        plugin.vectors["r"],
+        eps,
+        norm1_a=workspace.source_norm1(a) if workspace is not None else None,
+    )
 
     # ABFT metadata comes from the clean input matrix and lives in
     # reliable memory for the whole solve.
     if scheme.uses_abft:
-        ctx.checksums = compute_checksums(a, nchecks=2 if scheme.corrects else 1)
+        nchecks = 2 if scheme.corrects else 1
+        if workspace is not None:
+            ctx.checksums = workspace.checksums(a, nchecks=nchecks)
+        else:
+            ctx.checksums = compute_checksums(a, nchecks=nchecks)
 
     # Fault machinery: strikes are sampled centrally, then applied in
     # the operation window where each struck word is live.  The
@@ -399,9 +534,23 @@ def run_protected(
     if alpha > 0:
         words = live.memory_words + n * len(plugin.vectors)
         ctx.injector = FaultInjector(FaultModel(alpha=alpha, memory_words=words), rng)
-        ctx.injector.register("val", live.val)
-        ctx.injector.register("colid", live.colid)
-        ctx.injector.register("rowidx", live.rowidx)
+        if workspace is not None:
+            ws = workspace
+
+            def _ledger(name):
+                return lambda position: ws.note_matrix_mutation(name, position)
+
+            ctx.injector.register("val", live.val, on_strike=_ledger("val"))
+            ctx.injector.register("colid", live.colid, on_strike=_ledger("colid"))
+            ctx.injector.register("rowidx", live.rowidx, on_strike=_ledger("rowidx"))
+        else:
+
+            def _dirty(_position, _live=live):
+                _live.mark_structure_dirty()
+
+            ctx.injector.register("val", live.val)
+            ctx.injector.register("colid", live.colid, on_strike=_dirty)
+            ctx.injector.register("rowidx", live.rowidx, on_strike=_dirty)
         for name, vec in plugin.vectors.items():
             ctx.injector.register(name, vec)
 
@@ -448,7 +597,7 @@ def run_protected(
     ctx.breakdown.useful_work += ctx.uncommitted
 
     x = plugin.vectors["x"]
-    true_residual = float(np.linalg.norm(b - spmv(a, x)))
+    true_residual = float(np.linalg.norm(b - spmv(a_view, x)))
     return SolveResult(
         x=x.copy(),
         converged=bool(true_residual <= ctx.threshold or (converged and not final_check)),

@@ -28,6 +28,7 @@ import numpy as np
 
 from repro.checkpoint.store import Checkpoint
 from repro.core.methods import Scheme, SchemeConfig
+from repro.core.pcg import jacobi_inverse_diagonal
 from repro.resilience.protocol import CG_RECOVERY, SPMV_PRE_TARGETS, StepOutcome
 from repro.sparse.csr import CSRMatrix
 from repro.sparse.spmv import spmv
@@ -52,19 +53,37 @@ class JacobiPCGPlugin:
         b: np.ndarray,
         x0: "np.ndarray | None",
         config: SchemeConfig,
+        workspace=None,
     ) -> None:
         n = a.nrows
-        diag = a.diagonal()
-        if np.any(diag == 0.0):
-            raise ValueError("Jacobi preconditioner requires a zero-free diagonal")
-        self.minv = 1.0 / diag  # reliable metadata, like the checksums
+        if workspace is None:
+            # Reliable metadata, like the checksums.
+            self.minv = jacobi_inverse_diagonal(a)
+        else:
+            # Same values, extracted once per matrix instead of per run.
+            self.minv = workspace.jacobi_minv(a)
         self.live = live
         self.b = b
-        self.x = np.zeros(n) if x0 is None else np.array(x0, dtype=np.float64, copy=True)
-        self.r = b - spmv(live, self.x)
-        self.z = self.minv * self.r
-        self.p = self.z.copy()
-        self.q = np.zeros(n)
+        if workspace is None:
+            self.x = np.zeros(n) if x0 is None else np.array(x0, dtype=np.float64, copy=True)
+            self.r = b - spmv(live, self.x)
+            self.z = self.minv * self.r
+            self.p = self.z.copy()
+            self.q = np.zeros(n)
+        else:
+            # Workspace-backed vectors, fully overwritten (no state can
+            # leak between runs sharing the workspace).
+            self.x = workspace.zeros("pcg.x", n)
+            if x0 is not None:
+                self.x[:] = x0
+            self.r = workspace.buffer("pcg.r", n)
+            spmv(live, self.x, out=self.r, scratch=workspace.buffer("spmv.scratch", live.nnz))
+            np.subtract(b, self.r, out=self.r)
+            self.z = workspace.buffer("pcg.z", n)
+            np.multiply(self.minv, self.r, out=self.z)
+            self.p = workspace.buffer("pcg.p", n)
+            self.p[:] = self.z
+            self.q = workspace.zeros("pcg.q", n)
         self.rz = float(self.r @ self.z)
         self.iteration = 0
 

@@ -72,8 +72,22 @@ class StepOutcome:
 
     @classmethod
     def advanced(cls, converged: bool, *, verified: bool = True) -> "StepOutcome":
-        """The step committed one (possibly unverified) iteration."""
-        return cls(rolled_back=False, converged=converged, verified=verified)
+        """The step committed one (possibly unverified) iteration.
+
+        Returns interned instances: the class is frozen and ``advanced``
+        outcomes carry no per-step data, so the per-iteration dataclass
+        construction would be pure overhead.
+        """
+        return _ADVANCED[(bool(converged), verified)]
+
+
+#: The four immutable "advanced" outcomes, interned (see
+#: :meth:`StepOutcome.advanced`).
+_ADVANCED = {
+    (c, v): StepOutcome(rolled_back=False, converged=c, verified=v)
+    for c in (False, True)
+    for v in (False, True)
+}
 
 
 @dataclass(frozen=True)
@@ -166,12 +180,19 @@ class RecurrencePlugin(Protocol):
         b: np.ndarray,
         x0: "np.ndarray | None",
         config: "SchemeConfig",
+        workspace=None,
     ) -> None:
         """Allocate the iteration vectors/scalars for one run.
 
         ``live`` is the engine-owned corruptible matrix copy; ``a`` is
         the pristine input (reliable storage, used only for refreshes
-        and preconditioner setup).
+        and preconditioner setup).  ``workspace`` is an optional
+        :class:`repro.perf.SolveWorkspace`: plugins should draw their
+        iteration vectors from it (``workspace.buffer``/``zeros``,
+        fully overwriting every entry so no state survives between
+        runs) and may pass its SpMxV scratch to kernels; with ``None``
+        they must allocate fresh arrays.  Either way the initial values
+        must be bit-identical.
         """
         ...
 

@@ -13,7 +13,13 @@
   rendering.
 """
 
-from repro.sim.matrices import MatrixSpec, PAPER_SUITE, get_matrix, suite_specs
+from repro.sim.matrices import (
+    MatrixSpec,
+    PAPER_SUITE,
+    get_matrix,
+    clear_matrix_cache,
+    suite_specs,
+)
 from repro.sim.engine import RunStatistics, repeat_run, sweep_checkpoint_interval
 from repro.sim.results import Table1Row, Figure1Point, format_table1, format_figure1
 from repro.sim.experiments import run_table1, run_figure1
@@ -22,6 +28,7 @@ __all__ = [
     "MatrixSpec",
     "PAPER_SUITE",
     "get_matrix",
+    "clear_matrix_cache",
     "suite_specs",
     "RunStatistics",
     "repeat_run",

@@ -70,6 +70,8 @@ def repeat_run(
     maxiter: int | None = None,
     max_time_units: float | None = None,
     method: "Method | str" = Method.CG,
+    reuse_workspace: bool = True,
+    workspace: "object | None" = None,
 ) -> RunStatistics:
     """Run ``reps`` independent fault-injected solves and aggregate.
 
@@ -78,10 +80,30 @@ def repeat_run(
     ``method`` selects the protected solver (the resilience engine's
     recurrence plugin) and, when it is not CG, additionally enters the
     seed tuple so methods never share fault streams either.
+
+    ``reuse_workspace`` (default on) runs every repetition through one
+    :class:`repro.perf.SolveWorkspace`: the live matrix, the solver
+    buffers and the checkpoint staging are allocated once and restored
+    between repetitions by strike-undo, and the ABFT checksums come
+    from the per-process cache — identical results, a fraction of the
+    wall clock.  Pass ``reuse_workspace=False`` for the historical
+    fresh-allocation path (the bit-identity oracle), or ``workspace=``
+    to share a caller-owned workspace across calls (e.g. an interval
+    sweep over one matrix).
+
+    Staleness caveat: the checksum cache keys on the matrix *object*.
+    If you mutate ``a``'s arrays in place between calls, pass a fresh
+    object or call :func:`repro.perf.clear_caches` first — otherwise
+    the cached ABFT metadata describes the old values.
     """
     if reps < 1:
         raise ValueError(f"reps must be >= 1, got {reps}")
     method = Method.parse(method)
+    ws = workspace
+    if ws is None and reuse_workspace:
+        from repro.perf import SolveWorkspace
+
+        ws = SolveWorkspace()
     times, iters, rbs, corrs, faults, convs = [], [], [], [], [], []
     for rep in range(reps):
         if method is Method.CG:
@@ -98,6 +120,7 @@ def repeat_run(
             maxiter=maxiter,
             rng=rng,
             max_time_units=max_time_units,
+            workspace=ws,
         )
         times.append(res.time_units)
         iters.append(res.iterations_executed)
@@ -133,12 +156,20 @@ def sweep_checkpoint_interval(
     eps: float = 1e-6,
     maxiter: int | None = None,
     method: "Method | str" = Method.CG,
+    reuse_workspace: bool = True,
 ) -> dict[int, RunStatistics]:
     """Measure mean execution time for each checkpoint interval ``s``.
 
     This is the empirical side of Table 1: the ``s`` with the smallest
-    mean time is the measured optimum ``s*``.
+    mean time is the measured optimum ``s*``.  One solve workspace is
+    shared across the whole sweep (same matrix throughout) unless
+    ``reuse_workspace=False``.
     """
+    ws = None
+    if reuse_workspace:
+        from repro.perf import SolveWorkspace
+
+        ws = SolveWorkspace()
     out: dict[int, RunStatistics] = {}
     for s in s_values:
         cfg = config.with_intervals(s=s)
@@ -153,5 +184,7 @@ def sweep_checkpoint_interval(
             eps=eps,
             maxiter=maxiter,
             method=method,
+            reuse_workspace=reuse_workspace,
+            workspace=ws,
         )
     return out

@@ -23,7 +23,7 @@ from functools import lru_cache
 from repro.sparse.csr import CSRMatrix
 from repro.sparse.generators import stencil_spd
 
-__all__ = ["MatrixSpec", "PAPER_SUITE", "suite_specs", "get_matrix"]
+__all__ = ["MatrixSpec", "PAPER_SUITE", "suite_specs", "get_matrix", "clear_matrix_cache"]
 
 
 @dataclass(frozen=True)
@@ -107,8 +107,28 @@ def suite_specs(uids: "list[int] | None" = None) -> tuple[MatrixSpec, ...]:
     return tuple(by_id[u] for u in uids)
 
 
-@lru_cache(maxsize=32)
+@lru_cache(maxsize=None)
 def get_matrix(uid: int, scale: int = 1) -> CSRMatrix:
-    """Instantiate (and cache) a suite matrix by paper id."""
+    """Instantiate (and cache) a suite matrix by paper id.
+
+    The cache is unbounded on purpose: a wide Study sweep touches up to
+    9 uids × several scales interleaved, and the previous
+    ``maxsize=32`` LRU could evict mid-campaign — silently re-paying
+    matrix synthesis *and* invalidating the identity-keyed checksum
+    cache that hangs off each instance.  The working set is small (a
+    paper-scale matrix is a few MB); a long-lived process that wants
+    the memory back calls :func:`clear_matrix_cache` (or
+    :func:`repro.perf.clear_caches`) at a quiescent point.
+    """
     (spec,) = suite_specs([uid])
     return spec.instantiate(scale)
+
+
+def clear_matrix_cache() -> None:
+    """Explicitly drop every cached suite matrix.
+
+    Also invalidates (by garbage collection) the per-matrix checksum
+    cache entries keyed on the dropped instances.  Campaign workers may
+    call this between tasks to bound memory on huge sweeps.
+    """
+    get_matrix.cache_clear()

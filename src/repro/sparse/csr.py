@@ -41,7 +41,15 @@ class CSRMatrix:
         injection tests) pass ``check=False``.
     """
 
-    __slots__ = ("val", "colid", "rowidx", "shape")
+    __slots__ = (
+        "val",
+        "colid",
+        "rowidx",
+        "shape",
+        "_structure_clean",
+        "_rows_nonempty",
+        "__weakref__",
+    )
 
     def __init__(
         self,
@@ -56,10 +64,51 @@ class CSRMatrix:
         self.colid = np.ascontiguousarray(colid, dtype=np.int64)
         self.rowidx = np.ascontiguousarray(rowidx, dtype=np.int64)
         self.shape = (int(shape[0]), int(shape[1]))
+        self._structure_clean = False
+        self._rows_nonempty: "bool | None" = None
         if check:
             from repro.sparse.validate import validate_structure
 
             validate_structure(self)
+
+    # ------------------------------------------------------------------
+    # structural-cleanliness flag (perf fast path)
+    # ------------------------------------------------------------------
+    @property
+    def structure_clean(self) -> bool:
+        """Whether the index arrays are *known* in-range and monotone.
+
+        ``False`` means "unknown", not "corrupted": kernels must then
+        fall back to their defensive scans (the seed behaviour).  The
+        flag is opt-in — nothing sets it implicitly, because the fault
+        study corrupts ``colid``/``rowidx`` in place and a stale
+        ``True`` would skip the wild-read emulation.  The resilience
+        engine maintains it for its live matrix copy (set after one
+        up-front structural check, cleared by the injector whenever an
+        index array is struck).
+        """
+        return self._structure_clean
+
+    def assume_clean_structure(self) -> None:
+        """Declare the index arrays in-range and monotone.
+
+        Caller contract: only after a successful structural check (see
+        :func:`repro.sparse.validate.structure_arrays_clean`).  Anyone
+        mutating ``colid``/``rowidx`` afterwards must call
+        :meth:`mark_structure_dirty`.
+        """
+        self._structure_clean = True
+        # A clean rowidx is immutable until the flag drops, so the
+        # "every row nonempty" fact (the SpMxV fast path's remaining
+        # O(n) guard) can be hoisted here too.
+        self._rows_nonempty = (
+            bool(np.all(self.rowidx[1:] > self.rowidx[:-1])) if self.nnz else False
+        )
+
+    def mark_structure_dirty(self) -> None:
+        """Revoke :meth:`assume_clean_structure` (index array mutated)."""
+        self._structure_clean = False
+        self._rows_nonempty = None
 
     # ------------------------------------------------------------------
     # basic properties
@@ -159,10 +208,18 @@ class CSRMatrix:
         return out
 
     def copy(self) -> "CSRMatrix":
-        """Deep copy of all three arrays (used by checkpointing)."""
-        return CSRMatrix(
+        """Deep copy of all three arrays (used by checkpointing).
+
+        The :attr:`structure_clean` flag is inherited: the copy holds
+        the same bytes, so whatever was known about the original's
+        index arrays holds for the copy.
+        """
+        dup = CSRMatrix(
             self.val.copy(), self.colid.copy(), self.rowidx.copy(), self.shape, check=False
         )
+        dup._structure_clean = self._structure_clean
+        dup._rows_nonempty = self._rows_nonempty
+        return dup
 
     # ------------------------------------------------------------------
     # row access and arithmetic

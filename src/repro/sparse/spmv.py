@@ -26,7 +26,13 @@ from repro.sparse.csr import CSRMatrix
 __all__ = ["spmv", "spmv_reference"]
 
 
-def spmv(a: CSRMatrix, x: np.ndarray) -> np.ndarray:
+def spmv(
+    a: CSRMatrix,
+    x: np.ndarray,
+    *,
+    out: "np.ndarray | None" = None,
+    scratch: "np.ndarray | None" = None,
+) -> np.ndarray:
     """Vectorized CSR SpMxV.
 
     Parameters
@@ -37,6 +43,13 @@ def spmv(a: CSRMatrix, x: np.ndarray) -> np.ndarray:
         what the reference kernel would fault on — see Notes).
     x:
         Dense input vector of length ``a.ncols``.
+    out:
+        Optional preallocated output vector (``float64``, length
+        ``a.nrows``, must not alias ``x``).  Overwritten and returned.
+    scratch:
+        Optional preallocated ``float64`` buffer of at least ``a.nnz``
+        elements for the per-nonzero products — the solver workspace
+        passes one so the hot loop allocates nothing.
 
     Notes
     -----
@@ -45,14 +58,50 @@ def spmv(a: CSRMatrix, x: np.ndarray) -> np.ndarray:
     still producing a *wrong* answer for ABFT to catch, indices are
     taken modulo the valid range.  A flag in the result is unnecessary:
     ABFT's checksums are the detection mechanism under study.
+
+    When the matrix carries the
+    :attr:`~repro.sparse.csr.CSRMatrix.structure_clean` stamp, the
+    defensive work (``colid`` range scan, ``rowidx`` clipping and the
+    monotone-segment guard) is skipped: the stamp certifies exactly the
+    invariants those guards probe, so the result is bit-identical.
     """
     x = np.asarray(x, dtype=np.float64)
     if x.shape != (a.ncols,):
         raise ValueError(f"x must have shape ({a.ncols},), got {x.shape}")
     n = a.nrows
-    y = np.zeros(n, dtype=np.float64)
-    if a.nnz == 0:
+    nnz = a.nnz
+    if out is None:
+        y = np.zeros(n, dtype=np.float64) if nnz == 0 else np.empty(n, dtype=np.float64)
+    else:
+        y = out
+    if nnz == 0:
+        if out is not None:
+            y[:] = 0.0
         return y
+
+    if a.structure_clean:
+        # Fast path: indices certified in-range and monotone, so the
+        # scan, the clips and the overshoot repair are all no-ops by
+        # construction — same floats, none of the guard work.
+        rowptr = a.rowidx
+        with np.errstate(over="ignore", invalid="ignore"):
+            if scratch is None:
+                products = a.val * x[a.colid]
+            else:
+                # mode="clip" skips the per-element bounds check; the
+                # structure_clean stamp guarantees it never clips.
+                products = np.take(x, a.colid, out=scratch[:nnz], mode="clip")
+                np.multiply(a.val, products, out=products)
+        starts = rowptr[:-1]
+        if a._rows_nonempty:  # hoisted with the stamp: no per-call guard
+            np.add.reduceat(products, starts, out=y)
+            return y
+        y[:] = 0.0
+        nonempty = rowptr[1:] > starts
+        if nonempty.any():
+            y[nonempty] = np.add.reduceat(products, starts[nonempty])
+        return y
+    y[:] = 0.0
 
     colid = a.colid
     # Memory-safe emulation of wild reads caused by corrupted indices.
@@ -87,7 +136,11 @@ def spmv(a: CSRMatrix, x: np.ndarray) -> np.ndarray:
                     seg[k] = products[starts_ne[k] : ends_ne[k]].sum()
             y[nonempty] = seg
         return y
-    return _spmv_loop(a.val, colid, rowptr, x, n, a.nnz)
+    looped = _spmv_loop(a.val, colid, rowptr, x, n, a.nnz)
+    if out is None:
+        return looped
+    out[:] = looped
+    return out
 
 
 def _spmv_loop(
@@ -100,9 +153,12 @@ def _spmv_loop(
 ) -> np.ndarray:
     """Row-loop kernel tolerant of corrupted row pointers."""
     y = np.zeros(n, dtype=np.float64)
+    # One vectorized clip + tolist instead of two np.clip scalar
+    # dispatches per row; the per-row dot products are unchanged.
+    bounds = np.clip(rowidx, 0, nnz).tolist()
     for i in range(n):
-        lo = int(np.clip(rowidx[i], 0, nnz))
-        hi = int(np.clip(rowidx[i + 1], 0, nnz))
+        lo = bounds[i]
+        hi = bounds[i + 1]
         if hi > lo:
             y[i] = float(val[lo:hi] @ x[colid[lo:hi]])
     return y

@@ -14,7 +14,12 @@ from typing import TYPE_CHECKING
 if TYPE_CHECKING:  # pragma: no cover
     from repro.sparse.csr import CSRMatrix
 
-__all__ = ["StructureError", "validate_structure", "is_structurally_valid"]
+__all__ = [
+    "StructureError",
+    "validate_structure",
+    "is_structurally_valid",
+    "structure_arrays_clean",
+]
 
 
 class StructureError(ValueError):
@@ -64,3 +69,29 @@ def is_structurally_valid(a: "CSRMatrix") -> bool:
     except StructureError:
         return False
     return True
+
+
+def structure_arrays_clean(a: "CSRMatrix") -> bool:
+    """Whether the *index* arrays are in-range and monotone.
+
+    The exact precondition of the SpMxV fast path (skipping the
+    defensive ``colid`` range scan and the ``rowidx`` clip/monotone
+    guards): column indices in ``[0, ncols)``, row pointers
+    non-decreasing with the pinned endpoints.  Unlike
+    :func:`validate_structure` it says nothing about ``val`` — a
+    corrupted *value* never changes which words the kernel reads.
+
+    One vectorized O(nnz) pass; callers hoist it out of the per-call
+    hot path by stamping the result with
+    :meth:`~repro.sparse.csr.CSRMatrix.assume_clean_structure`.
+    """
+    nrows, ncols = a.shape
+    if a.rowidx.shape != (nrows + 1,) or a.val.shape != a.colid.shape:
+        return False
+    if a.nnz and (int(a.colid.min()) < 0 or int(a.colid.max()) >= ncols):
+        return False
+    return bool(
+        a.rowidx[0] == 0
+        and a.rowidx[-1] == a.nnz
+        and np.all(a.rowidx[1:] >= a.rowidx[:-1])
+    )
