@@ -1,0 +1,172 @@
+"""Backend axis: reference vs scipy kernels on the paper suite.
+
+Two measurements per suite matrix, correctness asserted before any
+clock starts:
+
+- **raw SpMxV** — the structure-clean fast path of each backend
+  (the reference kernel with its workspace scratch vs SciPy's
+  compiled CSR matvec), best-of-``TRIALS`` over ``SPMV_ITERS``
+  products;
+- **fault-free protected solve** — ``repro.solve`` at α = 0 on a
+  subset of the suite, end to end (so checksum verification, vector
+  kernels and history recording dilute the kernel's share — the
+  honest number for campaign throughput).
+
+The record lands in ``benchmarks/results/BENCH_backends.json``; the
+committed copy at ``benchmarks/BENCH_backends.json`` is the repo's
+reference measurement for the README's "when does scipy win" guidance.
+
+Scale knobs: ``REPRO_BENCH_BACKEND_SCALE`` (suite-size divisor,
+default 8 — large enough that the kernel dominates the product) and
+``REPRO_BENCH_BACKEND_MIN`` (required aggregate raw-kernel speedup,
+default 1.1 — a modest floor so noisy shared runners don't flake;
+the committed record is the meaningful number).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+import numpy as np
+
+import repro
+from repro.backends import get_backend
+from repro.sim.engine import make_rhs
+from repro.sim.matrices import PAPER_SUITE, get_matrix
+from repro.sparse.spmv import spmv
+
+#: Raw-kernel products per timing trial.
+SPMV_ITERS = 100
+
+#: Best-of trials per measurement (minimum keeps only load spikes out).
+TRIALS = 3
+
+#: Suite subset for the end-to-end solve comparison (one small, one
+#: mid, one dense-ish entry; full-suite solves would dominate runtime).
+SOLVE_UIDS = (1312, 2213, 341)
+
+
+def backend_scale() -> int:
+    return int(os.environ.get("REPRO_BENCH_BACKEND_SCALE", "8"))
+
+
+def min_spmv_speedup() -> float:
+    return float(os.environ.get("REPRO_BENCH_BACKEND_MIN", "1.1"))
+
+
+def _time_spmv(a, x, backend) -> float:
+    out = np.empty(a.nrows)
+    scratch = np.empty(max(a.nnz, 1))
+    be = get_backend(backend)
+    be.spmv(a, x, out=out, scratch=scratch)  # warm
+    best = float("inf")
+    for _ in range(TRIALS):
+        t0 = time.perf_counter()
+        for _ in range(SPMV_ITERS):
+            be.spmv(a, x, out=out, scratch=scratch)
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def _time_solve(a, b, backend) -> float:
+    kwargs = dict(eps=1e-6, backend=backend, reuse_workspace=True)
+    repro.solve(a, b, **kwargs)  # warm (matrix copy, checksum cache)
+    best = float("inf")
+    for _ in range(TRIALS):
+        t0 = time.perf_counter()
+        repro.solve(a, b, **kwargs)
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def run_backends_bench(scale: int) -> dict:
+    """Measure the whole suite; returns the JSON-ready record."""
+    rng = np.random.default_rng(2015)
+    spmv_points = []
+    for spec in PAPER_SUITE:
+        a = get_matrix(spec.uid, scale).copy()
+        a.assume_clean_structure()  # the engine's structure-stamped state
+        x = rng.standard_normal(a.ncols)
+        # Numerical agreement before timing (few-ULP summation-order
+        # differences are the allowed envelope).
+        np.testing.assert_allclose(
+            get_backend("scipy").spmv(a, x), spmv(a, x), rtol=1e-12, atol=1e-14
+        )
+        t_ref = _time_spmv(a, x, "reference")
+        t_scipy = _time_spmv(a, x, "scipy")
+        spmv_points.append(
+            {
+                "uid": spec.uid,
+                "n": a.nrows,
+                "nnz": a.nnz,
+                "t_reference_s": round(t_ref, 5),
+                "t_scipy_s": round(t_scipy, 5),
+                "speedup_x": round(t_ref / t_scipy, 3),
+            }
+        )
+
+    solve_points = []
+    for uid in SOLVE_UIDS:
+        a = get_matrix(uid, scale)
+        b = make_rhs(a)
+        ref = repro.solve(a, b, eps=1e-6)
+        sp = repro.solve(a, b, eps=1e-6, backend="scipy")
+        # Acceptance invariant: identical fault-free convergence
+        # histories (same iterations; simulated clock identical).
+        assert sp.iterations == ref.iterations
+        assert sp.time_units == ref.time_units
+        t_ref = _time_solve(a, b, "reference")
+        t_scipy = _time_solve(a, b, "scipy")
+        solve_points.append(
+            {
+                "uid": uid,
+                "n": a.nrows,
+                "nnz": a.nnz,
+                "iterations": ref.iterations,
+                "t_reference_s": round(t_ref, 4),
+                "t_scipy_s": round(t_scipy, 4),
+                "speedup_x": round(t_ref / t_scipy, 3),
+            }
+        )
+
+    agg_spmv = sum(p["t_reference_s"] for p in spmv_points) / sum(
+        p["t_scipy_s"] for p in spmv_points
+    )
+    agg_solve = sum(p["t_reference_s"] for p in solve_points) / sum(
+        p["t_scipy_s"] for p in solve_points
+    )
+    return {
+        "experiment": "backends_reference_vs_scipy",
+        "scale": scale,
+        "spmv_iters": SPMV_ITERS,
+        "trials": TRIALS,
+        "spmv": spmv_points,
+        "solve_fault_free": solve_points,
+        "aggregate_spmv_speedup_x": round(agg_spmv, 3),
+        "aggregate_solve_speedup_x": round(agg_solve, 3),
+    }
+
+
+def test_bench_backends(results_dir):
+    record = run_backends_bench(backend_scale())
+    (results_dir / "BENCH_backends.json").write_text(json.dumps(record, indent=2))
+    print("\n" + json.dumps(record, indent=2))
+
+    agg = record["aggregate_spmv_speedup_x"]
+    required = min_spmv_speedup()
+    assert agg >= required, (
+        f"scipy raw-kernel speedup is only {agg:.2f}x over the suite "
+        f"(required {required}x) — the backend has stopped paying for itself"
+    )
+
+
+if __name__ == "__main__":  # pragma: no cover - manual runs
+    import pathlib
+
+    out = pathlib.Path(__file__).parent / "results"
+    out.mkdir(exist_ok=True)
+    rec = run_backends_bench(backend_scale())
+    (out / "BENCH_backends.json").write_text(json.dumps(rec, indent=2))
+    print(json.dumps(rec, indent=2))

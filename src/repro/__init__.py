@@ -31,6 +31,9 @@ The library provides:
 - the zero-copy hot path: reusable solve workspaces with strike-undo
   matrix restore and per-process checksum/matrix caches, bit-identical
   to the fresh-allocation oracle (:mod:`repro.perf`);
+- pluggable sparse-kernel backends — the bit-identical ``reference``
+  oracle, a SciPy-accelerated kernel and a dense small-n fallback —
+  selectable on every solve entry point (:mod:`repro.backends`);
 - the stable public API: the :func:`solve` facade, declarative
   :class:`Study` sweeps and the ``repro`` console script
   (:mod:`repro.api`).
@@ -96,8 +99,14 @@ from repro.api import (
     Study,
 )
 from repro.perf import SolveWorkspace
+from repro.backends import (
+    KernelBackend,
+    available_backends,
+    get_backend,
+    register_backend,
+)
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 __all__ = [
     "CSRMatrix",
@@ -143,5 +152,9 @@ __all__ = [
     "CheckpointSpec",
     "Study",
     "SolveWorkspace",
+    "KernelBackend",
+    "available_backends",
+    "get_backend",
+    "register_backend",
     "__version__",
 ]

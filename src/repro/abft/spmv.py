@@ -229,6 +229,7 @@ def protected_spmv(
     ratio_tol: float = 1e-4,
     workspace: "object | None" = None,
     trust_structure_stamp: bool = False,
+    backend: "object | None" = None,
 ) -> ProtectedSpmvResult:
     """Compute ``y = A x`` with ABFT protection.
 
@@ -269,6 +270,14 @@ def protected_spmv(
         Lets the exact row-pointer residual be taken as zero without
         the O(n) evaluation.  Leave False for hand-stamped matrices,
         where the stamp certifies validity, not equality.
+    backend:
+        Optional kernel backend (name or instance, see
+        :mod:`repro.backends`) for the *unreliable* product only.  The
+        checksum arithmetic — snapshot, residuals, thresholds — always
+        runs on the reference primitives (selective reliability), and
+        a non-reference backend must itself route guarded matrices
+        back through the reference kernel, so detection semantics are
+        backend-invariant.
 
     Returns
     -------
@@ -299,7 +308,7 @@ def protected_spmv(
 
     if fault_hook is not None:
         fault_hook("pre", a, x, None)
-    y = spmv(a, x, out=y_buf, scratch=scratch)
+    y = spmv(a, x, out=y_buf, scratch=scratch, backend=backend)
     if fault_hook is not None:
         fault_hook("post", a, x, y)
 

@@ -77,6 +77,10 @@ def _add_experiment_options(parser: argparse.ArgumentParser) -> None:
         "--method", type=str, default="cg", metavar="M1,M2,...",
         help="comma-separated solver axis: cg, bicgstab, pcg (default: cg)",
     )
+    parser.add_argument(
+        "--backend", type=str, default="reference",
+        help="kernel backend: reference (bit-identical default), scipy, dense",
+    )
     parser.add_argument("--csv", type=str, default=None, help="also dump raw rows to CSV")
     parser.add_argument(
         "--paper-scale", action="store_true", help="scale=1, reps=50 (slow)"
@@ -102,8 +106,9 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser(
         "solve",
         help="protect one linear solve and print its report",
-        description="Run one fault-tolerant solve on a suite matrix (--uid) "
-                    "or a generated stencil system (--n) and print the report.",
+        description="Run one fault-tolerant solve on a suite matrix (--uid), "
+                    "a generated stencil system (--n) or a Matrix-Market file "
+                    "(--matrix) and print the report.",
     )
     src = p.add_mutually_exclusive_group()
     src.add_argument(
@@ -114,8 +119,20 @@ def build_parser() -> argparse.ArgumentParser:
         "--n", type=int, default=None,
         help="instead of a suite matrix: generate an n-point 2-D stencil SPD system",
     )
-    p.add_argument("--scale", type=int, default=32, help="suite-matrix size divisor")
+    src.add_argument(
+        "--matrix", type=str, default=None, metavar="PATH|NAME",
+        help="instead of a suite matrix: a Matrix-Market file (.mtx/.mtx.gz) "
+             "or a workload name registered under $REPRO_MATRIX_DIR",
+    )
+    p.add_argument(
+        "--scale", type=int, default=None,
+        help="suite-matrix size divisor (default 32; only with --uid)",
+    )
     p.add_argument("--method", type=str, default="cg", help="cg, bicgstab or pcg")
+    p.add_argument(
+        "--backend", type=str, default="reference",
+        help="kernel backend: reference (bit-identical default), scipy, dense",
+    )
     p.add_argument(
         "--scheme", type=str, default="abft-correction",
         help="online-detection, abft-detection or abft-correction",
@@ -257,20 +274,37 @@ def _cmd_solve(parser: argparse.ArgumentParser, args: argparse.Namespace) -> int
     try:
         method = Method.parse(args.method)
         scheme = Scheme.parse(args.scheme)
+        from repro.backends import get_backend
+
+        get_backend(args.backend)
     except ValueError as exc:
         parser.error(str(exc))
 
     if args.n is not None:
         from repro.sparse.generators import stencil_spd
 
+        if args.scale is not None:
+            parser.error("--scale applies to suite matrices only; --n fixes the size")
         if args.n < 9:
             parser.error(f"--n must be >= 9, got {args.n}")
         a = stencil_spd(args.n, kind="cross", radius=2)
+    elif args.matrix is not None:
+        from repro.sim.matrices import get_matrix
+
+        if args.scale is not None:
+            parser.error(
+                "--scale applies to suite matrices only; "
+                "file-backed workloads (--matrix) cannot be rescaled"
+            )
+        try:
+            a = get_matrix(args.matrix)
+        except (KeyError, OSError, ValueError) as exc:
+            parser.error(f"cannot load workload {args.matrix!r}: {exc}")
     else:
         from repro.sim.matrices import get_matrix
 
         try:
-            a = get_matrix(args.uid, args.scale)
+            a = get_matrix(args.uid, 32 if args.scale is None else args.scale)
         except KeyError as exc:
             parser.error(str(exc))
     from repro.sim.engine import make_rhs
@@ -289,6 +323,7 @@ def _cmd_solve(parser: argparse.ArgumentParser, args: argparse.Namespace) -> int
             ),
             eps=args.eps,
             maxiter=args.maxiter,
+            backend=args.backend,
         )
     except ValueError as exc:
         parser.error(str(exc))
@@ -307,6 +342,12 @@ def _run_experiment(
     if args.paper_scale:
         args.scale, args.reps = 1, 50
     methods = _parse_methods(parser, args.method)
+    try:
+        from repro.backends import get_backend
+
+        get_backend(args.backend)
+    except ValueError as exc:
+        parser.error(str(exc))
     jobs = _check_campaign_args(parser, args)
     common = dict(
         scale=args.scale,
@@ -318,6 +359,7 @@ def _run_experiment(
         store=args.store,
         progress=True,
         methods=methods,
+        backend=args.backend,
     )
     if kind == "table1":
         from repro.sim.experiments import run_table1
@@ -360,8 +402,8 @@ def _cmd_study(parser: argparse.ArgumentParser, args: argparse.Namespace) -> int
         print(f"study {study.name!r}: {len(tasks)} tasks")
         for t in tasks:
             print(f"  {t.task_hash()[:16]}  {t.experiment} uid={t.uid} "
-                  f"method={t.method} scheme={t.scheme} alpha={t.alpha:g} "
-                  f"s={t.s} d={t.d} reps={t.reps}")
+                  f"method={t.method} backend={t.backend} scheme={t.scheme} "
+                  f"alpha={t.alpha:g} s={t.s} d={t.d} reps={t.reps}")
         return 0
     jobs = _check_campaign_args(parser, args)
     print(f"study {study.name!r}: {len(tasks)} tasks over {jobs} worker(s)",

@@ -3,8 +3,9 @@
 A campaign's JSONL store is its durable record: one line per completed
 task, carrying the task's full parameters and aggregated statistics.
 This module folds a store into a human-readable summary — one line per
-(experiment, method, scheme) group with task counts, repetition
-totals, time and convergence aggregates — without re-running anything.
+(experiment, method, backend, scheme) group with task counts,
+repetition totals, time and convergence aggregates — without
+re-running anything.
 """
 
 from __future__ import annotations
@@ -19,10 +20,11 @@ __all__ = ["GroupSummary", "StoreSummary", "summarize_store", "format_summary"]
 
 @dataclass(frozen=True)
 class GroupSummary:
-    """Aggregate of one (experiment, method, scheme) group of records."""
+    """Aggregate of one (experiment, method, backend, scheme) group."""
 
     experiment: str
     method: str
+    backend: str
     scheme: str
     tasks: int
     reps: int  #: total repetitions across the group's tasks
@@ -55,7 +57,7 @@ def summarize_store(path: "str | os.PathLike[str]") -> StoreSummary:
     than failing the whole report.
     """
     records = ResultStore(path).load()
-    groups: "dict[tuple[str, str, str], list[dict]]" = {}
+    groups: "dict[tuple[str, str, str, str], list[dict]]" = {}
     skipped = 0
     needed = ("mean_time", "min_time", "max_time", "convergence_rate", "reps")
     for rec in records.values():
@@ -68,18 +70,22 @@ def summarize_store(path: "str | os.PathLike[str]") -> StoreSummary:
         key = (
             str(task.get("experiment", "?")),
             str(task.get("method", "cg")),
+            # Pre-backend stores carry no backend field; they ran the
+            # reference kernels by definition.
+            str(task.get("backend", "reference")),
             str(task.get("scheme", "?")),
         )
         groups.setdefault(key, []).append(rec)
 
     summaries: "list[GroupSummary]" = []
-    for (experiment, method, scheme), recs in sorted(groups.items()):
+    for (experiment, method, backend, scheme), recs in sorted(groups.items()):
         stats = [r["stats"] for r in recs]
         reps = sum(s["reps"] for s in stats)
         summaries.append(
             GroupSummary(
                 experiment=experiment,
                 method=method,
+                backend=backend,
                 scheme=scheme,
                 tasks=len(recs),
                 reps=reps,
@@ -107,13 +113,15 @@ def format_summary(summary: StoreSummary) -> str:
     ]
     if summary.groups:
         head = (
-            f"{'experiment':>16} {'method':>9} {'scheme':>17} {'tasks':>6} "
-            f"{'reps':>6} {'mean_t':>9} {'min_t':>9} {'max_t':>9} {'conv%':>6}"
+            f"{'experiment':>16} {'method':>9} {'backend':>9} {'scheme':>17} "
+            f"{'tasks':>6} {'reps':>6} {'mean_t':>9} {'min_t':>9} "
+            f"{'max_t':>9} {'conv%':>6}"
         )
         lines += ["", head, "-" * len(head)]
         for g in summary.groups:
             lines.append(
-                f"{g.experiment:>16} {g.method:>9} {g.scheme:>17} {g.tasks:>6} "
+                f"{g.experiment:>16} {g.method:>9} {g.backend:>9} "
+                f"{g.scheme:>17} {g.tasks:>6} "
                 f"{g.reps:>6} {g.mean_time:>9.2f} {g.min_time:>9.2f} "
                 f"{g.max_time:>9.2f} {g.convergence_rate * 100:>6.1f}"
             )

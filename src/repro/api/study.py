@@ -22,17 +22,21 @@ of a killed sweep without recomputation.
 
 Axes
 ----
-``uid`` (suite matrix id), ``method``, ``scheme``, ``alpha`` (fault
+``uid`` (suite matrix id), ``method``, ``backend`` (kernel backend
+name, see :mod:`repro.backends`), ``scheme``, ``alpha`` (fault
 constant) or ``mtbf`` (its reciprocal — declare one, not both), ``s``
 (checkpoint interval; ``"auto"`` = model-optimal) and ``d``
 (verification interval; ``"auto"`` = Chen's value for ONLINE-DETECTION,
 1 for the ABFT schemes).  The grid is the full product, enumerated in
-the canonical nesting ``uid → method → scheme → alpha → s → d``
-regardless of declaration order, so task hashes never depend on call
-order.  Invalid combinations are skipped rather than aborting the
+the canonical nesting ``uid → method → backend → scheme → alpha → s →
+d`` regardless of declaration order, so task hashes never depend on
+call order.  Invalid combinations are skipped rather than aborting the
 sweep: schemes a solver does not support (ONLINE-DETECTION under
 anything but CG, mirroring :class:`~repro.campaign.spec.CampaignSpec`)
 and ``d > 1`` under an ABFT scheme (they verify every iteration).
+Backends share fault streams at equal points (the backend enters the
+task hash but not the seed derivation), so ``axis("backend",
+["reference", "scipy"])`` is a controlled kernel comparison.
 
 The paper's own evaluation artifacts are preset studies:
 :meth:`Study.table1` / :meth:`Study.figure1` wrap the exact
@@ -57,12 +61,13 @@ from repro.core.methods import Method, Scheme
 __all__ = ["Study", "StudyPoint", "StudyResult"]
 
 #: Sweepable axes in canonical nesting order (outermost first).
-AXES: tuple[str, ...] = ("uid", "method", "scheme", "alpha", "s", "d")
+AXES: tuple[str, ...] = ("uid", "method", "backend", "scheme", "alpha", "s", "d")
 
 #: Per-point defaults when an axis is neither swept nor fixed.
 POINT_DEFAULTS: dict = {
     "uid": 2213,
     "method": "cg",
+    "backend": "reference",
     "scheme": "abft-correction",
     "alpha": 1.0 / 16.0,
     "s": "auto",
@@ -79,6 +84,7 @@ class StudyPoint:
 
     uid: int
     method: str
+    backend: str  #: kernel backend the point ran on
     scheme: str
     alpha: float
     s: int
@@ -120,6 +126,7 @@ class StudyResult:
                 StudyPoint(
                     uid=task.uid,
                     method=task.method,
+                    backend=task.backend,
                     scheme=task.scheme,
                     alpha=task.alpha,
                     s=task.s,
@@ -145,7 +152,9 @@ class StudyResult:
 
     def format_table(self) -> str:
         """Plain-text table: the point coordinates plus the study's metrics."""
-        cols = ("uid", "method", "scheme", "alpha", "s", "d", "n") + tuple(self.metrics)
+        cols = ("uid", "method", "backend", "scheme", "alpha", "s", "d", "n") + tuple(
+            self.metrics
+        )
 
         def cell(p: StudyPoint, c: str) -> str:
             v = getattr(p, c) if hasattr(p, c) else getattr(p.stats, c)
@@ -254,6 +263,16 @@ class Study:
             return 1.0 / v
         if name == "method":
             return Method.parse(value).value
+        if name == "backend":
+            from repro.backends import get_backend
+
+            if not isinstance(value, str):
+                raise ValueError(
+                    "backend axis values must be registered names "
+                    f"(task specs are JSON), got {value!r}"
+                )
+            get_backend(value)  # raises on an unknown backend
+            return value
         if name == "scheme":
             return Scheme.parse(value).value
         raise AssertionError(name)
@@ -277,6 +296,7 @@ class Study:
         base_seed: int = 2015,
         s_span: int = 6,
         methods: "list[str] | None" = None,
+        backend: str = "reference",
     ) -> "Study":
         """The paper's Table-1 grid (interval sweep at fault constant α),
         verbatim the :class:`CampaignSpec` the drivers have always expanded."""
@@ -291,6 +311,7 @@ class Study:
             base_seed=base_seed,
             s_span=s_span,
             methods=tuple(methods) if methods is not None else ("cg",),
+            backend=backend,
         )
         return study
 
@@ -305,6 +326,7 @@ class Study:
         eps: float = 1e-6,
         base_seed: int = 2015,
         methods: "list[str] | None" = None,
+        backend: str = "reference",
     ) -> "Study":
         """The paper's Figure-1 grid (scheme comparison across MTBF)."""
         study = cls("figure1")
@@ -317,6 +339,7 @@ class Study:
             eps=eps,
             base_seed=base_seed,
             methods=tuple(methods) if methods is not None else ("cg",),
+            backend=backend,
         )
         return study
 
@@ -375,40 +398,42 @@ class Study:
         for uid in values["uid"]:
             for method_name in values["method"]:
                 method = Method.parse(method_name)
-                for scheme_name in values["scheme"]:
-                    scheme = Scheme.parse(scheme_name)
-                    if not method.supports(scheme):
-                        continue
-                    for alpha in values["alpha"]:
-                        for s_raw in values["s"]:
-                            for d_raw in values["d"]:
-                                if (
-                                    isinstance(d_raw, int)
-                                    and d_raw > 1
-                                    and scheme is not Scheme.ONLINE_DETECTION
-                                ):
-                                    # ABFT schemes verify every iteration;
-                                    # skip like any unsupported combination
-                                    # rather than aborting the campaign.
-                                    continue
-                                s, d, s_model = resolved(uid, scheme, alpha, s_raw, d_raw)
-                                tasks.append(
-                                    TaskSpec(
-                                        experiment=f"study:{self.name}",
-                                        uid=uid,
-                                        scale=settings["scale"],
-                                        scheme=scheme.value,
-                                        alpha=alpha,
-                                        s=s,
-                                        d=d,
-                                        reps=settings["reps"],
-                                        base_seed=settings["base_seed"],
-                                        eps=settings["eps"],
-                                        labels=("study", self.name, uid, "s", s, "d", d),
-                                        s_model=s_model if s_raw == "auto" else 0,
-                                        method=method.value,
+                for backend in values["backend"]:
+                    for scheme_name in values["scheme"]:
+                        scheme = Scheme.parse(scheme_name)
+                        if not method.supports(scheme):
+                            continue
+                        for alpha in values["alpha"]:
+                            for s_raw in values["s"]:
+                                for d_raw in values["d"]:
+                                    if (
+                                        isinstance(d_raw, int)
+                                        and d_raw > 1
+                                        and scheme is not Scheme.ONLINE_DETECTION
+                                    ):
+                                        # ABFT schemes verify every iteration;
+                                        # skip like any unsupported combination
+                                        # rather than aborting the campaign.
+                                        continue
+                                    s, d, s_model = resolved(uid, scheme, alpha, s_raw, d_raw)
+                                    tasks.append(
+                                        TaskSpec(
+                                            experiment=f"study:{self.name}",
+                                            uid=uid,
+                                            scale=settings["scale"],
+                                            scheme=scheme.value,
+                                            alpha=alpha,
+                                            s=s,
+                                            d=d,
+                                            reps=settings["reps"],
+                                            base_seed=settings["base_seed"],
+                                            eps=settings["eps"],
+                                            labels=("study", self.name, uid, "s", s, "d", d),
+                                            s_model=s_model if s_raw == "auto" else 0,
+                                            method=method.value,
+                                            backend=backend,
+                                        )
                                     )
-                                )
         return tasks
 
     # ------------------------------------------------------------------

@@ -1,0 +1,117 @@
+"""The :class:`KernelBackend` protocol and its shared base class.
+
+A *kernel backend* supplies the numerical primitives of a protected
+solve as one swappable unit.  Today the solve stack dispatches
+**only** :meth:`KernelBackend.spmv` — the unreliable hot kernel, which
+is where the time goes; the checksum-product and dot/norm primitives
+are part of the protocol surface (used by benchmarks and tooling, and
+the seam for the ROADMAP follow-up that may open them) but the
+engine's reliable arithmetic currently calls the reference
+implementations directly, so overriding them does not change a solve.
+The contract every backend must honour (see ``docs/DESIGN.md`` §6 for
+the full argument):
+
+**Guarded paths stay on the reference kernels.**  The fault study
+corrupts the raw CSR arrays in place, and the memory-safe emulation of
+the resulting wild reads (index wrap-around, the monotone-segment
+fallback) is part of the physics under study — it lives in
+:func:`repro.sparse.spmv.spmv` and nowhere else.  A backend may only
+substitute its own kernel when the matrix carries the
+:attr:`~repro.sparse.csr.CSRMatrix.structure_clean` stamp (index
+arrays certified in-range and monotone); in every other case it must
+delegate to the reference kernel so ABFT detection semantics are
+preserved bit-for-bit.
+
+**Checksum arithmetic is reliable.**  The paper's selective-reliability
+model computes ABFT metadata and residuals in reliable storage; the
+default :meth:`KernelBackend.checksum_products` implementation (the
+reference scatter-reduction) is therefore what every shipped backend
+uses — accelerating the *unreliable* product is where the time goes
+anyway.
+
+Backends are stateless service objects: one shared instance per
+registered name serves every solve in the process (see the registry
+functions in :mod:`repro.backends`).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Protocol, runtime_checkable
+
+import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sparse.csr import CSRMatrix
+
+__all__ = ["KernelBackend", "BaseBackend"]
+
+
+@runtime_checkable
+class KernelBackend(Protocol):
+    """Swappable numerical primitives for one protected solve.
+
+    Implementations must be safe to share across solves (no per-solve
+    state) and must route any product on a matrix *without* the
+    ``structure_clean`` stamp through the reference kernel.  Only
+    :meth:`spmv` is dispatched by the solve stack; the remaining
+    primitives are protocol surface for tooling and future wiring
+    (see the module docstring).
+    """
+
+    #: Registry name ("reference", "scipy", "dense", ...).
+    name: str
+
+    def spmv(
+        self,
+        a: "CSRMatrix",
+        x: np.ndarray,
+        *,
+        out: "np.ndarray | None" = None,
+        scratch: "np.ndarray | None" = None,
+    ) -> np.ndarray:
+        """``y = A x`` with the reference kernel's exact signature.
+
+        ``out``/``scratch`` are optional preallocated buffers (see
+        :func:`repro.sparse.spmv.spmv`); a backend that cannot use them
+        must still honour ``out`` as the returned storage.
+        """
+        ...
+
+    def checksum_products(self, a: "CSRMatrix", weights: np.ndarray) -> np.ndarray:
+        """The ABFT setup product ``WᵀA`` (one row per checksum row)."""
+        ...
+
+    def dot(self, u: np.ndarray, v: np.ndarray) -> float:
+        """Dense dot product ``uᵀv``."""
+        ...
+
+    def norm2(self, v: np.ndarray) -> float:
+        """Euclidean norm ``‖v‖₂``."""
+        ...
+
+
+class BaseBackend:
+    """Shared reference implementations of the non-SpMxV primitives.
+
+    Concrete backends inherit these so that the *reliable* arithmetic
+    (checksum setup, reductions) is identical across the backend axis;
+    they differentiate on :meth:`spmv`, the unreliable hot kernel.
+    """
+
+    name = "base"
+
+    def checksum_products(self, a: "CSRMatrix", weights: np.ndarray) -> np.ndarray:
+        """``WᵀA`` via the reference scatter-reduction (reliable path)."""
+        from repro.sparse.norms import column_sums
+
+        weights = np.atleast_2d(np.asarray(weights, dtype=np.float64))
+        return np.stack([column_sums(a, weights=w) for w in weights])
+
+    def dot(self, u: np.ndarray, v: np.ndarray) -> float:
+        return float(np.dot(u, v))
+
+    def norm2(self, v: np.ndarray) -> float:
+        return float(np.linalg.norm(v))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<{type(self).__name__} name={self.name!r}>"

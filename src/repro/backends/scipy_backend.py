@@ -1,0 +1,104 @@
+"""SciPy-accelerated SpMxV backend.
+
+Delegates *structure-clean* products to SciPy's compiled CSR matvec
+(``scipy.sparse._sparsetools.csr_matvec``, the kernel behind
+``csr_matrix @ x``) called directly on the raw CSR arrays — no sparse
+object is built, so the backend sees exactly the bytes the fault
+injector mutates, including in-place ``val`` corruption (a ``val``
+strike leaves the structure stamp armed, and the corrupted product is
+the ABFT layer's to catch, same as under the reference kernel).
+
+Everything *guarded* — any matrix without the
+:attr:`~repro.sparse.csr.CSRMatrix.structure_clean` stamp, i.e. a
+possibly index-corrupted live matrix or a hand-built matrix nobody
+certified — routes back through the reference kernel, whose index
+wrap-around and monotone-segment fallback are part of the fault
+physics under study.  That split preserves ABFT detection semantics:
+detection never depends on which backend computed a clean-structure
+product, because the Theorem-2 thresholds bound kernel rounding at a
+scale (~n·u·‖A‖·‖x‖) orders of magnitude above the few-ULP
+summation-order difference between the two kernels.
+
+The compiled kernel is *numerically equivalent but not bit-identical*
+to the reference reduction (different summation order).  Fault-free
+convergence histories on the paper suite are identical in iteration
+count and agree to rounding in every residual (locked by
+``tests/test_backends.py``); anything that must be bit-reproducible —
+the golden trajectories, resumable campaign stores mixing runs —
+should stay on ``backend="reference"``.
+
+If the private ``_sparsetools`` entry point ever disappears from a
+SciPy release, the backend degrades to the reference kernel (flagged
+by :attr:`ScipyBackend.accelerated`) rather than failing.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.backends.protocol import BaseBackend
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sparse.csr import CSRMatrix
+
+__all__ = ["ScipyBackend"]
+
+
+def _load_csr_matvec():
+    """The compiled CSR matvec, or ``None`` when unavailable."""
+    try:  # private but stable since scipy 0.19; guarded regardless
+        from scipy.sparse import _sparsetools
+
+        return _sparsetools.csr_matvec
+    except (ImportError, AttributeError):  # pragma: no cover - env-dependent
+        return None
+
+
+class ScipyBackend(BaseBackend):
+    """SciPy compiled CSR matvec for structure-clean products."""
+
+    name = "scipy"
+
+    def __init__(self) -> None:
+        self._csr_matvec = _load_csr_matvec()
+
+    @property
+    def accelerated(self) -> bool:
+        """Whether the compiled kernel was found (else pure fallback)."""
+        return self._csr_matvec is not None
+
+    def spmv(
+        self,
+        a: "CSRMatrix",
+        x: np.ndarray,
+        *,
+        out: "np.ndarray | None" = None,
+        scratch: "np.ndarray | None" = None,
+    ) -> np.ndarray:
+        from repro.sparse.spmv import spmv
+
+        if self._csr_matvec is None or not a.structure_clean:
+            # Guarded path: uncertified (possibly corrupted) index
+            # arrays keep the reference kernel's wild-read emulation.
+            return spmv(a, x, out=out, scratch=scratch)
+        x = np.ascontiguousarray(x, dtype=np.float64)
+        if x.shape != (a.ncols,):
+            raise ValueError(f"x must have shape ({a.ncols},), got {x.shape}")
+        if out is None:
+            y = np.zeros(a.nrows, dtype=np.float64)
+        else:
+            # The compiled kernel does no bounds checking — a short
+            # buffer would be an out-of-bounds write, so validate where
+            # the reference kernel's reduceat would have raised.
+            if out.shape != (a.nrows,):
+                raise ValueError(f"out must have shape ({a.nrows},), got {out.shape}")
+            y = out
+            y[:] = 0.0  # csr_matvec accumulates into y
+        if a.nnz:
+            # Corrupted values can overflow to ±inf inside the compiled
+            # kernel; as with the reference kernel, the non-finite
+            # result is the silent error propagating for ABFT to flag.
+            self._csr_matvec(a.nrows, a.ncols, a.rowidx, a.colid, a.val, x, y)
+        return y

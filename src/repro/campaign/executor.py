@@ -88,7 +88,13 @@ def execute_task(task: TaskSpec, *, reuse_workspace: bool = True) -> dict:
         {"hash": <task content hash>,
          "task": <TaskSpec fields>,
          "n": <matrix dimension>, "density": <matrix density>,
+         "matrix_source": "synthetic" | <resolved .mtx path>,
          "stats": <RunStatistics fields>}
+
+    ``matrix_source`` is provenance, not identity: the task hash
+    ignores the ``REPRO_MATRIX_DIR`` environment, so this field is how
+    a store reader distinguishes synthetic-suite records from
+    real-matrix ones (don't resume one as the other).
 
     ``reuse_workspace`` routes every repetition through the worker's
     process-local :class:`repro.perf.SolveWorkspace` — results are
@@ -99,7 +105,7 @@ def execute_task(task: TaskSpec, *, reuse_workspace: bool = True) -> dict:
 
     from repro.core.methods import CostModel, Scheme, SchemeConfig
     from repro.sim.engine import make_rhs, repeat_run
-    from repro.sim.matrices import get_matrix
+    from repro.sim.matrices import get_matrix, matrix_source
 
     a = get_matrix(task.uid, task.scale)
     b = make_rhs(a)
@@ -122,12 +128,14 @@ def execute_task(task: TaskSpec, *, reuse_workspace: bool = True) -> dict:
         method=task.method,
         reuse_workspace=reuse_workspace,
         workspace=_worker_workspace() if reuse_workspace else None,
+        backend=task.backend,
     )
     return {
         "hash": task.task_hash(),
         "task": task.to_json(),
         "n": a.nrows,
         "density": a.density,
+        "matrix_source": matrix_source(task.uid, task.scale),
         "stats": asdict(stats),
     }
 

@@ -60,6 +60,13 @@ class TaskSpec:
         axis of the grid.  Adding this field changed the task-hash
         schema (stores written before the solver axis existed are not
         recognized and their tasks recompute).
+    backend:
+        Kernel-backend name (:mod:`repro.backends`) — the kernel axis
+        of the grid.  Adding this field bumped the task-hash schema
+        again (pre-backend stores recompute); the backend is part of
+        the task's *identity* but deliberately not of its seed
+        derivation, so the same point on two backends faces the same
+        fault stream.
     """
 
     experiment: str
@@ -75,6 +82,7 @@ class TaskSpec:
     labels: tuple = ()
     s_model: int = 0
     method: str = "cg"
+    backend: str = "reference"
 
     def __post_init__(self) -> None:
         if self.s < 1:
@@ -83,10 +91,12 @@ class TaskSpec:
             raise ValueError(f"d must be >= 1, got {self.d}")
         if self.reps < 1:
             raise ValueError(f"reps must be >= 1, got {self.reps}")
+        from repro.backends import get_backend
         from repro.core.methods import Method, Scheme
 
         Method.parse(self.method)  # raises on an unknown solver
         Scheme.parse(self.scheme)  # raises on an unknown scheme
+        get_backend(self.backend)  # raises on an unknown backend
 
     def task_hash(self) -> str:
         """Content hash identifying this task across processes and runs.
@@ -151,6 +161,13 @@ class CampaignSpec:
         ONLINE-DETECTION under anything but CG — are silently skipped
         during expansion, so ``methods=("cg", "bicgstab", "pcg")`` on a
         figure-1 campaign yields 3+2+2 scheme series per matrix.
+    backend:
+        Kernel backend every task of the campaign runs on
+        (:mod:`repro.backends`; default ``"reference"``, the
+        bit-identity oracle the golden fixtures were recorded on).  A
+        single value, not an axis: the presets reproduce the paper's
+        artifacts on one kernel — sweep backends against each other
+        with ``Study().axis("backend", ...)``.
     """
 
     kind: str
@@ -164,8 +181,10 @@ class CampaignSpec:
     s_span: int = 6
     model_s_max: "int | None" = None
     methods: "tuple[str, ...]" = ("cg",)
+    backend: str = "reference"
 
     def __post_init__(self) -> None:
+        from repro.backends import get_backend
         from repro.core.methods import Method
 
         if self.kind not in ("table1", "figure1"):
@@ -178,6 +197,7 @@ class CampaignSpec:
             raise ValueError("methods must name at least one solver")
         for m in self.methods:
             Method.parse(m)  # raises on an unknown solver
+        get_backend(self.backend)  # raises on an unknown backend
 
     def expand(self) -> "list[TaskSpec]":
         """Flatten the grid into an ordered list of tasks."""
@@ -233,6 +253,7 @@ class CampaignSpec:
                                 labels=("table1", spec.uid, "s", s),
                                 s_model=s_model,
                                 method=method.value,
+                                backend=self.backend,
                             )
                         )
         return tasks
@@ -281,6 +302,7 @@ class CampaignSpec:
                                 labels=("figure1", spec.uid, mtbf),
                                 s_model=s,
                                 method=method.value,
+                                backend=self.backend,
                             )
                         )
         return tasks

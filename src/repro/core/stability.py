@@ -60,13 +60,16 @@ def residual_check(
     r: np.ndarray,
     *,
     tol: float = 1e-8,
+    backend: "object | None" = None,
 ) -> tuple[bool, float]:
     """Recompute ``b − A x`` and compare against the maintained ``r``.
 
     The gap is normalized by ``‖b‖`` (or 1 if ``b = 0``).  Costs one
-    SpMxV — the dominant part of ONLINE-DETECTION's ``Tverif``.
+    SpMxV — the dominant part of ONLINE-DETECTION's ``Tverif`` —
+    issued on the run's kernel ``backend`` so the recomputed and
+    maintained residuals come from the same summation order.
     """
-    true_r = b - spmv(a, x)
+    true_r = b - spmv(a, x, backend=backend)
     scale = float(np.linalg.norm(b)) or 1.0
     gap = float(np.linalg.norm(true_r - r)) / scale
     if not np.isfinite(gap):
@@ -85,6 +88,7 @@ def chen_verify(
     orth_tol: float = 1e-8,
     res_tol: float = 1e-8,
     check_orthogonality: bool = True,
+    backend: "object | None" = None,
 ) -> VerificationReport:
     """Full ONLINE-DETECTION verification (both tests).
 
@@ -100,7 +104,7 @@ def chen_verify(
         orth_ok, orth_score = orthogonality_check(p_next, q, tol=orth_tol)
     else:
         orth_ok, orth_score = True, float("nan")
-    res_ok, res_gap = residual_check(a, b, x, r, tol=res_tol)
+    res_ok, res_gap = residual_check(a, b, x, r, tol=res_tol, backend=backend)
     return VerificationReport(
         passed=orth_ok and res_ok,
         orthogonality=orth_score,

@@ -76,7 +76,13 @@ class SolveWorkspace:
     fresh-allocation path by ``tests/test_perf_workspace.py``.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, *, backend: "object | None" = None) -> None:
+        #: Default kernel backend (name or :class:`repro.backends
+        #: .KernelBackend`) for solves run through this workspace;
+        #: ``None`` = reference.  An explicit ``backend=`` on the solve
+        #: entry point always wins — the attribute only fills the gap,
+        #: so one workspace can serve tasks on different backends.
+        self.backend = backend
         self._buffers: dict[str, np.ndarray] = {}
         self._abft_bundle: "tuple | None" = None  #: (n, nnz, buffers…)
         self._live: "CSRMatrix | None" = None

@@ -50,15 +50,17 @@ class CGPlugin:
         x0: "np.ndarray | None",
         config: SchemeConfig,
         workspace=None,
+        backend=None,
     ) -> None:
         n = a.nrows
         self.live = live
         self.b = b
         self.config = config
         self.workspace = workspace
+        self.backend = backend
         if workspace is None:
             self.x = np.zeros(n) if x0 is None else np.array(x0, dtype=np.float64, copy=True)
-            self.r = b - spmv(live, self.x)
+            self.r = b - spmv(live, self.x, backend=backend)
             self.p = self.r.copy()
             self.q = np.zeros(n)
         else:
@@ -69,7 +71,13 @@ class CGPlugin:
             if x0 is not None:
                 self.x[:] = x0
             self.r = workspace.buffer("cg.r", n)
-            spmv(live, self.x, out=self.r, scratch=workspace.buffer("spmv.scratch", live.nnz))
+            spmv(
+                live,
+                self.x,
+                out=self.r,
+                scratch=workspace.buffer("spmv.scratch", live.nnz),
+                backend=backend,
+            )
             np.subtract(b, self.r, out=self.r)
             self.p = workspace.buffer("cg.p", n)
             self.p[:] = self.r
@@ -101,7 +109,7 @@ class CGPlugin:
         self.live.val[:] = a.val
         self.live.colid[:] = a.colid
         self.live.rowidx[:] = a.rowidx
-        self.r[:] = self.b - spmv(a, self.x)
+        self.r[:] = self.b - spmv(a, self.x, backend=self.backend)
         self.p[:] = self.r
         self.q[:] = 0.0
         self.rr = float(self.r @ self.r)
@@ -177,13 +185,14 @@ class CGPlugin:
                 ctx.injector.apply_strike(self.iteration, s)
         with np.errstate(all="ignore"):
             if self.workspace is None:
-                self.q[:] = spmv(self.live, self.p)
+                self.q[:] = spmv(self.live, self.p, backend=self.backend)
             else:
                 spmv(
                     self.live,
                     self.p,
                     out=self.q,
                     scratch=self.workspace.buffer("spmv.scratch", self.live.nnz),
+                    backend=self.backend,
                 )
             pq = float(self.p @ self.q)
             alpha_step = self.rr / pq if pq != 0.0 else np.nan
@@ -207,6 +216,7 @@ class CGPlugin:
                 self.p,
                 self.q,
                 check_orthogonality=not rr_says_done,
+                backend=self.backend,
             )
             ctx.charge_verification(ctx.costs.t_verif_online)
             self.iter_in_chunk = 0

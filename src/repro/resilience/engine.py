@@ -37,6 +37,7 @@ import numpy as np
 
 from repro.abft.checksums import compute_checksums
 from repro.abft.spmv import SpmvStatus, protected_spmv
+from repro.backends import resolve_backend
 from repro.checkpoint.policy import PeriodicCheckpointPolicy
 from repro.checkpoint.store import CheckpointStore
 from repro.core.cg import cg_tolerance_threshold
@@ -82,8 +83,12 @@ class EngineContext:
         config: SchemeConfig,
         log: EventLog,
         workspace: "SolveWorkspace | None" = None,
+        backend: "object | None" = None,
     ) -> None:
         self.plugin = plugin
+        #: Resolved kernel backend (``None`` = reference fast path);
+        #: used for every SpMxV the engine or its plugins issue.
+        self.backend = backend
         self.a = a  #: pristine input matrix (reliable storage)
         #: ``a`` through a flag-stamped view (same bytes, own structure
         #: stamp) so reliable products skip the SpMxV guards; set by the
@@ -194,6 +199,7 @@ class EngineContext:
             # byte-equality with the checksum source, so the stamp may
             # stand in for the exact row-pointer test.
             trust_structure_stamp=self.workspace is not None,
+            backend=self.backend,
         )
         corr = result.correction
         if (
@@ -405,7 +411,7 @@ class EngineContext:
 
     def reliably_converged(self) -> bool:
         """Trustworthy convergence decision (reliable arithmetic, clean A)."""
-        true_r = self.b - spmv(self.a_view, self.plugin.vectors["x"])
+        true_r = self.b - spmv(self.a_view, self.plugin.vectors["x"], backend=self.backend)
         return float(np.linalg.norm(true_r)) <= self.threshold
 
 
@@ -425,6 +431,7 @@ def run_protected(
     final_check: bool = True,
     observer: "Callable[[EngineContext], None] | None" = None,
     workspace: "SolveWorkspace | None" = None,
+    backend: "object | None" = None,
 ) -> SolveResult:
     """Run one recurrence plugin under silent-error injection.
 
@@ -471,6 +478,16 @@ def run_protected(
         path — the fresh path remains the oracle
         (``tests/test_perf_workspace.py``).  One workspace must not be
         shared by concurrently running solves.
+    backend:
+        Kernel backend for every SpMxV of the run — a registered name
+        (``"scipy"``, ``"dense"``), a
+        :class:`repro.backends.KernelBackend` instance, or ``None``:
+        the workspace's :attr:`~repro.perf.SolveWorkspace.backend` if
+        one is set, else the reference kernels.  The reference backend
+        is the raw-kernel fast path (bit-identical to the pre-backend
+        engine); non-reference backends substitute only
+        structure-clean products and route guarded ones back through
+        the reference kernel, so detection semantics are unchanged.
 
     Returns
     -------
@@ -478,6 +495,9 @@ def run_protected(
     """
     plugin.check_scheme(config.scheme)
     wall_start = _time.perf_counter()
+    if backend is None and workspace is not None:
+        backend = workspace.backend
+    backend = resolve_backend(backend)
     rng = as_generator(rng)
     log = event_log if event_log is not None else EventLog()
     n = a.nrows
@@ -506,10 +526,12 @@ def run_protected(
             # never touched.
             a_view = CSRMatrix(a.val, a.colid, a.rowidx, a.shape, check=False)
             a_view.assume_clean_structure()
-    ctx = EngineContext(plugin, a, live, b, config, log, workspace=workspace)
+    ctx = EngineContext(
+        plugin, a, live, b, config, log, workspace=workspace, backend=backend
+    )
     ctx.a_view = a_view
     ctx._live_clean0 = live.structure_clean
-    plugin.init_state(a, live, b, x0, config, workspace=workspace)
+    plugin.init_state(a, live, b, x0, config, workspace=workspace, backend=backend)
     ctx.threshold = cg_tolerance_threshold(
         a,
         b,
@@ -597,7 +619,7 @@ def run_protected(
     ctx.breakdown.useful_work += ctx.uncommitted
 
     x = plugin.vectors["x"]
-    true_residual = float(np.linalg.norm(b - spmv(a_view, x)))
+    true_residual = float(np.linalg.norm(b - spmv(a_view, x, backend=backend)))
     return SolveResult(
         x=x.copy(),
         converged=bool(true_residual <= ctx.threshold or (converged and not final_check)),

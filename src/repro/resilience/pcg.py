@@ -54,8 +54,10 @@ class JacobiPCGPlugin:
         x0: "np.ndarray | None",
         config: SchemeConfig,
         workspace=None,
+        backend=None,
     ) -> None:
         n = a.nrows
+        self.backend = backend
         if workspace is None:
             # Reliable metadata, like the checksums.
             self.minv = jacobi_inverse_diagonal(a)
@@ -66,7 +68,7 @@ class JacobiPCGPlugin:
         self.b = b
         if workspace is None:
             self.x = np.zeros(n) if x0 is None else np.array(x0, dtype=np.float64, copy=True)
-            self.r = b - spmv(live, self.x)
+            self.r = b - spmv(live, self.x, backend=backend)
             self.z = self.minv * self.r
             self.p = self.z.copy()
             self.q = np.zeros(n)
@@ -77,7 +79,13 @@ class JacobiPCGPlugin:
             if x0 is not None:
                 self.x[:] = x0
             self.r = workspace.buffer("pcg.r", n)
-            spmv(live, self.x, out=self.r, scratch=workspace.buffer("spmv.scratch", live.nnz))
+            spmv(
+                live,
+                self.x,
+                out=self.r,
+                scratch=workspace.buffer("spmv.scratch", live.nnz),
+                backend=backend,
+            )
             np.subtract(b, self.r, out=self.r)
             self.z = workspace.buffer("pcg.z", n)
             np.multiply(self.minv, self.r, out=self.z)
@@ -110,7 +118,7 @@ class JacobiPCGPlugin:
         self.live.val[:] = a.val
         self.live.colid[:] = a.colid
         self.live.rowidx[:] = a.rowidx
-        self.r[:] = b - spmv(a, self.x)
+        self.r[:] = b - spmv(a, self.x, backend=self.backend)
         self.z[:] = self.minv * self.r
         self.p[:] = self.z
         self.q[:] = 0.0

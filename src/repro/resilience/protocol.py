@@ -181,6 +181,7 @@ class RecurrencePlugin(Protocol):
         x0: "np.ndarray | None",
         config: "SchemeConfig",
         workspace=None,
+        backend=None,
     ) -> None:
         """Allocate the iteration vectors/scalars for one run.
 
@@ -192,7 +193,11 @@ class RecurrencePlugin(Protocol):
         fully overwriting every entry so no state survives between
         runs) and may pass its SpMxV scratch to kernels; with ``None``
         they must allocate fresh arrays.  Either way the initial values
-        must be bit-identical.
+        must be bit-identical.  ``backend`` is the engine-resolved
+        kernel backend (``None`` = reference): plugins must store it
+        and pass it to every direct :func:`repro.sparse.spmv.spmv`
+        call they issue (initial residual, refresh, unprotected
+        steps), so the whole run sits on one kernel axis.
         """
         ...
 

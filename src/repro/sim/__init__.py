@@ -2,7 +2,8 @@
 
 - :mod:`repro.sim.matrices` — the nine-matrix SPD suite matching the
   paper's UFL ids, sizes and densities (synthetic substitution; see
-  DESIGN.md §2);
+  ``docs/DESIGN.md`` §2), plus the ``REPRO_MATRIX_DIR`` registry that
+  swaps in real Matrix-Market workloads when present;
 - :mod:`repro.sim.engine` — repeated fault-injected runs with
   deterministic per-repetition seeding and aggregation;
 - :mod:`repro.sim.experiments` — drivers for Table 1 (model
@@ -16,9 +17,12 @@
 from repro.sim.matrices import (
     MatrixSpec,
     PAPER_SUITE,
+    MATRIX_DIR_ENV,
     get_matrix,
     clear_matrix_cache,
+    matrix_source,
     suite_specs,
+    workload_registry,
 )
 from repro.sim.engine import RunStatistics, repeat_run, sweep_checkpoint_interval
 from repro.sim.results import Table1Row, Figure1Point, format_table1, format_figure1
@@ -27,6 +31,9 @@ from repro.sim.experiments import run_table1, run_figure1
 __all__ = [
     "MatrixSpec",
     "PAPER_SUITE",
+    "MATRIX_DIR_ENV",
+    "workload_registry",
+    "matrix_source",
     "get_matrix",
     "clear_matrix_cache",
     "suite_specs",

@@ -72,6 +72,7 @@ def repeat_run(
     method: "Method | str" = Method.CG,
     reuse_workspace: bool = True,
     workspace: "object | None" = None,
+    backend: "str | object | None" = None,
 ) -> RunStatistics:
     """Run ``reps`` independent fault-injected solves and aggregate.
 
@@ -80,6 +81,13 @@ def repeat_run(
     ``method`` selects the protected solver (the resilience engine's
     recurrence plugin) and, when it is not CG, additionally enters the
     seed tuple so methods never share fault streams either.
+
+    ``backend`` selects the kernel backend (:mod:`repro.backends`;
+    ``None`` = reference).  It deliberately does *not* enter the seed
+    tuple: the same parameter point on two backends faces the same
+    strike sequence, which is exactly what a backend comparison wants
+    (campaign stores still keep them apart — the backend is part of
+    the task content hash).
 
     ``reuse_workspace`` (default on) runs every repetition through one
     :class:`repro.perf.SolveWorkspace`: the live matrix, the solver
@@ -121,6 +129,7 @@ def repeat_run(
             rng=rng,
             max_time_units=max_time_units,
             workspace=ws,
+            backend=backend,
         )
         times.append(res.time_units)
         iters.append(res.iterations_executed)
@@ -157,13 +166,15 @@ def sweep_checkpoint_interval(
     maxiter: int | None = None,
     method: "Method | str" = Method.CG,
     reuse_workspace: bool = True,
+    backend: "str | object | None" = None,
 ) -> dict[int, RunStatistics]:
     """Measure mean execution time for each checkpoint interval ``s``.
 
     This is the empirical side of Table 1: the ``s`` with the smallest
     mean time is the measured optimum ``s*``.  One solve workspace is
     shared across the whole sweep (same matrix throughout) unless
-    ``reuse_workspace=False``.
+    ``reuse_workspace=False``; ``backend`` selects the kernel backend
+    for every run of the sweep.
     """
     ws = None
     if reuse_workspace:
@@ -186,5 +197,6 @@ def sweep_checkpoint_interval(
             method=method,
             reuse_workspace=reuse_workspace,
             workspace=ws,
+            backend=backend,
         )
     return out

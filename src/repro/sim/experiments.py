@@ -160,6 +160,7 @@ def run_table1(
     store: "ResultStore | str | os.PathLike[str] | None" = None,
     progress: bool = False,
     methods: "list[str] | None" = None,
+    backend: str = "reference",
 ) -> list[Table1Row]:
     """Reproduce Table 1 (both ABFT schemes); returns one row per
     (matrix, method, scheme).
@@ -168,7 +169,10 @@ def run_table1(
     bit-identical for any value); ``store`` persists per-task records
     to a JSONL file, skipping tasks already completed there;
     ``progress`` prints a throughput/ETA line to stderr; ``methods``
-    opens the solver axis (default: classic CG only).
+    opens the solver axis (default: classic CG only); ``backend``
+    selects the kernel backend every task runs on
+    (:mod:`repro.backends` — the default reference backend is the
+    bit-identity oracle the golden fixtures lock).
     """
     from repro.api.study import Study
 
@@ -181,6 +185,7 @@ def run_table1(
         base_seed=base_seed,
         s_span=s_span,
         methods=methods,
+        backend=backend,
     )
     return _run_study(study, jobs, store, progress).table1_rows()
 
@@ -197,14 +202,15 @@ def run_figure1(
     store: "ResultStore | str | os.PathLike[str] | None" = None,
     progress: bool = False,
     methods: "list[str] | None" = None,
+    backend: str = "reference",
 ) -> list[Figure1Point]:
     """Reproduce Figure 1: execution time vs normalized MTBF, all schemes.
 
     ``mtbf_values`` are the x-axis points ``1/α`` (default:
     :data:`DEFAULT_MTBF_VALUES`).  ``jobs`` / ``store`` / ``progress``
-    / ``methods`` behave as in :func:`run_table1` (non-CG methods
-    contribute only the two ABFT series — Chen's ONLINE-DETECTION is
-    CG-specific).
+    / ``methods`` / ``backend`` behave as in :func:`run_table1`
+    (non-CG methods contribute only the two ABFT series — Chen's
+    ONLINE-DETECTION is CG-specific).
     """
     from repro.api.study import Study
 
@@ -216,6 +222,7 @@ def run_figure1(
         eps=eps,
         base_seed=base_seed,
         methods=methods,
+        backend=backend,
     )
     return _run_study(study, jobs, store, progress).figure1_points()
 

@@ -1,29 +1,59 @@
-"""The nine-matrix evaluation suite.
+"""The nine-matrix evaluation suite and the real-workload registry.
 
 Table 1 of the paper lists nine SPD matrices from the UFL collection by
 id, dimension and density.  The collection is unavailable offline, so
 each entry is synthesized with the *same id, n and density* (and hence
 the same memory size M, which drives the fault rate λ = α/M).  Several
 generator families are used so the suite is not nine copies of one
-spectrum; every generator yields SPD by construction.  See DESIGN.md §2
-for the substitution argument.
+spectrum; every generator yields SPD by construction.  See
+``docs/DESIGN.md`` §2 for the substitution argument.
 
 Scaling: full paper sizes (17k–75k) make 50-repetition sweeps slow on a
 laptop, so :func:`get_matrix` accepts a ``scale`` divisor that shrinks
 ``n`` while preserving the *nonzeros per row* (so iteration cost and
 checksum overhead keep their relative shape).  ``scale=1`` reproduces
 the paper's dimensions exactly.
+
+Real workloads: :func:`get_matrix` also accepts a Matrix-Market file
+path or a workload *name* registered by dropping ``<name>.mtx`` (or
+``.mtx.gz``) into the directory named by the ``REPRO_MATRIX_DIR``
+environment variable.  When the registry holds a file named after a
+paper uid (``341.mtx`` …) and the caller asks for that uid at
+``scale=1`` — the paper's own dimensions — the *real* UFL matrix is
+loaded instead of the synthetic stand-in, so full-scale campaigns run
+the authors' actual matrices when they are present.  File-backed
+matrices cannot be rescaled (``scale`` must be 1 for explicit
+paths/names).  Note the environment does not enter campaign task
+hashes: don't resume a synthetic-suite store with ``REPRO_MATRIX_DIR``
+pointing at real matrices (or vice versa) — use separate stores.
 """
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass
 from functools import lru_cache
+from pathlib import Path
 
 from repro.sparse.csr import CSRMatrix
 from repro.sparse.generators import stencil_spd
 
-__all__ = ["MatrixSpec", "PAPER_SUITE", "suite_specs", "get_matrix", "clear_matrix_cache"]
+__all__ = [
+    "MatrixSpec",
+    "PAPER_SUITE",
+    "MATRIX_DIR_ENV",
+    "suite_specs",
+    "workload_registry",
+    "matrix_source",
+    "get_matrix",
+    "clear_matrix_cache",
+]
+
+#: Environment variable naming the Matrix-Market workload directory.
+MATRIX_DIR_ENV = "REPRO_MATRIX_DIR"
+
+#: Recognized Matrix-Market suffixes (scipy reads ``.gz`` transparently).
+_MM_SUFFIXES = (".mtx", ".mtx.gz")
 
 
 @dataclass(frozen=True)
@@ -107,28 +137,118 @@ def suite_specs(uids: "list[int] | None" = None) -> tuple[MatrixSpec, ...]:
     return tuple(by_id[u] for u in uids)
 
 
-@lru_cache(maxsize=None)
-def get_matrix(uid: int, scale: int = 1) -> CSRMatrix:
-    """Instantiate (and cache) a suite matrix by paper id.
+def workload_registry() -> "dict[str, Path]":
+    """The Matrix-Market files registered via ``REPRO_MATRIX_DIR``.
 
-    The cache is unbounded on purpose: a wide Study sweep touches up to
-    9 uids × several scales interleaved, and the previous
-    ``maxsize=32`` LRU could evict mid-campaign — silently re-paying
-    matrix synthesis *and* invalidating the identity-keyed checksum
-    cache that hangs off each instance.  The working set is small (a
-    paper-scale matrix is a few MB); a long-lived process that wants
-    the memory back calls :func:`clear_matrix_cache` (or
-    :func:`repro.perf.clear_caches`) at a quiescent point.
+    Maps workload name (file stem, without the ``.mtx``/``.mtx.gz``
+    suffix) to its path.  Empty when the variable is unset, the
+    directory is missing, or it holds no Matrix-Market files.  Scanned
+    on every call (cheap — one ``listdir``) so tests and long-lived
+    processes see environment changes without a cache reset.
     """
+    root = os.environ.get(MATRIX_DIR_ENV)
+    if not root:
+        return {}
+    root = Path(root)
+    if not root.is_dir():
+        return {}
+    out: "dict[str, Path]" = {}
+    for suffix in _MM_SUFFIXES:  # .mtx wins over .mtx.gz on a name clash
+        for path in sorted(root.glob(f"*{suffix}")):
+            out.setdefault(path.name[: -len(suffix)], path)
+    return out
+
+
+def _resolve_workload(key: str) -> Path:
+    """Resolve an explicit path or a registered workload name."""
+    direct = Path(key)
+    if direct.suffix and direct.is_file():
+        return direct
+    registry = workload_registry()
+    if key in registry:
+        return registry[key]
+    known = sorted(registry)
+    raise KeyError(
+        f"unknown workload {key!r}: not a Matrix-Market file path and not a "
+        f"name registered under ${MATRIX_DIR_ENV} "
+        f"(registered: {known if known else 'none'})"
+    )
+
+
+@lru_cache(maxsize=None)
+def _load_workload(path: str) -> CSRMatrix:
+    """Load (and cache) one Matrix-Market file by resolved path."""
+    from repro.sparse.io import load_matrix_market
+
+    return load_matrix_market(path)
+
+
+@lru_cache(maxsize=None)
+def _synthesize(uid: int, scale: int) -> CSRMatrix:
+    """Instantiate (and cache) one synthetic suite matrix."""
     (spec,) = suite_specs([uid])
     return spec.instantiate(scale)
 
 
+def get_matrix(uid: "int | str | os.PathLike", scale: int = 1) -> CSRMatrix:
+    """Resolve (and cache) an evaluation matrix.
+
+    ``uid`` may be
+
+    - a paper id (int): the synthetic suite entry — unless ``scale`` is
+      1 *and* ``REPRO_MATRIX_DIR`` registers a file named after the id,
+      in which case the real UFL matrix is loaded instead;
+    - a path to a Matrix-Market file (``.mtx`` / ``.mtx.gz``);
+    - a workload name registered under ``REPRO_MATRIX_DIR``.
+
+    Both caches are unbounded on purpose: a wide Study sweep touches up
+    to 9 uids × several scales interleaved, and an evicting LRU could
+    drop entries mid-campaign — silently re-paying matrix synthesis
+    *and* invalidating the identity-keyed checksum cache that hangs off
+    each instance.  The working set is small (a paper-scale matrix is a
+    few MB); a long-lived process that wants the memory back calls
+    :func:`clear_matrix_cache` (or :func:`repro.perf.clear_caches`) at
+    a quiescent point.  File-backed entries are keyed by path, not
+    content — after rewriting a file in place, clear the cache.
+    """
+    if isinstance(uid, (str, os.PathLike)):
+        if scale != 1:
+            raise ValueError(
+                f"file-backed workloads cannot be rescaled: scale must be 1, got {scale}"
+            )
+        return _load_workload(str(_resolve_workload(os.fspath(uid))))
+    if scale == 1:
+        registry = workload_registry()
+        real = registry.get(str(uid))
+        if real is not None:
+            return _load_workload(str(real))
+    return _synthesize(uid, scale)
+
+
+def matrix_source(uid: "int | str | os.PathLike", scale: int = 1) -> str:
+    """Where :func:`get_matrix` would read this matrix from.
+
+    Returns ``"synthetic"`` for a generated suite entry, else the
+    resolved file path.  Campaign records carry this as provenance:
+    task hashes deliberately ignore the environment, so the record is
+    where a reader can tell a synthetic-suite result from a
+    real-matrix one (and spot a store that mixed the two).
+    """
+    if isinstance(uid, (str, os.PathLike)):
+        return str(_resolve_workload(os.fspath(uid)))
+    if scale == 1:
+        real = workload_registry().get(str(uid))
+        if real is not None:
+            return str(real)
+    return "synthetic"
+
+
 def clear_matrix_cache() -> None:
-    """Explicitly drop every cached suite matrix.
+    """Explicitly drop every cached matrix (synthetic and file-backed).
 
     Also invalidates (by garbage collection) the per-matrix checksum
     cache entries keyed on the dropped instances.  Campaign workers may
     call this between tasks to bound memory on huge sweeps.
     """
-    get_matrix.cache_clear()
+    _synthesize.cache_clear()
+    _load_workload.cache_clear()

@@ -5,9 +5,9 @@ The paper evaluates on nine SPD matrices from the UFL collection
 available offline, so these generators synthesize SPD matrices with
 prescribed dimension and density; :mod:`repro.sim.matrices` registers a
 nine-matrix suite whose ids, sizes and densities match the paper's
-Table 1.  See DESIGN.md §2 for why this substitution is faithful: the
-experiments depend only on n, nnz (→ memory size M → fault rate λ),
-SPD-ness (CG convergence) and sparsity (SpMxV cost).
+Table 1.  See ``docs/DESIGN.md`` §2 for why this substitution is
+faithful: the experiments depend only on n, nnz (→ memory size M →
+fault rate λ), SPD-ness (CG convergence) and sparsity (SpMxV cost).
 """
 
 from __future__ import annotations

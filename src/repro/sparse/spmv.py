@@ -15,6 +15,13 @@ Both kernels read *exactly* the bytes stored in the CSR arrays: no
 canonicalization, no duplicate folding.  That property is what lets the
 fault-injection study corrupt ``Val``/``Colid``/``Rowidx`` and observe
 the corruption flow into ``y``.
+
+:func:`spmv` is also the dispatch point of the pluggable kernel axis:
+``backend=`` hands the product to a registered
+:class:`repro.backends.KernelBackend` (e.g. ``"scipy"``), which must
+route guarded (non-``structure_clean``) matrices back here — the
+wild-read emulation below is the single definition of the fault
+physics.
 """
 
 from __future__ import annotations
@@ -32,6 +39,7 @@ def spmv(
     *,
     out: "np.ndarray | None" = None,
     scratch: "np.ndarray | None" = None,
+    backend: "object | None" = None,
 ) -> np.ndarray:
     """Vectorized CSR SpMxV.
 
@@ -50,6 +58,14 @@ def spmv(
         Optional preallocated ``float64`` buffer of at least ``a.nnz``
         elements for the per-nonzero products — the solver workspace
         passes one so the hot loop allocates nothing.
+    backend:
+        Optional kernel backend — a registered name (``"scipy"``,
+        ``"dense"``) or a :class:`repro.backends.KernelBackend`
+        instance.  ``None`` / ``"reference"`` runs this function's own
+        kernel (the bit-identity default); any other backend receives
+        the call verbatim and is contractually required to route
+        non-``structure_clean`` matrices back here, so the fault
+        physics below is backend-invariant.
 
     Notes
     -----
@@ -65,6 +81,18 @@ def spmv(
     monotone-segment guard) is skipped: the stamp certifies exactly the
     invariants those guards probe, so the result is bit-identical.
     """
+    if backend is not None:
+        if type(backend) is not str:
+            # Hot path: the engine resolves names once and hands the
+            # instance down, so per-product calls skip the registry
+            # (the stock reference backend resolves to None upstream;
+            # a reference *instance* passed here just round-trips).
+            return backend.spmv(a, x, out=out, scratch=scratch)
+        from repro.backends import resolve_backend
+
+        be = resolve_backend(backend)
+        if be is not None:
+            return be.spmv(a, x, out=out, scratch=scratch)
     x = np.asarray(x, dtype=np.float64)
     if x.shape != (a.ncols,):
         raise ValueError(f"x must have shape ({a.ncols},), got {x.shape}")

@@ -85,7 +85,7 @@ class TestCompilation:
             Study("bad").axis("alpha", [0.1]).axis("mtbf", [100.0])
 
     def test_unknown_axis_lists_valid_names(self):
-        with pytest.raises(ValueError, match="uid, method, scheme"):
+        with pytest.raises(ValueError, match="uid, method, backend, scheme"):
             Study("bad").axis("matrix", [1])
 
     def test_unknown_metric_rejected(self):

@@ -1,0 +1,501 @@
+"""The pluggable kernel-backend axis (:mod:`repro.backends`).
+
+Locks the three contracts the backend axis stands on:
+
+1. **Reference is the oracle.** ``backend="reference"`` — explicit,
+   default, by instance — is bit-identical to the pre-backend code
+   path on every entry point (``spmv``, ``protected_spmv``,
+   ``solve``, ``repeat_run``).
+2. **Guarded paths are backend-invariant.** Any matrix without the
+   ``structure_clean`` stamp routes through the reference kernel on
+   every backend, so fault emulation and ABFT detection semantics
+   cannot depend on the backend choice.
+3. **SciPy is numerically equivalent where it substitutes.** On
+   structure-clean products it agrees with the reference kernel to
+   rounding, and fault-free solves on the paper suite produce
+   identical convergence histories (same iterations, same events).
+"""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.abft.spmv import SpmvStatus, protected_spmv
+from repro.backends import (
+    DenseBackend,
+    ReferenceBackend,
+    ScipyBackend,
+    available_backends,
+    get_backend,
+    register_backend,
+    resolve_backend,
+)
+from repro.backends import _FACTORIES, _INSTANCES
+from repro.perf import SolveWorkspace
+from repro.sim.engine import make_rhs, repeat_run
+from repro.sim.matrices import get_matrix
+from repro.sparse import CSRMatrix, stencil_spd
+from repro.sparse.spmv import spmv
+from repro.core.methods import Scheme, SchemeConfig
+
+
+def stamped(a: CSRMatrix) -> CSRMatrix:
+    a.assume_clean_structure()
+    return a
+
+
+@pytest.fixture
+def suite_matrix():
+    return get_matrix(2213, 48)
+
+
+@pytest.fixture
+def small_system():
+    a = stencil_spd(100, kind="cross", radius=1)
+    b = make_rhs(a)
+    return a, b
+
+
+class TestRegistry:
+    def test_shipped_backends_registered(self):
+        names = available_backends()
+        for expected in ("reference", "scipy", "dense"):
+            assert expected in names
+
+    def test_get_backend_by_name_is_shared_instance(self):
+        assert get_backend("scipy") is get_backend("scipy")
+        assert isinstance(get_backend("reference"), ReferenceBackend)
+        assert isinstance(get_backend("dense"), DenseBackend)
+
+    def test_get_backend_passes_instances_through(self):
+        be = ScipyBackend()
+        assert get_backend(be) is be
+
+    def test_unknown_name_lists_available(self):
+        with pytest.raises(ValueError, match="reference"):
+            get_backend("cuda")
+
+    def test_bad_type_rejected(self):
+        with pytest.raises(TypeError):
+            get_backend(42)
+
+    def test_resolve_reference_to_none(self):
+        # The fast-path contract: every spelling of "reference"
+        # resolves to None so hot loops skip backend dispatch entirely.
+        assert resolve_backend(None) is None
+        assert resolve_backend("reference") is None
+        assert resolve_backend(ReferenceBackend()) is None
+        assert resolve_backend("scipy") is get_backend("scipy")
+
+    def test_register_custom_backend(self):
+        class Doubling(ReferenceBackend):
+            name = "doubling"
+
+            def spmv(self, a, x, *, out=None, scratch=None):
+                return 2.0 * super().spmv(a, x, out=None, scratch=scratch)
+
+        register_backend("doubling", Doubling)
+        try:
+            a = stamped(stencil_spd(25, kind="cross", radius=1))
+            x = np.ones(a.ncols)
+            assert np.array_equal(
+                spmv(a, x, backend="doubling"), 2.0 * spmv(a, x)
+            )
+            with pytest.raises(ValueError, match="already registered"):
+                register_backend("doubling", Doubling)
+        finally:
+            _FACTORIES.pop("doubling", None)
+            _INSTANCES.pop("doubling", None)
+
+    def test_shipped_names_protected(self):
+        with pytest.raises(ValueError, match="already registered"):
+            register_backend("reference", ReferenceBackend)
+
+    def test_replaced_reference_honoured_on_every_dispatch_path(self):
+        # replace=True on "reference" must change name-based dispatch
+        # everywhere, not only on entry points that call get_backend.
+        class Doubling(ReferenceBackend):
+            def spmv(self, a, x, *, out=None, scratch=None):
+                return 2.0 * super().spmv(a, x, out=None, scratch=scratch)
+
+        original = _FACTORIES["reference"]
+        register_backend("reference", Doubling, replace=True)
+        try:
+            a = stamped(stencil_spd(25, kind="cross", radius=1))
+            x = np.ones(a.ncols)
+            raw = spmv(a, x)
+            assert np.array_equal(spmv(a, x, backend="reference"), 2.0 * raw)
+            assert resolve_backend("reference") is get_backend("reference")
+        finally:
+            register_backend("reference", original, replace=True)
+
+
+class TestSpmvDispatch:
+    def test_reference_backend_bit_identical(self, suite_matrix):
+        x = np.random.default_rng(3).standard_normal(suite_matrix.ncols)
+        base = spmv(suite_matrix, x)
+        assert np.array_equal(spmv(suite_matrix, x, backend="reference"), base)
+        assert np.array_equal(spmv(suite_matrix, x, backend=None), base)
+        assert np.array_equal(
+            spmv(suite_matrix, x, backend=ReferenceBackend()), base
+        )
+
+    def test_scipy_matches_reference_to_rounding(self, suite_matrix):
+        a = stamped(suite_matrix.copy())
+        x = np.random.default_rng(4).standard_normal(a.ncols)
+        y_ref = spmv(a, x)
+        y_sp = spmv(a, x, backend="scipy")
+        np.testing.assert_allclose(y_sp, y_ref, rtol=1e-12, atol=1e-14)
+
+    def test_scipy_honours_out_buffer(self, suite_matrix):
+        a = stamped(suite_matrix.copy())
+        x = np.random.default_rng(5).standard_normal(a.ncols)
+        out = np.full(a.nrows, np.nan)
+        y = spmv(a, x, out=out, backend="scipy")
+        assert y is out
+        np.testing.assert_allclose(out, spmv(a, x), rtol=1e-12, atol=1e-14)
+
+    def test_scipy_unstamped_falls_back_to_reference_bits(self, suite_matrix):
+        # No structure_clean stamp -> guarded path -> reference kernel,
+        # hence *bit*-identical, not merely close.
+        x = np.random.default_rng(6).standard_normal(suite_matrix.ncols)
+        assert not suite_matrix.structure_clean
+        assert np.array_equal(
+            spmv(suite_matrix, x, backend="scipy"), spmv(suite_matrix, x)
+        )
+
+    def test_scipy_corrupted_colid_keeps_wild_read_emulation(self):
+        a = stamped(stencil_spd(64, kind="cross", radius=1))
+        a.colid[3] = a.ncols + 17  # out-of-range wild read
+        a.mark_structure_dirty()
+        x = np.arange(a.ncols, dtype=float)
+        assert np.array_equal(spmv(a, x, backend="scipy"), spmv(a, x))
+
+    def test_scipy_sees_inplace_val_corruption(self):
+        # A val strike leaves the stamp armed; the compiled kernel must
+        # read the corrupted byte, not some stale copy.
+        a = stamped(stencil_spd(64, kind="cross", radius=1))
+        x = np.ones(a.ncols)
+        before = spmv(a, x, backend="scipy").copy()
+        a.val[5] += 1000.0
+        after = spmv(a, x, backend="scipy")
+        assert not np.array_equal(before, after)
+        np.testing.assert_allclose(after, spmv(a, x), rtol=1e-12, atol=1e-12)
+
+    def test_dense_matches_reference(self):
+        a = stamped(stencil_spd(81, kind="cross", radius=2))
+        x = np.random.default_rng(7).standard_normal(a.ncols)
+        np.testing.assert_allclose(
+            spmv(a, x, backend="dense"), spmv(a, x), rtol=1e-12, atol=1e-14
+        )
+
+    def test_dense_rejects_large_matrices(self):
+        a = stamped(stencil_spd(81, kind="cross", radius=1))
+        small_cap = DenseBackend(max_n=50)
+        with pytest.raises(ValueError, match="capped"):
+            small_cap.spmv(a, np.ones(a.ncols))
+
+    def test_dense_unstamped_falls_back(self):
+        a = stencil_spd(81, kind="cross", radius=1)
+        x = np.ones(a.ncols)
+        assert np.array_equal(spmv(a, x, backend="dense"), spmv(a, x))
+
+    def test_empty_matrix(self):
+        a = CSRMatrix(
+            np.zeros(0), np.zeros(0, dtype=np.int64),
+            np.zeros(4, dtype=np.int64), (3, 3),
+        )
+        stamped(a)
+        for backend in ("scipy", "dense"):
+            y = spmv(a, np.ones(3), backend=backend)
+            assert np.array_equal(y, np.zeros(3))
+
+    def test_shape_mismatch_raises_everywhere(self, suite_matrix):
+        a = stamped(suite_matrix.copy())
+        bad = np.ones(a.ncols + 1)
+        for backend in (None, "scipy", "dense"):
+            with pytest.raises(ValueError, match="shape"):
+                spmv(a, bad, backend=backend)
+
+    def test_scipy_rejects_short_out_buffer(self, suite_matrix):
+        # The compiled kernel does no bounds checking; a short `out`
+        # must raise cleanly instead of writing out of bounds.
+        a = stamped(suite_matrix.copy())
+        x = np.ones(a.ncols)
+        with pytest.raises(ValueError, match="out"):
+            spmv(a, x, out=np.empty(a.nrows - 1), backend="scipy")
+
+
+class TestBackendPrimitives:
+    def test_checksum_products_match_column_sums(self, suite_matrix):
+        from repro.sparse.norms import column_sums
+
+        w = np.vstack([np.ones(suite_matrix.nrows),
+                       np.arange(1.0, suite_matrix.nrows + 1.0)])
+        for name in ("reference", "scipy", "dense"):
+            prods = get_backend(name).checksum_products(suite_matrix, w)
+            assert prods.shape == (2, suite_matrix.ncols)
+            for i in range(2):
+                assert np.array_equal(prods[i], column_sums(suite_matrix, weights=w[i]))
+
+    def test_dot_and_norm(self):
+        u = np.arange(5.0)
+        v = np.ones(5)
+        for name in ("reference", "scipy", "dense"):
+            be = get_backend(name)
+            assert be.dot(u, v) == float(u @ v)
+            assert be.norm2(u) == float(np.linalg.norm(u))
+
+
+class TestProtectedSpmv:
+    def test_fault_free_ok_on_every_backend(self, small_system):
+        a, _ = small_system
+        stamped(a)
+        x = np.random.default_rng(8).standard_normal(a.ncols)
+        for backend in (None, "reference", "scipy", "dense"):
+            res = protected_spmv(a.copy(), x.copy(), backend=backend)
+            assert res.status is SpmvStatus.OK
+
+    def test_scipy_detects_val_corruption(self, small_system):
+        # Large val corruption on a structure-clean matrix: the scipy
+        # kernel computes the corrupted product and ABFT must flag it.
+        a, _ = small_system
+        live = stamped(a.copy())
+        from repro.abft.checksums import compute_checksums
+
+        cks = compute_checksums(live, nchecks=2)
+        x = np.random.default_rng(9).standard_normal(a.ncols)
+
+        def hook(stage, m, _x, _y):
+            if stage == "pre":
+                m.val[7] += 1e6
+
+        res = protected_spmv(
+            live, x, cks, correct=True, fault_hook=hook, backend="scipy"
+        )
+        assert res.status is SpmvStatus.CORRECTED
+        assert res.correction.kind == "val"
+
+
+class TestSolveFacade:
+    def test_explicit_reference_bit_identical_to_default(self, small_system):
+        a, b = small_system
+        kwargs = dict(faults=repro.FaultSpec(alpha=0.05, seed=11), eps=1e-8)
+        default = repro.solve(a, b, **kwargs)
+        explicit = repro.solve(a, b, backend="reference", **kwargs)
+        assert default.backend == explicit.backend == "reference"
+        assert default.solution_sha256 == explicit.solution_sha256
+        assert default.time_units == explicit.time_units
+        assert default.history == explicit.history
+
+    def test_scipy_fault_free_identical_convergence_history(self):
+        # Acceptance lock: identical convergence histories on the
+        # fault-free paper suite (same iterations, same simulated time;
+        # residuals agree to rounding).
+        for uid in (2213, 1312):
+            a = get_matrix(uid, 48)
+            b = make_rhs(a)
+            ref = repro.solve(a, b, eps=1e-6)
+            sp = repro.solve(a, b, backend="scipy", eps=1e-6)
+            assert sp.backend == "scipy"
+            assert sp.converged and ref.converged
+            assert sp.iterations == ref.iterations
+            assert sp.time_units == ref.time_units
+            r_ref = [h["residual_norm"] for h in ref.history]
+            r_sp = [h["residual_norm"] for h in sp.history]
+            np.testing.assert_allclose(r_sp, r_ref, rtol=1e-6)
+
+    def test_scipy_faulty_solve_converges(self, small_system):
+        a, b = small_system
+        report = repro.solve(
+            a, b, backend="scipy",
+            faults=repro.FaultSpec(alpha=0.1, seed=5), eps=1e-6,
+        )
+        assert report.converged
+        assert report.counters.faults_injected > 0
+        assert report.residual_norm <= report.threshold
+
+    def test_dense_backend_solve(self, small_system):
+        a, b = small_system
+        report = repro.solve(a, b, backend="dense", eps=1e-8)
+        assert report.converged
+        assert report.backend == "dense"
+
+    def test_scipy_online_detection_whole_run_on_one_axis(self, small_system):
+        # ONLINE-DETECTION's verification SpMxV (chen_verify) rides the
+        # run's backend too: fault-free scipy matches reference
+        # iteration-for-iteration, and a faulty run still detects.
+        a, b = small_system
+        kwargs = dict(scheme="online-detection", eps=1e-6)
+        ref = repro.solve(a, b, **kwargs)
+        sp = repro.solve(a, b, backend="scipy", **kwargs)
+        assert sp.iterations == ref.iterations
+        assert sp.time_units == ref.time_units
+        faulty = repro.solve(
+            a, b, backend="scipy",
+            faults=repro.FaultSpec(alpha=0.2, seed=4), **kwargs,
+        )
+        assert faulty.converged
+
+    def test_backend_in_report_dict(self, small_system):
+        a, b = small_system
+        report = repro.solve(a, b, backend="scipy", eps=1e-8)
+        assert report.to_dict()["backend"] == "scipy"
+
+    def test_unknown_backend_rejected_before_work(self, small_system):
+        a, b = small_system
+        with pytest.raises(ValueError, match="unknown backend"):
+            repro.solve(a, b, backend="gpu")
+
+    def test_workspace_backend_attribute_used(self, small_system):
+        # SolveWorkspace(backend=...) supplies the default kernel axis;
+        # an explicit backend on the entry point still wins.
+        a, b = small_system
+        ws = SolveWorkspace(backend="scipy")
+        via_ws = repro.solve(a, b, eps=1e-8, reuse_workspace=ws)
+        pinned = repro.solve(a, b, eps=1e-8, backend="scipy")
+        assert via_ws.iterations == pinned.iterations
+        assert via_ws.solution_sha256 == pinned.solution_sha256
+        explicit = repro.solve(
+            a, b, eps=1e-8, reuse_workspace=ws, backend="reference"
+        )
+        ref = repro.solve(a, b, eps=1e-8)
+        assert explicit.solution_sha256 == ref.solution_sha256
+
+
+class TestRepeatRunAndWorkspace:
+    def test_reference_repeat_run_bit_identical(self, small_system):
+        a, b = small_system
+        cfg = SchemeConfig(Scheme.ABFT_CORRECTION, checkpoint_interval=5)
+        base = repeat_run(a, b, cfg, alpha=0.05, reps=3, base_seed=7)
+        explicit = repeat_run(
+            a, b, cfg, alpha=0.05, reps=3, base_seed=7, backend="reference"
+        )
+        assert base == explicit
+
+    def test_scipy_workspace_matches_scipy_fresh(self, small_system):
+        # The workspace hot path and the fresh path must agree on the
+        # scipy backend exactly as they do on reference.
+        a, b = small_system
+        cfg = SchemeConfig(Scheme.ABFT_CORRECTION, checkpoint_interval=5)
+        fresh = repeat_run(
+            a, b, cfg, alpha=0.05, reps=3, base_seed=7,
+            backend="scipy", reuse_workspace=False,
+        )
+        ws = repeat_run(
+            a, b, cfg, alpha=0.05, reps=3, base_seed=7,
+            backend="scipy", reuse_workspace=True,
+        )
+        assert fresh == ws
+
+    def test_faulty_scipy_run_same_strike_streams(self, small_system):
+        # The backend does not enter the seed derivation: both backends
+        # face the same number of injected faults at the same point.
+        a, b = small_system
+        cfg = SchemeConfig(Scheme.ABFT_CORRECTION, checkpoint_interval=5)
+        ref = repeat_run(a, b, cfg, alpha=0.1, reps=3, base_seed=13)
+        sp = repeat_run(a, b, cfg, alpha=0.1, reps=3, base_seed=13, backend="scipy")
+        assert ref.mean_faults == sp.mean_faults
+        assert ref.convergence_rate == sp.convergence_rate == 1.0
+
+
+class TestStudyAndCampaign:
+    def test_backend_axis_compiles_product(self):
+        study = (repro.Study("kernels")
+                 .axis("backend", ["reference", "scipy"])
+                 .fix(uid=2213, scale=64, reps=1, s=4, d=1))
+        tasks = study.tasks()
+        assert [t.backend for t in tasks] == ["reference", "scipy"]
+        assert len({t.task_hash() for t in tasks}) == 2
+
+    def test_backend_axis_unknown_name_rejected(self):
+        with pytest.raises(ValueError, match="unknown backend"):
+            repro.Study("bad").axis("backend", ["gpu"])
+
+    def test_backend_axis_requires_names_not_instances(self):
+        with pytest.raises(ValueError, match="registered names"):
+            repro.Study("bad").axis("backend", [ScipyBackend()])
+
+    def test_study_round_trips_backend_axis(self, tmp_path):
+        from repro.api.study import Study
+
+        study = (Study("kernels")
+                 .axis("backend", ["reference", "scipy"])
+                 .fix(uid=2213, scale=64, reps=1, s=4))
+        path = tmp_path / "spec.json"
+        study.save(path)
+        reloaded = Study.load(path)
+        assert [t.task_hash() for t in reloaded.tasks()] == [
+            t.task_hash() for t in study.tasks()
+        ]
+
+    def test_taskspec_backend_validated_and_hashed(self):
+        from repro.campaign.spec import TaskSpec
+
+        base = dict(experiment="t", uid=2213, scale=64,
+                    scheme="abft-correction", alpha=0.0625, s=4)
+        assert TaskSpec(**base).backend == "reference"
+        assert (TaskSpec(**base, backend="scipy").task_hash()
+                != TaskSpec(**base).task_hash())
+        with pytest.raises(ValueError, match="unknown backend"):
+            TaskSpec(**base, backend="gpu")
+        rt = TaskSpec.from_json(TaskSpec(**base, backend="scipy").to_json())
+        assert rt.backend == "scipy"
+
+    def test_campaign_executes_backend_axis_end_to_end(self):
+        study = (repro.Study("kernels-e2e")
+                 .axis("backend", ["reference", "scipy"])
+                 .fix(uid=2213, scale=64, reps=2, s=4, alpha=1 / 16))
+        result = study.run(jobs=1)
+        points = result.points()
+        assert [p.backend for p in points] == ["reference", "scipy"]
+        # Same physics parameters, same fault streams: both backends
+        # must converge; simulated times agree (rounding-robust since
+        # the simulated clock counts iterations, not floats).
+        assert all(p.stats.convergence_rate == 1.0 for p in points)
+        assert points[0].stats.mean_faults == points[1].stats.mean_faults
+
+    def test_preset_campaign_carries_backend(self):
+        study = repro.Study.table1(scale=64, reps=1, uids=[2213],
+                                   s_span=0, backend="scipy")
+        assert {t.backend for t in study.tasks()} == {"scipy"}
+
+    def test_report_groups_by_backend(self, tmp_path):
+        # A backend-comparison store must not average the kernels into
+        # one row — backend is part of the report's group key.
+        from repro.api.report import summarize_store
+
+        store = tmp_path / "kernels.jsonl"
+        study = (repro.Study("kernels-report")
+                 .axis("backend", ["reference", "scipy"])
+                 .fix(uid=2213, scale=64, reps=1, s=4))
+        study.run(jobs=1, store=store)
+        summary = summarize_store(store)
+        assert [g.backend for g in summary.groups] == ["reference", "scipy"]
+
+
+class TestCli:
+    def test_solve_backend_flag(self, capsys):
+        from repro.api.cli import main
+
+        code = main(["solve", "--scale", "64", "--alpha", "0", "--backend",
+                     "scipy", "--json"])
+        assert code == 0
+        out = capsys.readouterr().out
+        import json
+
+        assert json.loads(out)["backend"] == "scipy"
+
+    def test_solve_unknown_backend_is_usage_error(self, capsys):
+        from repro.api.cli import main
+
+        assert main(["solve", "--backend", "gpu"]) == 2
+
+    def test_table1_backend_flag_smoke(self, capsys):
+        from repro.api.cli import main
+
+        code = main(["table1", "--scale", "64", "--reps", "1", "--uids",
+                     "2213", "--s-span", "0", "--jobs", "1",
+                     "--backend", "scipy"])
+        assert code == 0
+        assert "2213" in capsys.readouterr().out

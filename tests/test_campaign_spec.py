@@ -27,13 +27,13 @@ class TestTaskSpec:
 
     def test_hash_stable_across_sessions(self):
         # Regression pin: a changed hash silently invalidates every
-        # existing result store.  (Schema v2: the `method` field — the
-        # solver axis — entered the hash when the resilience engine
-        # opened the method dimension.)
+        # existing result store.  (Schema v3: the `backend` field — the
+        # kernel axis — entered the hash, after v2's `method` solver
+        # axis.)
         t = TaskSpec("table1", uid=2213, scale=48, scheme="abft-detection",
                      alpha=0.0625, s=5, labels=("table1", 2213, "s", 5))
         assert t.task_hash() == (
-            "8997bf4a1b396df3166dd0663f96ca205c9dfa681b35e48bd1faaf5955bae337"
+            "2bb73a169ff34829436e99c7aa31d75804b7463c0e4c27a7868f030d1a03a9e6"
         )
 
     def test_method_in_hash(self):

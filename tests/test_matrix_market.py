@@ -1,0 +1,211 @@
+"""Matrix-Market ingestion and the real-workload registry.
+
+The paper's UFL matrices ship in Matrix-Market format; these tests
+lock the ingestion path end to end: symmetric-storage expansion,
+round-tripping through :mod:`repro.sparse.io`, the
+``REPRO_MATRIX_DIR`` workload registry behind
+:func:`repro.sim.matrices.get_matrix`, and a full ``solve()`` on a
+loaded file matching the same matrix built in-process.
+"""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.sim.matrices import (
+    MATRIX_DIR_ENV,
+    clear_matrix_cache,
+    get_matrix,
+    workload_registry,
+)
+from repro.sparse import CSRMatrix, stencil_spd
+from repro.sparse.io import load_matrix_market, save_matrix_market
+
+#: A hand-written symmetric-storage Matrix-Market file: the lower
+#: triangle of the SPD matrix [[4,1,0],[1,4,2],[0,2,5]].
+SYMMETRIC_MTX = """%%MatrixMarket matrix coordinate real symmetric
+3 3 5
+1 1 4.0
+2 1 1.0
+2 2 4.0
+3 2 2.0
+3 3 5.0
+"""
+
+
+@pytest.fixture(autouse=True)
+def _isolate_matrix_cache():
+    # File-backed entries are keyed by path and the registry by env
+    # var; keep tests hermetic on both sides of each run.
+    clear_matrix_cache()
+    yield
+    clear_matrix_cache()
+
+
+class TestRoundTrip:
+    def test_save_load_preserves_matrix(self, tmp_path):
+        a = stencil_spd(100, kind="cross", radius=2)
+        path = tmp_path / "stencil.mtx"
+        save_matrix_market(a, path)
+        loaded = load_matrix_market(path)
+        assert loaded.shape == a.shape
+        assert loaded.nnz == a.nnz
+        assert loaded.equals(a, rtol=0, atol=1e-15)
+
+    def test_symmetric_storage_expanded_to_full(self, tmp_path):
+        path = tmp_path / "sym.mtx"
+        path.write_text(SYMMETRIC_MTX)
+        a = load_matrix_market(path)
+        # 5 stored entries, 7 logical nonzeros after expansion — the
+        # ABFT checksums need the explicit representation.
+        assert a.shape == (3, 3)
+        assert a.nnz == 7
+        expected = np.array([[4.0, 1.0, 0.0], [1.0, 4.0, 2.0], [0.0, 2.0, 5.0]])
+        assert np.array_equal(a.to_dense(), expected)
+
+    def test_symmetric_round_trip_through_save(self, tmp_path):
+        # save (full) -> load -> identical again, proving expansion
+        # didn't double-count the diagonal.
+        path = tmp_path / "sym.mtx"
+        path.write_text(SYMMETRIC_MTX)
+        a = load_matrix_market(path)
+        path2 = tmp_path / "full.mtx"
+        save_matrix_market(a, path2)
+        again = load_matrix_market(path2)
+        assert again.equals(a, rtol=0, atol=1e-15)
+
+
+class TestGetMatrixWorkloads:
+    def test_explicit_path(self, tmp_path):
+        a = stencil_spd(64, kind="cross", radius=1)
+        path = tmp_path / "m.mtx"
+        save_matrix_market(a, path)
+        loaded = get_matrix(str(path))
+        assert loaded.equals(a, rtol=0, atol=1e-15)
+        # Path-keyed cache: same path returns the same instance.
+        assert get_matrix(str(path)) is loaded
+
+    def test_path_accepts_os_pathlike(self, tmp_path):
+        a = stencil_spd(64, kind="cross", radius=1)
+        path = tmp_path / "m.mtx"
+        save_matrix_market(a, path)
+        assert get_matrix(path).equals(a, rtol=0, atol=1e-15)
+
+    def test_file_backed_workloads_cannot_be_rescaled(self, tmp_path):
+        path = tmp_path / "m.mtx"
+        save_matrix_market(stencil_spd(64, kind="cross", radius=1), path)
+        with pytest.raises(ValueError, match="scale must be 1"):
+            get_matrix(str(path), scale=8)
+
+    def test_registry_scan_and_name_lookup(self, tmp_path, monkeypatch):
+        a = stencil_spd(64, kind="cross", radius=1)
+        save_matrix_market(a, tmp_path / "bcsstk.mtx")
+        monkeypatch.setenv(MATRIX_DIR_ENV, str(tmp_path))
+        assert set(workload_registry()) == {"bcsstk"}
+        assert get_matrix("bcsstk").equals(a, rtol=0, atol=1e-15)
+
+    def test_registry_empty_without_env(self, monkeypatch):
+        monkeypatch.delenv(MATRIX_DIR_ENV, raising=False)
+        assert workload_registry() == {}
+
+    def test_registry_missing_dir_is_empty(self, monkeypatch, tmp_path):
+        monkeypatch.setenv(MATRIX_DIR_ENV, str(tmp_path / "nope"))
+        assert workload_registry() == {}
+
+    def test_unknown_name_lists_registered(self, tmp_path, monkeypatch):
+        save_matrix_market(stencil_spd(64, kind="cross", radius=1),
+                           tmp_path / "known.mtx")
+        monkeypatch.setenv(MATRIX_DIR_ENV, str(tmp_path))
+        with pytest.raises(KeyError, match="known"):
+            get_matrix("something-else")
+
+    def test_uid_override_at_paper_scale(self, tmp_path, monkeypatch):
+        # A file named after a paper uid replaces the synthetic entry
+        # at scale=1 (the paper's own dimensions) and only there.
+        real = stencil_spd(81, kind="cross", radius=1)
+        save_matrix_market(real, tmp_path / "2213.mtx")
+        monkeypatch.setenv(MATRIX_DIR_ENV, str(tmp_path))
+        loaded = get_matrix(2213, scale=1)
+        assert loaded.equals(real, rtol=0, atol=1e-15)
+        # Scaled-down requests keep the synthetic suite entry.
+        synth = get_matrix(2213, scale=64)
+        assert synth.nrows != real.nrows
+
+    def test_uid_without_override_synthesizes(self, monkeypatch):
+        monkeypatch.delenv(MATRIX_DIR_ENV, raising=False)
+        a = get_matrix(2213, scale=64)
+        assert a.nrows == 529  # the synthetic stand-in (23² grid)
+
+
+class TestProvenance:
+    def test_matrix_source_synthetic_vs_real(self, tmp_path, monkeypatch):
+        from repro.sim.matrices import matrix_source
+
+        monkeypatch.delenv(MATRIX_DIR_ENV, raising=False)
+        assert matrix_source(2213, scale=1) == "synthetic"
+        real = tmp_path / "2213.mtx"
+        save_matrix_market(stencil_spd(81, kind="cross", radius=1), real)
+        monkeypatch.setenv(MATRIX_DIR_ENV, str(tmp_path))
+        assert matrix_source(2213, scale=1) == str(real)
+        assert matrix_source(2213, scale=16) == "synthetic"
+        assert matrix_source(str(real)) == str(real)
+
+    def test_campaign_record_carries_matrix_source(self, monkeypatch):
+        from repro.campaign.executor import execute_task
+        from repro.campaign.spec import TaskSpec
+
+        monkeypatch.delenv(MATRIX_DIR_ENV, raising=False)
+        task = TaskSpec("t", uid=2213, scale=64, scheme="abft-correction",
+                        alpha=0.0, s=4, reps=1)
+        rec = execute_task(task)
+        assert rec["matrix_source"] == "synthetic"
+
+
+class TestEndToEnd:
+    def test_solve_on_loaded_mtx_matches_in_process(self, tmp_path):
+        # Acceptance lock: a solve on the file-loaded matrix is
+        # bit-identical to the same matrix built in-process (loading
+        # reproduces the exact CSR bytes, and the solve is
+        # deterministic given the bytes).
+        a = stencil_spd(100, kind="cross", radius=1)
+        path = tmp_path / "system.mtx"
+        save_matrix_market(a, path)
+        loaded = get_matrix(str(path))
+        b = np.random.default_rng(17).standard_normal(a.nrows)
+        kwargs = dict(faults=repro.FaultSpec(alpha=0.05, seed=23), eps=1e-8)
+        ref = repro.solve(a, b, **kwargs)
+        via_file = repro.solve(loaded, b, **kwargs)
+        assert via_file.converged == ref.converged
+        assert via_file.iterations == ref.iterations
+        assert via_file.solution_sha256 == ref.solution_sha256
+        assert via_file.time_units == ref.time_units
+
+    def test_cli_solve_on_mtx_file(self, tmp_path, capsys):
+        from repro.api.cli import main
+
+        a = stencil_spd(100, kind="cross", radius=1)
+        path = tmp_path / "cli.mtx"
+        save_matrix_market(a, path)
+        code = main(["solve", "--matrix", str(path), "--alpha", "0", "--json"])
+        assert code == 0
+        import json
+
+        report = json.loads(capsys.readouterr().out)
+        assert report["n"] == 100
+        assert report["converged"] is True
+
+    def test_cli_solve_on_missing_workload_is_usage_error(self, capsys, monkeypatch):
+        from repro.api.cli import main
+
+        monkeypatch.delenv(MATRIX_DIR_ENV, raising=False)
+        assert main(["solve", "--matrix", "no-such-workload"]) == 2
+
+    def test_cli_refuses_scale_with_matrix(self, tmp_path, capsys):
+        # --scale is a suite-matrix knob; silently dropping it on a
+        # file-backed workload would solve the wrong-size system.
+        from repro.api.cli import main
+
+        path = tmp_path / "m.mtx"
+        save_matrix_market(stencil_spd(64, kind="cross", radius=1), path)
+        assert main(["solve", "--matrix", str(path), "--scale", "8"]) == 2
+        assert "cannot be rescaled" in capsys.readouterr().err

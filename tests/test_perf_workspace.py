@@ -443,6 +443,8 @@ class TestMatrixCache:
 
         m1 = get_matrix(2213, 64)
         assert get_matrix(2213, 64) is m1  # shared instance (identity key)
-        assert get_matrix.cache_info().maxsize is None  # no mid-campaign eviction
+        from repro.sim.matrices import _synthesize
+
+        assert _synthesize.cache_info().maxsize is None  # no mid-campaign eviction
         clear_matrix_cache()
         assert get_matrix(2213, 64) is not m1

@@ -74,3 +74,36 @@ def test_bit_identical_to_pre_refactor_driver(problem, entry):
 
     for f in _BREAKDOWN_FIELDS:
         assert float(getattr(res.breakdown, f)).hex() == want["breakdown"][f], f
+
+
+# One golden entry per (driver, scheme) pair, replayed with the kernel
+# backend pinned *explicitly*: backend="reference" must be the same
+# code path as the default, not merely a close cousin.
+_BACKEND_ENTRIES = list(
+    {
+        (e["driver"], e["scheme"]): e for e in _gold["entries"]
+    }.values()
+)
+
+
+@pytest.mark.parametrize("entry", _BACKEND_ENTRIES, ids=_entry_id)
+def test_explicit_reference_backend_matches_golden(problem, entry):
+    from repro.core import Method, run_ft_method
+
+    a, b = problem
+    cfg = SchemeConfig(
+        Scheme(entry["scheme"]),
+        checkpoint_interval=_gold["s"],
+        verification_interval=entry["d"],
+    )
+    method = Method.CG if entry["driver"] == "ft_cg" else Method.BICGSTAB
+    with np.errstate(all="ignore"):
+        res = run_ft_method(
+            method, a, b, cfg,
+            alpha=entry["alpha"], rng=entry["seed"], eps=_gold["eps"],
+            backend="reference",
+        )
+    want = entry["result"]
+    assert hashlib.sha256(np.ascontiguousarray(res.x).tobytes()).hexdigest() == want["x_sha256"]
+    assert float(res.time_units).hex() == want["time_units"]
+    assert res.counters.rollbacks == want["counters"]["rollbacks"]
