@@ -1,10 +1,13 @@
 #!/usr/bin/env python
 """Run the repo's perf benchmarks and police the committed baseline.
 
-Runs ``bench_resilience.py`` (engine-vs-legacy abstraction tax) and
-``bench_hotpath.py`` (workspace hot path vs the frozen seed stack),
-then compares the fresh hot-path record against the committed baseline
-``benchmarks/BENCH_hotpath.json`` — the repo's perf trajectory.
+Runs ``bench_resilience.py`` (engine-vs-legacy abstraction tax),
+``bench_hotpath.py`` (workspace hot path vs the frozen seed stack) and
+``bench_obs.py`` (tracing overhead), then compares the fresh hot-path
+record against the committed baseline ``benchmarks/BENCH_hotpath.json``
+— the repo's perf trajectory — and gates the fresh observability
+record: disabled tracing more than 2 % over the untraced path fails
+the run (``benchmarks/BENCH_obs.json`` is the committed record).
 
 The regression gate compares **speedup ratios**, not raw seconds: both
 the seed stack and the workspace path run on the same machine in the
@@ -32,9 +35,15 @@ import sys
 BENCH_DIR = pathlib.Path(__file__).resolve().parent
 BASELINE = BENCH_DIR / "BENCH_hotpath.json"
 FRESH = BENCH_DIR / "results" / "BENCH_hotpath.json"
+OBS_BASELINE = BENCH_DIR / "BENCH_obs.json"
+OBS_FRESH = BENCH_DIR / "results" / "BENCH_obs.json"
 
 #: Maximum tolerated drop of the aggregate speedup vs the baseline.
 REGRESSION_TOLERANCE = 0.25
+
+#: Maximum tolerated tracing-off overhead (percent) over the untraced
+#: path — the repro.obs zero-overhead-when-off acceptance bar.
+MAX_TRACE_OVERHEAD_PCT = 2.0
 
 
 def run_pytest_benches(quick: bool, skip_resilience: bool) -> int:
@@ -53,7 +62,11 @@ def run_pytest_benches(quick: bool, skip_resilience: bool) -> int:
         # (checked below, -25% tolerance) is the binding gate; relax
         # the bench's absolute in-test assert so it cannot flake first.
         os.environ.setdefault("REPRO_BENCH_MIN_SPEEDUP", "1.5")
-    targets = [str(BENCH_DIR / "bench_hotpath.py")]
+        # The tracing-off gate self-calibrates against its off-vs-off
+        # noise control, so it needs no relaxation here — just shorter
+        # timed regions for the smoke tier.
+        os.environ.setdefault("REPRO_BENCH_OBS_REPS", "50")
+    targets = [str(BENCH_DIR / "bench_hotpath.py"), str(BENCH_DIR / "bench_obs.py")]
     if not skip_resilience:
         targets.append(str(BENCH_DIR / "bench_resilience.py"))
     return pytest.main(["-q", *targets])
@@ -113,6 +126,38 @@ def main(argv: "list[str] | None" = None) -> int:
         print(f"expected {FRESH} to be written by bench_hotpath.py", file=sys.stderr)
         return 1
     fresh = json.loads(FRESH.read_text())
+
+    # The observability gate applies even on --update-baseline runs: a
+    # new baseline must not bake in a tracing-off regression.  The bench
+    # records an off-vs-off control spread (identical calls, so pure
+    # machine noise); the allowance widens by it, keeping the 2 % bar
+    # binding on quiet machines without flaking on throttled containers.
+    if OBS_FRESH.exists():
+        obs = json.loads(OBS_FRESH.read_text())
+        overhead = float(obs["aggregate_null_overhead_pct"])
+        noise = float(obs.get("aggregate_control_spread_pct", 0.0))
+        allowed = (
+            float(
+                os.environ.get(
+                    "REPRO_BENCH_MAX_TRACE_OVERHEAD", str(MAX_TRACE_OVERHEAD_PCT)
+                )
+            )
+            + noise
+        )
+        print(
+            f"tracing off: {overhead:+.2f}% vs untraced "
+            f"(allowed +{allowed:.2f}%, incl. {noise:.2f}% measured noise)"
+        )
+        if overhead > allowed:
+            print(
+                f"REGRESSION: disabled tracing costs {overhead:.2f}% over the "
+                f"untraced path (allowed {allowed:.2f}%)",
+                file=sys.stderr,
+            )
+            return 1
+        if args.update_baseline or not OBS_BASELINE.exists():
+            OBS_BASELINE.write_text(OBS_FRESH.read_text())
+            print(f"observability record written: {OBS_BASELINE}")
 
     if args.update_baseline or not BASELINE.exists():
         BASELINE.write_text(FRESH.read_text())

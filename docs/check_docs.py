@@ -13,9 +13,9 @@ by the CI ``docs`` job next to the mkdocs strict build:
    motivated the check: three modules cited a DESIGN.md that did not
    exist).
 3. **Public docstrings.**  Every object exported via ``__all__`` from
-   the audited packages (repro.api, repro.backends, repro.resilience,
-   and their submodules) must carry a docstring, as must the modules
-   themselves.
+   the audited packages (repro.api, repro.backends, repro.obs,
+   repro.resilience, and their submodules) must carry a docstring, as
+   must the modules themselves.
 4. **Examples gallery.**  Every ``examples/*.py`` must be linked from
    README.md.
 
@@ -32,7 +32,7 @@ ROOT = pathlib.Path(__file__).resolve().parent.parent
 SRC = ROOT / "src"
 
 #: Packages whose public surface must be documented.
-AUDITED_PACKAGES = ("repro.api", "repro.backends", "repro.resilience")
+AUDITED_PACKAGES = ("repro.api", "repro.backends", "repro.obs", "repro.resilience")
 
 _LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
 _SECTION = re.compile(r"DESIGN\.md.{0,12}?§(\d+)", re.DOTALL)

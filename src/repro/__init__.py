@@ -34,6 +34,8 @@ The library provides:
 - pluggable sparse-kernel backends — the bit-identical ``reference``
   oracle, a SciPy-accelerated kernel and a dense small-n fallback —
   selectable on every solve entry point (:mod:`repro.backends`);
+- structured tracing, process metrics and trace summaries — pure
+  observation, zero overhead when off (:mod:`repro.obs`);
 - the stable public API: the :func:`solve` facade, declarative
   :class:`Study` sweeps and the ``repro`` console script
   (:mod:`repro.api`).
@@ -98,6 +100,13 @@ from repro.api import (
     CheckpointSpec,
     Study,
 )
+from repro.obs import (
+    InMemoryTracer,
+    JsonlTracer,
+    NullTracer,
+    Tracer,
+    summarize_trace,
+)
 from repro.perf import SolveWorkspace
 from repro.backends import (
     KernelBackend,
@@ -106,7 +115,7 @@ from repro.backends import (
     register_backend,
 )
 
-__version__ = "1.4.0"
+__version__ = "1.5.0"
 
 __all__ = [
     "CSRMatrix",
@@ -151,6 +160,11 @@ __all__ = [
     "FaultSpec",
     "CheckpointSpec",
     "Study",
+    "Tracer",
+    "NullTracer",
+    "InMemoryTracer",
+    "JsonlTracer",
+    "summarize_trace",
     "SolveWorkspace",
     "KernelBackend",
     "available_backends",

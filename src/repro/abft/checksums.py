@@ -27,6 +27,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.obs.metrics import METRICS
 from repro.sparse.csr import CSRMatrix
 from repro.sparse.norms import column_sums, norm1
 from repro.abft.weights import weight_matrix, choose_shift
@@ -36,6 +37,7 @@ __all__ = [
     "SpmvChecksums",
     "compute_checksums",
     "cached_checksums",
+    "checksums_cached",
     "clear_checksum_cache",
 ]
 
@@ -203,10 +205,25 @@ def cached_checksums(
     key = (nchecks, shift_margin)
     cks = per_matrix.get(key)
     if cks is None:
+        METRICS.inc("abft.checksum_cache.miss")
         cks = per_matrix[key] = compute_checksums(
             a, nchecks=nchecks, shift_margin=shift_margin
         )
+    else:
+        METRICS.inc("abft.checksum_cache.hit")
     return cks
+
+
+def checksums_cached(
+    a: CSRMatrix, *, nchecks: int = 2, shift_margin: float = 1.0
+) -> bool:
+    """Whether :func:`cached_checksums` would hit for this key.
+
+    A pure peek (no cache mutation, no metrics); the engine uses it to
+    label its ``abft-setup`` trace event before the cache call.
+    """
+    per_matrix = _CACHE.get(a)
+    return bool(per_matrix) and (nchecks, shift_margin) in per_matrix
 
 
 def clear_checksum_cache() -> None:

@@ -324,7 +324,12 @@ def protected_spmv(
     if residuals.clean:
         return ProtectedSpmvResult(y=y, status=SpmvStatus.OK, residuals=residuals)
 
+    # Metrics only on the rare non-clean outcomes: the clean path above
+    # (the overwhelmingly common one) stays counter-free by design.
+    from repro.obs.metrics import METRICS
+
     if not correct:
+        METRICS.inc("abft.detected")
         return ProtectedSpmvResult(y=y, status=SpmvStatus.DETECTED, residuals=residuals)
 
     from repro.abft.correction import correct_errors
@@ -336,9 +341,11 @@ def protected_spmv(
         # Re-verify after repair: the repaired state must be fully clean.
         post = _verify(a, x, y, x_ref, checksums, verify_buffers)
         if post.clean:
+            METRICS.inc("abft.corrected")
             return ProtectedSpmvResult(
                 y=y, status=SpmvStatus.CORRECTED, residuals=residuals, correction=outcome
             )
+    METRICS.inc("abft.uncorrectable")
     return ProtectedSpmvResult(
         y=y, status=SpmvStatus.UNCORRECTABLE, residuals=residuals, correction=outcome
     )

@@ -8,12 +8,14 @@ script (``pyproject.toml``) and doubling as ``python -m repro``:
 - ``repro figure1`` — regenerate the paper's Figure 1 (time vs MTBF);
 - ``repro study run <spec.json>`` — execute a declarative
   :class:`~repro.api.study.Study` exported with ``Study.save()``;
-- ``repro report <store.jsonl>`` — summarize a campaign result store.
+- ``repro report <store.jsonl>`` — summarize a campaign result store;
+- ``repro trace summarize <path>`` — summarize JSONL trace shards
+  written by ``--trace-dir`` (see :mod:`repro.obs`).
 
 The campaign flags (``--jobs`` / ``--store`` / ``--resume`` /
-``--base-seed``) are one shared option group wired into every
-subcommand that executes tasks, so fan-out and resume behave
-identically everywhere.
+``--progress`` / ``--trace-dir`` / ``--base-seed``) are one shared
+option group wired into every subcommand that executes tasks, so
+fan-out, resume and tracing behave identically everywhere.
 
 :func:`main` returns an exit code instead of raising ``SystemExit``
 (argparse's exits — including ``--help``'s code 0 and usage-error code
@@ -55,6 +57,16 @@ def _add_campaign_options(parser: argparse.ArgumentParser) -> None:
     group.add_argument(
         "--resume", action="store_true",
         help="reuse finished tasks from --store instead of starting fresh",
+    )
+    group.add_argument(
+        "--progress", choices=("bar", "json", "none"), default="bar",
+        help="stderr progress style: human status line (default), "
+             "newline-delimited JSON objects, or silence",
+    )
+    group.add_argument(
+        "--trace-dir", type=str, default=None, metavar="DIR",
+        help="collect per-worker JSONL trace shards of every solve event "
+             "under DIR (summarize with 'repro trace summarize DIR')",
     )
 
 
@@ -204,6 +216,30 @@ def build_parser() -> argparse.ArgumentParser:
     pr.add_argument("--csv", type=str, default=None, help="dump typed points to CSV")
     _add_campaign_options(pr)
     p.set_defaults(func=_cmd_study)
+
+    # --- trace ------------------------------------------------------------
+    p = sub.add_parser(
+        "trace",
+        help="inspect structured trace shards written by --trace-dir",
+        description="Operate on JSONL trace events (see repro.obs).",
+    )
+    trace_sub = p.add_subparsers(dest="trace_command", metavar="ACTION")
+    pt = trace_sub.add_parser(
+        "summarize",
+        help="fold a trace file or shard directory into a summary",
+        description="Read every event from a .jsonl trace file (or every "
+                    "shard-*.jsonl in a directory) and print per-kind counts, "
+                    "per-phase time shares and the fault timeline.",
+    )
+    pt.add_argument("path", type=str, help="trace .jsonl file or shard directory")
+    pt.add_argument(
+        "--json", action="store_true", help="print the summary as JSON"
+    )
+    pt.add_argument(
+        "--limit", type=int, default=20,
+        help="fault-timeline rows to show (default 20; 0 = hide)",
+    )
+    p.set_defaults(func=_cmd_trace)
 
     # --- report -----------------------------------------------------------
     p = sub.add_parser(
@@ -357,9 +393,10 @@ def _run_experiment(
         base_seed=args.base_seed,
         jobs=jobs,
         store=args.store,
-        progress=True,
+        progress=args.progress,
         methods=methods,
         backend=args.backend,
+        trace_dir=args.trace_dir,
     )
     if kind == "table1":
         from repro.sim.experiments import run_table1
@@ -408,7 +445,12 @@ def _cmd_study(parser: argparse.ArgumentParser, args: argparse.Namespace) -> int
     jobs = _check_campaign_args(parser, args)
     print(f"study {study.name!r}: {len(tasks)} tasks over {jobs} worker(s)",
           file=sys.stderr)
-    result = study.run(jobs=jobs, store=args.store, progress=True)
+    result = study.run(
+        jobs=jobs,
+        store=args.store,
+        progress=args.progress,
+        trace_dir=args.trace_dir,
+    )
     if result.tasks and all(t.experiment == "table1" for t in result.tasks):
         from repro.sim.results import format_table1
 
@@ -434,6 +476,30 @@ def _cmd_study(parser: argparse.ArgumentParser, args: argparse.Namespace) -> int
             writer = csv.DictWriter(fh, fieldnames=list(rows[0]) if rows else [])
             writer.writeheader()
             writer.writerows(rows)
+    return 0
+
+
+def _cmd_trace(parser: argparse.ArgumentParser, args: argparse.Namespace) -> int:
+    if args.trace_command != "summarize":
+        parser.error("expected an action: repro trace summarize <path>")
+    import json
+    import pathlib
+
+    from repro.obs.summarize import format_trace_summary, summarize_trace
+
+    if not pathlib.Path(args.path).exists():
+        parser.error(f"no such trace file or directory: {args.path}")
+    if args.limit < 0:
+        parser.error(f"--limit must be >= 0, got {args.limit}")
+    try:
+        summary = summarize_trace(args.path)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    if args.json:
+        print(json.dumps(summary.to_dict(), indent=2, sort_keys=True))
+    else:
+        print(format_trace_summary(summary, timeline_limit=args.limit))
     return 0
 
 

@@ -254,6 +254,7 @@ def solve(
     record_history: bool = True,
     reuse_workspace: "bool | object" = False,
     backend: "str | object | None" = None,
+    trace: "object | None" = None,
 ) -> SolveReport:
     """Solve ``A x = b`` with a fault-tolerant iterative method.
 
@@ -313,12 +314,24 @@ def solve(
         typically 2–4× faster on large matrices) while every guarded
         path stays on the reference kernels, so fault detection
         semantics are unchanged.
+    trace:
+        Optional structured-event sink: a :class:`repro.obs.Tracer`
+        instance, or a path (``str``/``os.PathLike``) that opens a
+        :class:`repro.obs.JsonlTracer` writing one event per line
+        (closed before returning).  Receives the solve's full event
+        stream — lifecycle, per-iteration steps, strikes, recoveries
+        (see ``docs/DESIGN.md`` §8).  ``None`` /
+        :class:`repro.obs.NullTracer` disable tracing at zero cost;
+        tracing is pure observation and never changes the trajectory.
 
     Returns
     -------
     SolveReport
     """
+    import os as _os
+
     from repro.backends import get_backend
+    from repro.obs.tracer import CallbackTracer, JsonlTracer, MultiTracer, resolve_tracer
     from repro.perf import SolveWorkspace, default_workspace
     from repro.resilience.registry import run_ft_method
     from repro.util.log import EventLog
@@ -380,11 +393,19 @@ def solve(
     )
     config = SchemeConfig(sch, checkpoint_interval=s, verification_interval=d, costs=costs_)
 
+    # User-facing trace sink: a Tracer passes through; a path opens a
+    # JSONL sink we own (and therefore close before returning).
+    own_trace = False
+    if trace is None or isinstance(trace, (str, _os.PathLike)):
+        tr = JsonlTracer(trace) if trace is not None else None
+        own_trace = tr is not None
+    else:
+        tr = resolve_tracer(trace)
+
     history: "list[dict]" = []
-    observer = None
     if record_history:
 
-        def observer(ctx) -> None:
+        def _record(ctx) -> None:
             history.append(
                 {
                     "iteration": int(ctx.plugin.iteration),
@@ -393,22 +414,32 @@ def solve(
                 }
             )
 
+        hist = CallbackTracer(on_iteration=_record)
+        tr = hist if tr is None else MultiTracer([tr, hist])
+
     log = EventLog()
-    res = run_ft_method(
-        meth,
-        mat,
-        b,
-        config,
-        alpha=fa.alpha,
-        x0=x0,
-        eps=eps,
-        maxiter=maxiter,
-        rng=fa.seed,
-        event_log=log,
-        observer=observer,
-        workspace=workspace,
-        backend=backend_obj,
-    )
+    try:
+        res = run_ft_method(
+            meth,
+            mat,
+            b,
+            config,
+            alpha=fa.alpha,
+            x0=x0,
+            eps=eps,
+            maxiter=maxiter,
+            rng=fa.seed,
+            event_log=log,
+            tracer=tr,
+            workspace=workspace,
+            backend=backend_obj,
+        )
+    finally:
+        if own_trace:
+            # Close only the sink we created; `tr` may wrap it in a
+            # MultiTracer whose other children belong to the caller.
+            trace_sink = tr.tracers[0] if isinstance(tr, MultiTracer) else tr
+            trace_sink.close()
 
     return SolveReport(
         x=res.x,

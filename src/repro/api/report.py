@@ -5,7 +5,10 @@ task, carrying the task's full parameters and aggregated statistics.
 This module folds a store into a human-readable summary — one line per
 (experiment, method, backend, scheme) group with task counts,
 repetition totals, time and convergence aggregates — without
-re-running anything.
+re-running anything.  Stores written since the observability layer
+(:mod:`repro.obs`) also carry ``telemetry`` records; when present they
+render as an extra block (cache hit rates, buffer-pool reuse,
+per-phase time shares), and older stores report exactly as before.
 """
 
 from __future__ import annotations
@@ -42,6 +45,9 @@ class StoreSummary:
     records: int  #: parseable task records in the store
     skipped: int  #: records without usable statistics (foreign schema)
     groups: "list[GroupSummary]"
+    #: Merged campaign telemetry (``kind="telemetry"`` records written
+    #: by the executor), or ``None`` for stores predating it.
+    telemetry: "dict | None" = None
 
     def to_dict(self) -> dict:
         from dataclasses import asdict
@@ -54,13 +60,22 @@ def summarize_store(path: "str | os.PathLike[str]") -> StoreSummary:
 
     Records missing the executor's ``task``/``stats`` schema (for
     example hand-written entries) are counted as ``skipped`` rather
-    than failing the whole report.
+    than failing the whole report.  ``telemetry`` records (which the
+    executor appends when a traced-or-not campaign runs fresh tasks
+    against a store) are folded into :attr:`StoreSummary.telemetry` —
+    several of them (a resumed campaign appends one per run) merge by
+    counter addition; stores predating the telemetry schema simply
+    report ``telemetry=None``.
     """
     records = ResultStore(path).load()
     groups: "dict[tuple[str, str, str, str], list[dict]]" = {}
     skipped = 0
+    telemetry_recs: "list[dict]" = []
     needed = ("mean_time", "min_time", "max_time", "convergence_rate", "reps")
     for rec in records.values():
+        if rec.get("kind") == "telemetry":
+            telemetry_recs.append(rec)
+            continue
         task = rec.get("task")
         stats = rec.get("stats")
         if not isinstance(task, dict) or not isinstance(stats, dict) \
@@ -100,8 +115,78 @@ def summarize_store(path: "str | os.PathLike[str]") -> StoreSummary:
             )
         )
     return StoreSummary(
-        path=str(path), records=len(records), skipped=skipped, groups=summaries
+        path=str(path),
+        records=len(records) - len(telemetry_recs),
+        skipped=skipped,
+        groups=summaries,
+        telemetry=_merge_telemetry(telemetry_recs),
     )
+
+
+def _merge_telemetry(recs: "list[dict]") -> "dict | None":
+    """Fold every ``telemetry`` store record into one counters/timers
+    view (resumed campaigns append one record per run)."""
+    if not recs:
+        return None
+    from repro.obs.metrics import merge_snapshots
+
+    parts = [
+        {
+            "counters": r.get("counters") or {},
+            "timers": r.get("timers") or {},
+        }
+        for r in recs
+    ]
+    merged = merge_snapshots(parts)
+    return {
+        "records": len(recs),
+        "fresh": sum(int(r.get("fresh", 0)) for r in recs),
+        "cached": sum(int(r.get("cached", 0)) for r in recs),
+        "counters": merged["counters"],
+        "timers": merged["timers"],
+    }
+
+
+def _rate(hit: float, miss: float) -> "float | None":
+    total = hit + miss
+    return hit / total if total > 0 else None
+
+
+def _format_telemetry(tele: dict) -> "list[str]":
+    """The telemetry block of ``repro report`` (omitted entirely for
+    stores without telemetry records — every ratio guards its
+    denominator, so partial counter sets render fine)."""
+    c = tele.get("counters", {})
+    lines = [
+        "",
+        f"telemetry ({tele['records']} record(s), "
+        f"{tele['fresh']} fresh / {tele['cached']} cached task(s)):",
+    ]
+    solves = c.get("engine.solves", 0)
+    if solves:
+        lines.append(f"  solves: {int(solves)} "
+                     f"({int(c.get('engine.converged', 0))} converged, "
+                     f"{int(c.get('engine.diverged', 0))} diverged)")
+    cache = _rate(c.get("abft.checksum_cache.hit", 0), c.get("abft.checksum_cache.miss", 0))
+    if cache is not None:
+        lines.append(f"  checksum-cache hit rate: {100 * cache:.1f}%")
+    live = _rate(c.get("workspace.live_restore", 0), c.get("workspace.live_copy", 0))
+    if live is not None:
+        lines.append(f"  live-matrix restore rate: {100 * live:.1f}%")
+    reqs = c.get("workspace.buffer_requests", 0)
+    allocs = c.get("workspace.buffer_allocs", 0)
+    if reqs > 0:
+        lines.append(f"  buffer-pool reuse: {100 * (1 - allocs / reqs):.1f}% "
+                     f"({int(allocs)} alloc(s) / {int(reqs)} request(s))")
+    phases = {
+        name: c.get(f"engine.time_units.{name}", 0.0)
+        for name in ("useful", "wasted", "verification", "checkpoint", "recovery")
+    }
+    total = sum(phases.values())
+    if total > 0:
+        share = " ".join(f"{k}={100 * v / total:.1f}%" for k, v in phases.items())
+        lines.append(f"  time shares: {share}")
+    return lines
 
 
 def format_summary(summary: StoreSummary) -> str:
@@ -125,4 +210,6 @@ def format_summary(summary: StoreSummary) -> str:
                 f"{g.reps:>6} {g.mean_time:>9.2f} {g.min_time:>9.2f} "
                 f"{g.max_time:>9.2f} {g.convergence_rate * 100:>6.1f}"
             )
+    if summary.telemetry is not None:
+        lines += _format_telemetry(summary.telemetry)
     return "\n".join(lines) + "\n"

@@ -444,9 +444,10 @@ class Study:
         *,
         jobs: "int | None" = 1,
         store: "str | os.PathLike[str] | None" = None,
-        progress: bool = False,
+        progress: "bool | str" = False,
         chunksize: "int | None" = None,
         reuse_workspace: bool = True,
+        trace_dir: "str | os.PathLike[str] | None" = None,
     ) -> StudyResult:
         """Execute the study through the campaign engine.
 
@@ -455,20 +456,44 @@ class Study:
         to JSONL and serves already-completed tasks from it without
         recomputation (this *is* resume — pointing a re-run at the same
         store only executes what is missing); ``progress`` prints a
-        throughput/ETA line to stderr.  ``reuse_workspace`` (default
-        on) runs repetitions through per-worker solve workspaces — the
-        zero-copy hot path; records and task hashes are identical
-        either way, so stores mix freely across the switch.
+        throughput/ETA line to stderr — ``True`` or ``"bar"`` for the
+        human status line, ``"json"`` for newline-delimited JSON
+        objects schedulers can scrape, ``False``/``"none"`` for
+        silence.  ``reuse_workspace`` (default on) runs repetitions
+        through per-worker solve workspaces — the zero-copy hot path;
+        records and task hashes are identical either way, so stores mix
+        freely across the switch.
+
+        ``trace_dir`` enables structured tracing (:mod:`repro.obs`):
+        every worker appends its solve events to its own
+        ``shard-<pid>.jsonl`` under the directory (crash-safe append,
+        one JSON object per line, each stamped with the owning task's
+        content hash).  Summarize with ``repro trace summarize DIR``.
+        Tracing is pure observation — records are bit-identical with it
+        on or off.
         """
         from repro.campaign.executor import run_campaign
         from repro.campaign.progress import ProgressReporter
 
+        if progress in (False, None, "none"):
+            mode = None
+        elif progress in (True, "bar"):
+            mode = "bar"
+        elif progress == "json":
+            mode = "json"
+        else:
+            raise ValueError(
+                f"progress must be a bool, 'bar', 'json' or 'none', got {progress!r}"
+            )
+
         tasks = self.tasks()
         reporter = None
-        if progress:
+        if mode is not None:
             import sys
 
-            reporter = ProgressReporter(len(tasks), stream=sys.stderr, label=self.name)
+            reporter = ProgressReporter(
+                len(tasks), stream=sys.stderr, label=self.name, mode=mode
+            )
         records = run_campaign(
             tasks,
             jobs=jobs,
@@ -476,6 +501,7 @@ class Study:
             progress=reporter,
             chunksize=chunksize,
             reuse_workspace=reuse_workspace,
+            trace_dir=trace_dir,
         )
         return StudyResult(tasks, records, metrics=self._metrics)
 

@@ -148,4 +148,10 @@ def resolve_backend(
     # collapses to the raw-kernel fast path).
     if type(be) is ReferenceBackend:
         return None
+    # Resolution happens once per solve (the engine hands the instance
+    # down), so counting the dispatch choice here costs nothing on the
+    # per-product path — and the reference fast path above pays zero.
+    from repro.obs.metrics import METRICS
+
+    METRICS.inc(f"backends.dispatch.{getattr(be, 'name', 'custom')}")
     return be

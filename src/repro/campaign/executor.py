@@ -28,14 +28,20 @@ from __future__ import annotations
 
 import math
 import os
+import uuid
 from concurrent.futures import ProcessPoolExecutor, as_completed
+from pathlib import Path
 from typing import Iterable
 
 from repro.campaign.progress import ProgressReporter
 from repro.campaign.spec import TaskSpec
 from repro.campaign.store import ResultStore
+from repro.obs.metrics import METRICS, diff_snapshots, merge_snapshots
 
-__all__ = ["default_jobs", "execute_task", "run_campaign"]
+__all__ = ["default_jobs", "execute_task", "run_campaign", "TELEMETRY_SCHEMA"]
+
+#: Schema version stamped into ``telemetry`` store records.
+TELEMETRY_SCHEMA: int = 1
 
 #: Target chunks per worker: small enough to balance the tail, large
 #: enough to amortize pickling/IPC over many sub-second tasks.
@@ -70,6 +76,44 @@ def release_worker_workspace() -> None:
     _WORKER_WORKSPACE = None
 
 
+#: Per-process JSONL trace shards, keyed by trace directory.  Each
+#: entry remembers the pid that opened it: a forked worker inherits the
+#: parent's dict (and possibly an open file handle), and writing the
+#: parent's shard from two processes would interleave corruptly — the
+#: pid check makes every process open its own ``shard-<pid>.jsonl``.
+_WORKER_TRACERS: "dict[str, tuple[int, object]]" = {}
+
+
+def _worker_tracer(trace_dir):
+    from repro.obs.tracer import JsonlTracer
+
+    key = str(trace_dir)
+    pid = os.getpid()
+    entry = _WORKER_TRACERS.get(key)
+    if entry is None or entry[0] != pid:
+        tracer = JsonlTracer(Path(trace_dir) / f"shard-{pid}.jsonl")
+        _WORKER_TRACERS[key] = (pid, tracer)
+        return tracer
+    return entry[1]
+
+
+def _telemetry_state() -> dict:
+    """Cumulative observability counters for this process, with the
+    workspace's hot-path attribute counters folded in (they are plain
+    attributes, not METRICS entries — see ``SolveWorkspace.buffer``)."""
+    snap = METRICS.snapshot()
+    ws = _WORKER_WORKSPACE
+    if ws is not None:
+        c = snap["counters"]
+        for key, value in (
+            ("workspace.buffer_requests", ws.buffer_requests),
+            ("workspace.buffer_allocs", ws.buffer_allocs),
+        ):
+            if value:
+                c[key] = c.get(key, 0) + value
+    return snap
+
+
 def default_jobs() -> int:
     """Default worker count: every core this process may schedule on."""
     try:
@@ -78,7 +122,9 @@ def default_jobs() -> int:
         return os.cpu_count() or 1
 
 
-def execute_task(task: TaskSpec, *, reuse_workspace: bool = True) -> dict:
+def execute_task(
+    task: TaskSpec, *, reuse_workspace: bool = True, trace_dir=None
+) -> dict:
     """Run one task to completion and return its JSON-ready record.
 
     This is the worker entry point — a module-level function so it
@@ -100,6 +146,12 @@ def execute_task(task: TaskSpec, *, reuse_workspace: bool = True) -> dict:
     process-local :class:`repro.perf.SolveWorkspace` — results are
     bit-identical either way (the task's content hash covers only the
     physics, so stores stay compatible across the switch).
+
+    ``trace_dir`` appends every solve event of this task to the
+    process's ``shard-<pid>.jsonl`` in that directory (crash-safe,
+    one JSON object per line), with the task's content hash bound into
+    each event as ``"task"`` — tracing is pure observation, so the
+    record is byte-identical with or without it.
     """
     from dataclasses import asdict
 
@@ -107,6 +159,11 @@ def execute_task(task: TaskSpec, *, reuse_workspace: bool = True) -> dict:
     from repro.sim.engine import make_rhs, repeat_run
     from repro.sim.matrices import get_matrix, matrix_source
 
+    task_hash = task.task_hash()
+    tracer = None
+    if trace_dir is not None:
+        tracer = _worker_tracer(trace_dir)
+        tracer.context["task"] = task_hash
     a = get_matrix(task.uid, task.scale)
     b = make_rhs(a)
     costs = CostModel.from_matrix(a)
@@ -116,22 +173,29 @@ def execute_task(task: TaskSpec, *, reuse_workspace: bool = True) -> dict:
         verification_interval=task.d,
         costs=costs,
     )
-    stats = repeat_run(
-        a,
-        b,
-        cfg,
-        alpha=task.alpha,
-        reps=task.reps,
-        base_seed=task.base_seed,
-        labels=task.labels,
-        eps=task.eps,
-        method=task.method,
-        reuse_workspace=reuse_workspace,
-        workspace=_worker_workspace() if reuse_workspace else None,
-        backend=task.backend,
-    )
+    try:
+        with METRICS.time_section("campaign.task_s"):
+            stats = repeat_run(
+                a,
+                b,
+                cfg,
+                alpha=task.alpha,
+                reps=task.reps,
+                base_seed=task.base_seed,
+                labels=task.labels,
+                eps=task.eps,
+                method=task.method,
+                reuse_workspace=reuse_workspace,
+                workspace=_worker_workspace() if reuse_workspace else None,
+                backend=task.backend,
+                tracer=tracer,
+            )
+    finally:
+        if tracer is not None:
+            tracer.context.pop("task", None)
+    METRICS.inc("campaign.tasks")
     return {
-        "hash": task.task_hash(),
+        "hash": task_hash,
         "task": task.to_json(),
         "n": a.nrows,
         "density": a.density,
@@ -148,6 +212,7 @@ def run_campaign(
     progress: "ProgressReporter | None" = None,
     chunksize: "int | None" = None,
     reuse_workspace: bool = True,
+    trace_dir: "str | os.PathLike[str] | None" = None,
 ) -> "list[dict]":
     """Execute every task, reusing stored results, and return records
     aligned with ``tasks``.
@@ -170,6 +235,22 @@ def run_campaign(
         Run repetitions through per-worker solve workspaces (the
         zero-copy hot path; bit-identical records).  ``False`` restores
         the historical fresh-allocation path.
+    trace_dir:
+        Optional directory receiving one crash-safe JSONL trace shard
+        per worker process (``shard-<pid>.jsonl``; serial runs write
+        one shard for the calling process).  Events carry the task
+        hash, so ``repro trace summarize`` regroups shards per task
+        regardless of scheduling.
+
+    Notes
+    -----
+    When a ``store`` is given and fresh tasks ran, one ``telemetry``
+    record (``kind="telemetry"``, hash ``"telemetry:<uuid>"``) is
+    appended after the task records: the merged per-worker metric
+    deltas for this campaign (engine counters, cache hit/miss, phase
+    time units, task timer).  The hash namespace cannot collide with
+    task content hashes, so resume-by-hash is unaffected and readers
+    that only look at task records skip it naturally.
     """
     tasks = list(tasks)
     jobs = default_jobs() if jobs is None else int(jobs)
@@ -193,26 +274,62 @@ def run_campaign(
             else:
                 pending.append((i, task))
 
+        telemetry_parts: "list[dict]" = []
         try:
             if pending:
                 if jobs == 1 or len(pending) == 1:
+                    base = _telemetry_state()
                     for i, task in pending:
                         _deliver(
                             i,
-                            execute_task(task, reuse_workspace=reuse_workspace),
+                            execute_task(
+                                task,
+                                reuse_workspace=reuse_workspace,
+                                trace_dir=trace_dir,
+                            ),
                             results,
                             store,
                             progress,
                         )
+                    delta = diff_snapshots(_telemetry_state(), base)
+                    delta["pid"] = os.getpid()
+                    telemetry_parts.append(delta)
+                    if trace_dir is not None:
+                        # Release the shard's fd; the cached tracer
+                        # lazily reopens (append) if this process runs
+                        # another traced campaign over the same dir.
+                        _worker_tracer(trace_dir).close()
                 else:
-                    _run_pool(
-                        jobs, pending, chunksize, results, store, progress, reuse_workspace
+                    telemetry_parts = _run_pool(
+                        jobs,
+                        pending,
+                        chunksize,
+                        results,
+                        store,
+                        progress,
+                        reuse_workspace,
+                        trace_dir,
                     )
         finally:
             # Terminate the \r status line even when a task raised, so
             # the traceback doesn't print on top of it.
             if progress is not None:
                 progress.finish()
+        if store is not None and telemetry_parts:
+            merged = merge_snapshots(telemetry_parts)
+            store.append(
+                {
+                    "hash": f"telemetry:{uuid.uuid4().hex}",
+                    "kind": "telemetry",
+                    "schema": TELEMETRY_SCHEMA,
+                    "jobs": jobs,
+                    "workers": len({p.get("pid") for p in telemetry_parts}),
+                    "fresh": len(pending),
+                    "cached": len(tasks) - len(pending),
+                    "counters": merged["counters"],
+                    "timers": merged["timers"],
+                }
+            )
         return results  # type: ignore[return-value]
     finally:
         if own_store and store is not None:
@@ -227,19 +344,30 @@ def _run_pool(
     store: "ResultStore | None",
     progress: "ProgressReporter | None",
     reuse_workspace: bool = True,
-) -> None:
-    """Fan pending tasks over a process pool, one future per chunk."""
+    trace_dir=None,
+) -> "list[dict]":
+    """Fan pending tasks over a process pool, one future per chunk.
+
+    Returns the per-chunk telemetry deltas of every chunk that
+    completed (in completion order) for the caller to merge.
+    """
     workers = min(jobs, len(pending))
     chunk = chunksize or max(1, math.ceil(len(pending) / (workers * CHUNKS_PER_WORKER)))
     groups = [pending[lo : lo + chunk] for lo in range(0, len(pending), chunk)]
+    telemetry_parts: "list[dict]" = []
+    trace_arg = None if trace_dir is None else os.fspath(trace_dir)
     with ProcessPoolExecutor(max_workers=workers) as pool:
         futures = {
-            pool.submit(execute_chunk, [t for _, t in group], reuse_workspace): group
+            pool.submit(
+                execute_chunk, [t for _, t in group], reuse_workspace, trace_arg
+            ): group
             for group in groups
         }
         try:
             for fut in as_completed(futures):
-                for (i, _), rec in zip(futures[fut], fut.result()):
+                payload = fut.result()
+                telemetry_parts.append(payload["telemetry"])
+                for (i, _), rec in zip(futures[fut], payload["records"]):
                     _deliver(i, rec, results, store, progress)
         except BaseException:
             # Don't let the pool's __exit__ burn through every queued
@@ -253,18 +381,34 @@ def _run_pool(
             try:
                 for fut, group in futures.items():
                     if fut.done() and not fut.cancelled() and fut.exception() is None:
-                        for (i, _), rec in zip(group, fut.result()):
+                        for (i, _), rec in zip(group, fut.result()["records"]):
                             if results[i] is None:  # not yet delivered
                                 _deliver(i, rec, results, store, progress)
             except Exception:
                 pass
             raise
+    return telemetry_parts
 
 
-def execute_chunk(tasks: "list[TaskSpec]", reuse_workspace: bool = True) -> "list[dict]":
+def execute_chunk(
+    tasks: "list[TaskSpec]", reuse_workspace: bool = True, trace_dir=None
+) -> dict:
     """Worker entry point for one scheduling chunk (module-level so it
-    pickles under every multiprocessing start method)."""
-    return [execute_task(t, reuse_workspace=reuse_workspace) for t in tasks]
+    pickles under every multiprocessing start method).
+
+    Returns ``{"records": [...], "telemetry": {...}}`` — the task
+    records in task order plus this chunk's metric delta.  Snapshots
+    are diffed per chunk, so values a forked worker inherited from the
+    parent process never leak into campaign telemetry.
+    """
+    base = _telemetry_state()
+    records = [
+        execute_task(t, reuse_workspace=reuse_workspace, trace_dir=trace_dir)
+        for t in tasks
+    ]
+    telemetry = diff_snapshots(_telemetry_state(), base)
+    telemetry["pid"] = os.getpid()
+    return {"records": records, "telemetry": telemetry}
 
 
 def _deliver(

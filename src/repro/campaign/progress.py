@@ -9,16 +9,30 @@ stream (normally stderr, so piped stdout output stays clean):
 The rate and ETA are computed over *freshly executed* tasks only —
 cache hits served from a result store complete in microseconds and
 would otherwise make the ETA uselessly optimistic right after a
-resume.  With ``stream=None`` the reporter is a no-op, which is the
-library default: only the CLI turns it on.
+resume.  The throughput is a sliding-window estimate (the most recent
+completions), so long campaigns whose early tasks were atypically slow
+or fast converge to the current speed instead of the lifetime mean.
+
+``mode="json"`` replaces the human status line with one machine-
+readable JSON object per refresh (newline-delimited, no carriage
+returns), so external schedulers can scrape campaign throughput from
+stderr without parsing a TTY animation.
+
+With ``stream=None`` the reporter is a no-op, which is the library
+default: only the CLI turns it on.
 """
 
 from __future__ import annotations
 
+import json
 import time
+from collections import deque
 from typing import IO
 
 __all__ = ["ProgressReporter", "format_duration"]
+
+#: Fresh-completion samples kept for the sliding-window rate.
+_RATE_WINDOW = 64
 
 
 def format_duration(seconds: float) -> str:
@@ -35,7 +49,9 @@ class ProgressReporter:
     Parameters
     ----------
     total:
-        Number of tasks in the campaign (cached + pending).
+        Number of tasks in the campaign (cached + pending).  ``0`` is
+        legal (an empty or fully-filtered campaign): every division in
+        the reporter is guarded, so rendering cannot raise.
     stream:
         Where to write; ``None`` disables all output.
     label:
@@ -43,6 +59,11 @@ class ProgressReporter:
     min_interval:
         Minimum seconds between redraws (the final line always
         renders).
+    mode:
+        ``"bar"`` (default) renders the carriage-return status line;
+        ``"json"`` emits one newline-terminated JSON object per
+        refresh with keys ``label, done, total, cached, fresh, pct,
+        rate_per_s, eta_s, elapsed_s``.
     """
 
     def __init__(
@@ -52,18 +73,24 @@ class ProgressReporter:
         stream: "IO[str] | None" = None,
         label: str = "campaign",
         min_interval: float = 0.25,
+        mode: str = "bar",
     ) -> None:
         if total < 0:
             raise ValueError(f"total must be >= 0, got {total}")
+        if mode not in ("bar", "json"):
+            raise ValueError(f"mode must be 'bar' or 'json', got {mode!r}")
         self.total = total
         self.done = 0
         self.cached = 0
+        self.mode = mode
         self._stream = stream
         self._label = label
         self._min_interval = min_interval
         self._t0 = time.monotonic()
         self._last_emit = 0.0
         self._last_len = 0
+        #: (monotonic time, fresh count) samples for the window rate.
+        self._window: "deque[tuple[float, int]]" = deque(maxlen=_RATE_WINDOW)
 
     @property
     def fresh(self) -> int:
@@ -71,7 +98,20 @@ class ProgressReporter:
         return self.done - self.cached
 
     def rate(self) -> float:
-        """Fresh-task throughput in tasks/second since construction."""
+        """Fresh-task throughput in tasks/second.
+
+        Sliding-window estimate over the most recent fresh completions
+        when at least two samples span measurable time; otherwise the
+        lifetime mean.  Every division is guarded — zero-total stores,
+        zero elapsed time and cache-only campaigns all render as 0.
+        """
+        if len(self._window) >= 2:
+            t_old, fresh_old = self._window[0]
+            t_new, fresh_new = self._window[-1]
+            span = t_new - t_old
+            gained = fresh_new - fresh_old
+            if span > 0 and gained > 0:
+                return gained / span
         elapsed = time.monotonic() - self._t0
         return self.fresh / elapsed if elapsed > 0 else 0.0
 
@@ -80,19 +120,21 @@ class ProgressReporter:
         r = self.rate()
         if r <= 0:
             return None
-        return (self.total - self.done) / r
+        return max(0, self.total - self.done) / r
 
     def update(self, n: int = 1, *, cached: bool = False) -> None:
         """Record ``n`` completed tasks (``cached`` = served from store)."""
         self.done += n
         if cached:
             self.cached += n
+        else:
+            self._window.append((time.monotonic(), self.fresh))
         self._emit()
 
     def finish(self) -> None:
         """Render the final line and terminate it with a newline."""
         self._emit(force=True)
-        if self._stream is not None:
+        if self._stream is not None and self.mode == "bar":
             self._stream.write("\n")
             self._stream.flush()
 
@@ -107,6 +149,24 @@ class ProgressReporter:
             parts.append(f"ETA {format_duration(eta)}")
         return " | ".join(parts)
 
+    def render_json(self) -> str:
+        """One machine-readable status object (the ``json`` mode line)."""
+        eta = self.eta_seconds()
+        return json.dumps(
+            {
+                "label": self._label,
+                "done": self.done,
+                "total": self.total,
+                "cached": self.cached,
+                "fresh": self.fresh,
+                "pct": round(100.0 * self.done / self.total if self.total else 100.0, 2),
+                "rate_per_s": round(self.rate(), 4),
+                "eta_s": round(eta, 1) if eta is not None else None,
+                "elapsed_s": round(time.monotonic() - self._t0, 3),
+            },
+            sort_keys=True,
+        )
+
     def _emit(self, force: bool = False) -> None:
         if self._stream is None:
             return
@@ -114,6 +174,10 @@ class ProgressReporter:
         if not force and now - self._last_emit < self._min_interval:
             return
         self._last_emit = now
+        if self.mode == "json":
+            self._stream.write(self.render_json() + "\n")
+            self._stream.flush()
+            return
         line = self.render()
         # Pad over any residue of a longer previous render ("ETA 1:00:02"
         # shrinking to "ETA 59:57" would otherwise leave stray digits).

@@ -70,6 +70,7 @@ def run_ft_cg(
     event_log: EventLog | None = None,
     final_check: bool = True,
     workspace: "object | None" = None,
+    tracer: "object | None" = None,
 ) -> FTCGResult:
     """Run fault-tolerant CG under silent-error injection.
 
@@ -102,6 +103,10 @@ def run_ft_cg(
         Optional :class:`repro.perf.SolveWorkspace` for the zero-copy
         hot path (bit-identical; see
         :func:`repro.resilience.engine.run_protected`).
+    tracer:
+        Optional :class:`repro.obs.Tracer` receiving the run's event
+        stream; ``None``/:class:`repro.obs.NullTracer` trace nothing
+        and cannot perturb the trajectory.
 
     Returns
     -------
@@ -121,4 +126,5 @@ def run_ft_cg(
         event_log=event_log,
         final_check=final_check,
         workspace=workspace,
+        tracer=tracer,
     )

@@ -44,6 +44,7 @@ def run_ft_bicgstab(
     max_time_units: float | None = None,
     event_log: EventLog | None = None,
     workspace: "object | None" = None,
+    tracer: "object | None" = None,
 ) -> FTCGResult:
     """Run fault-tolerant BiCGstab under silent-error injection.
 
@@ -63,4 +64,5 @@ def run_ft_bicgstab(
         rng=rng,
         max_time_units=max_time_units,
         event_log=event_log,
+        tracer=tracer,
     )

@@ -1,0 +1,178 @@
+"""Offline analysis of JSONL trace shards.
+
+``Study.run(trace_dir=...)`` leaves one ``shard-<pid>.jsonl`` file per
+campaign worker; this module loads a shard file (or a directory of
+them), tolerates the same torn-final-line artifact the result store
+tolerates, and renders what the paper cares about: where simulated
+time went per phase (useful / wasted / verification / checkpoint /
+recovery, from the solve-end events) and what the faults did (a
+timeline of strike and recovery events).  Exposed on the CLI as
+``repro trace summarize <path>``.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Iterator
+
+from repro.obs.tracer import FAULT_EVENT_KINDS
+
+__all__ = [
+    "TraceSummary",
+    "iter_trace_events",
+    "summarize_trace",
+    "format_trace_summary",
+]
+
+#: Phase keys of the solve-end events, in display order.
+_PHASES = ("useful", "wasted", "verification", "checkpoint", "recovery")
+
+
+def _shard_paths(path: "Path") -> "list[Path]":
+    if path.is_dir():
+        return sorted(path.glob("*.jsonl"))
+    return [path]
+
+
+def iter_trace_events(path) -> "Iterator[tuple[str, dict[str, Any]]]":
+    """Yield ``(shard_name, event)`` from a shard file or directory.
+
+    Blank lines are skipped.  A torn *final* line (crash mid-append) is
+    dropped silently — the same durability contract as the campaign
+    result store; a malformed line anywhere else raises ``ValueError``
+    naming the shard and line number.
+    """
+    root = Path(path)
+    if not root.exists():
+        raise FileNotFoundError(f"no trace file or directory at {root}")
+    for shard in _shard_paths(root):
+        with open(shard, "r", encoding="utf-8") as fh:
+            lines = fh.readlines()
+        last_payload = len(lines) - 1
+        while last_payload >= 0 and not lines[last_payload].strip():
+            last_payload -= 1
+        for i, line in enumerate(lines):
+            text = line.strip()
+            if not text:
+                continue
+            try:
+                event = json.loads(text)
+            except json.JSONDecodeError:
+                if i == last_payload:
+                    break  # torn tail from a crashed writer
+                raise ValueError(
+                    f"corrupt trace line in {shard.name}:{i + 1}"
+                ) from None
+            if isinstance(event, dict):
+                yield shard.name, event
+
+
+@dataclass
+class TraceSummary:
+    """Aggregates over one trace directory (or single shard file)."""
+
+    shards: int = 0
+    events: int = 0
+    kinds: "dict[str, int]" = field(default_factory=dict)
+    #: Per task-hash event-kind counts (tasks come from event context).
+    tasks: "dict[str, dict[str, int]]" = field(default_factory=dict)
+    solves: int = 0
+    converged: int = 0
+    diverged: int = 0
+    #: Simulated time units summed over solve-end events, per phase.
+    phase_totals: "dict[str, float]" = field(default_factory=dict)
+    #: Fault/recovery events in file order: (shard, task, rep, event).
+    fault_timeline: "list[tuple[str, str | None, int | None, dict[str, Any]]]" = field(
+        default_factory=list
+    )
+
+    def to_dict(self) -> "dict[str, Any]":
+        """JSON-serializable form (timeline entries flattened)."""
+        return {
+            "shards": self.shards,
+            "events": self.events,
+            "kinds": dict(self.kinds),
+            "tasks": {k: dict(v) for k, v in self.tasks.items()},
+            "solves": self.solves,
+            "converged": self.converged,
+            "diverged": self.diverged,
+            "phase_totals": dict(self.phase_totals),
+            "fault_events": len(self.fault_timeline),
+        }
+
+
+def summarize_trace(path) -> TraceSummary:
+    """Aggregate a shard file or directory into a :class:`TraceSummary`."""
+    s = TraceSummary()
+    shard_names: set[str] = set()
+    for shard, ev in iter_trace_events(path):
+        shard_names.add(shard)
+        s.events += 1
+        kind = ev.get("kind", "?")
+        s.kinds[kind] = s.kinds.get(kind, 0) + 1
+        task = ev.get("task")
+        if task is not None:
+            per = s.tasks.setdefault(task, {})
+            per[kind] = per.get(kind, 0) + 1
+        if kind == "solve-start":
+            s.solves += 1
+        elif kind in ("solve-converge", "solve-diverge"):
+            if kind == "solve-converge":
+                s.converged += 1
+            else:
+                s.diverged += 1
+            for phase in _PHASES:
+                v = ev.get(phase)
+                if v is not None:
+                    s.phase_totals[phase] = s.phase_totals.get(phase, 0.0) + float(v)
+        if kind in FAULT_EVENT_KINDS:
+            s.fault_timeline.append((shard, task, ev.get("rep"), ev))
+    s.shards = len(shard_names)
+    return s
+
+
+def format_trace_summary(s: TraceSummary, *, timeline_limit: int = 20) -> str:
+    """Human-readable rendering of a :class:`TraceSummary`."""
+    lines = [
+        f"trace: {s.events} event(s) in {s.shards} shard(s), "
+        f"{s.solves} solve(s) ({s.converged} converged, {s.diverged} diverged), "
+        f"{len(s.tasks)} task(s)"
+    ]
+    if s.kinds:
+        lines.append("")
+        lines.append("events by kind:")
+        width = max(len(k) for k in s.kinds)
+        for kind in sorted(s.kinds, key=lambda k: (-s.kinds[k], k)):
+            lines.append(f"  {kind:<{width}}  {s.kinds[kind]}")
+    total = sum(s.phase_totals.values())
+    if total > 0:
+        lines.append("")
+        lines.append("simulated time by phase:")
+        for phase in _PHASES:
+            v = s.phase_totals.get(phase, 0.0)
+            lines.append(f"  {phase:<12} {v:12.2f}  ({100.0 * v / total:5.1f}%)")
+        lines.append(f"  {'total':<12} {total:12.2f}")
+    if s.fault_timeline:
+        lines.append("")
+        shown = s.fault_timeline[:timeline_limit]
+        lines.append(
+            f"fault timeline ({len(shown)} of {len(s.fault_timeline)} event(s)):"
+        )
+        for shard, task, rep, ev in shown:
+            where = []
+            if task is not None:
+                where.append(f"task={task[:12]}")
+            if rep is not None:
+                where.append(f"rep={rep}")
+            where.append(f"iter={ev.get('iter', '?')}")
+            extras = " ".join(
+                f"{k}={v}"
+                for k, v in ev.items()
+                if k not in ("v", "kind", "iter", "task", "rep")
+            )
+            lines.append(
+                f"  [{' '.join(where)}] {ev.get('kind')}" + (f" {extras}" if extras else "")
+            )
+    return "\n".join(lines)

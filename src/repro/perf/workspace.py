@@ -53,6 +53,7 @@ from typing import TYPE_CHECKING
 
 import numpy as np
 
+from repro.obs.metrics import METRICS
 from repro.sparse.csr import CSRMatrix
 from repro.sparse.validate import structure_arrays_clean
 
@@ -93,9 +94,15 @@ class SolveWorkspace:
         self._taint: dict[str, set[int]] = {n: set() for n in _MATRIX_ARRAYS}
         self._norm1: "float | None" = None
         self._jacobi_minv: "np.ndarray | None" = None
-        # Telemetry for tests/benchmarks (no behavioural role).
+        # Telemetry for tests/benchmarks (no behavioural role).  The
+        # buffer-pool pair uses plain int attributes, not the METRICS
+        # registry: buffer() sits on the per-iteration hot path, where
+        # an attribute increment is the budget; the campaign executor
+        # folds these into the telemetry snapshot instead.
         self.live_copies = 0
         self.live_restores = 0
+        self.buffer_requests = 0
+        self.buffer_allocs = 0
 
     # ------------------------------------------------------------------
     # named buffer pool
@@ -109,8 +116,10 @@ class SolveWorkspace:
         names are namespaced per call site (``"abft.y"``,
         ``"spmv.scratch"``, …) to prevent that.
         """
+        self.buffer_requests += 1
         buf = self._buffers.get(name)
         if buf is None or buf.shape[0] < size or buf.dtype != np.dtype(dtype):
+            self.buffer_allocs += 1
             buf = np.empty(max(size, 1), dtype=dtype)
             self._buffers[name] = buf
         return buf[:size] if buf.shape[0] != size else buf
@@ -157,6 +166,7 @@ class SolveWorkspace:
         if self._live is not None and self._live_source is a:
             self._undo_taint()
             self.live_restores += 1
+            METRICS.inc("workspace.live_restore")
             return self._live
         self._live = a.copy()
         self._live_source = a
@@ -180,6 +190,7 @@ class SolveWorkspace:
         self._norm1 = None
         self._jacobi_minv = None
         self.live_copies += 1
+        METRICS.inc("workspace.live_copy")
         return self._live
 
     def source_view(self) -> "CSRMatrix":

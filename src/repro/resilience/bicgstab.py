@@ -157,6 +157,7 @@ class BiCGstabPlugin:
 
         rho_new = float(self.r_hat @ self.r)
         if rho_new == 0.0 or self.scal["omega"] == 0.0:
+            ctx.trace("breakdown", what="rho")
             return StepOutcome.rollback("breakdown")
         beta = (rho_new / self.scal["rho"]) * (self.scal["alpha"] / self.scal["omega"])
         self.p[:] = self.r + beta * (self.p - self.scal["omega"] * self.v)
@@ -167,6 +168,7 @@ class BiCGstabPlugin:
         self.v[:] = y1
         denom = float(self.r_hat @ self.v)
         if denom == 0.0 or not np.isfinite(denom):
+            ctx.trace("breakdown", what="denom", value=denom)
             return StepOutcome.rollback("breakdown")
         alpha_k = rho_new / denom
         self.s[:] = self.r - alpha_k * self.v
@@ -177,6 +179,7 @@ class BiCGstabPlugin:
         t = y2
         tt = float(t @ t)
         if tt == 0.0 or not np.isfinite(tt):
+            ctx.trace("breakdown", what="tt", value=tt)
             return StepOutcome.rollback("breakdown")
         omega_k = float(t @ self.s) / tt
         self.x += alpha_k * self.p + omega_k * self.s

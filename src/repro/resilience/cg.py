@@ -157,6 +157,7 @@ class CGPlugin:
             # Curvature corrupted below detection thresholds; treat as a
             # detected error rather than dividing by garbage.
             ctx.log.emit("breakdown", self.iteration, pq=pq)
+            ctx.trace("breakdown", what="pq", value=pq)
             return False
         alpha_step = self.rr / pq
         ws = self.workspace
@@ -220,6 +221,7 @@ class CGPlugin:
             )
             ctx.charge_verification(ctx.costs.t_verif_online)
             self.iter_in_chunk = 0
+            ctx.trace("chen-verify", passed=bool(report.passed))
             if not report.passed:
                 ctx.counters.detections += 1
                 return StepOutcome.rollback("chen")

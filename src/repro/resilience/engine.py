@@ -31,6 +31,7 @@ accounting order and the injector registration order are preserved.
 from __future__ import annotations
 
 import time as _time
+import warnings
 from typing import TYPE_CHECKING, Callable
 
 import numpy as np
@@ -45,6 +46,8 @@ from repro.core.methods import SchemeConfig
 from repro.faults.bitflip import flip_bits_array
 from repro.faults.injector import FaultInjector, FaultModel
 from repro.faults.record import FaultRecord
+from repro.obs.metrics import METRICS
+from repro.obs.tracer import CallbackTracer, MultiTracer, Tracer, resolve_tracer
 from repro.resilience.accounting import RecoveryCounters, SolveResult, TimeBreakdown
 from repro.resilience.protocol import RecurrencePlugin
 from repro.sparse.csr import CSRMatrix
@@ -111,6 +114,10 @@ class EngineContext:
         self.threshold = 0.0  #: set by the engine once the initial residual exists
         self.injector: FaultInjector | None = None
         self.checksums = None
+        #: Resolved tracer (``None`` = tracing off); set by the runner.
+        #: Every emission below funnels through :meth:`trace`, whose
+        #: ``None`` test is the whole cost of disabled tracing.
+        self.tracer: "Tracer | None" = None
         #: Structure verdict of the pristine input (set by the runner);
         #: lets a refresh re-arm the live matrix's fast-path stamp.
         self._live_clean0 = False
@@ -129,6 +136,16 @@ class EngineContext:
         # resort.
         self.stuck_threshold = max(8, 2 * config.checkpoint_interval)
         self.stuck = 0
+
+    def trace(self, kind: str, **fields) -> None:
+        """Emit one trace event at the plugin's current iteration.
+
+        No-op when tracing is off.  Pure observation — safe to call
+        from plugins at decision points (the CG/PCG breakdown guards,
+        Chen verification outcomes) without affecting trajectories.
+        """
+        if self.tracer is not None:
+            self.tracer.emit(kind, self.plugin.iteration, **fields)
 
     # ------------------------------------------------------------------
     # accounting services
@@ -236,9 +253,11 @@ class EngineContext:
                 what=corr.kind,
                 detail=corr.detail,
             )
+            self.trace("abft-correction", what=corr.kind, detail=corr.detail)
         if not result.trusted:
             if count_detection:
                 self.counters.detections += 1
+            self.trace("abft-detection", status=result.status.name.lower())
             return None
         return result.y
 
@@ -268,6 +287,7 @@ class EngineContext:
                 self.log.emit(
                     "tmr-detection", self.plugin.iteration, target=target, strikes=len(hits)
                 )
+                self.trace("tmr-detection", target=target, strikes=len(hits))
                 ok = False
                 if stop_on_failure:
                     return False
@@ -276,6 +296,7 @@ class EngineContext:
                 self.injector.revert(rec)
                 self.counters.tmr_corrections += 1
                 self.log.emit("tmr-correction", self.plugin.iteration, target=target)
+                self.trace("tmr-correction", target=target)
         return ok
 
     # ------------------------------------------------------------------
@@ -363,6 +384,7 @@ class EngineContext:
         self.policy.rolled_back()
         self.plugin.after_rollback()
         self.log.emit("rollback", self.plugin.iteration, reason=reason)
+        self.trace("rollback", reason=reason)
 
     def refresh_rollback(self) -> None:
         """Recovery from state the checkpoints cannot heal.
@@ -396,6 +418,7 @@ class EngineContext:
             self.policy.rolled_back()
         self.plugin.after_rollback()
         self.log.emit("refresh-rollback", self.plugin.iteration)
+        self.trace("refresh-rollback")
 
     def maybe_checkpoint(self) -> None:
         """Take a checkpoint when the policy says the chunk is due."""
@@ -408,6 +431,7 @@ class EngineContext:
             self.breakdown.useful_work += self.uncommitted
             self.uncommitted = 0.0
             self.log.emit("checkpoint", self.plugin.iteration)
+            self.trace("checkpoint", time_units=self.time_units)
 
     def reliably_converged(self) -> bool:
         """Trustworthy convergence decision (reliable arithmetic, clean A)."""
@@ -432,6 +456,7 @@ def run_protected(
     observer: "Callable[[EngineContext], None] | None" = None,
     workspace: "SolveWorkspace | None" = None,
     backend: "object | None" = None,
+    tracer: "Tracer | None" = None,
 ) -> SolveResult:
     """Run one recurrence plugin under silent-error injection.
 
@@ -463,12 +488,12 @@ def run_protected(
         keep iterating if it is bogus (recommended; disable only to
         study undetected-error impact).
     observer:
-        Optional callable invoked with the :class:`EngineContext` once
-        per executed iteration (after the step and any recovery).  Pure
-        observation — it must not mutate engine or plugin state; it
-        consumes no RNG and charges no time, so passing one cannot
-        change a trajectory.  Used by :func:`repro.api.solve` to record
-        the convergence history.
+        Deprecated alias for ``tracer`` (emits a ``DeprecationWarning``):
+        a callable invoked with the :class:`EngineContext` once per
+        executed iteration.  It is wrapped in a
+        :class:`repro.obs.CallbackTracer` and combined with ``tracer``
+        if both are given — override :meth:`repro.obs.Tracer.iteration`
+        instead.
     workspace:
         Optional :class:`repro.perf.SolveWorkspace`.  When given, the
         live matrix, the per-iteration buffers and the checkpoint
@@ -488,6 +513,16 @@ def run_protected(
         engine); non-reference backends substitute only
         structure-clean products and route guarded ones back through
         the reference kernel, so detection semantics are unchanged.
+    tracer:
+        Optional :class:`repro.obs.Tracer` receiving the run's event
+        stream (solve lifecycle, step outcomes, strikes, recoveries)
+        and the per-iteration :meth:`~repro.obs.Tracer.iteration` hook.
+        ``None`` and :class:`repro.obs.NullTracer` disable tracing at
+        zero cost (a single ``is not None`` test per event site —
+        gated ≤2% in ``benchmarks/bench_obs.py``).  Tracing is pure
+        observation: it consumes no RNG and charges no time, so
+        attaching a sink cannot change a trajectory
+        (``tests/test_obs_golden.py``).
 
     Returns
     -------
@@ -498,6 +533,16 @@ def run_protected(
     if backend is None and workspace is not None:
         backend = workspace.backend
     backend = resolve_backend(backend)
+    tr = resolve_tracer(tracer)
+    if observer is not None:
+        warnings.warn(
+            "run_protected(observer=...) is deprecated; pass tracer= with a "
+            "repro.obs.Tracer overriding iteration() instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        shim = CallbackTracer(on_iteration=observer)
+        tr = shim if tr is None else MultiTracer([tr, shim])
     rng = as_generator(rng)
     log = event_log if event_log is not None else EventLog()
     n = a.nrows
@@ -508,8 +553,15 @@ def run_protected(
     if workspace is not None:
         # Reused live copy, restored to bit-equality with ``a`` by
         # un-writing exactly the previously tainted words.
+        restores0 = workspace.live_restores
         live = workspace.acquire_live(a)
         a_view = workspace.source_view()
+        if tr is not None:
+            tr.emit(
+                "workspace-acquire",
+                0,
+                live="restore" if workspace.live_restores > restores0 else "copy",
+            )
     else:
         live = a.copy()  # live matrix: the injector corrupts this copy
         # One up-front structural check lets every SpMxV on the live
@@ -530,6 +582,7 @@ def run_protected(
         plugin, a, live, b, config, log, workspace=workspace, backend=backend
     )
     ctx.a_view = a_view
+    ctx.tracer = tr
     ctx._live_clean0 = live.structure_clean
     plugin.init_state(a, live, b, x0, config, workspace=workspace, backend=backend)
     ctx.threshold = cg_tolerance_threshold(
@@ -545,9 +598,17 @@ def run_protected(
     if scheme.uses_abft:
         nchecks = 2 if scheme.corrects else 1
         if workspace is not None:
+            if tr is not None:
+                from repro.abft.checksums import checksums_cached
+
+                cache_state = "hit" if checksums_cached(a, nchecks=nchecks) else "miss"
             ctx.checksums = workspace.checksums(a, nchecks=nchecks)
+            if tr is not None:
+                tr.emit("abft-setup", 0, nchecks=nchecks, cache=cache_state)
         else:
             ctx.checksums = compute_checksums(a, nchecks=nchecks)
+            if tr is not None:
+                tr.emit("abft-setup", 0, nchecks=nchecks, cache="off")
 
     # Fault machinery: strikes are sampled centrally, then applied in
     # the operation window where each struck word is live.  The
@@ -580,6 +641,21 @@ def run_protected(
     # recovers "by reading initial data again", at the same cost).
     ctx.snapshot()
 
+    if tr is not None:
+        tr.emit(
+            "solve-start",
+            0,
+            method=plugin.name,
+            scheme=scheme.value,
+            alpha=float(alpha),
+            n=n,
+            nnz=a.nnz,
+            s=config.checkpoint_interval,
+            d=config.verification_interval,
+            backend=getattr(backend, "name", "custom") if backend is not None else "reference",
+            workspace=workspace is not None,
+        )
+
     executed = 0
     pol = plugin.recovery
     converged = plugin.initial_converged(ctx.threshold)
@@ -589,13 +665,29 @@ def run_protected(
         strikes = ctx.injector.sample_strikes() if ctx.injector is not None else []
         ctx.counters.faults_injected += len(strikes)
         executed += 1
+        if tr is not None and strikes:
+            for target, position, bit in strikes:
+                tr.emit(
+                    "strike",
+                    plugin.iteration,
+                    target=target,
+                    position=int(position),
+                    bit=int(bit),
+                )
 
         outcome = plugin.step(ctx, strikes)
         if outcome.rolled_back:
             ctx.rollback(outcome.reason)
             converged = False
-            if observer is not None:
-                observer(ctx)
+            if tr is not None:
+                tr.emit(
+                    "step",
+                    plugin.iteration,
+                    outcome="rollback",
+                    reason=outcome.reason,
+                    time_units=ctx.time_units,
+                )
+                tr.iteration(ctx)
             continue
         if outcome.converged:
             converged = True
@@ -606,13 +698,22 @@ def run_protected(
             ctx.counters.final_check_failures += 1
             if pol.final_check_counts_detection:
                 ctx.counters.detections += 1
+            if tr is not None:
+                tr.emit("final-check", plugin.iteration, passed=False)
             if pol.final_check_refreshes:
                 ctx.refresh_rollback()
             else:
                 ctx.rollback("final-check")
             converged = False
-        if observer is not None:
-            observer(ctx)
+        if tr is not None:
+            tr.emit(
+                "step",
+                plugin.iteration,
+                outcome="converged" if converged else "advanced",
+                verified=bool(outcome.verified),
+                time_units=ctx.time_units,
+            )
+            tr.iteration(ctx)
 
     # Work executed since the last checkpoint but never rolled back
     # counts as useful (the run ends with it in the solution).
@@ -620,7 +721,7 @@ def run_protected(
 
     x = plugin.vectors["x"]
     true_residual = float(np.linalg.norm(b - spmv(a_view, x, backend=backend)))
-    return SolveResult(
+    result = SolveResult(
         x=x.copy(),
         converged=bool(true_residual <= ctx.threshold or (converged and not final_check)),
         iterations=int(plugin.iteration),
@@ -633,3 +734,46 @@ def run_protected(
         breakdown=ctx.breakdown,
         config=config,
     )
+
+    # One batch of counter folds per solve — never per iteration, so
+    # the metrics layer stays invisible on the hot path.
+    bd, cnt = ctx.breakdown, ctx.counters
+    m = METRICS
+    m.inc("engine.solves")
+    m.inc("engine.converged" if result.converged else "engine.diverged")
+    m.inc("engine.iterations_executed", executed)
+    m.inc("engine.faults_injected", cnt.faults_injected)
+    m.inc("engine.rollbacks", cnt.rollbacks)
+    m.inc("engine.corrections", cnt.total_corrections)
+    m.inc("engine.detections", cnt.detections)
+    m.inc("engine.checkpoints", cnt.checkpoints)
+    m.inc("engine.time_units.useful", bd.useful_work)
+    m.inc("engine.time_units.wasted", bd.wasted_work)
+    m.inc("engine.time_units.verification", bd.verification)
+    m.inc("engine.time_units.checkpoint", bd.checkpoint)
+    m.inc("engine.time_units.recovery", bd.recovery)
+    m.inc(
+        "engine.backend."
+        + (getattr(backend, "name", "custom") if backend is not None else "reference")
+    )
+    m.observe("engine.solve_wall_s", result.wall_seconds)
+
+    if tr is not None:
+        tr.emit(
+            "solve-converge" if result.converged else "solve-diverge",
+            plugin.iteration,
+            executed=executed,
+            time_units=ctx.time_units,
+            residual=true_residual,
+            useful=bd.useful_work,
+            wasted=bd.wasted_work,
+            verification=bd.verification,
+            checkpoint=bd.checkpoint,
+            recovery=bd.recovery,
+            rollbacks=cnt.rollbacks,
+            corrections=cnt.total_corrections,
+            detections=cnt.detections,
+            checkpoints=cnt.checkpoints,
+            faults=cnt.faults_injected,
+        )
+    return result

@@ -147,6 +147,7 @@ class JacobiPCGPlugin:
         pq = float(self.p @ self.q)
         if not np.isfinite(pq) or pq <= 0.0:
             ctx.log.emit("breakdown", self.iteration, pq=pq)
+            ctx.trace("breakdown", what="pq", value=pq)
             return StepOutcome.rollback("breakdown")
         alpha_step = self.rz / pq
         self.x += alpha_step * self.p

@@ -45,7 +45,7 @@ def run_ft_method(method: "Method | str", a, b, config, **kwargs) -> "SolveResul
     ``kwargs`` are forwarded to
     :func:`repro.resilience.engine.run_protected` (``alpha``, ``x0``,
     ``eps``, ``maxiter``, ``rng``, ``max_time_units``, ``event_log``,
-    ``final_check``).
+    ``tracer``, ``final_check``).
     """
     return run_protected(make_plugin(method), a, b, config, **kwargs)
 

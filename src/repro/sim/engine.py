@@ -73,6 +73,7 @@ def repeat_run(
     reuse_workspace: bool = True,
     workspace: "object | None" = None,
     backend: "str | object | None" = None,
+    tracer: "object | None" = None,
 ) -> RunStatistics:
     """Run ``reps`` independent fault-injected solves and aggregate.
 
@@ -103,40 +104,56 @@ def repeat_run(
     If you mutate ``a``'s arrays in place between calls, pass a fresh
     object or call :func:`repro.perf.clear_caches` first — otherwise
     the cached ABFT metadata describes the old values.
+
+    ``tracer`` forwards a :class:`repro.obs.Tracer` to every
+    repetition's solve; the repetition index is bound into the tracer's
+    event context as ``"rep"`` for the duration of its run, so shard
+    files can be regrouped per repetition.  Tracing is pure observation
+    and cannot change trajectories (``None`` = off, the default).
     """
     if reps < 1:
         raise ValueError(f"reps must be >= 1, got {reps}")
     method = Method.parse(method)
+    from repro.obs.tracer import resolve_tracer
+
+    tr = resolve_tracer(tracer)
     ws = workspace
     if ws is None and reuse_workspace:
         from repro.perf import SolveWorkspace
 
         ws = SolveWorkspace()
     times, iters, rbs, corrs, faults, convs = [], [], [], [], [], []
-    for rep in range(reps):
-        if method is Method.CG:
-            rng = spawn_named(base_seed, config.scheme.value, alpha, *labels, rep)
-        else:
-            rng = spawn_named(base_seed, method.value, config.scheme.value, alpha, *labels, rep)
-        res = run_ft_method(
-            method,
-            a,
-            b,
-            config,
-            alpha=alpha,
-            eps=eps,
-            maxiter=maxiter,
-            rng=rng,
-            max_time_units=max_time_units,
-            workspace=ws,
-            backend=backend,
-        )
-        times.append(res.time_units)
-        iters.append(res.iterations_executed)
-        rbs.append(res.counters.rollbacks)
-        corrs.append(res.counters.total_corrections)
-        faults.append(res.counters.faults_injected)
-        convs.append(res.converged)
+    try:
+        for rep in range(reps):
+            if method is Method.CG:
+                rng = spawn_named(base_seed, config.scheme.value, alpha, *labels, rep)
+            else:
+                rng = spawn_named(base_seed, method.value, config.scheme.value, alpha, *labels, rep)
+            if tr is not None:
+                tr.context["rep"] = rep
+            res = run_ft_method(
+                method,
+                a,
+                b,
+                config,
+                alpha=alpha,
+                eps=eps,
+                maxiter=maxiter,
+                rng=rng,
+                max_time_units=max_time_units,
+                workspace=ws,
+                backend=backend,
+                tracer=tr,
+            )
+            times.append(res.time_units)
+            iters.append(res.iterations_executed)
+            rbs.append(res.counters.rollbacks)
+            corrs.append(res.counters.total_corrections)
+            faults.append(res.counters.faults_injected)
+            convs.append(res.converged)
+    finally:
+        if tr is not None:
+            tr.context.pop("rep", None)
     t = np.asarray(times)
     return RunStatistics(
         mean_time=float(t.mean()),
@@ -167,6 +184,7 @@ def sweep_checkpoint_interval(
     method: "Method | str" = Method.CG,
     reuse_workspace: bool = True,
     backend: "str | object | None" = None,
+    tracer: "object | None" = None,
 ) -> dict[int, RunStatistics]:
     """Measure mean execution time for each checkpoint interval ``s``.
 
@@ -198,5 +216,6 @@ def sweep_checkpoint_interval(
             reuse_workspace=reuse_workspace,
             workspace=ws,
             backend=backend,
+            tracer=tracer,
         )
     return out

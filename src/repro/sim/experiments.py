@@ -158,9 +158,10 @@ def run_table1(
     s_span: int = 6,
     jobs: int = 1,
     store: "ResultStore | str | os.PathLike[str] | None" = None,
-    progress: bool = False,
+    progress: "bool | str" = False,
     methods: "list[str] | None" = None,
     backend: str = "reference",
+    trace_dir: "str | os.PathLike[str] | None" = None,
 ) -> list[Table1Row]:
     """Reproduce Table 1 (both ABFT schemes); returns one row per
     (matrix, method, scheme).
@@ -168,11 +169,13 @@ def run_table1(
     ``jobs`` fans the sweep out over worker processes (results are
     bit-identical for any value); ``store`` persists per-task records
     to a JSONL file, skipping tasks already completed there;
-    ``progress`` prints a throughput/ETA line to stderr; ``methods``
-    opens the solver axis (default: classic CG only); ``backend``
-    selects the kernel backend every task runs on
+    ``progress`` prints a throughput/ETA line to stderr (``True`` /
+    ``"bar"`` for the status line, ``"json"`` for newline-delimited
+    JSON objects); ``methods`` opens the solver axis (default: classic
+    CG only); ``backend`` selects the kernel backend every task runs on
     (:mod:`repro.backends` — the default reference backend is the
-    bit-identity oracle the golden fixtures lock).
+    bit-identity oracle the golden fixtures lock); ``trace_dir``
+    collects per-worker JSONL trace shards (:mod:`repro.obs`).
     """
     from repro.api.study import Study
 
@@ -187,7 +190,7 @@ def run_table1(
         methods=methods,
         backend=backend,
     )
-    return _run_study(study, jobs, store, progress).table1_rows()
+    return _run_study(study, jobs, store, progress, trace_dir).table1_rows()
 
 
 def run_figure1(
@@ -200,17 +203,18 @@ def run_figure1(
     base_seed: int = 2015,
     jobs: int = 1,
     store: "ResultStore | str | os.PathLike[str] | None" = None,
-    progress: bool = False,
+    progress: "bool | str" = False,
     methods: "list[str] | None" = None,
     backend: str = "reference",
+    trace_dir: "str | os.PathLike[str] | None" = None,
 ) -> list[Figure1Point]:
     """Reproduce Figure 1: execution time vs normalized MTBF, all schemes.
 
     ``mtbf_values`` are the x-axis points ``1/α`` (default:
     :data:`DEFAULT_MTBF_VALUES`).  ``jobs`` / ``store`` / ``progress``
-    / ``methods`` / ``backend`` behave as in :func:`run_table1`
-    (non-CG methods contribute only the two ABFT series — Chen's
-    ONLINE-DETECTION is CG-specific).
+    / ``methods`` / ``backend`` / ``trace_dir`` behave as in
+    :func:`run_table1` (non-CG methods contribute only the two ABFT
+    series — Chen's ONLINE-DETECTION is CG-specific).
     """
     from repro.api.study import Study
 
@@ -224,17 +228,19 @@ def run_figure1(
         methods=methods,
         backend=backend,
     )
-    return _run_study(study, jobs, store, progress).figure1_points()
+    return _run_study(study, jobs, store, progress, trace_dir).figure1_points()
 
 
-def _run_study(study, jobs, store, progress):
+def _run_study(study, jobs, store, progress, trace_dir=None):
     """Execute a preset study with the drivers' store/progress plumbing.
 
     Accepts a pre-built :class:`~repro.campaign.store.ResultStore` as
     well as a path (the drivers' historical contract), which
     :meth:`Study.run` forwards to the campaign executor untouched.
+    ``progress`` may be a mode string (``"bar"``/``"json"``/``"none"``)
+    as well as the historical bool.
     """
-    return study.run(jobs=jobs, store=store, progress=bool(progress))
+    return study.run(jobs=jobs, store=store, progress=progress, trace_dir=trace_dir)
 
 
 def _main(argv: "list[str] | None" = None) -> int:

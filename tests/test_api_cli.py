@@ -142,7 +142,8 @@ class TestStudyCommand:
         assert rc == 0
         first_out = capsys.readouterr().out
         stored = store.read_text()
-        assert len(ResultStore(store).load()) == 2
+        loaded = ResultStore(store).load()
+        assert sum(1 for r in loaded.values() if r.get("kind") != "telemetry") == 2
 
         rc = main(["study", "run", str(spec), "--store", str(store),
                    "--resume", "--jobs", "1"])

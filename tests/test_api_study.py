@@ -204,7 +204,8 @@ class TestExecution:
         store = tmp_path / "study.jsonl"
         first = small_study.run(jobs=1, store=store)
         lines = store.read_text().splitlines()
-        assert len(lines) == len(first)
+        # one line per task plus the campaign's telemetry record
+        assert len(lines) == len(first) + 1
         second = small_study.run(jobs=1, store=store)
         assert second.records == first.records
         # Nothing recomputed: the store did not grow.
@@ -219,5 +220,8 @@ class TestExecution:
     def test_store_records_keyed_by_hash(self, small_study, tmp_path):
         store = tmp_path / "s.jsonl"
         small_study.run(jobs=1, store=store)
-        loaded = ResultStore(store).load()
+        loaded = {
+            h: r for h, r in ResultStore(store).load().items()
+            if r.get("kind") != "telemetry"
+        }
         assert set(loaded) == {t.task_hash() for t in small_study.tasks()}
