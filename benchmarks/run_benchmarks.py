@@ -2,19 +2,24 @@
 """Run the repo's perf benchmarks and police the committed baseline.
 
 Runs ``bench_resilience.py`` (engine-vs-legacy abstraction tax),
-``bench_hotpath.py`` (workspace hot path vs the frozen seed stack) and
-``bench_obs.py`` (tracing overhead), then compares the fresh hot-path
-record against the committed baseline ``benchmarks/BENCH_hotpath.json``
+``bench_hotpath.py`` (workspace hot path vs the frozen seed stack),
+``bench_obs.py`` (tracing overhead) and ``bench_backends.py`` (the
+kernel-backend axis, clean and guarded), then compares the fresh
+hot-path and backend records against the committed baselines
+``benchmarks/BENCH_hotpath.json`` / ``benchmarks/BENCH_backends.json``
 — the repo's perf trajectory — and gates the fresh observability
 record: disabled tracing more than 2 % over the untraced path fails
 the run (``benchmarks/BENCH_obs.json`` is the committed record).
 
-The regression gate compares **speedup ratios**, not raw seconds: both
-the seed stack and the workspace path run on the same machine in the
-same process, so their ratio is largely machine-independent, which is
-what makes a committed baseline meaningful across laptops and CI
-runners.  A fresh aggregate ratio more than 25 % below the baseline's
-fails the run.
+The regression gates compare **speedup ratios**, not raw seconds: both
+sides of every ratio run on the same machine in the same process, so
+the ratio is largely machine-independent, which is what makes a
+committed baseline meaningful across laptops and CI runners.  A fresh
+aggregate ratio more than 25 % below the baseline's fails the run.
+Backends the current environment cannot measure (numba without the
+optional dependency, threaded on a single-CPU host) are recorded as
+unavailable and skipped by the gate, never compared against stale
+numbers.
 
 Usage::
 
@@ -37,6 +42,8 @@ BASELINE = BENCH_DIR / "BENCH_hotpath.json"
 FRESH = BENCH_DIR / "results" / "BENCH_hotpath.json"
 OBS_BASELINE = BENCH_DIR / "BENCH_obs.json"
 OBS_FRESH = BENCH_DIR / "results" / "BENCH_obs.json"
+BACKENDS_BASELINE = BENCH_DIR / "BENCH_backends.json"
+BACKENDS_FRESH = BENCH_DIR / "results" / "BENCH_backends.json"
 
 #: Maximum tolerated drop of the aggregate speedup vs the baseline.
 REGRESSION_TOLERANCE = 0.25
@@ -66,7 +73,11 @@ def run_pytest_benches(quick: bool, skip_resilience: bool) -> int:
         # noise control, so it needs no relaxation here — just shorter
         # timed regions for the smoke tier.
         os.environ.setdefault("REPRO_BENCH_OBS_REPS", "50")
-    targets = [str(BENCH_DIR / "bench_hotpath.py"), str(BENCH_DIR / "bench_obs.py")]
+    targets = [
+        str(BENCH_DIR / "bench_hotpath.py"),
+        str(BENCH_DIR / "bench_obs.py"),
+        str(BENCH_DIR / "bench_backends.py"),
+    ]
     if not skip_resilience:
         targets.append(str(BENCH_DIR / "bench_resilience.py"))
     return pytest.main(["-q", *targets])
@@ -93,6 +104,54 @@ def check_baseline(fresh: dict, baseline: dict) -> "list[str]":
             f"aggregate speedup regressed: {new_agg:.2f}x vs baseline "
             f"{base_agg:.2f}x (floor {floor:.2f}x)"
         )
+    return failures
+
+
+#: The backend record's ratio metrics gated against the baseline.
+_BACKEND_METRICS = (
+    "aggregate_spmv_speedup_x",
+    "aggregate_solve_speedup_x",
+    "aggregate_faulted_solve_speedup_x",
+)
+
+
+def check_backends_baseline(fresh: dict, baseline: dict) -> "list[str]":
+    """Per-backend ratio regression check; returns a list of failures.
+
+    Only backends measured (``available``) in *both* records are
+    compared — an environment that cannot run a backend neither gates
+    it nor silently blesses a regression recorded elsewhere.
+    """
+    failures = []
+    for key in ("scale", "spmv_iters", "trials"):
+        if fresh.get(key) != baseline.get(key):
+            failures.append(
+                f"backend-benchmark config mismatch on {key!r}: "
+                f"fresh={fresh.get(key)} baseline={baseline.get(key)} — "
+                f"re-record the baseline (--update-baseline) or drop the "
+                f"scale override"
+            )
+    if failures:
+        return failures
+    for name, base_rec in baseline.get("backends", {}).items():
+        fresh_rec = fresh.get("backends", {}).get(name)
+        if not base_rec.get("available"):
+            continue
+        if fresh_rec is None or not fresh_rec.get("available"):
+            reason = (fresh_rec or {}).get("reason", "not measured")
+            print(f"backend {name!r}: baseline exists but skipped here ({reason})")
+            continue
+        for metric in _BACKEND_METRICS:
+            if metric not in base_rec:
+                continue  # older baseline without the faulted section
+            base_v = float(base_rec[metric])
+            new_v = float(fresh_rec[metric])
+            floor = base_v * (1.0 - REGRESSION_TOLERANCE)
+            if new_v < floor:
+                failures.append(
+                    f"backend {name!r} {metric} regressed: {new_v:.2f}x vs "
+                    f"baseline {base_v:.2f}x (floor {floor:.2f}x)"
+                )
     return failures
 
 
@@ -162,6 +221,9 @@ def main(argv: "list[str] | None" = None) -> int:
     if args.update_baseline or not BASELINE.exists():
         BASELINE.write_text(FRESH.read_text())
         print(f"baseline written: {BASELINE} (aggregate {fresh['aggregate_speedup_x']}x)")
+        if BACKENDS_FRESH.exists():
+            BACKENDS_BASELINE.write_text(BACKENDS_FRESH.read_text())
+            print(f"backend record written: {BACKENDS_BASELINE}")
         return 0
 
     baseline = json.loads(BASELINE.read_text())
@@ -170,6 +232,24 @@ def main(argv: "list[str] | None" = None) -> int:
         f"hot path: {fresh['aggregate_speedup_x']}x vs baseline "
         f"{baseline['aggregate_speedup_x']}x (tolerance -{REGRESSION_TOLERANCE:.0%})"
     )
+
+    if BACKENDS_FRESH.exists():
+        backends_fresh = json.loads(BACKENDS_FRESH.read_text())
+        if args.update_baseline or not BACKENDS_BASELINE.exists():
+            BACKENDS_BASELINE.write_text(BACKENDS_FRESH.read_text())
+            print(f"backend record written: {BACKENDS_BASELINE}")
+        else:
+            backends_baseline = json.loads(BACKENDS_BASELINE.read_text())
+            failures += check_backends_baseline(backends_fresh, backends_baseline)
+            for name, rec in backends_fresh.get("backends", {}).items():
+                if rec.get("available"):
+                    print(
+                        f"backend {name!r}: spmv {rec['aggregate_spmv_speedup_x']}x, "
+                        f"solve {rec['aggregate_solve_speedup_x']}x, "
+                        f"faulted solve {rec['aggregate_faulted_solve_speedup_x']}x "
+                        f"vs reference (tolerance -{REGRESSION_TOLERANCE:.0%})"
+                    )
+
     if failures:
         for f in failures:
             print(f"REGRESSION: {f}", file=sys.stderr)

@@ -32,8 +32,11 @@ The library provides:
   matrix restore and per-process checksum/matrix caches, bit-identical
   to the fresh-allocation oracle (:mod:`repro.perf`);
 - pluggable sparse-kernel backends — the bit-identical ``reference``
-  oracle, a SciPy-accelerated kernel and a dense small-n fallback —
-  selectable on every solve entry point (:mod:`repro.backends`);
+  oracle, a SciPy-accelerated kernel, an optional numba JIT backend
+  whose compiled *guarded* kernels stay bit-identical under fault
+  injection, a threaded row-partitioned kernel and a dense small-n
+  fallback — selectable on every solve entry point
+  (:mod:`repro.backends`);
 - structured tracing, process metrics and trace summaries — pure
   observation, zero overhead when off (:mod:`repro.obs`);
 - the stable public API: the :func:`solve` facade, declarative
@@ -115,7 +118,7 @@ from repro.backends import (
     register_backend,
 )
 
-__version__ = "1.5.0"
+__version__ = "1.6.0"
 
 __all__ = [
     "CSRMatrix",

@@ -2,7 +2,7 @@
 
 Every protected solve draws its numerical primitives — above all the
 SpMxV hot kernel — from a :class:`~repro.backends.protocol
-.KernelBackend`.  Three implementations ship (``docs/DESIGN.md`` §6):
+.KernelBackend`.  Five implementations ship (``docs/DESIGN.md`` §6):
 
 ``reference`` (the default)
     The repository's own NumPy kernels.  Bit-identical oracle: the
@@ -17,9 +17,28 @@ SpMxV hot kernel — from a :class:`~repro.backends.protocol
     ``structure_clean`` stamp — routed back through the reference
     kernel so ABFT detection semantics are preserved.
 
+``numba``
+    JIT-compiled CSR kernels for the clean *and* guarded paths —
+    the only backend that owns guarded products, by reproducing the
+    reference fault physics bit for bit (and deferring the rare
+    cases it cannot; see :mod:`repro.backends.numba_backend`).
+    Optional dependency: ``pip install -e .[numba]``; resolving the
+    name without numba installed raises
+    :class:`BackendUnavailableError` with install instructions, and
+    :func:`backend_available` probes without raising.
+
+``threaded``
+    Clean products row-partitioned over a thread pool
+    (nnz-balanced contiguous blocks via
+    :mod:`repro.parallel.partition`); bit-identical to reference,
+    guarded products deferred.  Worth it for large n on multicore
+    hosts; degenerates to reference on one CPU.
+
 ``dense``
     Small-n dense materialization, for tests and exotic fault
-    scenarios (capped at n=4096).
+    scenarios (capped at n=4096; oversized workloads raise a
+    structured :class:`BackendCapacityError` before the solve
+    starts).
 
 Select a backend anywhere the solve stack is entered: ``spmv(a, x,
 backend="scipy")``, ``protected_spmv(..., backend=...)``,
@@ -40,9 +59,16 @@ from __future__ import annotations
 from typing import Callable
 
 from repro.backends.dense import DenseBackend
-from repro.backends.protocol import BaseBackend, KernelBackend
+from repro.backends.numba_backend import NumbaBackend, numba_available
+from repro.backends.protocol import (
+    BackendCapacityError,
+    BackendUnavailableError,
+    BaseBackend,
+    KernelBackend,
+)
 from repro.backends.reference import ReferenceBackend
 from repro.backends.scipy_backend import ScipyBackend
+from repro.backends.threaded import ThreadedBackend
 
 __all__ = [
     "KernelBackend",
@@ -50,11 +76,17 @@ __all__ = [
     "ReferenceBackend",
     "ScipyBackend",
     "DenseBackend",
+    "NumbaBackend",
+    "ThreadedBackend",
+    "BackendUnavailableError",
+    "BackendCapacityError",
     "DEFAULT_BACKEND",
     "register_backend",
     "available_backends",
+    "backend_available",
     "get_backend",
     "resolve_backend",
+    "numba_available",
 ]
 
 #: Name of the default backend (the bit-identity oracle).
@@ -66,6 +98,8 @@ _FACTORIES: "dict[str, Callable[[], KernelBackend]]" = {
     "reference": ReferenceBackend,
     "scipy": ScipyBackend,
     "dense": DenseBackend,
+    "numba": NumbaBackend,
+    "threaded": ThreadedBackend,
 }
 
 _INSTANCES: "dict[str, KernelBackend]" = {}
@@ -100,8 +134,31 @@ def register_backend(
 
 
 def available_backends() -> "tuple[str, ...]":
-    """Registered backend names, shipped ones first."""
+    """Registered backend names, shipped ones first.
+
+    Registered, not necessarily *runnable*: ``"numba"`` is always
+    listed but needs its optional dependency installed — probe with
+    :func:`backend_available` before sweeping it.
+    """
     return tuple(_FACTORIES)
+
+
+def backend_available(name: str) -> bool:
+    """Whether ``name`` is registered *and* instantiable here.
+
+    ``False`` for unregistered names and for registered backends whose
+    optional dependency is missing (``"numba"`` without numba).  Never
+    raises — this is the probe for test skips and sweep pre-flight;
+    :func:`get_backend` is the strict variant whose
+    :class:`BackendUnavailableError` explains how to install.
+    """
+    if name not in _FACTORIES:
+        return False
+    try:
+        get_backend(name)
+    except BackendUnavailableError:
+        return False
+    return True
 
 
 def get_backend(backend: "str | KernelBackend") -> "KernelBackend":

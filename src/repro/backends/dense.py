@@ -23,7 +23,7 @@ from typing import TYPE_CHECKING
 
 import numpy as np
 
-from repro.backends.protocol import BaseBackend
+from repro.backends.protocol import BackendCapacityError, BaseBackend
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.sparse.csr import CSRMatrix
@@ -44,6 +44,31 @@ class DenseBackend(BaseBackend):
             raise ValueError(f"max_n must be >= 1, got {max_n}")
         self.max_n = int(max_n)
 
+    def _check_capacity(self, a: "CSRMatrix") -> None:
+        n = max(a.nrows, a.ncols)
+        if n > self.max_n:
+            raise BackendCapacityError(
+                self.name,
+                n=n,
+                cap=self.max_n,
+                hint=(
+                    f"matrix is {a.nrows}x{a.ncols}; use backend "
+                    "'reference', 'scipy' or 'threaded' for this workload"
+                ),
+            )
+
+    def prepare(self, a: "CSRMatrix") -> None:
+        """Fail fast before any solve work when the matrix is too big.
+
+        The engine calls this right after backend resolution, so a
+        Study sweeping an oversized ``.mtx`` workload over the dense
+        backend surfaces one structured
+        :class:`~repro.backends.protocol.BackendCapacityError` per task
+        instead of an O(n²) materialization attempt (or crash) deep
+        inside the solve.
+        """
+        self._check_capacity(a)
+
     def spmv(
         self,
         a: "CSRMatrix",
@@ -56,11 +81,9 @@ class DenseBackend(BaseBackend):
 
         if not a.structure_clean:
             return spmv(a, x, out=out, scratch=scratch)
-        if a.nrows > self.max_n or a.ncols > self.max_n:
-            raise ValueError(
-                f"dense backend is capped at n={self.max_n} "
-                f"(matrix is {a.nrows}x{a.ncols}); use 'reference' or 'scipy'"
-            )
+        # Defensive re-check: prepare() already failed fast for engine
+        # solves; direct spmv(..., backend="dense") calls land here.
+        self._check_capacity(a)
         x = np.asarray(x, dtype=np.float64)
         if x.shape != (a.ncols,):
             raise ValueError(f"x must have shape ({a.ncols},), got {x.shape}")

@@ -1,0 +1,593 @@
+"""Numba JIT backend: compiled clean *and* guarded kernels.
+
+The paper's experiments are dominated by millions of protected SpMxV
+calls, and the fault-physics loops those calls run — the CSR row walk,
+the colid modulo-wrap wild-read emulation, the tolerant rowidx
+segment walk, the checksum scatter-reduction — are exactly the simple
+integer/float loops a JIT compiles well (in the spirit of the
+fault-tolerant SpMxV kernels of Shantharam et al. and Chen's
+ONLINE-DETECTION inner loops).  This backend compiles them with
+`numba <https://numba.pydata.org>`_ so the *protected* path runs at
+compiled speed instead of routing back to the NumPy reference
+kernels.
+
+**Bit-identity is the contract**, on clean and corrupted inputs alike
+(``tests/test_backends_compiled.py`` locks it, including golden
+replays through :func:`repro.resilience.engine.run_protected`).  The
+compiled kernels reproduce the reference kernels' exact summation
+orders:
+
+- the reference row reduction is ``np.add.reduceat``, whose segment
+  sum is *seed element + NumPy's pairwise_sum of the rest* — and
+  pairwise_sum is a deliberately machine-independent scalar
+  algorithm (8 accumulators per ≤128-element block, combined
+  ``((r0+r1)+(r2+r3)) + ((r4+r5)+(r6+r7))``, sequential tail,
+  recursive halving above 128 — NumPy's own comment: "8 times unroll
+  ... allows vectorization with avx *without changing summation
+  ordering*").  :func:`_pairwise_rest` transcribes it exactly, so the
+  compiled row walk produces the same bytes (numba without
+  ``fastmath`` emits no FMA contraction or reassociation);
+- the guarded kernel reproduces the reference guarded branch: the
+  global colid modulo-wrap, the clipped ``rowidx`` segment walk and
+  the reduceat quirk where a segment whose start meets the next start
+  collapses to a single element;
+- the checksum product reproduces ``np.add.at``'s sequential
+  unbuffered scatter in nonzero order.
+
+The reference code paths this backend *cannot* reproduce bit for bit
+are the ones whose summation order is machine-dependent: the
+overshoot repair of a corrupted-``rowidx`` segment
+(``ndarray.sum()`` on a contiguous slice — a SIMD-dispatched
+reduction whose order varies with vector width) and the BLAS row dot
+of the non-monotone row loop.  The compiled guarded kernel detects
+those two (rare, ``rowidx``-corruption-only) cases and defers the
+whole product to the reference kernel — the substitution argument of
+``docs/DESIGN.md`` §6: own the guarded path only where you can prove
+bit-identity, defer where you cannot.  For the same reason
+:meth:`NumbaBackend.dot` / :meth:`NumbaBackend.norm2` inherit the
+NumPy base implementations: they feed convergence decisions, and a
+compiled loop cannot reproduce BLAS summation order.
+
+``numba`` is an **optional dependency** (``pip install -e .[numba]``).
+This module always imports; :func:`numba_available` probes the
+environment, and instantiating :class:`NumbaBackend` without numba
+raises a :class:`~repro.backends.protocol.BackendUnavailableError`
+whose message says how to install it — that is the error surfaced by
+``solve(backend="numba")``, ``Study.axis("backend", ["numba"])`` and
+``repro solve --backend numba``.
+
+Warm-up: kernels compile once per process, triggered eagerly by
+:meth:`NumbaBackend.warmup` — which the engine's pre-solve
+:meth:`~repro.backends.protocol.BaseBackend.prepare` hook calls before
+the solve's wall clock starts, so first-call compilation never
+pollutes benchmarks or per-task timing.  (The kernels close over the
+shared pairwise helper, which rules out numba's on-disk cache; the
+one-time in-process compile is the price, and ``prepare`` keeps it
+out of every timed region.)
+
+The pure-Python forms of the kernels remain runnable without numba
+(``NumbaBackend(jit=False)``, orders of magnitude slower) so the
+bit-identity algorithm itself stays testable on environments without
+the optional dependency.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.backends.protocol import BackendUnavailableError, BaseBackend
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sparse.csr import CSRMatrix
+
+__all__ = ["NumbaBackend", "numba_available"]
+
+
+def numba_available() -> bool:
+    """Whether the optional ``numba`` dependency is importable."""
+    try:
+        import numba  # noqa: F401
+    except Exception:
+        return False
+    return True
+
+
+#: Guarded-kernel verdicts: the product was computed, or it hit one of
+#: the summation orders only NumPy can reproduce (contiguous-slice
+#: ``.sum()`` / BLAS) and the caller must defer to the reference kernel.
+_DONE = 0
+_DEFER = 1
+
+#: NumPy's pairwise-summation block size (``PW_BLOCKSIZE``).
+_PW_BLOCK = 128
+
+
+def _build_kernels(jit: bool) -> dict:
+    """Build the kernel set, compiled with ``numba.njit`` when ``jit``.
+
+    The kernel bodies are defined here as closures over the shared
+    pairwise helper so the jitted and interpreted modes run the exact
+    same code; ``NumbaBackend(jit=False)`` is the interpreter running
+    these very functions.
+    """
+    if jit:
+        from numba import njit
+
+        # No cache=True: closures cannot be cached on disk; warmup()
+        # keeps the one-time compile out of timed regions instead.
+        deco = njit(nogil=True)
+    else:
+
+        def deco(f):
+            return f
+
+    @deco
+    def _pairwise_rest(val, colid, x, lo, n, ncols, wrap):
+        """Sum of products ``val[j] * x[colid[j]]`` over ``[lo, lo+n)``
+        in exactly NumPy's ``pairwise_sum`` order.
+
+        This is the *rest* term of a reduceat segment (the caller adds
+        the seed element in front).  ``wrap`` applies the guarded
+        path's global colid modulo; the products are formed on the fly
+        — same one-rounding-per-multiply floats as NumPy's
+        pre-materialized ``val * x[colid]``.
+        """
+        if n < 8:
+            # -0.0, not 0.0: NumPy seeds the small-block accumulator
+            # with the bit-preserving additive identity, so a rest of
+            # all -0.0 products stays -0.0.
+            res = -0.0
+            for j in range(lo, lo + n):
+                c = colid[j]
+                if wrap:
+                    c = c % ncols
+                res += val[j] * x[c]
+            return res
+        if n <= _PW_BLOCK:
+            c = colid[lo]
+            if wrap:
+                c = c % ncols
+            r0 = val[lo] * x[c]
+            c = colid[lo + 1]
+            if wrap:
+                c = c % ncols
+            r1 = val[lo + 1] * x[c]
+            c = colid[lo + 2]
+            if wrap:
+                c = c % ncols
+            r2 = val[lo + 2] * x[c]
+            c = colid[lo + 3]
+            if wrap:
+                c = c % ncols
+            r3 = val[lo + 3] * x[c]
+            c = colid[lo + 4]
+            if wrap:
+                c = c % ncols
+            r4 = val[lo + 4] * x[c]
+            c = colid[lo + 5]
+            if wrap:
+                c = c % ncols
+            r5 = val[lo + 5] * x[c]
+            c = colid[lo + 6]
+            if wrap:
+                c = c % ncols
+            r6 = val[lo + 6] * x[c]
+            c = colid[lo + 7]
+            if wrap:
+                c = c % ncols
+            r7 = val[lo + 7] * x[c]
+            i = 8
+            while i < n - (n % 8):
+                c = colid[lo + i]
+                if wrap:
+                    c = c % ncols
+                r0 += val[lo + i] * x[c]
+                c = colid[lo + i + 1]
+                if wrap:
+                    c = c % ncols
+                r1 += val[lo + i + 1] * x[c]
+                c = colid[lo + i + 2]
+                if wrap:
+                    c = c % ncols
+                r2 += val[lo + i + 2] * x[c]
+                c = colid[lo + i + 3]
+                if wrap:
+                    c = c % ncols
+                r3 += val[lo + i + 3] * x[c]
+                c = colid[lo + i + 4]
+                if wrap:
+                    c = c % ncols
+                r4 += val[lo + i + 4] * x[c]
+                c = colid[lo + i + 5]
+                if wrap:
+                    c = c % ncols
+                r5 += val[lo + i + 5] * x[c]
+                c = colid[lo + i + 6]
+                if wrap:
+                    c = c % ncols
+                r6 += val[lo + i + 6] * x[c]
+                c = colid[lo + i + 7]
+                if wrap:
+                    c = c % ncols
+                r7 += val[lo + i + 7] * x[c]
+                i += 8
+            res = ((r0 + r1) + (r2 + r3)) + ((r4 + r5) + (r6 + r7))
+            while i < n:
+                c = colid[lo + i]
+                if wrap:
+                    c = c % ncols
+                res += val[lo + i] * x[c]
+                i += 1
+            return res
+        # n > block: NumPy recurses pw(lo, n2) + pw(lo+n2, n-n2) with
+        # n2 = n//2 rounded down to a multiple of 8.  Emulated with an
+        # explicit stack (closures cannot self-recurse under numba);
+        # depth is O(log2(n/128)), 200 slots is far beyond any int64 n.
+        st_lo = np.empty(200, np.int64)
+        st_n = np.empty(200, np.int64)
+        st_op = np.empty(200, np.int64)  # 0 = evaluate, 1 = combine
+        vals = np.empty(100, np.float64)
+        sp = 0
+        vp = 0
+        st_lo[0] = lo
+        st_n[0] = n
+        st_op[0] = 0
+        sp = 1
+        while sp > 0:
+            sp -= 1
+            cur_lo = st_lo[sp]
+            cur_n = st_n[sp]
+            op = st_op[sp]
+            if op == 1:
+                right = vals[vp - 1]
+                left = vals[vp - 2]
+                vp -= 2
+                vals[vp] = left + right
+                vp += 1
+            elif cur_n <= _PW_BLOCK:
+                if cur_n < 8:
+                    res = -0.0  # see the n < 8 branch above
+                    for j in range(cur_lo, cur_lo + cur_n):
+                        c = colid[j]
+                        if wrap:
+                            c = c % ncols
+                        res += val[j] * x[c]
+                else:
+                    c = colid[cur_lo]
+                    if wrap:
+                        c = c % ncols
+                    r0 = val[cur_lo] * x[c]
+                    c = colid[cur_lo + 1]
+                    if wrap:
+                        c = c % ncols
+                    r1 = val[cur_lo + 1] * x[c]
+                    c = colid[cur_lo + 2]
+                    if wrap:
+                        c = c % ncols
+                    r2 = val[cur_lo + 2] * x[c]
+                    c = colid[cur_lo + 3]
+                    if wrap:
+                        c = c % ncols
+                    r3 = val[cur_lo + 3] * x[c]
+                    c = colid[cur_lo + 4]
+                    if wrap:
+                        c = c % ncols
+                    r4 = val[cur_lo + 4] * x[c]
+                    c = colid[cur_lo + 5]
+                    if wrap:
+                        c = c % ncols
+                    r5 = val[cur_lo + 5] * x[c]
+                    c = colid[cur_lo + 6]
+                    if wrap:
+                        c = c % ncols
+                    r6 = val[cur_lo + 6] * x[c]
+                    c = colid[cur_lo + 7]
+                    if wrap:
+                        c = c % ncols
+                    r7 = val[cur_lo + 7] * x[c]
+                    i = 8
+                    while i < cur_n - (cur_n % 8):
+                        c = colid[cur_lo + i]
+                        if wrap:
+                            c = c % ncols
+                        r0 += val[cur_lo + i] * x[c]
+                        c = colid[cur_lo + i + 1]
+                        if wrap:
+                            c = c % ncols
+                        r1 += val[cur_lo + i + 1] * x[c]
+                        c = colid[cur_lo + i + 2]
+                        if wrap:
+                            c = c % ncols
+                        r2 += val[cur_lo + i + 2] * x[c]
+                        c = colid[cur_lo + i + 3]
+                        if wrap:
+                            c = c % ncols
+                        r3 += val[cur_lo + i + 3] * x[c]
+                        c = colid[cur_lo + i + 4]
+                        if wrap:
+                            c = c % ncols
+                        r4 += val[cur_lo + i + 4] * x[c]
+                        c = colid[cur_lo + i + 5]
+                        if wrap:
+                            c = c % ncols
+                        r5 += val[cur_lo + i + 5] * x[c]
+                        c = colid[cur_lo + i + 6]
+                        if wrap:
+                            c = c % ncols
+                        r6 += val[cur_lo + i + 6] * x[c]
+                        c = colid[cur_lo + i + 7]
+                        if wrap:
+                            c = c % ncols
+                        r7 += val[cur_lo + i + 7] * x[c]
+                        i += 8
+                    res = ((r0 + r1) + (r2 + r3)) + ((r4 + r5) + (r6 + r7))
+                    while i < cur_n:
+                        c = colid[cur_lo + i]
+                        if wrap:
+                            c = c % ncols
+                        res += val[cur_lo + i] * x[c]
+                        i += 1
+                vals[vp] = res
+                vp += 1
+            else:
+                n2 = cur_n // 2
+                n2 -= n2 % 8
+                st_lo[sp] = 0
+                st_n[sp] = 0
+                st_op[sp] = 1  # combine marker
+                sp += 1
+                st_lo[sp] = cur_lo + n2
+                st_n[sp] = cur_n - n2
+                st_op[sp] = 0
+                sp += 1
+                st_lo[sp] = cur_lo
+                st_n[sp] = n2
+                st_op[sp] = 0
+                sp += 1
+        return vals[0]
+
+    @deco
+    def _spmv_clean(val, colid, rowptr, x, y, ncols):
+        """Clean CSR walk == ``val * x[colid]`` + reduceat, bit for bit.
+
+        Each row is *seed product + pairwise rest*: reduceat seeds the
+        segment accumulator from its first element (never ``0.0 +``,
+        which would flip a ``-0.0`` product) and pairwise-sums the
+        remainder.
+        """
+        n = y.shape[0]
+        for i in range(n):
+            lo = rowptr[i]
+            hi = rowptr[i + 1]
+            if hi <= lo:
+                y[i] = 0.0
+                continue
+            first = val[lo] * x[colid[lo]]
+            if hi - lo == 1:
+                y[i] = first
+            else:
+                y[i] = first + _pairwise_rest(
+                    val, colid, x, lo + 1, hi - lo - 1, ncols, False
+                )
+
+    @deco
+    def _spmv_guarded(val, colid, rowptr, x, y, ncols, nnz):
+        """The reference guarded branch, or ``_DEFER`` where it cannot be.
+
+        Reproduces :func:`repro.sparse.spmv.spmv`'s
+        non-``structure_clean`` path bit for bit: the global colid
+        wrap, the ``[0, nnz]`` clip of the row pointers, the
+        monotone-segment reduceat walk (each segment running to the
+        next nonempty row's clipped start, including the
+        start-meets-next-start single-element quirk).  Returns
+        ``_DEFER`` — with no guarantee about ``y``'s contents — when
+        the reference path would use a machine-dependent summation
+        order: the overshoot repair (contiguous ``.sum()``) or the
+        non-monotone row loop (BLAS row dot).
+        """
+        n = y.shape[0]
+        # Wild-read emulation: wrap the whole index array iff any
+        # index is out of range, exactly like the reference scan.
+        wrap = False
+        for j in range(nnz):
+            c = colid[j]
+            if c < 0 or c >= ncols:
+                wrap = True
+                break
+        # Clipped-pointer monotonicity scan (reference: starts
+        # non-decreasing and every end >= its start, else row loop).
+        for i in range(n - 1):
+            s0 = min(max(rowptr[i], 0), nnz)
+            s1 = min(max(rowptr[i + 1], 0), nnz)
+            if s1 < s0:
+                return _DEFER  # non-monotone starts -> BLAS row loop
+        for i in range(n):
+            lo = min(max(rowptr[i], 0), nnz)
+            hi = min(max(rowptr[i + 1], 0), nnz)
+            if hi < lo:
+                return _DEFER  # end < start -> BLAS row loop
+        for i in range(n):
+            y[i] = 0.0
+        # Walk nonempty rows backwards, tracking the next nonempty
+        # row's clipped start (reduceat's segment end).
+        next_start = nnz
+        for i in range(n - 1, -1, -1):
+            lo = min(max(rowptr[i], 0), nnz)
+            hi = min(max(rowptr[i + 1], 0), nnz)
+            if hi <= lo:
+                continue  # empty row: y stays 0, next_start unchanged
+            if next_start <= lo:
+                # reduceat quirk: indices[k] >= indices[k+1] yields
+                # the single element at indices[k].
+                c = colid[lo]
+                if wrap:
+                    c = c % ncols
+                y[i] = val[lo] * x[c]
+            elif hi < next_start:
+                return _DEFER  # overshoot repair -> contiguous .sum()
+            else:
+                # hi >= next_start: reduceat sums [lo, next_start),
+                # seeded from the first product.
+                c = colid[lo]
+                if wrap:
+                    c = c % ncols
+                first = val[lo] * x[c]
+                m = next_start - lo
+                if m == 1:
+                    y[i] = first
+                else:
+                    y[i] = first + _pairwise_rest(
+                        val, colid, x, lo + 1, m - 1, ncols, True
+                    )
+            next_start = lo
+        return _DONE
+
+    @deco
+    def _checksum_products(val, colid, rowptr, weights, out):
+        """``WᵀA`` as ``np.add.at``'s sequential scatter, one row per check."""
+        nchecks = weights.shape[0]
+        n = rowptr.shape[0] - 1
+        for k in range(nchecks):
+            for j in range(out.shape[1]):
+                out[k, j] = 0.0
+            for i in range(n):
+                w = weights[k, i]
+                for j in range(rowptr[i], rowptr[i + 1]):
+                    out[k, colid[j]] += val[j] * w
+        return out
+
+    return {
+        "clean": _spmv_clean,
+        "guarded": _spmv_guarded,
+        "checksums": _checksum_products,
+    }
+
+
+class NumbaBackend(BaseBackend):
+    """JIT-compiled CSR kernels for the clean *and* guarded paths.
+
+    Parameters
+    ----------
+    jit:
+        ``True`` (default) compiles the kernels with ``numba.njit``
+        and raises :class:`BackendUnavailableError` when numba is not
+        installed.  ``False`` runs the identical kernel bodies in the
+        interpreter — orders of magnitude slower, but the same
+        floats; used by the test suite to lock bit-identity on
+        environments without the optional dependency.
+    """
+
+    name = "numba"
+
+    def __init__(self, *, jit: bool = True) -> None:
+        if jit and not numba_available():
+            raise BackendUnavailableError(
+                "backend 'numba' requires the optional numba dependency, "
+                "which is not installed; install it with "
+                "`pip install -e .[numba]` (or `pip install numba`), or "
+                "pick another backend ('reference', 'scipy', 'threaded')"
+            )
+        self._jit = bool(jit)
+        self._kernels: "dict | None" = None
+        self._warm = False
+
+    @property
+    def compiled(self) -> bool:
+        """Whether the kernels run through numba (vs interpreted)."""
+        return self._jit
+
+    def _get_kernels(self) -> dict:
+        kernels = self._kernels
+        if kernels is None:
+            kernels = self._kernels = _build_kernels(self._jit)
+        return kernels
+
+    def warmup(self) -> None:
+        """Trigger one-time kernel compilation on a tiny system.
+
+        Idempotent; the first call compiles every kernel for the
+        argument types the solve stack uses, so no later call pays
+        compile time inside a timed region.
+        """
+        if self._warm:
+            return
+        k = self._get_kernels()
+        val = np.array([1.0, 2.0, 3.0])
+        colid = np.array([0, 1, 0], dtype=np.int64)
+        rowptr = np.array([0, 2, 3], dtype=np.int64)
+        x = np.ones(2)
+        y = np.empty(2)
+        k["clean"](val, colid, rowptr, x, y, 2)
+        k["guarded"](val, colid, rowptr, x, y, 2, 3)
+        out = np.empty((2, 2))
+        k["checksums"](val, colid, rowptr, np.ones((2, 2)), out)
+        self._warm = True
+
+    def prepare(self, a: "CSRMatrix") -> None:
+        """Pre-solve hook: compilation happens here, outside timing."""
+        self.warmup()
+
+    def spmv(
+        self,
+        a: "CSRMatrix",
+        x: np.ndarray,
+        *,
+        out: "np.ndarray | None" = None,
+        scratch: "np.ndarray | None" = None,
+    ) -> np.ndarray:
+        x = np.asarray(x, dtype=np.float64)
+        if x.shape != (a.ncols,):
+            raise ValueError(f"x must have shape ({a.ncols},), got {x.shape}")
+        n = a.nrows
+        if out is None:
+            y = np.empty(n, dtype=np.float64)
+        else:
+            if out.shape != (n,):
+                raise ValueError(f"out must have shape ({n},), got {out.shape}")
+            y = out
+        if a.nnz == 0:
+            y[:] = 0.0
+            return y
+        kernels = self._get_kernels()
+        # Corrupted values overflowing to ±inf inside the kernel are
+        # the silent error propagating for ABFT to flag, exactly as on
+        # the reference path (numba, like C, raises no FP exceptions).
+        if a.structure_clean:
+            kernels["clean"](a.val, a.colid, a.rowidx, x, y, a.ncols)
+            return y
+        status = kernels["guarded"](a.val, a.colid, a.rowidx, x, y, a.ncols, a.nnz)
+        if status == _DONE:
+            return y
+        # The reference path would use a contiguous-slice .sum() or a
+        # BLAS row dot here (rowidx corruption only) — both machine-
+        # dependent orders; defer the whole product so the bytes stay
+        # identical.
+        from repro.sparse.spmv import spmv
+
+        return spmv(a, x, out=out, scratch=scratch)
+
+    def checksum_products(self, a: "CSRMatrix", weights: np.ndarray) -> np.ndarray:
+        """``WᵀA`` via the compiled sequential scatter (bit-identical).
+
+        Requires in-range column indices; checksum setup runs on the
+        pristine matrix, so an uncertified (non-``structure_clean``)
+        matrix routes through the base NumPy scatter, which
+        bounds-checks.
+        """
+        if not a.structure_clean:
+            return super().checksum_products(a, weights)
+        weights = np.atleast_2d(np.asarray(weights, dtype=np.float64))
+        if weights.shape[1] != a.nrows:
+            raise ValueError(
+                f"weights must have {a.nrows} columns, got {weights.shape}"
+            )
+        out = np.empty((weights.shape[0], a.ncols), dtype=np.float64)
+        self._get_kernels()["checksums"](a.val, a.colid, a.rowidx, weights, out)
+        return out
+
+    # dot/norm2 deliberately inherit the NumPy base implementations:
+    # they feed convergence decisions, and a compiled loop cannot
+    # reproduce BLAS summation order bit-for-bit (module docstring,
+    # DESIGN.md §6).

@@ -1,33 +1,36 @@
 """The :class:`KernelBackend` protocol and its shared base class.
 
 A *kernel backend* supplies the numerical primitives of a protected
-solve as one swappable unit.  Today the solve stack dispatches
-**only** :meth:`KernelBackend.spmv` — the unreliable hot kernel, which
-is where the time goes; the checksum-product and dot/norm primitives
-are part of the protocol surface (used by benchmarks and tooling, and
-the seam for the ROADMAP follow-up that may open them) but the
-engine's reliable arithmetic currently calls the reference
-implementations directly, so overriding them does not change a solve.
-The contract every backend must honour (see ``docs/DESIGN.md`` §6 for
-the full argument):
+solve as one swappable unit.  The solve stack dispatches
+:meth:`KernelBackend.spmv` — the unreliable hot kernel, where the time
+goes — on every product, and additionally routes the reliable
+non-SpMxV primitives (:meth:`KernelBackend.checksum_products` at ABFT
+setup, :meth:`KernelBackend.norm2` at the engine's and plugins'
+residual checks) through the active backend.  The contract every
+backend must honour (see ``docs/DESIGN.md`` §6 for the full
+argument):
 
-**Guarded paths stay on the reference kernels.**  The fault study
+**Guarded paths stay on the reference semantics.**  The fault study
 corrupts the raw CSR arrays in place, and the memory-safe emulation of
 the resulting wild reads (index wrap-around, the monotone-segment
-fallback) is part of the physics under study — it lives in
-:func:`repro.sparse.spmv.spmv` and nowhere else.  A backend may only
-substitute its own kernel when the matrix carries the
-:attr:`~repro.sparse.csr.CSRMatrix.structure_clean` stamp (index
-arrays certified in-range and monotone); in every other case it must
-delegate to the reference kernel so ABFT detection semantics are
-preserved bit-for-bit.
+fallback) is part of the physics under study — its single definition
+lives in :func:`repro.sparse.spmv.spmv`.  A backend may substitute its
+own kernel for a product on a matrix *without* the
+:attr:`~repro.sparse.csr.CSRMatrix.structure_clean` stamp only when
+that kernel reproduces the reference guarded semantics **bit for
+bit** (the ``numba`` backend's compiled guarded walk does, and proves
+it by deferring the cases it cannot reproduce); any backend that
+cannot must delegate guarded products to the reference kernel so ABFT
+detection semantics are preserved.
 
 **Checksum arithmetic is reliable.**  The paper's selective-reliability
 model computes ABFT metadata and residuals in reliable storage; the
 default :meth:`KernelBackend.checksum_products` implementation (the
-reference scatter-reduction) is therefore what every shipped backend
-uses — accelerating the *unreliable* product is where the time goes
-anyway.
+reference scatter-reduction) is the semantics every shipped backend
+reproduces bit-for-bit — a compiled backend may own the loop, but not
+change the floats.  :meth:`dot`/:meth:`norm2` feed convergence
+decisions, so a backend whose reductions cannot reproduce the
+NumPy/BLAS summation order must inherit the base implementations.
 
 Backends are stateless service objects: one shared instance per
 registered name serves every solve in the process (see the registry
@@ -43,7 +46,50 @@ import numpy as np
 if TYPE_CHECKING:  # pragma: no cover
     from repro.sparse.csr import CSRMatrix
 
-__all__ = ["KernelBackend", "BaseBackend"]
+__all__ = [
+    "KernelBackend",
+    "BaseBackend",
+    "BackendUnavailableError",
+    "BackendCapacityError",
+]
+
+
+class BackendUnavailableError(ValueError):
+    """A registered backend cannot run in this environment.
+
+    Raised when resolving a backend whose optional dependency is not
+    installed (e.g. ``"numba"`` without the ``numba`` package).  A
+    subclass of ``ValueError`` so every existing registry error path —
+    ``solve()`` validation, ``Study.axis("backend", ...)``, the CLI's
+    usage-error handler — reports it as a clean user-facing message
+    instead of a traceback.
+    """
+
+
+class BackendCapacityError(ValueError):
+    """A backend refuses a matrix it cannot handle at this size.
+
+    Carries the structured fields a sweep driver needs to report the
+    failure precisely (which backend, the offending dimension, the
+    cap) instead of crashing mid-solve or silently materializing an
+    oversized operator.  Raised by capacity-capped backends — today
+    the ``dense`` backend's ``n <= max_n`` cap — from
+    :meth:`BaseBackend.prepare` *before* any solve work starts, and
+    again defensively from the per-product call.
+    """
+
+    def __init__(self, backend: str, *, n: int, cap: int, hint: str = "") -> None:
+        self.backend = backend
+        self.n = int(n)
+        self.cap = int(cap)
+        self.hint = hint
+        msg = (
+            f"backend {backend!r} is capped at n={cap} and cannot run an "
+            f"n={n} workload"
+        )
+        if hint:
+            msg += f"; {hint}"
+        super().__init__(msg)
 
 
 @runtime_checkable
@@ -51,11 +97,12 @@ class KernelBackend(Protocol):
     """Swappable numerical primitives for one protected solve.
 
     Implementations must be safe to share across solves (no per-solve
-    state) and must route any product on a matrix *without* the
-    ``structure_clean`` stamp through the reference kernel.  Only
-    :meth:`spmv` is dispatched by the solve stack; the remaining
-    primitives are protocol surface for tooling and future wiring
-    (see the module docstring).
+    state) and must keep guarded products — any matrix *without* the
+    ``structure_clean`` stamp — bit-identical to the reference kernel,
+    either by delegating to it or by reproducing its semantics exactly
+    (see the module docstring).  :meth:`spmv` is dispatched on every
+    product; :meth:`checksum_products` and :meth:`norm2` are routed at
+    ABFT setup and the residual checks.
     """
 
     #: Registry name ("reference", "scipy", "dense", ...).
@@ -99,6 +146,19 @@ class BaseBackend:
     """
 
     name = "base"
+
+    def prepare(self, a: "CSRMatrix") -> None:
+        """Optional pre-solve hook (not part of the minimal protocol).
+
+        Called once per solve by the resilience engine, after backend
+        resolution and *before* the solve's wall clock starts.  Two
+        shipped uses: capacity-capped backends fail fast here with a
+        :class:`BackendCapacityError` instead of mid-solve, and JIT
+        backends trigger their one-time kernel compilation here so the
+        warm-up never pollutes per-task timing.  The engine looks the
+        hook up with ``getattr``, so protocol-only custom backends
+        that predate it keep working.
+        """
 
     def checksum_products(self, a: "CSRMatrix", weights: np.ndarray) -> np.ndarray:
         """``WᵀA`` via the reference scatter-reduction (reliable path)."""

@@ -1,0 +1,175 @@
+"""Threaded backend: row-partitioned clean SpMxV on a thread pool.
+
+Large clean products are split into contiguous nnz-balanced row blocks
+(:func:`repro.parallel.partition.partition_by_nnz` — the same 1-D
+balanced-chains partitioner the simulated-parallel layer uses) and the
+per-block segment reductions run concurrently on a shared
+:class:`~concurrent.futures.ThreadPoolExecutor`.  Each worker runs
+``val[s:e] * x[colid[s:e]]`` + ``np.add.reduceat`` on its own slice —
+NumPy releases the GIL inside those ufunc loops, so blocks genuinely
+overlap on multicore hosts.
+
+**Bit-identity falls out of the partitioning**: every row's nonzeros
+live in exactly one contiguous block, and reduceat sums each row's
+segment in the same left-to-right order whether the row sits in a
+slice or in the full array.  The partition changes *which thread*
+computes a row, never the floats — so the backend is bit-identical to
+``reference`` on clean products (stronger than the numerically-
+equivalent contract the backend axis requires), and fault-free
+convergence histories match the reference run exactly
+(``tests/test_backends.py`` locks both).
+
+Guarded products (no ``structure_clean`` stamp), small matrices
+(``min_rows``), and single-CPU hosts all route to the reference
+kernel: the guarded fault physics stays single-sourced in
+:func:`repro.sparse.spmv.spmv`, and threading tiny products costs more
+in handoff than it saves.  ``checksum_products``/``dot``/``norm2``
+inherit the reliable base implementations.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import weakref
+from concurrent.futures import ThreadPoolExecutor
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.backends.protocol import BaseBackend
+from repro.parallel.partition import RowPartition, partition_by_nnz
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sparse.csr import CSRMatrix
+
+__all__ = ["ThreadedBackend"]
+
+#: Below this row count the thread handoff costs more than it saves.
+_DEFAULT_MIN_ROWS = 2048
+
+
+class ThreadedBackend(BaseBackend):
+    """Row-partitioned clean SpMxV across a lazily-created thread pool.
+
+    Parameters
+    ----------
+    threads:
+        Worker count.  ``None`` (default) uses ``os.cpu_count()``.
+        With one thread the backend degenerates to the reference
+        kernel (no pool is ever created).
+    min_rows:
+        Matrices with fewer rows than this run on the reference kernel
+        directly; partitioning overhead only pays off at scale.
+    """
+
+    name = "threaded"
+
+    def __init__(
+        self, *, threads: "int | None" = None, min_rows: int = _DEFAULT_MIN_ROWS
+    ) -> None:
+        if threads is None:
+            threads = os.cpu_count() or 1
+        if threads < 1:
+            raise ValueError(f"threads must be >= 1, got {threads}")
+        self.threads = int(threads)
+        self.min_rows = int(min_rows)
+        self._pool: "ThreadPoolExecutor | None" = None
+        self._pool_lock = threading.Lock()
+        # One partition per matrix object, recomputed only when the
+        # matrix is new — keyed weakly so long sweeps don't pin every
+        # operator they ever touched.
+        self._partitions: "weakref.WeakKeyDictionary[object, RowPartition]" = (
+            weakref.WeakKeyDictionary()
+        )
+
+    def _get_pool(self) -> ThreadPoolExecutor:
+        pool = self._pool
+        if pool is None:
+            with self._pool_lock:
+                pool = self._pool
+                if pool is None:
+                    pool = self._pool = ThreadPoolExecutor(
+                        max_workers=self.threads,
+                        thread_name_prefix="repro-spmv",
+                    )
+        return pool
+
+    def _partition(self, a: "CSRMatrix") -> RowPartition:
+        part = self._partitions.get(a)
+        if part is None:
+            nparts = min(self.threads, a.nrows)
+            part = partition_by_nnz(a, nparts)
+            self._partitions[a] = part
+        return part
+
+    def prepare(self, a: "CSRMatrix") -> None:
+        """Warm the pool and the matrix's partition outside timed regions."""
+        if self.threads > 1 and a.nrows >= self.min_rows and a.structure_clean:
+            self._get_pool()
+            self._partition(a)
+
+    def spmv(
+        self,
+        a: "CSRMatrix",
+        x: np.ndarray,
+        *,
+        out: "np.ndarray | None" = None,
+        scratch: "np.ndarray | None" = None,
+    ) -> np.ndarray:
+        from repro.sparse.spmv import spmv
+
+        # Guarded, small, or effectively serial: the reference kernel
+        # is both the required semantics and the faster choice.
+        if (
+            not a.structure_clean
+            or self.threads == 1
+            or a.nrows < self.min_rows
+            or a.nnz == 0
+        ):
+            return spmv(a, x, out=out, scratch=scratch)
+        x = np.asarray(x, dtype=np.float64)
+        if x.shape != (a.ncols,):
+            raise ValueError(f"x must have shape ({a.ncols},), got {x.shape}")
+        n = a.nrows
+        if out is None:
+            y = np.empty(n, dtype=np.float64)
+        else:
+            if out.shape != (n,):
+                raise ValueError(f"out must have shape ({n},), got {out.shape}")
+            y = out
+        part = self._partition(a)
+        val, colid, rowptr = a.val, a.colid, a.rowidx
+
+        def _block(rank: int) -> None:
+            lo, hi = part.rows_of(rank)
+            s, e = int(rowptr[lo]), int(rowptr[hi])
+            if e <= s:
+                y[lo:hi] = 0.0
+                return
+            with np.errstate(over="ignore", invalid="ignore"):
+                if scratch is None:
+                    products = val[s:e] * x[colid[s:e]]
+                else:
+                    products = np.take(
+                        x, colid[s:e], out=scratch[s:e], mode="clip"
+                    )
+                    np.multiply(val[s:e], products, out=products)
+            starts = rowptr[lo:hi] - s
+            if a._rows_nonempty:
+                np.add.reduceat(products, starts, out=y[lo:hi])
+                return
+            yb = y[lo:hi]
+            yb[:] = 0.0
+            nonempty = rowptr[lo + 1 : hi + 1] > rowptr[lo:hi]
+            if nonempty.any():
+                yb[nonempty] = np.add.reduceat(products, starts[nonempty])
+
+        pool = self._get_pool()
+        # Run the last block on the calling thread: with p workers and
+        # p blocks this avoids one idle handoff per product.
+        futures = [pool.submit(_block, r) for r in range(part.nparts - 1)]
+        _block(part.nparts - 1)
+        for f in futures:
+            f.result()  # re-raises worker exceptions
+        return y

@@ -341,12 +341,16 @@ class SolveWorkspace:
             self._jacobi_minv = minv
         return self._jacobi_minv
 
-    def checksums(self, a: CSRMatrix, *, nchecks: int) -> "SpmvChecksums":
+    def checksums(
+        self, a: CSRMatrix, *, nchecks: int, backend: "object | None" = None
+    ) -> "SpmvChecksums":
         """Process-cached ABFT metadata for ``a`` (see
-        :func:`repro.abft.checksums.cached_checksums`)."""
+        :func:`repro.abft.checksums.cached_checksums`).  ``backend``
+        is the resolved kernel backend whose ``checksum_products``
+        runs the setup product (``None`` = reference)."""
         from repro.abft.checksums import cached_checksums
 
-        return cached_checksums(a, nchecks=nchecks)
+        return cached_checksums(a, nchecks=nchecks, backend=backend)
 
     def release(self) -> None:
         """Drop every held array and matrix reference.

@@ -115,7 +115,14 @@ class BiCGstabPlugin:
         self.scal["iteration"] = int(cp.scalars["iteration"])
 
     def initial_converged(self, threshold: float) -> bool:
-        return float(np.linalg.norm(self.r)) <= threshold
+        return self._rnorm() <= threshold
+
+    def _rnorm(self) -> float:
+        """Residual norm via the active backend (bit-identical: every
+        shipped backend inherits the NumPy reduction)."""
+        if self.backend is not None:
+            return float(self.backend.norm2(self.r))
+        return float(np.linalg.norm(self.r))
 
     def after_rollback(self) -> None:
         """BiCGstab keeps no verification-chunk state."""
@@ -187,5 +194,5 @@ class BiCGstabPlugin:
         self.scal.update({"rho": rho_new, "alpha": alpha_k, "omega": omega_k})
         self.scal["iteration"] += 1
 
-        rnorm = float(np.linalg.norm(self.r))
+        rnorm = self._rnorm()
         return StepOutcome.advanced(bool(np.isfinite(rnorm) and rnorm <= ctx.threshold))

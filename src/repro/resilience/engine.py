@@ -436,6 +436,8 @@ class EngineContext:
     def reliably_converged(self) -> bool:
         """Trustworthy convergence decision (reliable arithmetic, clean A)."""
         true_r = self.b - spmv(self.a_view, self.plugin.vectors["x"], backend=self.backend)
+        if self.backend is not None:
+            return float(self.backend.norm2(true_r)) <= self.threshold
         return float(np.linalg.norm(true_r)) <= self.threshold
 
 
@@ -529,10 +531,18 @@ def run_protected(
     SolveResult
     """
     plugin.check_scheme(config.scheme)
-    wall_start = _time.perf_counter()
     if backend is None and workspace is not None:
         backend = workspace.backend
     backend = resolve_backend(backend)
+    if backend is not None:
+        # Pre-solve hook, before the wall clock: JIT backends compile
+        # here (first-call warm-up never pollutes per-task timing) and
+        # capacity-capped backends fail fast with a structured error
+        # instead of dying mid-solve.
+        prepare = getattr(backend, "prepare", None)
+        if prepare is not None:
+            prepare(a)
+    wall_start = _time.perf_counter()
     tr = resolve_tracer(tracer)
     if observer is not None:
         warnings.warn(
@@ -601,12 +611,16 @@ def run_protected(
             if tr is not None:
                 from repro.abft.checksums import checksums_cached
 
-                cache_state = "hit" if checksums_cached(a, nchecks=nchecks) else "miss"
-            ctx.checksums = workspace.checksums(a, nchecks=nchecks)
+                cache_state = (
+                    "hit"
+                    if checksums_cached(a, nchecks=nchecks, backend=backend)
+                    else "miss"
+                )
+            ctx.checksums = workspace.checksums(a, nchecks=nchecks, backend=backend)
             if tr is not None:
                 tr.emit("abft-setup", 0, nchecks=nchecks, cache=cache_state)
         else:
-            ctx.checksums = compute_checksums(a, nchecks=nchecks)
+            ctx.checksums = compute_checksums(a, nchecks=nchecks, backend=backend)
             if tr is not None:
                 tr.emit("abft-setup", 0, nchecks=nchecks, cache="off")
 
@@ -720,7 +734,10 @@ def run_protected(
     ctx.breakdown.useful_work += ctx.uncommitted
 
     x = plugin.vectors["x"]
-    true_residual = float(np.linalg.norm(b - spmv(a_view, x, backend=backend)))
+    final_r = b - spmv(a_view, x, backend=backend)
+    true_residual = float(
+        backend.norm2(final_r) if backend is not None else np.linalg.norm(final_r)
+    )
     result = SolveResult(
         x=x.copy(),
         converged=bool(true_residual <= ctx.threshold or (converged and not final_check)),

@@ -107,7 +107,14 @@ class JacobiPCGPlugin:
         self.iteration = cp.iteration
 
     def initial_converged(self, threshold: float) -> bool:
-        return float(np.linalg.norm(self.r)) <= threshold
+        return self._rnorm() <= threshold
+
+    def _rnorm(self) -> float:
+        """Residual norm via the active backend (bit-identical: every
+        shipped backend inherits the NumPy reduction)."""
+        if self.backend is not None:
+            return float(self.backend.norm2(self.r))
+        return float(np.linalg.norm(self.r))
 
     def after_rollback(self) -> None:
         """PCG keeps no verification-chunk state."""
@@ -162,5 +169,5 @@ class JacobiPCGPlugin:
         self.rz = rz_new
         self.iteration += 1
 
-        rnorm = float(np.linalg.norm(self.r))
+        rnorm = self._rnorm()
         return StepOutcome.advanced(bool(np.isfinite(rnorm) and rnorm <= ctx.threshold))

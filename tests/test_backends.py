@@ -22,11 +22,17 @@ import pytest
 import repro
 from repro.abft.spmv import SpmvStatus, protected_spmv
 from repro.backends import (
+    BackendCapacityError,
+    BackendUnavailableError,
     DenseBackend,
+    NumbaBackend,
     ReferenceBackend,
     ScipyBackend,
+    ThreadedBackend,
     available_backends,
+    backend_available,
     get_backend,
+    numba_available,
     register_backend,
     resolve_backend,
 )
@@ -59,8 +65,17 @@ def small_system():
 class TestRegistry:
     def test_shipped_backends_registered(self):
         names = available_backends()
-        for expected in ("reference", "scipy", "dense"):
+        for expected in ("reference", "scipy", "dense", "numba", "threaded"):
             assert expected in names
+
+    def test_backend_available_probe_never_raises(self):
+        assert backend_available("reference")
+        assert backend_available("scipy")
+        assert backend_available("threaded")
+        assert not backend_available("cuda")
+        # numba: True iff the optional dependency is importable; either
+        # way the probe must not raise.
+        assert backend_available("numba") == numba_available()
 
     def test_get_backend_by_name_is_shared_instance(self):
         assert get_backend("scipy") is get_backend("scipy")
@@ -499,3 +514,261 @@ class TestCli:
                      "--backend", "scipy"])
         assert code == 0
         assert "2213" in capsys.readouterr().out
+
+
+# ---------------------------------------------------------------------------
+# corrupted-structure grid, run against every registered backend
+# ---------------------------------------------------------------------------
+
+#: Directed corruptions covering all three matrix arrays the fault model
+#: can strike.  Every case dirties the structure stamp, so every backend
+#: must produce the *bits* of the reference guarded kernel: scipy/dense/
+#: threaded by falling back to it, numba by its transcription of it.
+CORRUPTIONS = {
+    "colid_oob": lambda a: a.colid.__setitem__(3, a.ncols + 17),
+    "colid_negative": lambda a: a.colid.__setitem__(5, -3),
+    "val_large": lambda a: a.val.__setitem__(7, a.val[7] + 1e6),
+    "val_nan": lambda a: a.val.__setitem__(2, np.nan),
+    "rowidx_oob": lambda a: a.rowidx.__setitem__(3, a.nnz + 50),
+    "rowidx_negative": lambda a: a.rowidx.__setitem__(2, -5),
+    "rowidx_nonmonotone": lambda a: a.rowidx.__setitem__(4, int(a.rowidx[7]) + 3),
+    "rowidx_equal_starts": lambda a: a.rowidx.__setitem__(4, int(a.rowidx[5])),
+    "rowidx_shifted_boundary": lambda a: a.rowidx.__setitem__(
+        4, (int(a.rowidx[3]) + int(a.rowidx[5])) // 2
+    ),
+}
+
+
+@pytest.fixture(params=sorted(available_backends()))
+def any_backend(request):
+    """Every registered backend, skipping (visibly) the ones whose
+    optional dependency is missing in this environment."""
+    name = request.param
+    if name == "numba" and not numba_available():
+        pytest.skip(
+            "backend 'numba' skipped: optional dependency numba is not "
+            "installed (install with `pip install -e .[numba]`)"
+        )
+    if name == "threaded":
+        # Force real threading: the registry default sizes the pool from
+        # os.cpu_count() and falls back to reference below 2048 rows.
+        return ThreadedBackend(threads=4, min_rows=1)
+    return get_backend(name)
+
+
+class TestAllBackendsCorruptionGrid:
+    @pytest.mark.parametrize("kind", sorted(CORRUPTIONS))
+    def test_corrupted_product_bit_identical(self, any_backend, kind):
+        a = stamped(stencil_spd(144, kind="cross", radius=2))
+        CORRUPTIONS[kind](a)
+        a.mark_structure_dirty()
+        x = np.random.default_rng(21).standard_normal(a.ncols)
+        y_ref = spmv(a, x)
+        y = spmv(a, x, backend=any_backend)
+        assert np.array_equal(y, y_ref, equal_nan=True)
+
+    def test_fault_free_solve_runs_on_every_backend(self, any_backend):
+        a = stencil_spd(100, kind="cross", radius=1)
+        b = make_rhs(a)
+        report = repro.solve(a, b, backend=any_backend, eps=1e-8)
+        assert report.converged
+        ref = repro.solve(a, b, eps=1e-8)
+        assert report.iterations == ref.iterations
+        assert report.time_units == ref.time_units
+
+
+# ---------------------------------------------------------------------------
+# threaded backend (row-partitioned clean products)
+# ---------------------------------------------------------------------------
+
+
+class TestThreadedBackend:
+    def _be(self, threads=4):
+        return ThreadedBackend(threads=threads, min_rows=1)
+
+    def test_bit_identical_on_clean_products(self, suite_matrix):
+        # Contiguous row blocks keep every row's reduceat segment whole,
+        # so the threaded product is the reference product, bit for bit.
+        a = stamped(suite_matrix.copy())
+        be = self._be()
+        rng = np.random.default_rng(31)
+        for _ in range(5):
+            x = rng.standard_normal(a.ncols)
+            assert np.array_equal(be.spmv(a, x), spmv(a, x))
+
+    def test_honours_out_and_scratch(self, suite_matrix):
+        a = stamped(suite_matrix.copy())
+        be = self._be()
+        x = np.random.default_rng(32).standard_normal(a.ncols)
+        out = np.full(a.nrows, np.nan)
+        scratch = np.empty(a.nnz)
+        y = spmv(a, x, out=out, scratch=scratch, backend=be)
+        assert y is out
+        assert np.array_equal(out, spmv(a, x))
+
+    def test_unstamped_falls_back_to_reference(self, suite_matrix):
+        be = self._be()
+        x = np.random.default_rng(33).standard_normal(suite_matrix.ncols)
+        assert not suite_matrix.structure_clean
+        assert np.array_equal(be.spmv(suite_matrix, x), spmv(suite_matrix, x))
+        # Guarded work never spins up the pool.
+        assert be._pool is None
+
+    def test_small_matrix_stays_serial(self):
+        a = stamped(stencil_spd(100, kind="cross", radius=1))
+        be = ThreadedBackend(threads=4)  # default min_rows=2048
+        x = np.ones(a.ncols)
+        assert np.array_equal(be.spmv(a, x), spmv(a, x))
+        assert be._pool is None
+
+    def test_single_thread_never_creates_pool(self, suite_matrix):
+        a = stamped(suite_matrix.copy())
+        be = ThreadedBackend(threads=1, min_rows=1)
+        x = np.ones(a.ncols)
+        assert np.array_equal(be.spmv(a, x), spmv(a, x))
+        assert be._pool is None
+
+    def test_prepare_warms_pool_and_partition(self, suite_matrix):
+        a = stamped(suite_matrix.copy())
+        be = self._be()
+        be.prepare(a)
+        assert be._pool is not None
+        # The partition is cached per matrix: a second prepare reuses it.
+        part = be._partition(a)
+        assert be._partition(a) is part
+
+    def test_empty_matrix(self):
+        a = stamped(CSRMatrix(
+            np.zeros(0), np.zeros(0, dtype=np.int64),
+            np.zeros(4, dtype=np.int64), (3, 3),
+        ))
+        assert np.array_equal(self._be().spmv(a, np.ones(3)), np.zeros(3))
+
+    def test_fault_free_solve_identical_history(self, small_system):
+        # Acceptance lock: same iterations, same simulated time, same
+        # solution bits as the reference backend on a fault-free solve.
+        a, b = small_system
+        ref = repro.solve(a, b, eps=1e-8)
+        th = repro.solve(a, b, backend=self._be(), eps=1e-8)
+        assert th.backend == "threaded"
+        assert th.solution_sha256 == ref.solution_sha256
+        assert th.time_units == ref.time_units
+        assert th.history == ref.history
+
+    def test_faulty_solve_same_strike_streams(self, small_system):
+        a, b = small_system
+        kwargs = dict(faults=repro.FaultSpec(alpha=0.1, seed=5), eps=1e-6)
+        ref = repro.solve(a, b, **kwargs)
+        th = repro.solve(a, b, backend=self._be(), **kwargs)
+        assert th.counters.faults_injected == ref.counters.faults_injected
+        assert th.converged and ref.converged
+
+
+# ---------------------------------------------------------------------------
+# dense capacity: structured error, surfaced before any O(n^2) work
+# ---------------------------------------------------------------------------
+
+
+class TestDenseCapacity:
+    def test_capacity_error_is_structured(self):
+        a = stamped(stencil_spd(81, kind="cross", radius=1))
+        be = DenseBackend(max_n=50)
+        with pytest.raises(BackendCapacityError) as ei:
+            be.prepare(a)
+        err = ei.value
+        assert isinstance(err, ValueError)  # legacy handlers still catch it
+        assert err.backend == "dense"
+        assert err.cap == 50
+        assert err.n == a.nrows
+        assert "reference" in err.hint
+        assert "capped" in str(err)
+
+    def test_spmv_checks_capacity_defensively(self):
+        a = stamped(stencil_spd(81, kind="cross", radius=1))
+        with pytest.raises(BackendCapacityError):
+            DenseBackend(max_n=50).spmv(a, np.ones(a.ncols))
+
+    def test_study_sweeping_oversized_workload_raises_structured(self):
+        # uid 2213 is n=20000 at paper scale, so scale=4 lands ~n=5000 —
+        # past the 4096 cap.  The error must surface from study.run as
+        # one structured BackendCapacityError, raised in prepare()
+        # before the dense backend materializes anything O(n^2).
+        study = (repro.Study("dense-cap")
+                 .axis("backend", ["dense"])
+                 .fix(uid=2213, scale=4, reps=1, s=4))
+        with pytest.raises(BackendCapacityError) as ei:
+            study.run(jobs=1)
+        err = ei.value
+        assert err.backend == "dense"
+        assert err.cap == 4096
+        assert err.n > 4096
+        assert "threaded" in err.hint
+
+
+# ---------------------------------------------------------------------------
+# numba availability gating (both directions)
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.skipif(numba_available(), reason="numba installed: the "
+                    "unavailable-path errors cannot be triggered")
+class TestNumbaUnavailable:
+    def test_constructor_raises_actionable_error(self):
+        with pytest.raises(BackendUnavailableError, match=r"pip install"):
+            NumbaBackend()
+
+    def test_get_backend_surfaces_unavailable(self):
+        with pytest.raises(BackendUnavailableError, match="numba"):
+            get_backend("numba")
+
+    def test_backend_available_reports_false_without_raising(self):
+        assert backend_available("numba") is False
+
+    def test_study_axis_rejects_with_clear_error(self):
+        with pytest.raises(BackendUnavailableError, match="optional"):
+            repro.Study("jit").axis("backend", ["numba"])
+
+    def test_solve_rejects_with_clear_error(self, small_system):
+        a, b = small_system
+        with pytest.raises(BackendUnavailableError, match="numba"):
+            repro.solve(a, b, backend="numba")
+
+    def test_cli_flag_is_usage_error(self, capsys):
+        from repro.api.cli import main
+
+        assert main(["solve", "--scale", "64", "--backend", "numba"]) == 2
+        assert "numba" in capsys.readouterr().err
+
+    def test_interpreted_mode_still_constructs(self):
+        # jit=False is the test-and-CI escape hatch: same kernel bodies,
+        # interpreted — no numba needed.
+        be = NumbaBackend(jit=False)
+        assert be.name == "numba"
+        assert not be.compiled
+
+
+@pytest.mark.skipif(not numba_available(), reason="optional dependency "
+                    "numba is not installed")
+class TestNumbaAvailable:
+    def test_registry_instance_is_compiled(self):
+        be = get_backend("numba")
+        assert be.compiled
+        assert backend_available("numba")
+
+    def test_solve_end_to_end(self, small_system):
+        a, b = small_system
+        ref = repro.solve(a, b, eps=1e-8)
+        nb = repro.solve(a, b, backend="numba", eps=1e-8)
+        assert nb.backend == "numba"
+        assert nb.solution_sha256 == ref.solution_sha256
+        assert nb.time_units == ref.time_units
+
+    def test_cli_flag_accepted(self, capsys):
+        from repro.api.cli import main
+
+        code = main(["solve", "--scale", "64", "--alpha", "0",
+                     "--backend", "numba", "--json"])
+        assert code == 0
+        import json
+
+        assert json.loads(capsys.readouterr().out)["backend"] == "numba"
