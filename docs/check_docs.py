@@ -14,8 +14,8 @@ by the CI ``docs`` job next to the mkdocs strict build:
    exist).
 3. **Public docstrings.**  Every object exported via ``__all__`` from
    the audited packages (repro.api, repro.backends, repro.obs,
-   repro.resilience, and their submodules) must carry a docstring, as
-   must the modules themselves.
+   repro.resilience, repro.store, and their submodules) must carry a
+   docstring, as must the modules themselves.
 4. **Examples gallery.**  Every ``examples/*.py`` must be linked from
    README.md.
 
@@ -32,7 +32,13 @@ ROOT = pathlib.Path(__file__).resolve().parent.parent
 SRC = ROOT / "src"
 
 #: Packages whose public surface must be documented.
-AUDITED_PACKAGES = ("repro.api", "repro.backends", "repro.obs", "repro.resilience")
+AUDITED_PACKAGES = (
+    "repro.api",
+    "repro.backends",
+    "repro.obs",
+    "repro.resilience",
+    "repro.store",
+)
 
 _LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
 _SECTION = re.compile(r"DESIGN\.md.{0,12}?§(\d+)", re.DOTALL)

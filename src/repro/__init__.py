@@ -28,6 +28,10 @@ The library provides:
   (:mod:`repro.sim`);
 - a parallel, resumable experiment-campaign engine with crash-safe
   JSONL persistence (:mod:`repro.campaign`);
+- pluggable campaign stores — single-file JSONL, hash-partitioned
+  shards and WAL-mode SQLite behind one URL-selected protocol, with
+  lossless migration, streaming aggregation over partial stores and a
+  lease-coordinated multi-worker serve mode (:mod:`repro.store`);
 - the zero-copy hot path: reusable solve workspaces with strike-undo
   matrix restore and per-process checksum/matrix caches, bit-identical
   to the fresh-allocation oracle (:mod:`repro.perf`);
@@ -117,8 +121,14 @@ from repro.backends import (
     get_backend,
     register_backend,
 )
+from repro.store import (
+    StoreBackend,
+    available_store_schemes,
+    open_store,
+    register_store,
+)
 
-__version__ = "1.6.0"
+__version__ = "1.7.0"
 
 __all__ = [
     "CSRMatrix",
@@ -173,5 +183,9 @@ __all__ = [
     "available_backends",
     "get_backend",
     "register_backend",
+    "StoreBackend",
+    "available_store_schemes",
+    "open_store",
+    "register_store",
     "__version__",
 ]

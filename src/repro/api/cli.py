@@ -51,8 +51,11 @@ def _add_campaign_options(parser: argparse.ArgumentParser) -> None:
              "any value is bit-identical to serial)",
     )
     group.add_argument(
-        "--store", type=str, default=None,
-        help="JSONL result store for crash-safe persistence / resume",
+        "--store", type=str, default=None, metavar="URL",
+        help="result store for crash-safe persistence / resume: a bare "
+             "path (single-file JSONL), sharded:DIR (hash-partitioned "
+             "shards, concurrent writers) or sqlite:FILE.db (WAL "
+             "database, concurrent writers)",
     )
     group.add_argument(
         "--resume", action="store_true",
@@ -244,13 +247,81 @@ def build_parser() -> argparse.ArgumentParser:
     # --- report -----------------------------------------------------------
     p = sub.add_parser(
         "report",
-        help="summarize a campaign result store (JSONL)",
-        description="Fold a JSONL result store into per-(experiment, method, "
-                    "scheme) aggregates without re-running anything.",
+        help="summarize a campaign result store",
+        description="Stream a result store (bare path = JSONL, sharded:DIR, "
+                    "sqlite:FILE.db) into per-(experiment, method, scheme) "
+                    "aggregates without re-running anything; partial stores "
+                    "of still-running campaigns summarize fine.",
     )
-    p.add_argument("store", type=str, help="path to a JSONL result store")
+    p.add_argument("store", type=str, help="result store path or URL")
     p.add_argument("--json", action="store_true", help="print the summary as JSON")
     p.set_defaults(func=_cmd_report)
+
+    # --- store ------------------------------------------------------------
+    p = sub.add_parser(
+        "store",
+        help="inspect and migrate campaign result stores",
+        description="Operate on result stores of any backend "
+                    "(see repro.store): bare path = single-file JSONL, "
+                    "sharded:DIR, sqlite:FILE.db.",
+    )
+    store_sub = p.add_subparsers(dest="store_command", metavar="ACTION")
+    pi = store_sub.add_parser(
+        "info",
+        help="show a store's backend, record count and layout",
+        description="Print the resolved backend, distinct record count and "
+                    "backend-specific layout details (shard fill, lease "
+                    "activity) without materializing the store.",
+    )
+    pi.add_argument("store", type=str, help="result store path or URL")
+    pi.add_argument("--json", action="store_true", help="print as JSON")
+    pm = store_sub.add_parser(
+        "migrate",
+        help="copy every record of one store into an empty one",
+        description="Stream records losslessly between backends "
+                    "(jsonl <-> sharded <-> sqlite).  Task hashes are "
+                    "preserved, so --resume against the destination "
+                    "recomputes nothing and aggregates stay bit-identical.",
+    )
+    pm.add_argument("src", type=str, help="source store path or URL")
+    pm.add_argument("dst", type=str, help="destination store path or URL (must be empty)")
+    p.set_defaults(func=_cmd_store)
+
+    # --- serve ------------------------------------------------------------
+    p = sub.add_parser(
+        "serve",
+        help="run Study specs through a lease-coordinated worker fleet",
+        description="Start N long-lived workers that claim tasks from a "
+                    "shared concurrent store (sharded:DIR or sqlite:FILE.db) "
+                    "via leases with heartbeats, stealing work from crashed "
+                    "peers.  Several serve invocations may share one store "
+                    "concurrently; per-task results are identical to "
+                    "--jobs 1.",
+    )
+    p.add_argument(
+        "specs", type=str, nargs="+", metavar="SPEC",
+        help="Study spec JSON file(s) (written by Study.save()); several "
+             "specs multiplex over the same fleet",
+    )
+    p.add_argument(
+        "--store", type=str, required=True, metavar="URL",
+        help="concurrent result store: sharded:DIR or sqlite:FILE.db "
+             "(single-file JSONL stores cannot coordinate workers)",
+    )
+    p.add_argument(
+        "--workers", type=int, default=2,
+        help="worker processes in the fleet (default: 2)",
+    )
+    p.add_argument(
+        "--lease-ttl", type=float, default=60.0, metavar="SECONDS",
+        help="crash-detection horizon: a worker silent this long loses its "
+             "claimed tasks to the rest of the fleet (default: 60)",
+    )
+    p.add_argument(
+        "--progress", choices=("bar", "json", "none"), default="bar",
+        help="stderr progress style (as for the campaign commands)",
+    )
+    p.set_defaults(func=_cmd_serve)
 
     return parser
 
@@ -278,16 +349,28 @@ def _check_campaign_args(parser: argparse.ArgumentParser, args: argparse.Namespa
         parser.error(f"--jobs must be >= 1, got {args.jobs}")
     if args.resume and not args.store:
         parser.error("--resume requires --store")
-    if args.store and not args.resume:
-        import pathlib
-
-        p = pathlib.Path(args.store)
-        if p.exists() and p.stat().st_size > 0:
-            parser.error(
-                f"store {args.store!r} already has results; "
-                "pass --resume to continue it or remove the file to start fresh"
-            )
+    if args.store:
+        _check_store_arg(parser, args.store, resume=args.resume)
     return default_jobs() if args.jobs is None else args.jobs
+
+
+def _check_store_arg(
+    parser: argparse.ArgumentParser, spec: str, *, resume: bool
+) -> None:
+    """Reject a bad --store selector, and a non-empty one without --resume."""
+    from repro.campaign.store import StoreError
+    from repro.store import open_store
+
+    try:
+        store = open_store(spec)
+        populated = not resume and store.count() > 0
+    except (ValueError, StoreError) as exc:
+        parser.error(f"--store {spec!r}: {exc}")
+    if populated:
+        parser.error(
+            f"store {spec!r} already has results; "
+            "pass --resume to continue it or remove it to start fresh"
+        )
 
 
 def _cmd_solve(parser: argparse.ArgumentParser, args: argparse.Namespace) -> int:
@@ -505,15 +588,17 @@ def _cmd_trace(parser: argparse.ArgumentParser, args: argparse.Namespace) -> int
 
 def _cmd_report(parser: argparse.ArgumentParser, args: argparse.Namespace) -> int:
     import json
-    import pathlib
 
     from repro.api.report import format_summary, summarize_store
     from repro.campaign.store import StoreError
+    from repro.store import store_exists
 
-    if not pathlib.Path(args.store).exists():
-        parser.error(f"no such store: {args.store}")
     try:
+        if not store_exists(args.store):
+            parser.error(f"no such store: {args.store}")
         summary = summarize_store(args.store)
+    except ValueError as exc:  # bad URL (unknown scheme, empty path)
+        parser.error(f"store {args.store!r}: {exc}")
     except StoreError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
@@ -521,6 +606,103 @@ def _cmd_report(parser: argparse.ArgumentParser, args: argparse.Namespace) -> in
         print(json.dumps(summary.to_dict(), indent=2))
     else:
         print(format_summary(summary))
+    return 0
+
+
+def _cmd_store(parser: argparse.ArgumentParser, args: argparse.Namespace) -> int:
+    import json
+
+    from repro.campaign.store import StoreError
+    from repro.store import migrate_store, open_store
+
+    if args.store_command == "migrate":
+        try:
+            moved = migrate_store(args.src, args.dst)
+        except (ValueError, StoreError) as exc:
+            parser.error(str(exc))
+        print(f"migrated {moved} record(s): {args.src} -> {args.dst}")
+        return 0
+    if args.store_command != "info":
+        parser.error(
+            "expected an action: repro store info <url> | "
+            "repro store migrate <src> <dst>"
+        )
+    try:
+        store = open_store(args.store)
+        info = store.info() if hasattr(store, "info") else {
+            "backend": type(store).__name__,
+            "url": store.url,
+            "records": store.count(),
+        }
+    except (ValueError, StoreError) as exc:
+        parser.error(f"store {args.store!r}: {exc}")
+    if args.json:
+        print(json.dumps(info, indent=2, sort_keys=True))
+        return 0
+    for key in ("backend", "url", "exists", "records", "bytes",
+                "shards", "active_leases"):
+        if key in info:
+            print(f"{key}: {info[key]}")
+    fill = info.get("shard_records")
+    if fill is not None:
+        print("shard fill: " + " ".join(str(n) for n in fill))
+    return 0
+
+
+def _cmd_serve(parser: argparse.ArgumentParser, args: argparse.Namespace) -> int:
+    from repro.api.study import Study
+    from repro.campaign.progress import ProgressReporter
+    from repro.campaign.store import StoreError
+    from repro.store import open_store, serve_campaign
+
+    if args.workers < 1:
+        parser.error(f"--workers must be >= 1, got {args.workers}")
+    if args.lease_ttl <= 0:
+        parser.error(f"--lease-ttl must be > 0, got {args.lease_ttl:g}")
+    tasks = []
+    names = []
+    for spec in args.specs:
+        try:
+            study = Study.load(spec)
+        except (OSError, ValueError, KeyError, TypeError) as exc:
+            parser.error(f"cannot load study spec {spec!r}: {exc}")
+        names.append(study.name)
+        tasks.extend(study.tasks())
+    try:
+        store = open_store(args.store)
+    except (ValueError, StoreError) as exc:
+        parser.error(f"--store {args.store!r}: {exc}")
+    if not store.supports_leases:
+        parser.error(
+            f"--store {args.store!r}: serve mode needs a concurrent "
+            "backend (sharded:DIR or sqlite:FILE.db); single-file JSONL "
+            "stores cannot coordinate workers"
+        )
+    reporter = None
+    if args.progress != "none":
+        reporter = ProgressReporter(
+            len(tasks), stream=sys.stderr,
+            label="+".join(names), mode=args.progress,
+        )
+    print(
+        f"serving {len(tasks)} task(s) from {len(args.specs)} spec(s) "
+        f"over {args.workers} worker(s) -> {store.url}",
+        file=sys.stderr,
+    )
+    try:
+        serve_campaign(
+            tasks,
+            store,
+            workers=args.workers,
+            lease_ttl=args.lease_ttl,
+            progress=reporter,
+        )
+    except (RuntimeError, StoreError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    from repro.api.report import format_summary, summarize_store
+
+    print(format_summary(summarize_store(store)))
     return 0
 
 

@@ -1,6 +1,6 @@
 """Reporting over campaign result stores (``repro report``).
 
-A campaign's JSONL store is its durable record: one line per completed
+A campaign's store is its durable record: one entry per completed
 task, carrying the task's full parameters and aggregated statistics.
 This module folds a store into a human-readable summary — one line per
 (experiment, method, backend, scheme) group with task counts,
@@ -9,14 +9,28 @@ re-running anything.  Stores written since the observability layer
 (:mod:`repro.obs`) also carry ``telemetry`` records; when present they
 render as an extra block (cache hit rates, buffer-pool reuse,
 per-phase time shares), and older stores report exactly as before.
+
+Any store backend works (:mod:`repro.store`): pass a bare JSONL path,
+``sharded:dir``, ``sqlite:file.db`` or a constructed backend.  The
+fold is *streaming*: records are consumed one at a time from
+``iter_records()`` and reduced on the spot to the handful of scalars a
+group needs, so a multi-GB store never materializes — and a *partial*
+store (campaign still running, or killed mid-flight) summarizes
+exactly the records it already holds.  Within each group the float
+accumulation runs in a canonical order (sorted by record hash), so
+the same record set yields a bit-identical report from every backend
+regardless of on-disk layout — the invariant the migration round-trip
+tests pin down.
 """
 
 from __future__ import annotations
 
 import os
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
-from repro.campaign.store import ResultStore
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.store.protocol import StoreBackend
 
 __all__ = ["GroupSummary", "StoreSummary", "summarize_store", "format_summary"]
 
@@ -55,8 +69,10 @@ class StoreSummary:
         return asdict(self)
 
 
-def summarize_store(path: "str | os.PathLike[str]") -> StoreSummary:
-    """Load a JSONL result store and fold it into a :class:`StoreSummary`.
+def summarize_store(
+    store: "StoreBackend | str | os.PathLike[str]",
+) -> StoreSummary:
+    """Stream a result store and fold it into a :class:`StoreSummary`.
 
     Records missing the executor's ``task``/``stats`` schema (for
     example hand-written entries) are counted as ``skipped`` rather
@@ -66,21 +82,31 @@ def summarize_store(path: "str | os.PathLike[str]") -> StoreSummary:
     several of them (a resumed campaign appends one per run) merge by
     counter addition; stores predating the telemetry schema simply
     report ``telemetry=None``.
+
+    The pass is single and streaming: each record is reduced to a
+    small projection — its group key and five statistics scalars —
+    before the next one is read, with last-wins per hash.  Memory is
+    proportional to the number of *distinct tasks*, never to record
+    payloads or file size.
     """
-    records = ResultStore(path).load()
-    groups: "dict[tuple[str, str, str, str], list[dict]]" = {}
-    skipped = 0
-    telemetry_recs: "list[dict]" = []
+    from repro.store import open_store
+
+    store = open_store(store)
     needed = ("mean_time", "min_time", "max_time", "convergence_rate", "reps")
-    for rec in records.values():
+    #: hash -> small projection: ("telemetry", rec), ("skip",), or
+    #: ("stats", group_key, reps, mean, min, max, conv).  Dict order =
+    #: first-appearance, values = last-wins — the same fold load() does.
+    latest: "dict[str, tuple]" = {}
+    for rec in store.iter_records():
+        h = rec["hash"]
         if rec.get("kind") == "telemetry":
-            telemetry_recs.append(rec)
+            latest[h] = ("telemetry", rec)
             continue
         task = rec.get("task")
         stats = rec.get("stats")
         if not isinstance(task, dict) or not isinstance(stats, dict) \
                 or any(k not in stats for k in needed):
-            skipped += 1
+            latest[h] = ("skip",)
             continue
         key = (
             str(task.get("experiment", "?")),
@@ -90,33 +116,54 @@ def summarize_store(path: "str | os.PathLike[str]") -> StoreSummary:
             str(task.get("backend", "reference")),
             str(task.get("scheme", "?")),
         )
-        groups.setdefault(key, []).append(rec)
+        latest[h] = (
+            "stats",
+            key,
+            stats["reps"],
+            stats["mean_time"],
+            stats["min_time"],
+            stats["max_time"],
+            stats["convergence_rate"],
+        )
+
+    groups: "dict[tuple[str, str, str, str], list[tuple]]" = {}
+    skipped = 0
+    telemetry_recs: "list[dict]" = []
+    # Canonical accumulation order — (group, hash) — so a migrated
+    # store reports bit-identically however its backend laid records
+    # out on disk.
+    for h in sorted(latest):
+        entry = latest[h]
+        if entry[0] == "stats":
+            groups.setdefault(entry[1], []).append(entry[2:])
+    for entry in latest.values():
+        if entry[0] == "telemetry":
+            telemetry_recs.append(entry[1])
+        elif entry[0] == "skip":
+            skipped += 1
 
     summaries: "list[GroupSummary]" = []
-    for (experiment, method, backend, scheme), recs in sorted(groups.items()):
-        stats = [r["stats"] for r in recs]
-        reps = sum(s["reps"] for s in stats)
+    for (experiment, method, backend, scheme), rows in sorted(groups.items()):
+        reps = sum(r[0] for r in rows)
         summaries.append(
             GroupSummary(
                 experiment=experiment,
                 method=method,
                 backend=backend,
                 scheme=scheme,
-                tasks=len(recs),
+                tasks=len(rows),
                 reps=reps,
-                mean_time=sum(s["mean_time"] for s in stats) / len(stats),
-                min_time=min(s["min_time"] for s in stats),
-                max_time=max(s["max_time"] for s in stats),
+                mean_time=sum(r[1] for r in rows) / len(rows),
+                min_time=min(r[2] for r in rows),
+                max_time=max(r[3] for r in rows),
                 convergence_rate=(
-                    sum(s["convergence_rate"] * s["reps"] for s in stats) / reps
-                    if reps
-                    else 0.0
+                    sum(r[4] * r[0] for r in rows) / reps if reps else 0.0
                 ),
             )
         )
     return StoreSummary(
-        path=str(path),
-        records=len(records) - len(telemetry_recs),
+        path=store.url,
+        records=len(latest) - len(telemetry_recs),
         skipped=skipped,
         groups=summaries,
         telemetry=_merge_telemetry(telemetry_recs),

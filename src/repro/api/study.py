@@ -5,8 +5,11 @@ and compiles it to the flat, content-hashable
 :class:`~repro.campaign.spec.TaskSpec` list the campaign engine
 executes.  Everything the engine gives the paper's own drivers comes
 for free: ``jobs`` fan-out over worker processes (bit-identical to
-serial), a JSONL result store keyed by task content hash, and resume
-of a killed sweep without recomputation.
+serial), a result store keyed by task content hash (any
+:mod:`repro.store` backend — single-file JSONL, ``sharded:`` or
+``sqlite:``), and resume of a killed sweep without recomputation.
+Saved specs (:meth:`Study.save`) also feed ``repro serve``, the
+lease-coordinated multi-worker fleet over a shared concurrent store.
 
 ::
 
@@ -54,9 +57,13 @@ from __future__ import annotations
 import json
 import os
 from dataclasses import dataclass, fields
+from typing import TYPE_CHECKING
 
 from repro.campaign.spec import CampaignSpec, TaskSpec
 from repro.core.methods import Method, Scheme
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.store.protocol import StoreBackend
 
 __all__ = ["Study", "StudyPoint", "StudyResult"]
 
@@ -443,7 +450,7 @@ class Study:
         self,
         *,
         jobs: "int | None" = 1,
-        store: "str | os.PathLike[str] | None" = None,
+        store: "StoreBackend | str | os.PathLike[str] | None" = None,
         progress: "bool | str" = False,
         chunksize: "int | None" = None,
         reuse_workspace: bool = True,
@@ -453,9 +460,15 @@ class Study:
 
         ``jobs`` fans tasks over worker processes (any value is
         bit-identical to serial); ``store`` persists per-task records
-        to JSONL and serves already-completed tasks from it without
+        and serves already-completed tasks from them without
         recomputation (this *is* resume — pointing a re-run at the same
-        store only executes what is missing); ``progress`` prints a
+        store only executes what is missing).  It accepts a constructed
+        backend or a selector URL (:mod:`repro.store`): a bare path is
+        the single-file JSONL store, ``sharded:dir`` hash-partitioned
+        shards, ``sqlite:file.db`` a WAL database — records and hence
+        aggregates are bit-identical across all of them, and a store
+        may be migrated between backends mid-campaign (``repro store
+        migrate``) without losing resume.  ``progress`` prints a
         throughput/ETA line to stderr — ``True`` or ``"bar"`` for the
         human status line, ``"json"`` for newline-delimited JSON
         objects schedulers can scrape, ``False``/``"none"`` for

@@ -13,9 +13,13 @@ package turns such a grid into a first-class *campaign*:
 - :mod:`repro.campaign.executor` — a :class:`concurrent.futures
   .ProcessPoolExecutor`-based runner with chunked scheduling,
   ordered-result collection and a serial fallback for ``jobs=1``;
-- :mod:`repro.campaign.store` — a JSONL result store keyed by task
-  hash: crash-safe append, cache-hit skipping and resume of
-  half-finished campaigns;
+- :mod:`repro.campaign.store` — the single-file JSONL result store
+  keyed by task hash: crash-safe append, cache-hit skipping and
+  resume of half-finished campaigns.  It is also the default backend
+  of the pluggable storage layer (:mod:`repro.store`), whose
+  ``sharded:`` / ``sqlite:`` backends add safe concurrent
+  multi-process writers, streaming aggregation over partial stores
+  and the lease-coordinated serve mode;
 - :mod:`repro.campaign.progress` — throughput / ETA reporting;
 - :mod:`repro.campaign.aggregate` — regrouping of raw per-task records
   into the existing :class:`~repro.sim.engine.RunStatistics` /
@@ -34,7 +38,10 @@ from repro.campaign.progress import ProgressReporter
 from repro.campaign.executor import default_jobs, execute_task, run_campaign
 from repro.campaign.aggregate import (
     aggregate_figure1,
+    aggregate_figure1_store,
     aggregate_table1,
+    aggregate_table1_store,
+    records_for_tasks,
     stats_from_record,
 )
 
@@ -49,5 +56,8 @@ __all__ = [
     "run_campaign",
     "aggregate_table1",
     "aggregate_figure1",
+    "aggregate_table1_store",
+    "aggregate_figure1_store",
+    "records_for_tasks",
     "stats_from_record",
 ]

@@ -12,18 +12,38 @@ loops' grouping, ordering and tie-breaking exactly:
   sweep dict, whose insertion order was the sorted grid;
 - Figure 1 is one point per task, in task order.
 
-Records may come fresh from workers or from a JSONL store; both paths
-produce bit-identical aggregates because floats survive the JSON
-round-trip exactly.
+Records may come fresh from workers or from any result store backend
+(:mod:`repro.store`); all paths produce bit-identical aggregates
+because floats survive the JSON round-trip exactly and every fold is
+ordered by the *task list*, never by store layout.
+
+Aggregation is *streaming*: the folds consume one record at a time and
+keep only the few scalars a row/point needs, so they work over
+``iter_records()`` of a partial multi-GB store without materializing
+it — that is what :func:`aggregate_table1_store` /
+:func:`aggregate_figure1_store` do, matching records to tasks by
+content hash as they stream past.
 """
 
 from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterable
 
 from repro.campaign.spec import TaskSpec
 from repro.sim.engine import RunStatistics
 from repro.sim.results import Figure1Point, Table1Row
 
-__all__ = ["stats_from_record", "aggregate_table1", "aggregate_figure1"]
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.store.protocol import StoreBackend
+
+__all__ = [
+    "stats_from_record",
+    "aggregate_table1",
+    "aggregate_figure1",
+    "aggregate_table1_store",
+    "aggregate_figure1_store",
+    "records_for_tasks",
+]
 
 
 def stats_from_record(record: dict) -> RunStatistics:
@@ -31,7 +51,8 @@ def stats_from_record(record: dict) -> RunStatistics:
     return RunStatistics(**record["stats"])
 
 
-def _paired(tasks: "list[TaskSpec]", records: "list[dict]", experiment: str):
+def _paired(tasks: "list[TaskSpec]", records: "Iterable[dict]", experiment: str):
+    records = list(records)
     if len(tasks) != len(records):
         raise ValueError(f"{len(tasks)} tasks but {len(records)} records")
     for task, rec in zip(tasks, records):
@@ -44,8 +65,64 @@ def _paired(tasks: "list[TaskSpec]", records: "list[dict]", experiment: str):
         yield task, rec
 
 
+class _Table1Fold:
+    """Incremental Table-1 fold: one (task, record) pair at a time.
+
+    Holds per group only what a :class:`Table1Row` needs — the
+    ``s → mean_time`` sweep and the first task/record's metadata —
+    never the record payloads.  Pair order is the task list's order,
+    so ties and group order are independent of where records came
+    from.
+    """
+
+    def __init__(self) -> None:
+        self._groups: "dict[tuple, dict]" = {}
+
+    def add(self, task: TaskSpec, rec: dict) -> None:
+        key = (task.uid, task.method, task.scheme)
+        group = self._groups.get(key)
+        if group is None:
+            group = self._groups[key] = {
+                "sweep": {},
+                "n": rec["n"],
+                "density": rec["density"],
+                "s_model": task.s_model,
+                "reps": task.reps,
+            }
+        # Duplicate s within a group keeps the last pair, matching the
+        # historical dict-of-stats construction.
+        group["sweep"][task.s] = rec["stats"]["mean_time"]
+
+    def rows(self) -> "list[Table1Row]":
+        rows: "list[Table1Row]" = []
+        for (uid, method, scheme), g in self._groups.items():
+            sweep = g["sweep"]
+            s_model = g["s_model"]
+            if s_model not in sweep:
+                raise ValueError(
+                    f"matrix {uid} / {method} / {scheme}: model interval "
+                    f"{s_model} missing from sweep {sorted(sweep)}"
+                )
+            s_best = min(sweep, key=lambda s: sweep[s])
+            rows.append(
+                Table1Row(
+                    uid=uid,
+                    n=g["n"],
+                    density=g["density"],
+                    scheme=scheme,
+                    s_model=s_model,
+                    time_model=sweep[s_model],
+                    s_best=s_best,
+                    time_best=sweep[s_best],
+                    reps=g["reps"],
+                    method=method,
+                )
+            )
+        return rows
+
+
 def aggregate_table1(
-    tasks: "list[TaskSpec]", records: "list[dict]"
+    tasks: "list[TaskSpec]", records: "Iterable[dict]"
 ) -> "list[Table1Row]":
     """Fold an interval-sweep campaign into Table-1 rows.
 
@@ -54,55 +131,120 @@ def aggregate_table1(
     and its measured time come from the group's ``s_model``, which must
     be one of the swept intervals.
     """
-    groups: "dict[tuple[int, str, str], list[tuple[TaskSpec, dict]]]" = {}
+    fold = _Table1Fold()
     for task, rec in _paired(tasks, records, "table1"):
-        groups.setdefault((task.uid, task.method, task.scheme), []).append((task, rec))
-    rows: "list[Table1Row]" = []
-    for (uid, method, scheme), pairs in groups.items():
-        sweep = {t.s: stats_from_record(r) for t, r in pairs}
-        first_task, first_rec = pairs[0]
-        s_model = first_task.s_model
-        if s_model not in sweep:
-            raise ValueError(
-                f"matrix {uid} / {method} / {scheme}: model interval {s_model} "
-                f"missing from sweep {sorted(sweep)}"
-            )
-        s_best = min(sweep, key=lambda s: sweep[s].mean_time)
-        rows.append(
-            Table1Row(
-                uid=uid,
-                n=first_rec["n"],
-                density=first_rec["density"],
-                scheme=scheme,
-                s_model=s_model,
-                time_model=sweep[s_model].mean_time,
-                s_best=s_best,
-                time_best=sweep[s_best].mean_time,
-                reps=first_task.reps,
-                method=method,
-            )
-        )
-    return rows
+        fold.add(task, rec)
+    return fold.rows()
 
 
 def aggregate_figure1(
-    tasks: "list[TaskSpec]", records: "list[dict]"
+    tasks: "list[TaskSpec]", records: "Iterable[dict]"
 ) -> "list[Figure1Point]":
     """Fold a scheme-comparison campaign into Figure-1 points (one per
     task, task order)."""
     points: "list[Figure1Point]" = []
     for task, rec in _paired(tasks, records, "figure1"):
-        stats = stats_from_record(rec)
-        points.append(
-            Figure1Point(
-                uid=task.uid,
-                scheme=task.scheme,
-                alpha=task.alpha,
-                mean_time=stats.mean_time,
-                sem_time=stats.sem_time,
-                s_used=task.s,
-                d_used=task.d,
-                method=task.method,
-            )
-        )
+        points.append(_figure1_point(task, rec))
     return points
+
+
+def _figure1_point(task: TaskSpec, rec: dict) -> Figure1Point:
+    stats = stats_from_record(rec)
+    return Figure1Point(
+        uid=task.uid,
+        scheme=task.scheme,
+        alpha=task.alpha,
+        mean_time=stats.mean_time,
+        sem_time=stats.sem_time,
+        s_used=task.s,
+        d_used=task.d,
+        method=task.method,
+    )
+
+
+# ----------------------------------------------------------------------
+# streaming over a store
+# ----------------------------------------------------------------------
+def records_for_tasks(
+    tasks: "list[TaskSpec]",
+    store: "StoreBackend | str",
+    *,
+    partial: bool = False,
+) -> "list[dict | None]":
+    """Stream a store once and return records aligned with ``tasks``.
+
+    Only records the tasks name are kept (memory is proportional to
+    the task list, not the store); duplicates resolve last-wins.  A
+    task without a record raises ``ValueError`` unless ``partial=True``
+    leaves a ``None`` hole — the tolerance a report over a
+    still-running or crashed campaign needs.
+    """
+    from repro.store import open_store
+
+    store = open_store(store)
+    wanted: "dict[str, list[int]]" = {}
+    for i, task in enumerate(tasks):
+        wanted.setdefault(task.task_hash(), []).append(i)
+    out: "list[dict | None]" = [None] * len(tasks)
+    for rec in store.iter_records():
+        slots = wanted.get(rec.get("hash"))
+        if slots is not None:
+            for i in slots:
+                out[i] = rec  # duplicates: last wins
+    if not partial:
+        missing = [tasks[i].task_hash() for i, r in enumerate(out) if r is None]
+        if missing:
+            raise ValueError(
+                f"store {store.url} is missing {len(missing)} record(s) "
+                f"for this campaign (first: {missing[0][:16]}…); "
+                "pass partial=True to aggregate what exists"
+            )
+    return out
+
+
+def aggregate_table1_store(
+    tasks: "list[TaskSpec]",
+    store: "StoreBackend | str",
+    *,
+    partial: bool = False,
+) -> "list[Table1Row]":
+    """Fold Table-1 rows straight out of a result store (streaming).
+
+    With ``partial=True``, groups whose sweep is incomplete (any
+    interval's record missing, or the model interval absent) are
+    skipped instead of raising — aggregate what a half-finished
+    campaign already proves, recompute the rest later.
+    """
+    records = records_for_tasks(tasks, store, partial=partial)
+    if not partial:
+        return aggregate_table1(tasks, records)
+    complete: "dict[tuple, bool]" = {}
+    for task, rec in zip(tasks, records):
+        key = (task.uid, task.method, task.scheme)
+        complete[key] = complete.get(key, True) and rec is not None
+    fold = _Table1Fold()
+    for task, rec in zip(tasks, records):
+        if complete[(task.uid, task.method, task.scheme)]:
+            fold.add(task, rec)
+    return fold.rows()
+
+
+def aggregate_figure1_store(
+    tasks: "list[TaskSpec]",
+    store: "StoreBackend | str",
+    *,
+    partial: bool = False,
+) -> "list[Figure1Point]":
+    """Fold Figure-1 points straight out of a result store (streaming).
+
+    With ``partial=True``, tasks without a record are simply absent
+    from the returned points (task order otherwise preserved).
+    """
+    records = records_for_tasks(tasks, store, partial=partial)
+    if not partial:
+        return aggregate_figure1(tasks, records)
+    return [
+        _figure1_point(task, rec)
+        for task, rec in zip(tasks, records)
+        if rec is not None
+    ]

@@ -16,7 +16,7 @@ Design notes
 - Scheduling is chunked (``~4`` chunks per worker) so pool IPC costs
   amortize over many short tasks while the tail stays balanced.
 - Each chunk is its own future, persisted to the optional
-  :class:`~repro.campaign.store.ResultStore` *as it completes* — a
+  :class:`~repro.store.protocol.StoreBackend` *as it completes* — a
   slow chunk never holds finished results hostage in parent memory,
   so a crash loses at most the chunks still in flight.  The returned
   record list is reassembled in task order regardless.
@@ -31,12 +31,14 @@ import os
 import uuid
 from concurrent.futures import ProcessPoolExecutor, as_completed
 from pathlib import Path
-from typing import Iterable
+from typing import TYPE_CHECKING, Iterable
 
 from repro.campaign.progress import ProgressReporter
 from repro.campaign.spec import TaskSpec
-from repro.campaign.store import ResultStore
 from repro.obs.metrics import METRICS, diff_snapshots, merge_snapshots
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.store.protocol import StoreBackend
 
 __all__ = ["default_jobs", "execute_task", "run_campaign", "TELEMETRY_SCHEMA"]
 
@@ -208,7 +210,7 @@ def run_campaign(
     tasks: "Iterable[TaskSpec]",
     *,
     jobs: "int | None" = None,
-    store: "ResultStore | str | os.PathLike[str] | None" = None,
+    store: "StoreBackend | str | os.PathLike[str] | None" = None,
     progress: "ProgressReporter | None" = None,
     chunksize: "int | None" = None,
     reuse_workspace: bool = True,
@@ -223,9 +225,15 @@ def run_campaign(
         Worker processes; ``None`` → :func:`default_jobs`, ``1`` →
         serial in-process execution.
     store:
-        Optional :class:`ResultStore` (or a path to one).  Tasks whose
-        hash is already present are served from the store without
-        recomputation; fresh results are appended as they complete.
+        Optional result store — a :class:`~repro.store.protocol
+        .StoreBackend` instance or a URL-style selector resolved by
+        :func:`repro.store.open_store` (bare path → single-file JSONL,
+        ``sharded:dir`` → hash-partitioned shards, ``sqlite:file.db``
+        → WAL-mode SQLite).  Tasks whose hash is already present are
+        served from the store without recomputation; fresh results are
+        appended as they complete.  Resume matching streams over the
+        store, so pointing a small campaign at a multi-GB store does
+        not materialize it.
     progress:
         Optional reporter; cache hits and fresh completions are both
         counted.
@@ -257,12 +265,14 @@ def run_campaign(
     if jobs < 1:
         raise ValueError(f"jobs must be >= 1, got {jobs}")
     own_store = False
-    if store is not None and not isinstance(store, ResultStore):
-        store = ResultStore(store)
+    if store is not None and isinstance(store, (str, os.PathLike)):
+        from repro.store import open_store
+
+        store = open_store(store)
         own_store = True
 
     try:
-        done = store.load() if store is not None else {}
+        done = store.resume(tasks)[0] if store is not None else {}
         results: "list[dict | None]" = [None] * len(tasks)
         pending: "list[tuple[int, TaskSpec]]" = []
         for i, task in enumerate(tasks):
@@ -341,7 +351,7 @@ def _run_pool(
     pending: "list[tuple[int, TaskSpec]]",
     chunksize: "int | None",
     results: "list[dict | None]",
-    store: "ResultStore | None",
+    store: "StoreBackend | None",
     progress: "ProgressReporter | None",
     reuse_workspace: bool = True,
     trace_dir=None,
@@ -415,7 +425,7 @@ def _deliver(
     index: int,
     record: dict,
     results: "list[dict | None]",
-    store: "ResultStore | None",
+    store: "StoreBackend | None",
     progress: "ProgressReporter | None",
 ) -> None:
     """Persist one finished record, then slot it into place and count it.

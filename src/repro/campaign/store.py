@@ -8,15 +8,25 @@ durability model a long campaign needs:
 - every completed task is flushed to disk as soon as its result
   arrives, so killing the process loses at most the tasks in flight;
 - a crash mid-write leaves at most one truncated *trailing* line,
-  which :meth:`ResultStore.load` silently drops (the task simply
-  reruns on resume) — corruption anywhere *else* is a real integrity
-  problem and raises :class:`StoreError`;
+  which the readers silently drop (the task simply reruns on resume)
+  — corruption anywhere *else* is a real integrity problem and raises
+  :class:`StoreError`;
 - resuming is a pure set difference: tasks whose hash already appears
   in the store are served from it, everything else runs.
 
 Floats survive the JSON round-trip exactly (``json`` serializes via
 ``repr``), so aggregates computed from resumed records are
 bit-identical to a single uninterrupted run.
+
+Reading is *streaming*: :meth:`ResultStore.iter_records` yields one
+record at a time in file order without ever holding the file body in
+memory, so a multi-GB store can be folded incrementally
+(``repro report``, resume matching).  :meth:`ResultStore.load` remains
+the materialize-everything convenience built on top of it.
+
+This class is also the ``jsonl`` backend of the pluggable storage
+layer (:mod:`repro.store`, ``docs/DESIGN.md`` §9) — the default one,
+and the durability model the other backends must match.
 """
 
 from __future__ import annotations
@@ -24,6 +34,7 @@ from __future__ import annotations
 import json
 import os
 import pathlib
+from typing import Iterator
 
 from repro.campaign.spec import TaskSpec
 
@@ -32,6 +43,12 @@ __all__ = ["ResultStore", "StoreError"]
 
 class StoreError(RuntimeError):
     """A result store violates its integrity contract."""
+
+
+#: Fast-path prefix for extracting a record's hash without parsing the
+#: whole payload: every record the library writes starts exactly like
+#: this (``json.dumps`` of a dict whose first key is ``"hash"``).
+_HASH_PREFIX = '{"hash": "'
 
 
 class ResultStore:
@@ -48,44 +65,87 @@ class ResultStore:
     for the full schema).
     """
 
+    #: Leases (:mod:`repro.store.protocol`) need multi-writer claim
+    #: atomicity a single append-only file cannot provide.
+    supports_leases: bool = False
+
     def __init__(self, path: "str | os.PathLike[str]") -> None:
         self.path = pathlib.Path(path)
         self._fh = None
 
-    def load(self) -> "dict[str, dict]":
-        """Read all records, keyed by task hash.
+    @property
+    def url(self) -> str:
+        """Canonical store URL (:func:`repro.store.open_store` form)."""
+        return str(self.path)
 
-        A torn *final* line is dropped silently.  Torn means the crash
-        footprint and nothing else: records are written as one
-        ``line + "\\n"`` chunk, so an interrupted append leaves a tail
-        with *no* final newline.  A malformed line anywhere else —
-        including a corrupt but newline-terminated final record —
-        means the file was hand-edited or damaged, and raises
-        :class:`StoreError` rather than silently recomputing (or
-        worse, trusting) half a campaign.
+    def _complete_lines(self) -> "Iterator[tuple[int, str]]":
+        """Stream ``(lineno, text)`` for every *complete* line.
+
+        A torn trailing write — the crash footprint, and nothing else:
+        records are written as one ``line + "\\n"`` chunk, so an
+        interrupted append leaves a tail with *no* final newline — is
+        dropped silently.  The file is read incrementally; memory use
+        is one line, never the file.
         """
         if not self.path.exists():
-            return {}
-        data = self.path.read_bytes()
-        lines = data.decode().splitlines()
-        if data and not data.endswith(b"\n") and lines:
-            # Torn trailing write: drop it unconditionally — even if the
-            # fragment happens to parse (flush cut exactly at the closing
-            # brace), the next append() truncates it from disk, so
-            # serving it as a cached record here would lose it silently.
-            lines.pop()
-        records: dict[str, dict] = {}
-        for lineno, line in enumerate(lines):
+            return
+        with open(self.path, "rb") as fh:
+            prev: "bytes | None" = None
+            lineno = 0
+            for raw in fh:
+                if prev is not None:
+                    lineno += 1
+                    yield lineno, prev.decode()
+                prev = raw
+            if prev is not None and prev.endswith(b"\n"):
+                yield lineno + 1, prev.decode()
+            # else: torn trailing write — drop it unconditionally; even
+            # if the fragment happens to parse (flush cut exactly at
+            # the closing brace), the next append() truncates it from
+            # disk, so serving it as a cached record here would lose it
+            # silently.
+
+    def _parse(self, lineno: int, line: str) -> dict:
+        """Decode one line into a record or raise :class:`StoreError`.
+
+        A malformed line anywhere but the torn tail — including a
+        corrupt but newline-terminated final record — means the file
+        was hand-edited or damaged, and raises rather than silently
+        recomputing (or worse, trusting) half a campaign.
+        """
+        try:
+            rec = json.loads(line)
+            if not isinstance(rec, dict) or "hash" not in rec:
+                raise ValueError("record is not a dict with a 'hash' key")
+        except ValueError as exc:
+            raise StoreError(
+                f"{self.path}:{lineno}: corrupt record ({exc})"
+            ) from exc
+        return rec
+
+    def iter_records(self) -> "Iterator[dict]":
+        """Stream every record in file order (duplicates included).
+
+        This is the storage-layer primitive aggregation folds over:
+        constant memory regardless of store size.  Duplicate hashes are
+        *not* collapsed here — a fold that needs last-wins semantics
+        (like :meth:`load`) applies them itself, which a plain dict
+        update does for free.
+        """
+        for lineno, line in self._complete_lines():
             if not line.strip():
                 continue  # blank lines carry no record
-            try:
-                rec = json.loads(line)
-                if not isinstance(rec, dict) or "hash" not in rec:
-                    raise ValueError("record is not a dict with a 'hash' key")
-            except ValueError as exc:
-                raise StoreError(
-                    f"{self.path}:{lineno + 1}: corrupt record ({exc})"
-                ) from exc
+            yield self._parse(lineno, line)
+
+    def load(self) -> "dict[str, dict]":
+        """Read all records, keyed by task hash (duplicates: last wins).
+
+        A torn *final* line is dropped silently; a malformed line
+        anywhere else raises :class:`StoreError` — see
+        :meth:`iter_records`, which this materializes.
+        """
+        records: dict[str, dict] = {}
+        for rec in self.iter_records():
             records[rec["hash"]] = rec
         return records
 
@@ -112,20 +172,96 @@ class ResultStore:
         """
         if not self.path.exists():
             return
-        data = self.path.read_bytes()
-        if not data or data.endswith(b"\n"):
-            return
-        keep = data.rfind(b"\n") + 1
+        with open(self.path, "rb") as fh:
+            try:
+                fh.seek(-1, os.SEEK_END)
+            except OSError:  # empty file
+                return
+            if fh.read(1) == b"\n":
+                return
+            size = fh.tell()
+            # Walk back in fixed-size blocks to find the last newline —
+            # the scan is bounded by the torn tail's length, not the
+            # file's.
+            block = 4096
+            keep = 0
+            pos = size
+            while pos > 0:
+                step = min(block, pos)
+                fh.seek(pos - step)
+                chunk = fh.read(step)
+                nl = chunk.rfind(b"\n")
+                if nl != -1:
+                    keep = pos - step + nl + 1
+                    break
+                pos -= step
         with open(self.path, "rb+") as fh:
             fh.truncate(keep)
 
     def resume(
         self, tasks: "list[TaskSpec]"
     ) -> "tuple[dict[str, dict], list[TaskSpec]]":
-        """Split ``tasks`` into (completed records, still-pending tasks)."""
-        done = self.load()
+        """Split ``tasks`` into (completed records, still-pending tasks).
+
+        Streaming: only records whose hash one of ``tasks`` actually
+        carries are kept, so resuming against a store that also holds
+        foreign campaigns (or telemetry) costs memory proportional to
+        the task list, not the store.
+        """
+        wanted = {t.task_hash() for t in tasks}
+        done: dict[str, dict] = {}
+        for rec in self.iter_records():
+            if rec["hash"] in wanted:
+                done[rec["hash"]] = rec  # duplicates: last wins
         pending = [t for t in tasks if t.task_hash() not in done]
         return done, pending
+
+    def count(self) -> int:
+        """Number of distinct record hashes, without materializing
+        payloads.
+
+        Each line's hash is sliced straight out of the library's own
+        serialization prefix (``{"hash": "...``) when it matches;
+        anything else — hand-written records with reordered keys,
+        escaped quotes — falls back to a full JSON parse of that line
+        only.  Corrupt lines raise :class:`StoreError` exactly as
+        :meth:`load` would.
+        """
+        hashes: set[str] = set()
+        for lineno, line in self._complete_lines():
+            if not line.strip():
+                continue
+            h = self._fast_hash(line)
+            if h is None:
+                h = self._parse(lineno, line)["hash"]
+            hashes.add(h)
+        return len(hashes)
+
+    @staticmethod
+    def _fast_hash(line: str) -> "str | None":
+        """Extract the hash from a library-serialized line, or ``None``
+        when the line needs a real parse (foreign key order, escapes)."""
+        if not line.startswith(_HASH_PREFIX):
+            return None
+        end = line.find('"', len(_HASH_PREFIX))
+        if end == -1:
+            return None
+        h = line[len(_HASH_PREFIX):end]
+        if "\\" in h:
+            return None
+        return h
+
+    def info(self) -> dict:
+        """Layout facts for ``repro store info`` — streams hashes only,
+        never record payloads."""
+        exists = self.path.exists()
+        return {
+            "backend": "jsonl",
+            "url": self.url,
+            "exists": exists,
+            "records": self.count(),
+            "bytes": self.path.stat().st_size if exists else 0,
+        }
 
     def close(self) -> None:
         if self._fh is not None:
@@ -139,4 +275,4 @@ class ResultStore:
         self.close()
 
     def __len__(self) -> int:
-        return len(self.load())
+        return self.count()

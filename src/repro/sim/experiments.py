@@ -39,7 +39,7 @@ from repro.model.instantiate import model_for_scheme
 if TYPE_CHECKING:  # pragma: no cover
     import os
 
-    from repro.campaign.store import ResultStore
+    from repro.store.protocol import StoreBackend
     from repro.sim.results import Figure1Point, Table1Row
 
 __all__ = [
@@ -157,7 +157,7 @@ def run_table1(
     base_seed: int = 2015,
     s_span: int = 6,
     jobs: int = 1,
-    store: "ResultStore | str | os.PathLike[str] | None" = None,
+    store: "StoreBackend | str | os.PathLike[str] | None" = None,
     progress: "bool | str" = False,
     methods: "list[str] | None" = None,
     backend: str = "reference",
@@ -168,7 +168,9 @@ def run_table1(
 
     ``jobs`` fans the sweep out over worker processes (results are
     bit-identical for any value); ``store`` persists per-task records
-    to a JSONL file, skipping tasks already completed there;
+    — a bare path for single-file JSONL, ``sharded:dir`` /
+    ``sqlite:file.db`` for the concurrent backends
+    (:mod:`repro.store`) — skipping tasks already completed there;
     ``progress`` prints a throughput/ETA line to stderr (``True`` /
     ``"bar"`` for the status line, ``"json"`` for newline-delimited
     JSON objects); ``methods`` opens the solver axis (default: classic
@@ -202,7 +204,7 @@ def run_figure1(
     eps: float = 1e-6,
     base_seed: int = 2015,
     jobs: int = 1,
-    store: "ResultStore | str | os.PathLike[str] | None" = None,
+    store: "StoreBackend | str | os.PathLike[str] | None" = None,
     progress: "bool | str" = False,
     methods: "list[str] | None" = None,
     backend: str = "reference",
@@ -234,9 +236,10 @@ def run_figure1(
 def _run_study(study, jobs, store, progress, trace_dir=None):
     """Execute a preset study with the drivers' store/progress plumbing.
 
-    Accepts a pre-built :class:`~repro.campaign.store.ResultStore` as
-    well as a path (the drivers' historical contract), which
-    :meth:`Study.run` forwards to the campaign executor untouched.
+    Accepts a pre-built store backend as well as a path or selector
+    URL (the drivers' historical contract, extended by
+    :mod:`repro.store`), which :meth:`Study.run` forwards to the
+    campaign executor untouched.
     ``progress`` may be a mode string (``"bar"``/``"json"``/``"none"``)
     as well as the historical bool.
     """

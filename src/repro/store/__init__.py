@@ -1,0 +1,202 @@
+"""Pluggable campaign result stores (the storage layer, DESIGN.md §9).
+
+Every campaign persists one JSON record per completed task, keyed by
+the task's content hash.  Where those records live is a *backend*
+selected by a URL-style string, mirroring the kernel-backend registry
+(:mod:`repro.backends`):
+
+``path/to/store.jsonl`` (bare path — the default, ``jsonl:`` explicit)
+    The original single-file append-only JSONL store
+    (:class:`~repro.campaign.store.ResultStore`).  Bit-identical
+    semantics preserved; the right choice for single-process
+    campaigns.
+
+``sharded:path/to/store.d``
+    A directory of hash-partitioned JSONL shards
+    (:class:`~repro.store.sharded.ShardedStore`): N workers appending
+    concurrently rarely touch the same file, torn-tail crash salvage
+    is per shard, and advisory file leases back serve mode.
+
+``sqlite:path/to/store.db``
+    A WAL-mode SQLite database
+    (:class:`~repro.store.sqlite.SqliteStore`): transactional appends
+    (no torn tails at all), native upsert-by-hash, safe concurrent
+    multi-process writers and atomic leases.
+
+All three keep the same contract (:mod:`repro.store.protocol`):
+identical records in any backend yield bit-identical aggregates, and
+``--resume`` recognizes completed tasks across a migration
+(:func:`migrate_store` is lossless in both directions).
+
+Custom backends register with :func:`register_store`; the scheme then
+works everywhere a store is named — ``run_campaign(store=...)``,
+``Study.run(store=...)``, every CLI ``--store``, ``repro report`` and
+``repro store info/migrate``.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+import re
+from typing import Callable
+
+from repro.campaign.store import ResultStore, StoreError
+from repro.store.protocol import LeaseUnsupported, StoreBackend
+from repro.store.serve import serve_campaign
+from repro.store.sharded import DEFAULT_SHARDS, ShardedStore
+from repro.store.sqlite import SqliteStore
+
+__all__ = [
+    "StoreBackend",
+    "StoreError",
+    "LeaseUnsupported",
+    "ResultStore",
+    "ShardedStore",
+    "SqliteStore",
+    "DEFAULT_SHARDS",
+    "DEFAULT_STORE_SCHEME",
+    "register_store",
+    "available_store_schemes",
+    "parse_store_url",
+    "open_store",
+    "migrate_store",
+    "serve_campaign",
+]
+
+#: Scheme a bare path resolves to.
+DEFAULT_STORE_SCHEME = "jsonl"
+
+#: scheme -> path factory.  Factories take the path part of the URL
+#: and return an unopened backend (construction must not touch disk).
+_FACTORIES: "dict[str, Callable[[str], StoreBackend]]" = {
+    "jsonl": ResultStore,
+    "sharded": ShardedStore,
+    "sqlite": SqliteStore,
+}
+
+#: ``scheme:`` prefix — at least two leading letters, so Windows drive
+#: paths (``C:\...``) never parse as a scheme.
+_SCHEME = re.compile(r"^([A-Za-z][A-Za-z0-9+._-]+):(.*)$")
+
+
+def register_store(
+    scheme: str, factory: "Callable[[str], StoreBackend]", *, replace: bool = False
+) -> None:
+    """Register a custom store backend under ``scheme``.
+
+    ``factory`` takes the path part of ``scheme:path`` and returns a
+    :class:`~repro.store.protocol.StoreBackend`.  The scheme is then
+    accepted everywhere a store is named.  Shipped schemes cannot be
+    overwritten unless ``replace=True``.
+
+    Process-scope caveat (as for :func:`repro.backends
+    .register_backend`): the registry is per-process state; campaign
+    workers inherit it under ``fork`` but a ``spawn`` worker must
+    re-register at import time.
+    """
+    if len(scheme) < 2 or not _SCHEME.match(f"{scheme}:x"):
+        raise ValueError(
+            f"store scheme must be at least two characters of "
+            f"[A-Za-z0-9+._-] starting with a letter, got {scheme!r}"
+        )
+    if scheme in _FACTORIES and not replace:
+        raise ValueError(
+            f"store scheme {scheme!r} is already registered "
+            "(pass replace=True to override)"
+        )
+    _FACTORIES[scheme] = factory
+
+
+def available_store_schemes() -> "list[str]":
+    """Registered scheme names, default first."""
+    names = sorted(_FACTORIES)
+    names.remove(DEFAULT_STORE_SCHEME)
+    return [DEFAULT_STORE_SCHEME, *names]
+
+
+def parse_store_url(spec: "str | os.PathLike[str]") -> "tuple[str, str]":
+    """Split a store selector into ``(scheme, path)``.
+
+    ``sharded:dir`` / ``sqlite:file.db`` / ``jsonl:file`` select a
+    registered backend; a bare path (or any ``os.PathLike``) is the
+    default JSONL store.  Unknown schemes raise ``ValueError`` naming
+    the registered ones — a mistyped scheme must fail loudly, not
+    silently become a strange filename.
+    """
+    if isinstance(spec, os.PathLike):
+        return DEFAULT_STORE_SCHEME, os.fspath(spec)
+    match = _SCHEME.match(spec)
+    if match is None:
+        return DEFAULT_STORE_SCHEME, spec
+    scheme, path = match.groups()
+    if scheme not in _FACTORIES:
+        raise ValueError(
+            f"unknown store scheme {scheme!r} "
+            f"(expected one of: {', '.join(available_store_schemes())}; "
+            "a bare path selects jsonl)"
+        )
+    if not path:
+        raise ValueError(f"store selector {spec!r} is missing a path")
+    return scheme, path
+
+
+def open_store(spec: "StoreBackend | str | os.PathLike[str]") -> StoreBackend:
+    """Resolve a store selector to a backend instance.
+
+    An already-constructed backend passes through untouched (so APIs
+    accepting ``store=`` compose with hand-built stores exactly as
+    they always did with :class:`ResultStore`).  Construction never
+    touches the filesystem — the store materializes on first append.
+    """
+    if not isinstance(spec, (str, os.PathLike)):
+        if isinstance(spec, StoreBackend):
+            return spec
+        raise TypeError(
+            f"store must be a StoreBackend, str or os.PathLike, got {type(spec)!r}"
+        )
+    scheme, path = parse_store_url(spec)
+    return _FACTORIES[scheme](path)
+
+
+def store_exists(spec: "StoreBackend | str | os.PathLike[str]") -> bool:
+    """Whether the selector's backing file/directory exists on disk."""
+    store = open_store(spec)
+    return pathlib.Path(store.path).exists()
+
+
+def migrate_store(
+    src: "StoreBackend | str | os.PathLike[str]",
+    dst: "StoreBackend | str | os.PathLike[str]",
+) -> int:
+    """Copy every record of ``src`` into ``dst``; returns the count.
+
+    Lossless by construction: records stream through unmodified (same
+    dict, hence the same JSON text and bit-identical floats), so task
+    hashes — and with them ``--resume`` — survive any
+    jsonl↔sharded↔sqlite round trip, and aggregates computed from the
+    copy equal the original's bit for bit.  Duplicate hashes collapse
+    to their last-wins record, exactly as every reader already folds
+    them.
+
+    ``dst`` must be empty (or not exist): merging two live stores is a
+    decision the caller should make explicitly, record by record, not
+    a silent side effect of a copy.
+    """
+    src_store = open_store(src)
+    dst_store = open_store(dst)
+    if pathlib.Path(src_store.path).resolve() == pathlib.Path(dst_store.path).resolve():
+        raise ValueError(f"cannot migrate a store onto itself ({src_store.url})")
+    if dst_store.count():
+        raise ValueError(
+            f"destination store {dst_store.url} already has records; "
+            "migrate into an empty store"
+        )
+    moved = 0
+    seen: "set[str]" = set()
+    for rec in src_store.iter_records():
+        dst_store.append(rec)
+        if rec["hash"] not in seen:
+            seen.add(rec["hash"])
+            moved += 1
+    return moved

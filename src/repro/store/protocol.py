@@ -1,0 +1,136 @@
+"""The storage-backend contract (``docs/DESIGN.md`` §9).
+
+A campaign store persists one JSON-serializable *record* per completed
+task, keyed by the task's content hash.  :class:`StoreBackend` is the
+structural protocol every backend implements; the registry in
+:mod:`repro.store` resolves URL-style selectors (``sharded:dir/``,
+``sqlite:file.db``, bare path → ``jsonl``) to instances.
+
+The contract, in order of importance:
+
+Durability (crash salvage)
+    ``append`` makes the record durable *before* returning, up to the
+    backend's declared crash footprint: a crash may lose the record in
+    flight but must never corrupt previously appended ones.  Readers
+    silently drop the crash footprint (a torn trailing line per JSONL
+    file; an uncommitted transaction under SQLite) — the task simply
+    reruns on resume — and raise
+    :class:`~repro.campaign.store.StoreError` for damage anywhere
+    else.
+
+Exact floats
+    Records are stored such that every float survives the round trip
+    bit for bit (JSON text via ``repr``).  This is what makes resumed
+    and migrated aggregates bit-identical to a single uninterrupted
+    run, across *any* pair of backends.
+
+Last-wins identity
+    Records are keyed by their ``"hash"``.  Appending the same hash
+    again replaces the earlier record's *value* while keeping its
+    original position in iteration order — exactly what a Python dict
+    fold over an append log does, and what SQLite's upsert-by-hash
+    does natively.
+
+Streaming reads
+    ``iter_records`` yields records one at a time, in stable order,
+    without materializing the store; every aggregation in the library
+    folds over it incrementally, so reports work on partial multi-GB
+    stores.
+
+Concurrency
+    A backend declares via :attr:`StoreBackend.supports_leases`
+    whether several *processes* may append concurrently and
+    coordinate through leases (:meth:`try_claim` /
+    :meth:`heartbeat` / :meth:`release`).  The lease protocol backs
+    serve mode (:mod:`repro.store.serve`); leases are advisory —
+    correctness always comes from content-hash idempotence (two
+    workers racing the same task write bit-identical records), leases
+    only keep duplicate work rare.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import TYPE_CHECKING, Iterator, Protocol, runtime_checkable
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.campaign.spec import TaskSpec
+
+__all__ = ["StoreBackend", "LeaseUnsupported"]
+
+
+class LeaseUnsupported(RuntimeError):
+    """The backend cannot coordinate concurrent writers via leases."""
+
+
+@runtime_checkable
+class StoreBackend(Protocol):
+    """Structural protocol for campaign result stores.
+
+    Implementations are cheap to construct and must not touch the
+    filesystem before the first ``append`` (so ``open_store`` can be
+    used for validation and inspection of not-yet-existing stores);
+    reads on a store that was never written behave as reads of an
+    empty store.
+    """
+
+    #: Whether concurrent multi-process appends and the lease protocol
+    #: are supported (serve mode requires it).
+    supports_leases: bool
+
+    #: Filesystem location backing the store (file or directory).
+    path: "os.PathLike[str]"
+
+    @property
+    def url(self) -> str:
+        """Canonical selector that :func:`repro.store.open_store`
+        resolves back to an equivalent store."""
+        ...
+
+    def append(self, record: dict) -> None:
+        """Durably append one record (must carry a ``"hash"`` key)."""
+        ...
+
+    def iter_records(self) -> "Iterator[dict]":
+        """Stream records in stable order without materializing the
+        store.  Duplicate hashes may appear; folds apply last-wins."""
+        ...
+
+    def load(self) -> "dict[str, dict]":
+        """Materialize all records keyed by hash (last wins)."""
+        ...
+
+    def resume(
+        self, tasks: "list[TaskSpec]"
+    ) -> "tuple[dict[str, dict], list[TaskSpec]]":
+        """Split ``tasks`` into (completed records, still-pending)."""
+        ...
+
+    def count(self) -> int:
+        """Number of distinct record hashes (cheap; no payload parse)."""
+        ...
+
+    def close(self) -> None:
+        """Release file handles/connections (idempotent)."""
+        ...
+
+    def __enter__(self) -> "StoreBackend": ...
+
+    def __exit__(self, *exc_info: object) -> None: ...
+
+    def __len__(self) -> int: ...
+
+
+def default_resume(store: StoreBackend, tasks: "list[TaskSpec]"):
+    """Shared streaming resume implementation for backends.
+
+    Keeps only records whose hash one of ``tasks`` actually carries,
+    so memory is proportional to the task list, not the store.
+    """
+    wanted = {t.task_hash() for t in tasks}
+    done: "dict[str, dict]" = {}
+    for rec in store.iter_records():
+        if rec["hash"] in wanted:
+            done[rec["hash"]] = rec  # duplicates: last wins
+    pending = [t for t in tasks if t.task_hash() not in done]
+    return done, pending

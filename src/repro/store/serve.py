@@ -1,0 +1,275 @@
+"""Serve mode: a warm worker fleet multiplexing campaigns over leases.
+
+``repro serve --store sharded:dir --workers N spec.json …`` runs a
+*dispatcher* (the calling process) plus ``N`` long-lived worker
+processes that pull tasks from a shared concurrent store instead of
+being handed fixed chunks:
+
+- every worker sees the same pending set (tasks whose hash is not in
+  the store yet) and *claims* one at a time through the store's lease
+  protocol (:mod:`repro.store.protocol`) before executing it;
+- while a task runs, a background heartbeat thread keeps its lease
+  fresh; a worker that dies mid-task simply stops heartbeating, and
+  once the lease TTL passes any other worker **steals** the task and
+  reruns it;
+- several dispatchers may serve different Studies against the *same*
+  store concurrently — their workers interleave freely, because
+  coordination lives entirely in the store.  That is how a warm fleet
+  (per-process matrix / checksum caches, reusable workspaces — see
+  :mod:`repro.perf`) is shared across campaigns.
+
+Correctness never rests on the leases: they are advisory
+duplicate-work suppression.  Task records are idempotent — a task's
+result depends only on its content-hashed identity, so two workers
+racing the same task append bit-identical records and last-wins
+folding makes the race invisible.  A serve-mode run therefore
+produces per-task results identical to ``--jobs 1``.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+import uuid
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.campaign.progress import ProgressReporter
+    from repro.campaign.spec import TaskSpec
+    from repro.store.protocol import StoreBackend
+
+__all__ = ["serve_campaign", "serve_worker"]
+
+#: How long a worker sleeps when every pending task is currently
+#: leased by a live peer.
+_IDLE_SLEEP_S = 0.05
+
+
+def _require_leases(store: "StoreBackend") -> None:
+    from repro.store.protocol import LeaseUnsupported
+
+    if not getattr(store, "supports_leases", False):
+        raise LeaseUnsupported(
+            f"store {getattr(store, 'url', store)!r} cannot coordinate "
+            "concurrent workers; serve mode needs a sharded: or sqlite: "
+            "store (or a custom backend with lease support)"
+        )
+
+
+def serve_campaign(
+    tasks: "list[TaskSpec]",
+    store: "StoreBackend | str | os.PathLike[str]",
+    *,
+    workers: int = 2,
+    lease_ttl: float = 60.0,
+    progress: "ProgressReporter | None" = None,
+    reuse_workspace: bool = True,
+    poll_interval: float = 0.1,
+) -> "list[dict]":
+    """Run ``tasks`` through a lease-coordinated worker fleet.
+
+    The dispatcher spawns ``workers`` processes, waits for every task's
+    record to appear in ``store`` (polling at ``poll_interval`` for
+    progress reporting), and returns the records aligned with
+    ``tasks`` — the same contract as
+    :func:`repro.campaign.executor.run_campaign`, and bit-identical
+    records to it.
+
+    ``lease_ttl`` is the crash-detection horizon: a worker that stops
+    heartbeating for this long loses its claims to the rest of the
+    fleet.  Keep it comfortably above the longest single task; the
+    heartbeat thread refreshes at ``lease_ttl / 3``.
+
+    Tasks already present in the store are served from it without
+    execution (serve mode *is* resume, like every store-backed
+    campaign path).
+    """
+    import multiprocessing
+
+    from repro.store import open_store
+
+    if workers < 1:
+        raise ValueError(f"workers must be >= 1, got {workers}")
+    if lease_ttl <= 0:
+        raise ValueError(f"lease_ttl must be > 0, got {lease_ttl}")
+    store = open_store(store)
+    _require_leases(store)
+
+    tasks = list(tasks)
+    done, pending = store.resume(tasks)
+    if progress is not None:
+        for _ in range(len(tasks) - len(pending)):
+            progress.update(cached=True)
+    if not pending:
+        if progress is not None:
+            progress.finish()
+        return [done[t.task_hash()] for t in tasks]
+
+    ctx = multiprocessing.get_context()
+    procs = [
+        ctx.Process(
+            target=serve_worker,
+            args=(store.url, pending, lease_ttl, reuse_workspace),
+            name=f"repro-serve-{i}",
+            daemon=True,
+        )
+        for i in range(workers)
+    ]
+    for proc in procs:
+        proc.start()
+
+    wanted = {t.task_hash() for t in pending}
+    try:
+        reported = 0
+        while True:
+            missing = _missing_hashes(store, wanted)
+            if progress is not None:
+                finished = len(wanted) - len(missing)
+                for _ in range(finished - reported):
+                    progress.update()
+                reported = finished
+            if not missing:
+                break
+            if not any(p.is_alive() for p in procs):
+                raise RuntimeError(
+                    f"all serve workers exited but {len(missing)} task(s) "
+                    "never produced a record; see worker stderr"
+                )
+            time.sleep(poll_interval)
+        for proc in procs:
+            proc.join()
+    finally:
+        for proc in procs:
+            if proc.is_alive():
+                proc.terminate()
+                proc.join()
+        if progress is not None:
+            progress.finish()
+
+    done, still_pending = store.resume(tasks)
+    if still_pending:  # pragma: no cover - the poll loop above waits for all
+        raise RuntimeError(f"{len(still_pending)} task(s) missing after serve")
+    return [done[t.task_hash()] for t in tasks]
+
+
+def _missing_hashes(store: "StoreBackend", wanted: "set[str]") -> "set[str]":
+    present = set()
+    for rec in store.iter_records():
+        h = rec.get("hash")
+        if h in wanted:
+            present.add(h)
+    return wanted - present
+
+
+def serve_worker(
+    store_url: str,
+    tasks: "list[TaskSpec]",
+    lease_ttl: float,
+    reuse_workspace: bool = True,
+) -> None:
+    """One fleet worker: claim → execute → append → release, until no
+    task is pending.
+
+    Module-level so it pickles under every multiprocessing start
+    method.  The worker opens its own store from the URL (handles and
+    connections never cross the process boundary) and identifies
+    itself to the lease board as ``pid-<pid>-<nonce>``.
+    """
+    from repro.campaign.executor import _telemetry_state, execute_task
+    from repro.store import open_store
+
+    store = open_store(store_url)
+    _require_leases(store)
+    owner = f"pid-{os.getpid()}-{uuid.uuid4().hex[:8]}"
+    pending = {t.task_hash(): t for t in tasks}
+    # Baseline for this worker's telemetry delta: values a forked
+    # worker inherited from the dispatcher must not leak into it.
+    telemetry_base = _telemetry_state()
+
+    while pending:
+        # Refresh the view of finished work (ours and every peer's).
+        for h in _present_hashes(store, set(pending)):
+            pending.pop(h, None)
+        claimed = None
+        for h, task in pending.items():
+            if store.try_claim(h, owner, lease_ttl):
+                claimed = (h, task)
+                break
+        if claimed is None:
+            if pending:
+                time.sleep(_IDLE_SLEEP_S)
+            continue
+        h, task = claimed
+        try:
+            # Recheck after winning the claim: a stolen task may have
+            # been finished by its original owner between our scans.
+            if h in _present_hashes(store, {h}):
+                pending.pop(h, None)
+                continue
+            record = _execute_with_heartbeat(
+                store, h, owner, lease_ttl, task, execute_task, reuse_workspace
+            )
+            store.append(record)
+            pending.pop(h, None)
+        finally:
+            store.release(h, owner)
+    _append_worker_telemetry(store, owner, telemetry_base)
+    store.close()
+
+
+def _present_hashes(store: "StoreBackend", wanted: "set[str]") -> "set[str]":
+    return wanted - _missing_hashes(store, wanted)
+
+
+def _execute_with_heartbeat(
+    store, key, owner, lease_ttl, task, execute_task, reuse_workspace
+):
+    """Run one task while a daemon thread keeps its lease warm.
+
+    The heartbeat is what distinguishes "slow" from "dead": a task may
+    legitimately outlive the TTL, so liveness — not task duration — is
+    what peers watch before stealing.
+    """
+    stop = threading.Event()
+
+    def beat() -> None:
+        while not stop.wait(lease_ttl / 3):
+            if not store.heartbeat(key, owner, lease_ttl):
+                return  # lease lost (stolen); finish anyway — idempotent
+
+    thread = threading.Thread(target=beat, daemon=True)
+    thread.start()
+    try:
+        return execute_task(task, reuse_workspace=reuse_workspace)
+    finally:
+        stop.set()
+        thread.join()
+
+
+def _append_worker_telemetry(
+    store: "StoreBackend", owner: str, base: dict
+) -> None:
+    """One ``kind="telemetry"`` record per worker that executed tasks,
+    mirroring :func:`repro.campaign.executor.run_campaign`'s schema."""
+    from repro.campaign.executor import TELEMETRY_SCHEMA, _telemetry_state
+    from repro.obs.metrics import diff_snapshots
+
+    delta = diff_snapshots(_telemetry_state(), base)
+    fresh = int(delta["counters"].get("campaign.tasks", 0))
+    if not fresh:
+        return
+    store.append(
+        {
+            "hash": f"telemetry:{uuid.uuid4().hex}",
+            "kind": "telemetry",
+            "schema": TELEMETRY_SCHEMA,
+            "serve_worker": owner,
+            "jobs": 1,
+            "workers": 1,
+            "fresh": fresh,
+            "cached": 0,
+            "counters": delta["counters"],
+            "timers": delta["timers"],
+        }
+    )

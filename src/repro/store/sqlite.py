@@ -1,0 +1,265 @@
+"""SQLite store: transactional multi-process campaign persistence.
+
+One store is one SQLite database in WAL mode::
+
+    records(hash TEXT PRIMARY KEY, body TEXT)   -- body = json.dumps(record)
+    leases(key TEXT PRIMARY KEY, owner TEXT, deadline REAL)
+
+Records keep the *same JSON text* the JSONL backends write — floats
+round-trip via ``repr`` bit for bit, so migrating a store between
+backends (:func:`repro.store.migrate_store`) is lossless and resumed
+aggregates stay bit-identical.
+
+Durability and concurrency come from SQLite itself:
+
+- WAL journaling makes every ``append`` an atomic committed
+  transaction — the crash footprint is "the record in flight", never
+  a torn line, so no salvage pass is needed;
+- ``INSERT ... ON CONFLICT(hash) DO UPDATE`` gives the store's
+  last-wins identity natively while keeping the record's original
+  ``rowid`` — iteration order is first-insertion order with updated
+  values, exactly the dict-fold semantics of the JSONL backends;
+- writers from several processes serialize on SQLite's own locking
+  (with a generous ``busy_timeout``), which also makes the lease table
+  a real atomic claim: ``INSERT OR IGNORE`` either wins the key or
+  does nothing, with no advisory race window at all.
+
+Connections are per ``(instance, pid)``: a forked campaign worker
+never reuses its parent's connection (SQLite connections must not
+cross ``fork``), it lazily opens its own.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import sqlite3
+import time
+from typing import Iterator
+
+from repro.campaign.store import StoreError
+from repro.store.protocol import default_resume
+
+__all__ = ["SqliteStore"]
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS records (
+    hash TEXT PRIMARY KEY,
+    body TEXT NOT NULL
+);
+CREATE TABLE IF NOT EXISTS leases (
+    key TEXT PRIMARY KEY,
+    owner TEXT NOT NULL,
+    deadline REAL NOT NULL
+);
+"""
+
+#: How long a writer waits on a locked database before giving up (ms).
+_BUSY_TIMEOUT_MS = 30_000
+
+
+class SqliteStore:
+    """Campaign result store backed by a WAL-mode SQLite database.
+
+    Construction never touches the filesystem (so ``sqlite:new.db`` can
+    be validated and inspected before it exists); the database file and
+    schema are created on first append.
+    """
+
+    supports_leases: bool = True
+
+    def __init__(self, path: "str | os.PathLike[str]") -> None:
+        self.path = pathlib.Path(path)
+        self._conn: "sqlite3.Connection | None" = None
+        self._pid: "int | None" = None
+
+    @property
+    def url(self) -> str:
+        return f"sqlite:{self.path}"
+
+    # ------------------------------------------------------------------
+    # connection management
+    # ------------------------------------------------------------------
+    def _connect(self, *, create: bool) -> "sqlite3.Connection | None":
+        """The process-local connection; ``None`` for reads of a store
+        that does not exist yet."""
+        if self._conn is not None and self._pid == os.getpid():
+            return self._conn
+        if self._conn is not None:
+            # Forked child: the inherited connection belongs to the
+            # parent.  Drop the reference without closing (closing
+            # would roll back the parent's WAL state from the wrong
+            # process) and open our own.
+            self._conn = None
+        if not create and not self.path.exists():
+            return None
+        if create:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+        # The schema + WAL-switch sequence below can hit SQLITE_BUSY in a
+        # form the busy handler never retries (a lock-upgrade deadlock
+        # when several processes open a *fresh* database at once), so the
+        # whole open sequence retries within the same time budget.
+        deadline = time.monotonic() + _BUSY_TIMEOUT_MS / 1000
+        while True:
+            conn = None
+            try:
+                conn = sqlite3.connect(self.path, timeout=_BUSY_TIMEOUT_MS / 1000)
+                conn.executescript(_SCHEMA)
+                conn.execute("PRAGMA journal_mode=WAL")
+                conn.execute("PRAGMA synchronous=NORMAL")
+                conn.commit()
+                break
+            except sqlite3.Error as exc:
+                if conn is not None:
+                    conn.close()
+                contended = isinstance(exc, sqlite3.OperationalError) and (
+                    "locked" in str(exc) or "busy" in str(exc)
+                )
+                if contended and time.monotonic() < deadline:
+                    time.sleep(0.05)
+                    continue
+                raise StoreError(
+                    f"{self.path}: cannot open sqlite store ({exc})"
+                ) from exc
+        self._conn = conn
+        self._pid = os.getpid()
+        return conn
+
+    # ------------------------------------------------------------------
+    # StoreBackend protocol
+    # ------------------------------------------------------------------
+    def append(self, record: dict) -> None:
+        """Upsert one record by hash in its own committed transaction."""
+        if "hash" not in record:
+            raise ValueError("record must carry a 'hash' key")
+        conn = self._connect(create=True)
+        body = json.dumps(record)
+        with conn:
+            conn.execute(
+                "INSERT INTO records(hash, body) VALUES(?, ?) "
+                "ON CONFLICT(hash) DO UPDATE SET body = excluded.body",
+                (record["hash"], body),
+            )
+
+    def iter_records(self) -> "Iterator[dict]":
+        """Stream records in first-insertion (rowid) order.
+
+        Unlike the JSONL backends a hash appears at most once here —
+        the upsert already applied last-wins — so downstream dict folds
+        are no-ops, not corrections.
+        """
+        conn = self._connect(create=False)
+        if conn is None:
+            return
+        cursor = conn.execute("SELECT hash, body FROM records ORDER BY rowid")
+        for row_hash, body in cursor:
+            try:
+                rec = json.loads(body)
+                if not isinstance(rec, dict) or rec.get("hash") != row_hash:
+                    raise ValueError("record body does not match its key")
+            except ValueError as exc:
+                raise StoreError(
+                    f"{self.path}: corrupt record for hash {row_hash!r} ({exc})"
+                ) from exc
+            yield rec
+
+    def load(self) -> "dict[str, dict]":
+        return {rec["hash"]: rec for rec in self.iter_records()}
+
+    def resume(self, tasks):
+        return default_resume(self, tasks)
+
+    def count(self) -> int:
+        conn = self._connect(create=False)
+        if conn is None:
+            return 0
+        (n,) = conn.execute("SELECT COUNT(*) FROM records").fetchone()
+        return int(n)
+
+    def info(self) -> dict:
+        """Layout facts for ``repro store info``: record and lease row
+        counts straight from SQL, no payloads."""
+        exists = self.path.exists()
+        conn = self._connect(create=False)
+        leases = 0
+        if conn is not None:
+            (leases,) = conn.execute("SELECT COUNT(*) FROM leases").fetchone()
+        return {
+            "backend": "sqlite",
+            "url": self.url,
+            "exists": exists,
+            "records": self.count(),
+            "bytes": self.path.stat().st_size if exists else 0,
+            "active_leases": int(leases),
+        }
+
+    def close(self) -> None:
+        if self._conn is not None and self._pid == os.getpid():
+            self._conn.close()
+        self._conn = None
+        self._pid = None
+
+    def __enter__(self) -> "SqliteStore":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def __len__(self) -> int:
+        return self.count()
+
+    # ------------------------------------------------------------------
+    # leases (serve mode)
+    # ------------------------------------------------------------------
+    def try_claim(self, key: str, owner: str, ttl: float) -> bool:
+        """Atomically claim ``key`` for ``owner``; ``True`` if won.
+
+        A free key is won by ``INSERT OR IGNORE``; a held key is won
+        only by the single ``UPDATE`` that observes its deadline
+        expired — SQLite serializes both, so exactly one claimer
+        succeeds.
+        """
+        conn = self._connect(create=True)
+        now = time.time()
+        with conn:
+            cur = conn.execute(
+                "INSERT OR IGNORE INTO leases(key, owner, deadline) VALUES(?, ?, ?)",
+                (key, owner, now + ttl),
+            )
+            if cur.rowcount:
+                return True
+            cur = conn.execute(
+                "UPDATE leases SET owner = ?, deadline = ? "
+                "WHERE key = ? AND deadline < ?",
+                (owner, now + ttl, key, now),
+            )
+            return bool(cur.rowcount)
+
+    def heartbeat(self, key: str, owner: str, ttl: float = 60.0) -> bool:
+        """Push the lease deadline out; ``False`` if no longer held."""
+        conn = self._connect(create=True)
+        with conn:
+            cur = conn.execute(
+                "UPDATE leases SET deadline = ? WHERE key = ? AND owner = ?",
+                (time.time() + ttl, key, owner),
+            )
+            return bool(cur.rowcount)
+
+    def release(self, key: str, owner: str) -> None:
+        """Drop the lease if still held by ``owner`` (idempotent)."""
+        conn = self._connect(create=True)
+        with conn:
+            conn.execute(
+                "DELETE FROM leases WHERE key = ? AND owner = ?", (key, owner)
+            )
+
+    def holds(self, key: str, owner: str) -> bool:
+        """Whether ``owner`` currently holds the lease."""
+        conn = self._connect(create=False)
+        if conn is None:
+            return False
+        row = conn.execute(
+            "SELECT owner FROM leases WHERE key = ?", (key,)
+        ).fetchone()
+        return row is not None and row[0] == owner

@@ -209,6 +209,133 @@ class TestReportCommand:
         assert "corrupt" in capsys.readouterr().err
 
 
+class TestStoreCommand:
+    @pytest.fixture()
+    def store(self, tmp_path):
+        path = tmp_path / "campaign.jsonl"
+        study = Study("st").axis("s", [2, 4]).fix(uid=2213, scale=48, reps=1)
+        study.run(jobs=1, store=path)
+        return path
+
+    def test_info_text(self, store, capsys):
+        assert main(["store", "info", str(store)]) == 0
+        out = capsys.readouterr().out
+        assert "backend: jsonl" in out and "records: 3" in out  # 2 + telemetry
+
+    def test_info_json(self, store, capsys):
+        assert main(["store", "info", str(store), "--json"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["backend"] == "jsonl" and data["records"] == 3
+
+    def test_info_sharded_shows_fill(self, store, tmp_path, capsys):
+        dst = f"sharded:{tmp_path / 'c.d'}"
+        assert main(["store", "migrate", str(store), dst]) == 0
+        capsys.readouterr()
+        assert main(["store", "info", dst]) == 0
+        out = capsys.readouterr().out
+        assert "shards: 16" in out and "shard fill:" in out
+
+    def test_info_bad_scheme_exits_2(self, capsys):
+        assert main(["store", "info", "zzz:x"]) == 2
+        assert "unknown store scheme" in capsys.readouterr().err
+
+    def test_missing_action_exits_2(self, capsys):
+        assert main(["store"]) == 2
+        assert "store info" in capsys.readouterr().err
+
+    def test_migrate_round_trip_report_identical(self, store, tmp_path, capsys):
+        # jsonl -> sharded -> sqlite -> jsonl, with `repro report`
+        # bit-identical at every stop (modulo the store path line).
+        assert main(["report", str(store)]) == 0
+        baseline = capsys.readouterr().out.split("\n", 1)[1]
+        prev = str(store)
+        for dst in (f"sharded:{tmp_path / 'c.d'}",
+                    f"sqlite:{tmp_path / 'c.db'}",
+                    str(tmp_path / "back.jsonl")):
+            assert main(["store", "migrate", prev, dst]) == 0
+            assert "migrated 3 record(s)" in capsys.readouterr().out
+            assert main(["report", dst]) == 0
+            assert capsys.readouterr().out.split("\n", 1)[1] == baseline
+            prev = dst
+
+    def test_migrate_into_populated_exits_2(self, store, tmp_path, capsys):
+        dst = f"sqlite:{tmp_path / 'c.db'}"
+        assert main(["store", "migrate", str(store), dst]) == 0
+        capsys.readouterr()
+        assert main(["store", "migrate", str(store), dst]) == 2
+        assert "already has records" in capsys.readouterr().err
+
+    def test_resume_after_migration_recomputes_nothing(self, store, tmp_path,
+                                                       capsys):
+        spec = tmp_path / "study.json"
+        (Study("st").axis("s", [2, 4])
+         .fix(uid=2213, scale=48, reps=1)).save(spec)
+        dst = f"sqlite:{tmp_path / 'c.db'}"
+        assert main(["store", "migrate", str(store), dst]) == 0
+        capsys.readouterr()
+        assert main(["study", "run", str(spec), "--store", dst,
+                     "--resume", "--jobs", "1"]) == 0
+        capsys.readouterr()
+        # Still exactly 3 records: every task came from the store.
+        assert main(["store", "info", dst, "--json"]) == 0
+        assert json.loads(capsys.readouterr().out)["records"] == 3
+
+    def test_campaign_store_url_validation(self, capsys):
+        assert main(["table1", "--store", "zzz:x"]) == 2
+        assert "unknown store scheme" in capsys.readouterr().err
+
+
+class TestServeCommand:
+    @pytest.fixture()
+    def spec(self, tmp_path):
+        path = tmp_path / "study.json"
+        (Study("serve-sweep")
+         .axis("s", [2, 4])
+         .fix(uid=2213, scale=48, reps=1, alpha=1 / 16.0)).save(path)
+        return path
+
+    def test_serve_runs_fleet_and_reports(self, spec, tmp_path, capsys):
+        url = f"sqlite:{tmp_path / 'serve.db'}"
+        rc = main(["serve", str(spec), "--store", url,
+                   "--workers", "2", "--progress", "none"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "records: 2" in out and "study:serve-sweep" in out
+
+    def test_serve_matches_study_run_output(self, spec, tmp_path, capsys):
+        jsonl = tmp_path / "serial.jsonl"
+        assert main(["study", "run", str(spec), "--store", str(jsonl),
+                     "--jobs", "1"]) == 0
+        capsys.readouterr()
+        url = f"sharded:{tmp_path / 'serve.d'}"
+        assert main(["serve", str(spec), "--store", url,
+                     "--workers", "2", "--progress", "none"]) == 0
+        capsys.readouterr()
+        # Per-task records identical to --jobs 1 (the tentpole bar).
+        from repro.store import open_store
+
+        def task_records(spec_url):
+            return {h: r for h, r in open_store(spec_url).load().items()
+                    if r.get("kind") != "telemetry"}
+
+        assert task_records(url) == task_records(str(jsonl))
+
+    def test_serve_rejects_jsonl_store(self, spec, tmp_path, capsys):
+        rc = main(["serve", str(spec), "--store", str(tmp_path / "r.jsonl")])
+        assert rc == 2
+        assert "concurrent backend" in capsys.readouterr().err
+
+    def test_serve_rejects_bad_workers(self, spec, tmp_path, capsys):
+        assert main(["serve", str(spec), "--store",
+                     f"sqlite:{tmp_path / 'r.db'}", "--workers", "0"]) == 2
+        assert "--workers" in capsys.readouterr().err
+
+    def test_serve_rejects_unreadable_spec(self, tmp_path, capsys):
+        assert main(["serve", str(tmp_path / "nope.json"), "--store",
+                     f"sqlite:{tmp_path / 'r.db'}"]) == 2
+        assert "cannot load" in capsys.readouterr().err
+
+
 class TestModuleEntryCompat:
     def test_python_m_repro_still_routes_table1(self, capsys):
         from repro.__main__ import main as module_main

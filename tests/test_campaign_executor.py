@@ -175,6 +175,78 @@ class TestAggregation:
             aggregate_figure1(small_tasks, serial_records)
 
 
+class TestStoreAggregation:
+    """Streaming aggregation straight out of a store (any backend)."""
+
+    @pytest.fixture()
+    def store(self, small_tasks, tmp_path):
+        path = tmp_path / "agg.jsonl"
+        run_campaign(small_tasks, jobs=1, store=path)
+        return path
+
+    def test_table1_from_store_matches_in_memory(self, small_tasks,
+                                                 serial_records, store):
+        from repro.campaign import aggregate_table1_store
+
+        assert aggregate_table1_store(small_tasks, str(store)) \
+            == aggregate_table1(small_tasks, serial_records)
+
+    def test_missing_records_raise_unless_partial(self, small_tasks,
+                                                  tmp_path):
+        from repro.campaign import aggregate_table1_store
+
+        empty = tmp_path / "empty.jsonl"
+        with pytest.raises(ValueError, match="missing"):
+            aggregate_table1_store(small_tasks, str(empty))
+        assert aggregate_table1_store(small_tasks, str(empty),
+                                      partial=True) == []
+
+    def test_partial_store_keeps_complete_groups(self, small_tasks,
+                                                 serial_records, store,
+                                                 tmp_path):
+        from repro.campaign import aggregate_table1_store
+
+        # Drop one scheme's records entirely: its group disappears, the
+        # other group's row survives bit-identically.
+        victim = small_tasks[0].scheme
+        partial = tmp_path / "partial.jsonl"
+        with ResultStore(partial) as dst:
+            for task, rec in zip(small_tasks, serial_records):
+                if task.scheme != victim:
+                    dst.append(rec)
+        rows = aggregate_table1_store(small_tasks, str(partial), partial=True)
+        full = aggregate_table1(small_tasks, serial_records)
+        assert rows == [r for r in full if r.scheme != victim]
+
+    def test_figure1_partial_omits_missing_points(self, tmp_path):
+        from repro.campaign import (
+            CampaignSpec,
+            aggregate_figure1,
+            aggregate_figure1_store,
+        )
+
+        tasks = CampaignSpec(kind="figure1", scale=48, reps=1, uids=(2213,),
+                             mtbf_values=(16.0, 500.0)).expand()
+        records = run_campaign(tasks, jobs=1)
+        partial = tmp_path / "partial.jsonl"
+        with ResultStore(partial) as dst:
+            for rec in records[:-2]:
+                dst.append(rec)
+        points = aggregate_figure1_store(tasks, str(partial), partial=True)
+        assert points == aggregate_figure1(tasks, records)[:-2]
+
+    def test_records_for_tasks_streams_last_wins(self, small_tasks, store):
+        from repro.campaign import records_for_tasks
+
+        with ResultStore(store) as dst:
+            rewritten = {**records_for_tasks(small_tasks, str(store))[0],
+                         "marker": 1}
+            dst.append(rewritten)
+        out = records_for_tasks(small_tasks, str(store))
+        assert out[0]["marker"] == 1
+        assert all(r is not None for r in out)
+
+
 class TestCli:
     def test_cli_jobs_and_store(self, capsys, tmp_path):
         from repro.sim.experiments import _main

@@ -127,6 +127,48 @@ class TestCrashRecovery:
             ResultStore(path).load()
 
 
+class TestStreamingReads:
+    def test_iter_records_keeps_file_order_and_duplicates(self, tmp_path):
+        store = ResultStore(tmp_path / "r.jsonl")
+        with store:
+            store.append(_record("aaa", rev=1))
+            store.append(_record("bbb"))
+            store.append(_record("aaa", rev=2))
+        seen = [(r["hash"], r.get("rev")) for r in store.iter_records()]
+        assert seen == [("aaa", 1), ("bbb", None), ("aaa", 2)]
+
+    def test_iter_records_drops_torn_tail(self, tmp_path):
+        path = tmp_path / "r.jsonl"
+        with open(path, "w") as fh:
+            fh.write(json.dumps(_record("aaa")) + "\n")
+            fh.write('{"torn')
+        assert [r["hash"] for r in ResultStore(path).iter_records()] == ["aaa"]
+
+    def test_count_is_distinct_hashes(self, tmp_path):
+        store = ResultStore(tmp_path / "r.jsonl")
+        with store:
+            store.append(_record("aaa", rev=1))
+            store.append(_record("bbb"))
+            store.append(_record("aaa", rev=2))
+        assert store.count() == 2 == len(store)
+
+    def test_count_handles_foreign_key_order(self, tmp_path):
+        # Hand-written records that don't start with the library's
+        # '{"hash": "' prefix must fall back to a real parse.
+        path = tmp_path / "r.jsonl"
+        with open(path, "w") as fh:
+            fh.write('{"stats": {}, "hash": "zzz"}\n')
+            fh.write(json.dumps(_record("aaa")) + "\n")
+        assert ResultStore(path).count() == 2
+
+    def test_count_corrupt_line_raises(self, tmp_path):
+        path = tmp_path / "r.jsonl"
+        with open(path, "w") as fh:
+            fh.write("garbage\n")
+        with pytest.raises(StoreError, match="corrupt record"):
+            ResultStore(path).count()
+
+
 class TestResume:
     def test_resume_splits_done_and_pending(self, tmp_path):
         tasks = [_task(s) for s in (1, 2, 3, 4)]
