@@ -3,13 +3,15 @@
 
 Runs ``bench_resilience.py`` (engine-vs-legacy abstraction tax),
 ``bench_hotpath.py`` (workspace hot path vs the frozen seed stack),
-``bench_obs.py`` (tracing overhead) and ``bench_backends.py`` (the
-kernel-backend axis, clean and guarded), then compares the fresh
-hot-path and backend records against the committed baselines
+``bench_obs.py`` (tracing overhead), ``bench_chaos.py`` (self-healing
+harness overhead) and ``bench_backends.py`` (the kernel-backend axis,
+clean and guarded), then compares the fresh hot-path and backend
+records against the committed baselines
 ``benchmarks/BENCH_hotpath.json`` / ``benchmarks/BENCH_backends.json``
-— the repo's perf trajectory — and gates the fresh observability
-record: disabled tracing more than 2 % over the untraced path fails
-the run (``benchmarks/BENCH_obs.json`` is the committed record).
+— the repo's perf trajectory — and gates the fresh overhead records:
+disabled tracing (``BENCH_obs.json``) or the armed guarded execution
+path on a healthy campaign (``BENCH_chaos.json``) costing more than
+2 % over their legacy paths fails the run.
 
 The regression gates compare **speedup ratios**, not raw seconds: both
 sides of every ratio run on the same machine in the same process, so
@@ -44,6 +46,8 @@ OBS_BASELINE = BENCH_DIR / "BENCH_obs.json"
 OBS_FRESH = BENCH_DIR / "results" / "BENCH_obs.json"
 BACKENDS_BASELINE = BENCH_DIR / "BENCH_backends.json"
 BACKENDS_FRESH = BENCH_DIR / "results" / "BENCH_backends.json"
+CHAOS_BASELINE = BENCH_DIR / "BENCH_chaos.json"
+CHAOS_FRESH = BENCH_DIR / "results" / "BENCH_chaos.json"
 
 #: Maximum tolerated drop of the aggregate speedup vs the baseline.
 REGRESSION_TOLERANCE = 0.25
@@ -51,6 +55,10 @@ REGRESSION_TOLERANCE = 0.25
 #: Maximum tolerated tracing-off overhead (percent) over the untraced
 #: path — the repro.obs zero-overhead-when-off acceptance bar.
 MAX_TRACE_OVERHEAD_PCT = 2.0
+
+#: Maximum tolerated guarded-path overhead (percent) on a healthy
+#: campaign — the repro.chaos hardening acceptance bar.
+MAX_CHAOS_OVERHEAD_PCT = 2.0
 
 
 def run_pytest_benches(quick: bool, skip_resilience: bool) -> int:
@@ -73,9 +81,11 @@ def run_pytest_benches(quick: bool, skip_resilience: bool) -> int:
         # noise control, so it needs no relaxation here — just shorter
         # timed regions for the smoke tier.
         os.environ.setdefault("REPRO_BENCH_OBS_REPS", "50")
+        os.environ.setdefault("REPRO_BENCH_CHAOS_REPS", "6")
     targets = [
         str(BENCH_DIR / "bench_hotpath.py"),
         str(BENCH_DIR / "bench_obs.py"),
+        str(BENCH_DIR / "bench_chaos.py"),
         str(BENCH_DIR / "bench_backends.py"),
     ]
     if not skip_resilience:
@@ -217,6 +227,38 @@ def main(argv: "list[str] | None" = None) -> int:
         if args.update_baseline or not OBS_BASELINE.exists():
             OBS_BASELINE.write_text(OBS_FRESH.read_text())
             print(f"observability record written: {OBS_BASELINE}")
+
+    # Same shape of gate for the self-healing harness: the guarded
+    # execution path (retry policy armed, deadline armed per attempt,
+    # nothing ever firing) must stay within 2 % of the legacy path,
+    # plus this run's measured off-vs-off noise.
+    if CHAOS_FRESH.exists():
+        chaos = json.loads(CHAOS_FRESH.read_text())
+        overhead = float(chaos["aggregate_guarded_overhead_pct"])
+        noise = float(chaos.get("aggregate_control_spread_pct", 0.0))
+        allowed = (
+            float(
+                os.environ.get(
+                    "REPRO_BENCH_MAX_CHAOS_OVERHEAD", str(MAX_CHAOS_OVERHEAD_PCT)
+                )
+            )
+            + noise
+        )
+        print(
+            f"hardened path: {overhead:+.2f}% vs legacy "
+            f"(allowed +{allowed:.2f}%, incl. {noise:.2f}% measured noise)"
+        )
+        if overhead > allowed:
+            print(
+                f"REGRESSION: the guarded execution path costs {overhead:.2f}% "
+                f"over the legacy path on a healthy campaign "
+                f"(allowed {allowed:.2f}%)",
+                file=sys.stderr,
+            )
+            return 1
+        if args.update_baseline or not CHAOS_BASELINE.exists():
+            CHAOS_BASELINE.write_text(CHAOS_FRESH.read_text())
+            print(f"hardening record written: {CHAOS_BASELINE}")
 
     if args.update_baseline or not BASELINE.exists():
         BASELINE.write_text(FRESH.read_text())

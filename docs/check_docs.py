@@ -13,7 +13,7 @@ by the CI ``docs`` job next to the mkdocs strict build:
    motivated the check: three modules cited a DESIGN.md that did not
    exist).
 3. **Public docstrings.**  Every object exported via ``__all__`` from
-   the audited packages (repro.api, repro.backends, repro.obs,
+   the audited packages (repro.api, repro.backends, repro.chaos, repro.obs,
    repro.resilience, repro.store, and their submodules) must carry a
    docstring, as must the modules themselves.
 4. **Examples gallery.**  Every ``examples/*.py`` must be linked from
@@ -35,6 +35,7 @@ SRC = ROOT / "src"
 AUDITED_PACKAGES = (
     "repro.api",
     "repro.backends",
+    "repro.chaos",
     "repro.obs",
     "repro.resilience",
     "repro.store",

@@ -71,6 +71,24 @@ def _add_campaign_options(parser: argparse.ArgumentParser) -> None:
         help="collect per-worker JSONL trace shards of every solve event "
              "under DIR (summarize with 'repro trace summarize DIR')",
     )
+    group.add_argument(
+        "--task-timeout", type=float, default=None, metavar="SECONDS",
+        help="per-attempt wall-clock deadline for each task; a timed-out "
+             "task is retried (--retries) and eventually quarantined",
+    )
+    group.add_argument(
+        "--retries", type=int, default=0, metavar="N",
+        help="re-attempts for a failing or timed-out task (with "
+             "exponential backoff); a task that exhausts them is recorded "
+             "as a quarantine entry instead of failing the campaign "
+             "(exit code 3)",
+    )
+    group.add_argument(
+        "--chaos", type=str, default=None, metavar="SPEC",
+        help="deterministic fault injection for harness testing, e.g. "
+             "'kill=0.2,hang=0.05,seed=7' (sites: kill/hang/tear; "
+             "'off' disables; default: the REPRO_CHAOS environment)",
+    )
 
 
 def _add_experiment_options(parser: argparse.ArgumentParser) -> None:
@@ -285,6 +303,39 @@ def build_parser() -> argparse.ArgumentParser:
     )
     pm.add_argument("src", type=str, help="source store path or URL")
     pm.add_argument("dst", type=str, help="destination store path or URL (must be empty)")
+    pc = store_sub.add_parser(
+        "compact",
+        help="fold a store's latest records into an empty one",
+        description="Write the store's folded view (duplicate hashes "
+                    "collapse last-wins, telemetry records dropped) into an "
+                    "empty destination.  With --drop-quarantined, poison-task "
+                    "records are dropped too, so a resumed campaign retries "
+                    "them.",
+    )
+    pc.add_argument("src", type=str, help="source store path or URL")
+    pc.add_argument("dst", type=str, help="destination store path or URL (must be empty)")
+    pc.add_argument(
+        "--drop-quarantined", action="store_true",
+        help="also drop kind=quarantine records (re-queues those tasks)",
+    )
+    pv = store_sub.add_parser(
+        "verify",
+        help="integrity-scan a store's record checksums",
+        description="Count intact (sealed / pre-checksum) and corrupt "
+                    "records plus torn-tail state without modifying "
+                    "anything; exits 1 if corruption was found.",
+    )
+    pv.add_argument("store", type=str, help="result store path or URL")
+    pv.add_argument("--json", action="store_true", help="print as JSON")
+    pp = store_sub.add_parser(
+        "repair",
+        help="re-derive a clean store from the intact records",
+        description="Stream every record that parses and passes its "
+                    "checksum into an empty destination; dropped tasks are "
+                    "simply re-executed by the next --resume.",
+    )
+    pp.add_argument("src", type=str, help="source store path or URL")
+    pp.add_argument("dst", type=str, help="destination store path or URL (must be empty)")
     p.set_defaults(func=_cmd_store)
 
     # --- serve ------------------------------------------------------------
@@ -321,6 +372,29 @@ def build_parser() -> argparse.ArgumentParser:
         "--progress", choices=("bar", "json", "none"), default="bar",
         help="stderr progress style (as for the campaign commands)",
     )
+    p.add_argument(
+        "--task-timeout", type=float, default=None, metavar="SECONDS",
+        help="per-attempt wall-clock deadline inside each worker",
+    )
+    p.add_argument(
+        "--retries", type=int, default=0, metavar="N",
+        help="per-task re-attempts before quarantine (exit code 3)",
+    )
+    p.add_argument(
+        "--chaos", type=str, default=None, metavar="SPEC",
+        help="deterministic fault injection into the workers, e.g. "
+             "'kill=0.2,seed=7' (the dispatcher never injects into itself)",
+    )
+    p.add_argument(
+        "--max-worker-restarts", type=int, default=None, metavar="N",
+        help="how many crashed workers the dispatcher revives before "
+             "letting the fleet die off (default: 4x --workers)",
+    )
+    p.add_argument(
+        "--trace-dir", type=str, default=None, metavar="DIR",
+        help="collect per-worker JSONL trace shards (solve events plus "
+             "retry/quarantine/restart harness events)",
+    )
     p.set_defaults(func=_cmd_serve)
 
     return parser
@@ -351,7 +425,26 @@ def _check_campaign_args(parser: argparse.ArgumentParser, args: argparse.Namespa
         parser.error("--resume requires --store")
     if args.store:
         _check_store_arg(parser, args.store, resume=args.resume)
+    _check_hardening_args(parser, args)
     return default_jobs() if args.jobs is None else args.jobs
+
+
+def _check_hardening_args(
+    parser: argparse.ArgumentParser, args: argparse.Namespace
+) -> None:
+    """Validate the self-healing / chaos flags shared by every campaign
+    command (serve included)."""
+    if getattr(args, "task_timeout", None) is not None and args.task_timeout <= 0:
+        parser.error(f"--task-timeout must be > 0, got {args.task_timeout:g}")
+    if getattr(args, "retries", 0) < 0:
+        parser.error(f"--retries must be >= 0, got {args.retries}")
+    if getattr(args, "chaos", None) is not None:
+        from repro.chaos import ChaosPolicy
+
+        try:
+            ChaosPolicy.parse(args.chaos)
+        except ValueError as exc:
+            parser.error(f"--chaos {args.chaos!r}: {exc}")
 
 
 def _check_store_arg(
@@ -468,6 +561,9 @@ def _run_experiment(
     except ValueError as exc:
         parser.error(str(exc))
     jobs = _check_campaign_args(parser, args)
+    from repro.obs.metrics import METRICS
+
+    q_before = METRICS.count("campaign.quarantined")
     common = dict(
         scale=args.scale,
         reps=args.reps,
@@ -480,23 +576,43 @@ def _run_experiment(
         methods=methods,
         backend=args.backend,
         trace_dir=args.trace_dir,
+        task_timeout=args.task_timeout,
+        retries=args.retries,
+        chaos=args.chaos,
     )
-    if kind == "table1":
-        from repro.sim.experiments import run_table1
+    try:
+        if kind == "table1":
+            from repro.sim.experiments import run_table1
 
-        if args.s_span < 0:
-            parser.error(f"--s-span must be >= 0, got {args.s_span}")
-        rows = run_table1(s_span=args.s_span, **common)
-        print(format_table1(rows))
-        if args.csv:
-            to_csv(rows, args.csv)
-    else:
-        from repro.sim.experiments import run_figure1
+            if args.s_span < 0:
+                parser.error(f"--s-span must be >= 0, got {args.s_span}")
+            rows = run_table1(s_span=args.s_span, **common)
+            print(format_table1(rows))
+            if args.csv:
+                to_csv(rows, args.csv)
+        else:
+            from repro.sim.experiments import run_figure1
 
-        pts = run_figure1(mtbf_values=args.mtbf, **common)
-        print(format_figure1(pts))
-        if args.csv:
-            to_csv(pts, args.csv)
+            pts = run_figure1(mtbf_values=args.mtbf, **common)
+            print(format_figure1(pts))
+            if args.csv:
+                to_csv(pts, args.csv)
+    except ValueError as exc:
+        # A quarantined poison task leaves the full aggregation short;
+        # the campaign itself completed and the store holds everything
+        # that did run — report and exit 3 rather than crash.
+        if METRICS.count("campaign.quarantined") > q_before:
+            print(f"error: {exc}", file=sys.stderr)
+            return 3
+        raise
+    quarantined = METRICS.count("campaign.quarantined") - q_before
+    if quarantined:
+        print(
+            f"warning: {int(quarantined)} task(s) quarantined; re-queue "
+            "with `repro store compact --drop-quarantined`",
+            file=sys.stderr,
+        )
+        return 3
     return 0
 
 
@@ -533,8 +649,20 @@ def _cmd_study(parser: argparse.ArgumentParser, args: argparse.Namespace) -> int
         store=args.store,
         progress=args.progress,
         trace_dir=args.trace_dir,
+        task_timeout=args.task_timeout,
+        retries=args.retries,
+        chaos=args.chaos,
     )
-    if result.tasks and all(t.experiment == "table1" for t in result.tasks):
+    if result.quarantined:
+        # The preset folds need every record; fall through to the
+        # generic table, which reports the healthy points.
+        print(
+            f"warning: {result.quarantined} task(s) quarantined; re-queue "
+            "with `repro store compact --drop-quarantined`",
+            file=sys.stderr,
+        )
+        print(result.format_table())
+    elif result.tasks and all(t.experiment == "table1" for t in result.tasks):
         from repro.sim.results import format_table1
 
         print(format_table1(result.table1_rows()))
@@ -559,7 +687,7 @@ def _cmd_study(parser: argparse.ArgumentParser, args: argparse.Namespace) -> int
             writer = csv.DictWriter(fh, fieldnames=list(rows[0]) if rows else [])
             writer.writeheader()
             writer.writerows(rows)
-    return 0
+    return 3 if result.quarantined else 0
 
 
 def _cmd_trace(parser: argparse.ArgumentParser, args: argparse.Namespace) -> int:
@@ -613,7 +741,13 @@ def _cmd_store(parser: argparse.ArgumentParser, args: argparse.Namespace) -> int
     import json
 
     from repro.campaign.store import StoreError
-    from repro.store import migrate_store, open_store
+    from repro.store import (
+        compact_store,
+        migrate_store,
+        open_store,
+        repair_store,
+        verify_store,
+    )
 
     if args.store_command == "migrate":
         try:
@@ -622,10 +756,42 @@ def _cmd_store(parser: argparse.ArgumentParser, args: argparse.Namespace) -> int
             parser.error(str(exc))
         print(f"migrated {moved} record(s): {args.src} -> {args.dst}")
         return 0
+    if args.store_command == "compact":
+        try:
+            kept = compact_store(
+                args.src, args.dst, drop_quarantined=args.drop_quarantined
+            )
+        except (ValueError, StoreError) as exc:
+            parser.error(str(exc))
+        print(f"compacted to {kept} record(s): {args.src} -> {args.dst}")
+        return 0
+    if args.store_command == "verify":
+        try:
+            report = verify_store(args.store)
+        except (ValueError, StoreError) as exc:
+            parser.error(f"store {args.store!r}: {exc}")
+        if args.json:
+            print(json.dumps(report, indent=2, sort_keys=True))
+        else:
+            for key in ("url", "records", "sealed", "unsealed", "corrupt",
+                        "torn_tail"):
+                print(f"{key}: {report[key]}")
+        return 1 if report["corrupt"] or report["torn_tail"] else 0
+    if args.store_command == "repair":
+        try:
+            kept, dropped = repair_store(args.src, args.dst)
+        except (ValueError, StoreError) as exc:
+            parser.error(str(exc))
+        print(
+            f"repaired: kept {kept} record(s), dropped {dropped} corrupt: "
+            f"{args.src} -> {args.dst}"
+        )
+        return 0
     if args.store_command != "info":
         parser.error(
             "expected an action: repro store info <url> | "
-            "repro store migrate <src> <dst>"
+            "repro store migrate|compact|repair <src> <dst> | "
+            "repro store verify <url>"
         )
     try:
         store = open_store(args.store)
@@ -653,12 +819,17 @@ def _cmd_serve(parser: argparse.ArgumentParser, args: argparse.Namespace) -> int
     from repro.api.study import Study
     from repro.campaign.progress import ProgressReporter
     from repro.campaign.store import StoreError
-    from repro.store import open_store, serve_campaign
+    from repro.store import ServeInterrupted, open_store, serve_campaign
 
     if args.workers < 1:
         parser.error(f"--workers must be >= 1, got {args.workers}")
     if args.lease_ttl <= 0:
         parser.error(f"--lease-ttl must be > 0, got {args.lease_ttl:g}")
+    if args.max_worker_restarts is not None and args.max_worker_restarts < 0:
+        parser.error(
+            f"--max-worker-restarts must be >= 0, got {args.max_worker_restarts}"
+        )
+    _check_hardening_args(parser, args)
     tasks = []
     names = []
     for spec in args.specs:
@@ -690,19 +861,35 @@ def _cmd_serve(parser: argparse.ArgumentParser, args: argparse.Namespace) -> int
         file=sys.stderr,
     )
     try:
-        serve_campaign(
+        records = serve_campaign(
             tasks,
             store,
             workers=args.workers,
             lease_ttl=args.lease_ttl,
             progress=reporter,
+            task_timeout=args.task_timeout,
+            retries=args.retries,
+            chaos=args.chaos,
+            max_worker_restarts=args.max_worker_restarts,
+            trace_dir=args.trace_dir,
         )
+    except ServeInterrupted as exc:
+        print(f"interrupted: {exc}", file=sys.stderr)
+        return 128 + exc.signum
     except (RuntimeError, StoreError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
     from repro.api.report import format_summary, summarize_store
 
     print(format_summary(summarize_store(store)))
+    quarantined = sum(1 for r in records if r.get("kind") == "quarantine")
+    if quarantined:
+        print(
+            f"warning: {quarantined} task(s) quarantined; re-queue with "
+            "`repro store compact --drop-quarantined`",
+            file=sys.stderr,
+        )
+        return 3
     return 0
 
 

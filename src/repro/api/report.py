@@ -62,6 +62,9 @@ class StoreSummary:
     #: Merged campaign telemetry (``kind="telemetry"`` records written
     #: by the executor), or ``None`` for stores predating it.
     telemetry: "dict | None" = None
+    #: ``kind="quarantine"`` records (poison tasks the self-healing
+    #: harness gave up on, :mod:`repro.chaos`); 0 for healthy stores.
+    quarantined: int = 0
 
     def to_dict(self) -> dict:
         from dataclasses import asdict
@@ -102,6 +105,9 @@ def summarize_store(
         if rec.get("kind") == "telemetry":
             latest[h] = ("telemetry", rec)
             continue
+        if rec.get("kind") == "quarantine":
+            latest[h] = ("quarantine",)
+            continue
         task = rec.get("task")
         stats = rec.get("stats")
         if not isinstance(task, dict) or not isinstance(stats, dict) \
@@ -128,6 +134,7 @@ def summarize_store(
 
     groups: "dict[tuple[str, str, str, str], list[tuple]]" = {}
     skipped = 0
+    quarantined = 0
     telemetry_recs: "list[dict]" = []
     # Canonical accumulation order — (group, hash) — so a migrated
     # store reports bit-identically however its backend laid records
@@ -141,6 +148,8 @@ def summarize_store(
             telemetry_recs.append(entry[1])
         elif entry[0] == "skip":
             skipped += 1
+        elif entry[0] == "quarantine":
+            quarantined += 1
 
     summaries: "list[GroupSummary]" = []
     for (experiment, method, backend, scheme), rows in sorted(groups.items()):
@@ -167,6 +176,7 @@ def summarize_store(
         skipped=skipped,
         groups=summaries,
         telemetry=_merge_telemetry(telemetry_recs),
+        quarantined=quarantined,
     )
 
 
@@ -243,6 +253,11 @@ def format_summary(summary: StoreSummary) -> str:
         f"records: {summary.records}"
         + (f" ({summary.skipped} without usable statistics)" if summary.skipped else ""),
     ]
+    if summary.quarantined:
+        lines.append(
+            f"quarantined: {summary.quarantined} poison task(s) — "
+            "re-queue with `repro store compact --drop-quarantined`"
+        )
     if summary.groups:
         head = (
             f"{'experiment':>16} {'method':>9} {'backend':>9} {'scheme':>17} "

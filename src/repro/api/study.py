@@ -123,12 +123,29 @@ class StudyResult:
     def __iter__(self):
         return iter(self.points())
 
+    @property
+    def quarantined(self) -> int:
+        """How many tasks ended as ``kind="quarantine"`` records
+        (poison tasks the self-healing harness gave up on — see
+        :mod:`repro.chaos`).  Zero for a fully healthy run."""
+        return sum(
+            1
+            for rec in self.records
+            if rec is not None and rec.get("kind") == "quarantine"
+        )
+
     def points(self) -> "list[StudyPoint]":
-        """One typed point per task, in task order."""
+        """One typed point per executed task, in task order.
+
+        Quarantined tasks carry no result payload and are skipped;
+        check :attr:`quarantined` to see whether the view is partial.
+        """
         from repro.campaign.aggregate import stats_from_record
 
         out = []
         for task, rec in zip(self.tasks, self.records):
+            if rec.get("kind") == "quarantine":
+                continue
             out.append(
                 StudyPoint(
                     uid=task.uid,
@@ -455,6 +472,9 @@ class Study:
         chunksize: "int | None" = None,
         reuse_workspace: bool = True,
         trace_dir: "str | os.PathLike[str] | None" = None,
+        task_timeout: "float | None" = None,
+        retries: int = 0,
+        chaos=None,
     ) -> StudyResult:
         """Execute the study through the campaign engine.
 
@@ -484,6 +504,12 @@ class Study:
         content hash).  Summarize with ``repro trace summarize DIR``.
         Tracing is pure observation — records are bit-identical with it
         on or off.
+
+        ``task_timeout`` / ``retries`` / ``chaos`` are the self-healing
+        and fault-injection knobs of
+        :func:`repro.campaign.executor.run_campaign` (off by default);
+        a task that exhausts its attempts is quarantined rather than
+        failing the study — check :attr:`StudyResult.quarantined`.
         """
         from repro.campaign.executor import run_campaign
         from repro.campaign.progress import ProgressReporter
@@ -515,6 +541,9 @@ class Study:
             chunksize=chunksize,
             reuse_workspace=reuse_workspace,
             trace_dir=trace_dir,
+            task_timeout=task_timeout,
+            retries=retries,
+            chaos=chaos,
         )
         return StudyResult(tasks, records, metrics=self._metrics)
 

@@ -58,6 +58,13 @@ def _paired(tasks: "list[TaskSpec]", records: "Iterable[dict]", experiment: str)
     for task, rec in zip(tasks, records):
         if rec is None:
             raise ValueError(f"missing record for task {task.task_hash()}")
+        if rec.get("kind") == "quarantine":
+            raise ValueError(
+                f"task {task.task_hash()[:16]}… was quarantined after "
+                f"{rec.get('attempts')} attempt(s) ({rec.get('error')}); "
+                "aggregate the store with partial=True, or clear it with "
+                "`repro store compact --drop-quarantined` and re-run"
+            )
         if task.experiment != experiment:
             raise ValueError(
                 f"expected {experiment!r} tasks, got {task.experiment!r}"
@@ -177,7 +184,10 @@ def records_for_tasks(
     the task list, not the store); duplicates resolve last-wins.  A
     task without a record raises ``ValueError`` unless ``partial=True``
     leaves a ``None`` hole — the tolerance a report over a
-    still-running or crashed campaign needs.
+    still-running or crashed campaign needs.  ``kind="quarantine"``
+    records (:mod:`repro.chaos`) carry no result payload, so they fold
+    like missing records: a hole under ``partial=True``, an error —
+    naming the quarantine — otherwise.
     """
     from repro.store import open_store
 
@@ -191,13 +201,19 @@ def records_for_tasks(
         if slots is not None:
             for i in slots:
                 out[i] = rec  # duplicates: last wins
+    quarantined = 0
+    for i, rec in enumerate(out):
+        if rec is not None and rec.get("kind") == "quarantine":
+            out[i] = None
+            quarantined += 1
     if not partial:
         missing = [tasks[i].task_hash() for i, r in enumerate(out) if r is None]
         if missing:
             raise ValueError(
                 f"store {store.url} is missing {len(missing)} record(s) "
-                f"for this campaign (first: {missing[0][:16]}…); "
-                "pass partial=True to aggregate what exists"
+                f"for this campaign (first: {missing[0][:16]}…"
+                + (f"; {quarantined} quarantined" if quarantined else "")
+                + "); pass partial=True to aggregate what exists"
             )
     return out
 

@@ -29,7 +29,9 @@ from __future__ import annotations
 import math
 import os
 import uuid
+import warnings
 from concurrent.futures import ProcessPoolExecutor, as_completed
+from concurrent.futures.process import BrokenProcessPool
 from pathlib import Path
 from typing import TYPE_CHECKING, Iterable
 
@@ -38,6 +40,7 @@ from repro.campaign.spec import TaskSpec
 from repro.obs.metrics import METRICS, diff_snapshots, merge_snapshots
 
 if TYPE_CHECKING:  # pragma: no cover
+    from repro.chaos import ChaosPolicy, RetryPolicy
     from repro.store.protocol import StoreBackend
 
 __all__ = ["default_jobs", "execute_task", "run_campaign", "TELEMETRY_SCHEMA"]
@@ -48,6 +51,12 @@ TELEMETRY_SCHEMA: int = 1
 #: Target chunks per worker: small enough to balance the tail, large
 #: enough to amortize pickling/IPC over many sub-second tasks.
 CHUNKS_PER_WORKER: int = 4
+
+#: How many times a *hardened* campaign (retries / --task-timeout /
+#: chaos enabled) rebuilds a broken process pool before degrading to
+#: serial in-process execution.  Unhardened campaigns keep the legacy
+#: behavior: a broken pool propagates.
+MAX_POOL_RESTARTS: int = 3
 
 #: Per-process solve workspace (see :mod:`repro.perf`): one per worker,
 #: reused across every task the worker executes — repetitions restore
@@ -215,6 +224,10 @@ def run_campaign(
     chunksize: "int | None" = None,
     reuse_workspace: bool = True,
     trace_dir: "str | os.PathLike[str] | None" = None,
+    task_timeout: "float | None" = None,
+    retries: int = 0,
+    retry_backoff: float = 0.05,
+    chaos: "ChaosPolicy | str | None" = None,
 ) -> "list[dict]":
     """Execute every task, reusing stored results, and return records
     aligned with ``tasks``.
@@ -249,6 +262,24 @@ def run_campaign(
         one shard for the calling process).  Events carry the task
         hash, so ``repro trace summarize`` regroups shards per task
         regardless of scheduling.
+    task_timeout, retries, retry_backoff:
+        Self-healing knobs (``docs/DESIGN.md`` §10; all off by
+        default, in which case execution takes the exact legacy code
+        path).  ``task_timeout`` is a per-attempt wall-clock deadline
+        in seconds; ``retries`` bounds re-attempts of a failing /
+        timed-out task with exponential backoff starting at
+        ``retry_backoff`` seconds.  A task that exhausts its attempts
+        is *quarantined*: a structured ``kind="quarantine"`` record is
+        stored under its hash, the campaign completes, and the
+        ``campaign.quarantined`` metric counts it.
+    chaos:
+        Deterministic fault injection (:class:`repro.chaos
+        .ChaosPolicy`, a spec string, or ``None`` → the
+        ``REPRO_CHAOS`` environment gate).  Faults only fire in worker
+        processes; a pool broken by injected (or real) crashes is
+        rebuilt up to :data:`MAX_POOL_RESTARTS` times — with the
+        chaos generation re-rolled so kill-fates converge — before the
+        campaign degrades to serial in-process execution.
 
     Notes
     -----
@@ -260,10 +291,16 @@ def run_campaign(
     task content hashes, so resume-by-hash is unaffected and readers
     that only look at task records skip it naturally.
     """
+    from repro.chaos import resolve_chaos, resolve_retry
+
     tasks = list(tasks)
     jobs = default_jobs() if jobs is None else int(jobs)
     if jobs < 1:
         raise ValueError(f"jobs must be >= 1, got {jobs}")
+    retry = resolve_retry(
+        retries=retries, task_timeout=task_timeout, backoff=retry_backoff
+    )
+    chaos = resolve_chaos(chaos)
     own_store = False
     if store is not None and isinstance(store, (str, os.PathLike)):
         from repro.store import open_store
@@ -289,18 +326,16 @@ def run_campaign(
             if pending:
                 if jobs == 1 or len(pending) == 1:
                     base = _telemetry_state()
-                    for i, task in pending:
-                        _deliver(
-                            i,
-                            execute_task(
-                                task,
-                                reuse_workspace=reuse_workspace,
-                                trace_dir=trace_dir,
-                            ),
-                            results,
-                            store,
-                            progress,
-                        )
+                    _run_serial(
+                        pending,
+                        results,
+                        store,
+                        progress,
+                        reuse_workspace,
+                        trace_dir,
+                        retry,
+                        chaos,
+                    )
                     delta = diff_snapshots(_telemetry_state(), base)
                     delta["pid"] = os.getpid()
                     telemetry_parts.append(delta)
@@ -310,7 +345,7 @@ def run_campaign(
                         # another traced campaign over the same dir.
                         _worker_tracer(trace_dir).close()
                 else:
-                    telemetry_parts = _run_pool(
+                    telemetry_parts = _run_pool_supervised(
                         jobs,
                         pending,
                         chunksize,
@@ -319,6 +354,8 @@ def run_campaign(
                         progress,
                         reuse_workspace,
                         trace_dir,
+                        retry,
+                        chaos,
                     )
         finally:
             # Terminate the \r status line even when a task raised, so
@@ -340,10 +377,137 @@ def run_campaign(
                     "timers": merged["timers"],
                 }
             )
+        quarantined = sum(
+            1
+            for rec in results
+            if rec is not None and rec.get("kind") == "quarantine"
+        )
+        if quarantined:
+            METRICS.inc("campaign.quarantined", quarantined)
         return results  # type: ignore[return-value]
     finally:
         if own_store and store is not None:
             store.close()
+
+
+def _run_serial(
+    pending: "list[tuple[int, TaskSpec]]",
+    results: "list[dict | None]",
+    store: "StoreBackend | None",
+    progress: "ProgressReporter | None",
+    reuse_workspace: bool,
+    trace_dir,
+    retry: "RetryPolicy | None" = None,
+    chaos: "ChaosPolicy | None" = None,
+) -> None:
+    """Run pending tasks inline in this process, skipping any already
+    delivered (pool-degradation re-runs pass a partially filled
+    ``results``).  With no hardening knob set this is exactly the
+    legacy serial loop."""
+    if retry is None and chaos is None:
+        for i, task in pending:
+            if results[i] is not None:
+                continue
+            _deliver(
+                i,
+                execute_task(
+                    task, reuse_workspace=reuse_workspace, trace_dir=trace_dir
+                ),
+                results,
+                store,
+                progress,
+            )
+        return
+    from repro.chaos import run_guarded
+
+    tracer = None if trace_dir is None else _worker_tracer(trace_dir)
+    for i, task in pending:
+        if results[i] is not None:
+            continue
+        record = run_guarded(
+            task,
+            retry=retry,
+            chaos=chaos,
+            tracer=tracer,
+            reuse_workspace=reuse_workspace,
+            trace_dir=trace_dir,
+        )
+        _deliver(i, record, results, store, progress)
+
+
+def _run_pool_supervised(
+    jobs: int,
+    pending: "list[tuple[int, TaskSpec]]",
+    chunksize: "int | None",
+    results: "list[dict | None]",
+    store: "StoreBackend | None",
+    progress: "ProgressReporter | None",
+    reuse_workspace: bool,
+    trace_dir,
+    retry: "RetryPolicy | None",
+    chaos: "ChaosPolicy | None",
+) -> "list[dict]":
+    """:func:`_run_pool` under supervision: a hardened campaign
+    (retry / timeout / chaos armed) that loses its pool to worker
+    crashes rebuilds it — re-running only the undelivered tasks — up
+    to :data:`MAX_POOL_RESTARTS` times, then degrades to serial
+    in-process execution.  Unhardened campaigns keep the legacy
+    contract: a broken pool propagates."""
+    hardened = retry is not None or chaos is not None
+    telemetry_parts: "list[dict]" = []
+    todo = pending
+    restarts = 0
+    while True:
+        try:
+            telemetry_parts.extend(
+                _run_pool(
+                    jobs,
+                    todo,
+                    chunksize,
+                    results,
+                    store,
+                    progress,
+                    reuse_workspace,
+                    trace_dir,
+                    retry,
+                    chaos,
+                )
+            )
+            return telemetry_parts
+        except BrokenProcessPool:
+            if not hardened:
+                raise
+            todo = [(i, t) for i, t in pending if results[i] is None]
+            if not todo:
+                return telemetry_parts
+            restarts += 1
+            METRICS.inc("campaign.pool_restarts")
+            if restarts > MAX_POOL_RESTARTS:
+                warnings.warn(
+                    f"process pool broke {restarts} times; degrading to "
+                    f"serial execution for the remaining {len(todo)} task(s)",
+                    RuntimeWarning,
+                    stacklevel=3,
+                )
+                base = _telemetry_state()
+                _run_serial(
+                    todo,
+                    results,
+                    store,
+                    progress,
+                    reuse_workspace,
+                    trace_dir,
+                    retry,
+                    chaos,
+                )
+                delta = diff_snapshots(_telemetry_state(), base)
+                delta["pid"] = os.getpid()
+                telemetry_parts.append(delta)
+                return telemetry_parts
+            if chaos is not None:
+                # Re-roll the injection draws for the rebuilt pool so a
+                # kill-fated task cannot crash every successor pool too.
+                chaos = chaos.with_generation(chaos.generation + 1)
 
 
 def _run_pool(
@@ -355,6 +519,8 @@ def _run_pool(
     progress: "ProgressReporter | None",
     reuse_workspace: bool = True,
     trace_dir=None,
+    retry: "RetryPolicy | None" = None,
+    chaos: "ChaosPolicy | None" = None,
 ) -> "list[dict]":
     """Fan pending tasks over a process pool, one future per chunk.
 
@@ -369,7 +535,12 @@ def _run_pool(
     with ProcessPoolExecutor(max_workers=workers) as pool:
         futures = {
             pool.submit(
-                execute_chunk, [t for _, t in group], reuse_workspace, trace_arg
+                execute_chunk,
+                [t for _, t in group],
+                reuse_workspace,
+                trace_arg,
+                retry,
+                chaos,
             ): group
             for group in groups
         }
@@ -401,7 +572,11 @@ def _run_pool(
 
 
 def execute_chunk(
-    tasks: "list[TaskSpec]", reuse_workspace: bool = True, trace_dir=None
+    tasks: "list[TaskSpec]",
+    reuse_workspace: bool = True,
+    trace_dir=None,
+    retry: "RetryPolicy | None" = None,
+    chaos: "ChaosPolicy | None" = None,
 ) -> dict:
     """Worker entry point for one scheduling chunk (module-level so it
     pickles under every multiprocessing start method).
@@ -410,12 +585,32 @@ def execute_chunk(
     records in task order plus this chunk's metric delta.  Snapshots
     are diffed per chunk, so values a forked worker inherited from the
     parent process never leak into campaign telemetry.
+
+    With a retry or chaos policy armed the chunk routes through
+    :func:`repro.chaos.run_guarded` (deadline / retry / quarantine /
+    injection); otherwise it is the plain legacy loop.
     """
     base = _telemetry_state()
-    records = [
-        execute_task(t, reuse_workspace=reuse_workspace, trace_dir=trace_dir)
-        for t in tasks
-    ]
+    if retry is None and chaos is None:
+        records = [
+            execute_task(t, reuse_workspace=reuse_workspace, trace_dir=trace_dir)
+            for t in tasks
+        ]
+    else:
+        from repro.chaos import run_guarded
+
+        tracer = None if trace_dir is None else _worker_tracer(trace_dir)
+        records = [
+            run_guarded(
+                t,
+                retry=retry,
+                chaos=chaos,
+                tracer=tracer,
+                reuse_workspace=reuse_workspace,
+                trace_dir=trace_dir,
+            )
+            for t in tasks
+        ]
     telemetry = diff_snapshots(_telemetry_state(), base)
     telemetry["pid"] = os.getpid()
     return {"records": records, "telemetry": telemetry}

@@ -24,6 +24,13 @@ memory, so a multi-GB store can be folded incrementally
 (``repro report``, resume matching).  :meth:`ResultStore.load` remains
 the materialize-everything convenience built on top of it.
 
+Since the hardening layer (``docs/DESIGN.md`` §10) every appended
+record is additionally sealed with a per-record CRC32
+(:mod:`repro.store.integrity`); readers verify and strip the seal, so
+bit rot is *detected* (not silently aggregated) while loaded records
+still compare equal to what was appended, and pre-checksum stores read
+unchanged.
+
 This class is also the ``jsonl`` backend of the pluggable storage
 layer (:mod:`repro.store`, ``docs/DESIGN.md`` §9) — the default one,
 and the durability model the other backends must match.
@@ -34,15 +41,29 @@ from __future__ import annotations
 import json
 import os
 import pathlib
+import warnings
 from typing import Iterator
 
 from repro.campaign.spec import TaskSpec
 
-__all__ = ["ResultStore", "StoreError"]
+__all__ = ["ResultStore", "StoreError", "StoreIntegrityWarning"]
 
 
 class StoreError(RuntimeError):
     """A result store violates its integrity contract."""
+
+
+class StoreIntegrityWarning(UserWarning):
+    """A tolerant store reader skipped a corrupt record.
+
+    Emitted (once per distinct site, the default warning dedup) by the
+    concurrent backends, whose crash footprint can legitimately include
+    a corrupt joined line (see :meth:`ResultStore._repair_torn_tail`'s
+    shared mode); the skip is also counted on the store instance
+    (``corrupt_skipped``) and in ``METRICS`` as
+    ``store.corrupt_skipped``, so campaigns and ``repro store verify``
+    can surface it as a number, not just a warning.
+    """
 
 
 #: Fast-path prefix for extracting a record's hash without parsing the
@@ -58,19 +79,49 @@ class ResultStore:
     ----------
     path:
         File to append to; created (with parents) on first write.
+    tolerant:
+        Reader mode for corrupt *complete* lines: ``False`` (default)
+        raises :class:`StoreError` — right for a single-writer file,
+        where mid-file corruption can only mean damage; ``True`` skips
+        the line with a :class:`StoreIntegrityWarning` and counts it
+        (``corrupt_skipped``) — right for files with concurrent
+        writers, where a crash can legitimately leave one corrupt
+        joined line (see ``shared``).
+    shared:
+        Multi-writer mode.  The default torn-tail salvage *truncates*
+        the fragment, which is unsafe when another process may have
+        already appended a fresh record after it; ``shared=True``
+        instead neutralizes the torn tail by appending a single
+        newline (an atomic ``O_APPEND`` write), turning the fragment
+        into one corrupt complete line that tolerant readers skip.
+        The fragment's record is lost either way — its task hash is
+        missing, so resume simply re-executes it.
 
     The store is usable as a context manager; :meth:`close` is also
     safe to call repeatedly.  Records are plain dicts with at least a
     ``"hash"`` key (see :func:`repro.campaign.executor.execute_task`
-    for the full schema).
+    for the full schema); on append each is sealed with a per-record
+    CRC32 (:mod:`repro.store.integrity`), and readers verify and strip
+    the seal, so loaded records compare equal to the records that were
+    appended.  Pre-checksum stores read fine (no seal → no verdict).
     """
 
     #: Leases (:mod:`repro.store.protocol`) need multi-writer claim
     #: atomicity a single append-only file cannot provide.
     supports_leases: bool = False
 
-    def __init__(self, path: "str | os.PathLike[str]") -> None:
+    def __init__(
+        self,
+        path: "str | os.PathLike[str]",
+        *,
+        tolerant: bool = False,
+        shared: bool = False,
+    ) -> None:
         self.path = pathlib.Path(path)
+        self.tolerant = bool(tolerant)
+        self.shared = bool(shared)
+        #: Corrupt records skipped by tolerant reads since construction.
+        self.corrupt_skipped = 0
         self._fh = None
 
     @property
@@ -106,13 +157,19 @@ class ResultStore:
             # silently.
 
     def _parse(self, lineno: int, line: str) -> dict:
-        """Decode one line into a record or raise :class:`StoreError`.
+        """Decode one line into a verified record or raise
+        :class:`StoreError`.
 
         A malformed line anywhere but the torn tail — including a
         corrupt but newline-terminated final record — means the file
-        was hand-edited or damaged, and raises rather than silently
-        recomputing (or worse, trusting) half a campaign.
+        was hand-edited or damaged (or, in ``shared`` files, a crashed
+        peer's joined write).  A line that parses but fails its CRC32
+        seal (:mod:`repro.store.integrity`) is bit rot and equally
+        corrupt.  The returned record has the seal stripped, so it
+        equals the record that was appended.
         """
+        from repro.store.integrity import check_record
+
         try:
             rec = json.loads(line)
             if not isinstance(rec, dict) or "hash" not in rec:
@@ -121,7 +178,24 @@ class ResultStore:
             raise StoreError(
                 f"{self.path}:{lineno}: corrupt record ({exc})"
             ) from exc
+        rec, verdict = check_record(rec)
+        if verdict is False:
+            raise StoreError(
+                f"{self.path}:{lineno}: record failed its checksum "
+                f"(hash {str(rec.get('hash'))[:16]!r}...)"
+            )
         return rec
+
+    def _skip_corrupt(self, lineno: int, error: StoreError) -> None:
+        """Count and announce one tolerated corrupt line."""
+        self.corrupt_skipped += 1
+        from repro.obs.metrics import METRICS
+
+        METRICS.inc("store.corrupt_skipped")
+        warnings.warn(
+            f"skipping corrupt store record ({error})", StoreIntegrityWarning,
+            stacklevel=3,
+        )
 
     def iter_records(self) -> "Iterator[dict]":
         """Stream every record in file order (duplicates included).
@@ -130,12 +204,33 @@ class ResultStore:
         constant memory regardless of store size.  Duplicate hashes are
         *not* collapsed here — a fold that needs last-wins semantics
         (like :meth:`load`) applies them itself, which a plain dict
-        update does for free.
+        update does for free.  In ``tolerant`` mode corrupt lines are
+        skipped with a counted :class:`StoreIntegrityWarning` instead
+        of raising (the lost record's task re-executes on resume).
         """
         for lineno, line in self._complete_lines():
             if not line.strip():
                 continue  # blank lines carry no record
-            yield self._parse(lineno, line)
+            try:
+                rec = self._parse(lineno, line)
+            except StoreError as exc:
+                if not self.tolerant:
+                    raise
+                self._skip_corrupt(lineno, exc)
+                continue
+            yield rec
+
+    def iter_intact(self) -> "Iterator[dict]":
+        """Stream only the records that parse and verify, regardless of
+        the store's ``tolerant`` mode — the ``repro store repair``
+        primitive (corrupt lines are counted, never raised)."""
+        for lineno, line in self._complete_lines():
+            if not line.strip():
+                continue
+            try:
+                yield self._parse(lineno, line)
+            except StoreError as exc:
+                self._skip_corrupt(lineno, exc)
 
     def load(self) -> "dict[str, dict]":
         """Read all records, keyed by task hash (duplicates: last wins).
@@ -150,25 +245,35 @@ class ResultStore:
         return records
 
     def append(self, record: dict) -> None:
-        """Append one record and flush it to the OS immediately."""
+        """Seal the record with its CRC32, append and flush it to the
+        OS immediately (see :mod:`repro.store.integrity`)."""
+        from repro.store.integrity import seal_record
+
         if "hash" not in record:
             raise ValueError("record must carry a 'hash' key")
         if self._fh is None:
             self.path.parent.mkdir(parents=True, exist_ok=True)
             self._repair_torn_tail()
             self._fh = open(self.path, "a")
-        self._fh.write(json.dumps(record) + "\n")
+        self._fh.write(json.dumps(seal_record(record)) + "\n")
         self._fh.flush()
 
     def _repair_torn_tail(self) -> None:
-        """Truncate a torn trailing write before appending after it.
+        """Neutralize a torn trailing write before appending after it.
 
         Each record is written as one ``line + "\\n"`` chunk, so a
         crash mid-append leaves a tail with *no* final newline.  Left
         in place, the next appended record would turn that fragment
         into a corrupt mid-file line and poison every later
-        :meth:`load`; cutting back to the last newline restores the
-        invariant that the file is whole lines of whole records.
+        :meth:`load`.  A single-writer file (default) truncates back to
+        the last newline.  A ``shared`` file must *not* truncate — a
+        concurrent peer may already have appended a whole record after
+        the point this process last saw, and truncation would destroy
+        it; instead the fragment is terminated with one atomic
+        ``O_APPEND`` newline, becoming a corrupt complete line that the
+        (tolerant) readers of shared files skip.  In the worst
+        interleaving two processes both append the newline — a blank
+        line, which readers already ignore.
         """
         if not self.path.exists():
             return
@@ -178,6 +283,10 @@ class ResultStore:
             except OSError:  # empty file
                 return
             if fh.read(1) == b"\n":
+                return
+            if self.shared:
+                with open(self.path, "ab") as afh:
+                    afh.write(b"\n")
                 return
             size = fh.tell()
             # Walk back in fixed-size blocks to find the last newline —
@@ -233,15 +342,24 @@ class ResultStore:
                 continue
             h = self._fast_hash(line)
             if h is None:
-                h = self._parse(lineno, line)["hash"]
+                try:
+                    h = self._parse(lineno, line)["hash"]
+                except StoreError as exc:
+                    if not self.tolerant:
+                        raise
+                    self._skip_corrupt(lineno, exc)
+                    continue
             hashes.add(h)
         return len(hashes)
 
     @staticmethod
     def _fast_hash(line: str) -> "str | None":
         """Extract the hash from a library-serialized line, or ``None``
-        when the line needs a real parse (foreign key order, escapes)."""
-        if not line.startswith(_HASH_PREFIX):
+        when the line needs a real parse (foreign key order, escapes).
+        The line must also close its JSON object — a neutralized torn
+        fragment (shared-mode salvage) starts like a real record but
+        never ends in ``}``, and must not be counted as one."""
+        if not line.startswith(_HASH_PREFIX) or not line.rstrip().endswith("}"):
             return None
         end = line.find('"', len(_HASH_PREFIX))
         if end == -1:
@@ -250,6 +368,51 @@ class ResultStore:
         if "\\" in h:
             return None
         return h
+
+    def verify(self) -> dict:
+        """Integrity scan for ``repro store verify``: walk every
+        complete line, parse it and check its seal, without ever
+        raising — corruption becomes numbers, not exceptions.
+
+        Returns ``{"records", "corrupt", "sealed", "unsealed",
+        "torn_tail"}``: intact record lines (sealed = carrying a
+        verified CRC32, unsealed = pre-checksum records accepted as
+        is), corrupt lines (malformed or failing their seal), and
+        whether the file currently ends in a torn write (a live or
+        crashed writer's footprint — salvaged on the next append).
+        """
+        from repro.store.integrity import check_record
+
+        sealed = unsealed = corrupt = 0
+        for lineno, line in self._complete_lines():
+            if not line.strip():
+                continue
+            try:
+                rec = json.loads(line)
+                if not isinstance(rec, dict) or "hash" not in rec:
+                    raise ValueError("not a record")
+            except ValueError:
+                corrupt += 1
+                continue
+            verdict = check_record(rec)[1]
+            if verdict is False:
+                corrupt += 1
+            elif verdict is True:
+                sealed += 1
+            else:
+                unsealed += 1
+        torn = False
+        if self.path.exists() and self.path.stat().st_size:
+            with open(self.path, "rb") as fh:
+                fh.seek(-1, os.SEEK_END)
+                torn = fh.read(1) != b"\n"
+        return {
+            "records": sealed + unsealed,
+            "corrupt": corrupt,
+            "sealed": sealed,
+            "unsealed": unsealed,
+            "torn_tail": torn,
+        }
 
     def info(self) -> dict:
         """Layout facts for ``repro store info`` — streams hashes only,

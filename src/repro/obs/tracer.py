@@ -69,6 +69,14 @@ EVENT_KINDS = frozenset(
         "refresh-rollback",
         "final-check",
         "workspace-acquire",
+        # Harness self-healing events (docs/DESIGN.md §10): emitted by
+        # repro.chaos.run_guarded and the serve-mode dispatcher, not
+        # the solver — iteration is always 0.
+        "retry",
+        "task-timeout",
+        "quarantine",
+        "chaos-inject",
+        "worker-restart",
     }
 )
 

@@ -162,6 +162,9 @@ def run_table1(
     methods: "list[str] | None" = None,
     backend: str = "reference",
     trace_dir: "str | os.PathLike[str] | None" = None,
+    task_timeout: "float | None" = None,
+    retries: int = 0,
+    chaos=None,
 ) -> list[Table1Row]:
     """Reproduce Table 1 (both ABFT schemes); returns one row per
     (matrix, method, scheme).
@@ -177,7 +180,12 @@ def run_table1(
     CG only); ``backend`` selects the kernel backend every task runs on
     (:mod:`repro.backends` — the default reference backend is the
     bit-identity oracle the golden fixtures lock); ``trace_dir``
-    collects per-worker JSONL trace shards (:mod:`repro.obs`).
+    collects per-worker JSONL trace shards (:mod:`repro.obs`);
+    ``task_timeout`` / ``retries`` / ``chaos`` are the self-healing
+    and fault-injection knobs of the campaign executor
+    (``docs/DESIGN.md`` §10) — note a quarantined task leaves its
+    sweep group incomplete, which this full aggregation reports as an
+    error naming the poison task.
     """
     from repro.api.study import Study
 
@@ -192,7 +200,9 @@ def run_table1(
         methods=methods,
         backend=backend,
     )
-    return _run_study(study, jobs, store, progress, trace_dir).table1_rows()
+    return _run_study(
+        study, jobs, store, progress, trace_dir, task_timeout, retries, chaos
+    ).table1_rows()
 
 
 def run_figure1(
@@ -209,6 +219,9 @@ def run_figure1(
     methods: "list[str] | None" = None,
     backend: str = "reference",
     trace_dir: "str | os.PathLike[str] | None" = None,
+    task_timeout: "float | None" = None,
+    retries: int = 0,
+    chaos=None,
 ) -> list[Figure1Point]:
     """Reproduce Figure 1: execution time vs normalized MTBF, all schemes.
 
@@ -230,10 +243,15 @@ def run_figure1(
         methods=methods,
         backend=backend,
     )
-    return _run_study(study, jobs, store, progress, trace_dir).figure1_points()
+    return _run_study(
+        study, jobs, store, progress, trace_dir, task_timeout, retries, chaos
+    ).figure1_points()
 
 
-def _run_study(study, jobs, store, progress, trace_dir=None):
+def _run_study(
+    study, jobs, store, progress, trace_dir=None,
+    task_timeout=None, retries=0, chaos=None,
+):
     """Execute a preset study with the drivers' store/progress plumbing.
 
     Accepts a pre-built store backend as well as a path or selector
@@ -243,7 +261,15 @@ def _run_study(study, jobs, store, progress, trace_dir=None):
     ``progress`` may be a mode string (``"bar"``/``"json"``/``"none"``)
     as well as the historical bool.
     """
-    return study.run(jobs=jobs, store=store, progress=progress, trace_dir=trace_dir)
+    return study.run(
+        jobs=jobs,
+        store=store,
+        progress=progress,
+        trace_dir=trace_dir,
+        task_timeout=task_timeout,
+        retries=retries,
+        chaos=chaos,
+    )
 
 
 def _main(argv: "list[str] | None" = None) -> int:

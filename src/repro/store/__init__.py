@@ -41,15 +41,16 @@ import pathlib
 import re
 from typing import Callable
 
-from repro.campaign.store import ResultStore, StoreError
+from repro.campaign.store import ResultStore, StoreError, StoreIntegrityWarning
 from repro.store.protocol import LeaseUnsupported, StoreBackend
-from repro.store.serve import serve_campaign
+from repro.store.serve import ServeInterrupted, serve_campaign
 from repro.store.sharded import DEFAULT_SHARDS, ShardedStore
 from repro.store.sqlite import SqliteStore
 
 __all__ = [
     "StoreBackend",
     "StoreError",
+    "StoreIntegrityWarning",
     "LeaseUnsupported",
     "ResultStore",
     "ShardedStore",
@@ -61,7 +62,11 @@ __all__ = [
     "parse_store_url",
     "open_store",
     "migrate_store",
+    "compact_store",
+    "repair_store",
+    "verify_store",
     "serve_campaign",
+    "ServeInterrupted",
 ]
 
 #: Scheme a bare path resolves to.
@@ -183,15 +188,7 @@ def migrate_store(
     decision the caller should make explicitly, record by record, not
     a silent side effect of a copy.
     """
-    src_store = open_store(src)
-    dst_store = open_store(dst)
-    if pathlib.Path(src_store.path).resolve() == pathlib.Path(dst_store.path).resolve():
-        raise ValueError(f"cannot migrate a store onto itself ({src_store.url})")
-    if dst_store.count():
-        raise ValueError(
-            f"destination store {dst_store.url} already has records; "
-            "migrate into an empty store"
-        )
+    src_store, dst_store = _open_pair(src, dst, verb="migrate")
     moved = 0
     seen: "set[str]" = set()
     for rec in src_store.iter_records():
@@ -200,3 +197,103 @@ def migrate_store(
             seen.add(rec["hash"])
             moved += 1
     return moved
+
+
+def _open_pair(
+    src: "StoreBackend | str | os.PathLike[str]",
+    dst: "StoreBackend | str | os.PathLike[str]",
+    *,
+    verb: str,
+) -> "tuple[StoreBackend, StoreBackend]":
+    """Resolve a (src, dst) store pair, refusing self-targets and
+    populated destinations — shared by migrate / compact / repair."""
+    src_store = open_store(src)
+    dst_store = open_store(dst)
+    if pathlib.Path(src_store.path).resolve() == pathlib.Path(dst_store.path).resolve():
+        raise ValueError(f"cannot {verb} a store onto itself ({src_store.url})")
+    if dst_store.count():
+        raise ValueError(
+            f"destination store {dst_store.url} already has records; "
+            f"{verb} into an empty store"
+        )
+    return src_store, dst_store
+
+
+def compact_store(
+    src: "StoreBackend | str | os.PathLike[str]",
+    dst: "StoreBackend | str | os.PathLike[str]",
+    *,
+    drop_quarantined: bool = False,
+) -> int:
+    """Write ``src``'s folded view into an empty ``dst``; returns the
+    record count written.
+
+    Compaction applies exactly the fold every reader performs —
+    duplicate hashes collapse to their *last* occurrence, preserving
+    first-appearance order (the JSONL fold order, i.e. plain dict
+    semantics) — and drops ``kind="telemetry"`` records, which
+    describe past runs of the source store, not the result set.  Task
+    records, including their float payloads, pass through bit-for-bit,
+    so reports over the compacted store equal reports over the source
+    minus its telemetry block.
+
+    ``drop_quarantined=True`` also drops ``kind="quarantine"`` records
+    (:mod:`repro.chaos`), which un-settles those poison tasks: a
+    resumed campaign against the compacted store will retry them.
+
+    Like :func:`migrate_store`, ``dst`` must be empty or absent.
+    """
+    src_store, dst_store = _open_pair(src, dst, verb="compact")
+    latest: "dict[str, dict]" = {}
+    for rec in src_store.iter_records():
+        if rec.get("kind") == "telemetry":
+            continue
+        if drop_quarantined and rec.get("kind") == "quarantine":
+            # Last-wins applies before the drop: a quarantine record is
+            # the hash's latest state, so dropping it un-settles the
+            # task entirely (any earlier record for the hash goes too).
+            latest.pop(rec["hash"], None)
+            continue
+        latest[rec["hash"]] = rec
+    for rec in latest.values():
+        dst_store.append(rec)
+    return len(latest)
+
+
+def verify_store(spec: "StoreBackend | str | os.PathLike[str]") -> dict:
+    """Integrity-scan a store without raising: counts of intact
+    (sealed / unsealed) and corrupt records plus a ``torn_tail`` flag
+    — see :meth:`repro.campaign.store.ResultStore.verify`."""
+    store = open_store(spec)
+    scan = getattr(store, "verify", None)
+    if scan is None:  # custom backend without an integrity scan
+        report = {
+            "records": store.count(), "corrupt": 0, "sealed": 0,
+            "unsealed": store.count(), "torn_tail": False,
+        }
+    else:
+        report = scan()
+    report["url"] = store.url
+    return report
+
+
+def repair_store(
+    src: "StoreBackend | str | os.PathLike[str]",
+    dst: "StoreBackend | str | os.PathLike[str]",
+) -> "tuple[int, int]":
+    """Re-derive a clean store from ``src``'s intact records.
+
+    Streams every record that parses and passes its checksum into an
+    empty ``dst`` (corrupt lines/rows are skipped and counted, never
+    raised) and returns ``(kept, dropped)``.  The dropped records'
+    task hashes are absent from ``dst``, so a resumed campaign simply
+    re-executes those tasks — repair never invents data.
+    """
+    src_store, dst_store = _open_pair(src, dst, verb="repair")
+    before = verify_store(src_store)
+    intact = getattr(src_store, "iter_intact", src_store.iter_records)
+    kept_hashes: "set[str]" = set()
+    for rec in intact():
+        dst_store.append(rec)
+        kept_hashes.add(rec["hash"])
+    return len(kept_hashes), int(before["corrupt"])

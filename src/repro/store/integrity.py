@@ -1,0 +1,80 @@
+"""Per-record checksums: detect bit rot before it poisons aggregates.
+
+Every record the JSONL-family stores write is *sealed* with a CRC32 of
+its own serialized body, carried as a final ``"crc"`` key::
+
+    {"hash": "...", "task": {...}, ..., "crc": "1:9f3a01c2"}
+
+The value is ``<schema-version>:<crc32 of json.dumps(record-without-
+crc) as 8 hex digits>``.  Design points:
+
+- **Readers strip the seal.**  :func:`check_record` returns the record
+  *without* the ``crc`` key, so records loaded from a store compare
+  equal to the in-memory records that produced them — the campaign
+  bit-identity contract ("store round trips are invisible") survives
+  checksumming.
+- **Old stores stay readable.**  A record without ``crc`` verifies as
+  "unchecksummed" (``None``), never as corrupt; a seal with an unknown
+  schema version is stripped but not judged (a newer writer may hash
+  differently — refusing to guess beats false alarms).
+- **The seal is last.**  ``crc`` is appended after every other key, so
+  a torn prefix of a sealed line is never itself a parseable record —
+  tearing cannot forge a passing checksum.
+- **CRC32, not SHA.**  The threat is storage bit rot and torn
+  concurrent writes, not adversaries; CRC32 is ~free next to the JSON
+  serialization the append already pays (the ≤2% hardened-path
+  benchmark gate in ``benchmarks/bench_chaos.py`` covers it).
+
+``repro store verify`` walks a store with these helpers and reports
+intact / corrupt / unchecksummed counts; ``repro store repair``
+re-derives a clean store from the intact records.
+"""
+
+from __future__ import annotations
+
+import json
+import zlib
+
+__all__ = ["CRC_SCHEMA", "seal_record", "check_record", "strip_seal"]
+
+#: Current seal schema version (the ``N`` in ``"N:<hex>"``).
+CRC_SCHEMA: int = 1
+
+
+def _crc_of(record: dict) -> str:
+    return f"{zlib.crc32(json.dumps(record).encode()) & 0xFFFFFFFF:08x}"
+
+
+def seal_record(record: dict) -> dict:
+    """A copy of ``record`` carrying its own CRC32 as a final ``crc``
+    key (an existing seal is recomputed, so re-appending a loaded
+    record never double-seals)."""
+    body = {k: v for k, v in record.items() if k != "crc"}
+    sealed = dict(body)
+    sealed["crc"] = f"{CRC_SCHEMA}:{_crc_of(body)}"
+    return sealed
+
+
+def check_record(record: dict) -> "tuple[dict, bool | None]":
+    """Verify and strip a record's seal.
+
+    Returns ``(record_without_crc, verdict)`` where the verdict is
+    ``True`` (seal present and matches), ``False`` (seal present and
+    the body does not hash to it — bit rot), or ``None`` (no seal, or
+    a seal schema this reader does not know).
+    """
+    seal = record.get("crc")
+    if not isinstance(seal, str):
+        return record, None
+    body = {k: v for k, v in record.items() if k != "crc"}
+    version, sep, digest = seal.partition(":")
+    if not sep or version != str(CRC_SCHEMA):
+        return body, None
+    return body, _crc_of(body) == digest
+
+
+def strip_seal(record: dict) -> dict:
+    """The record without its ``crc`` key (no verification)."""
+    if "crc" not in record:
+        return record
+    return {k: v for k, v in record.items() if k != "crc"}

@@ -21,6 +21,16 @@ keeps the JSONL durability contract of
 *per shard*: a crash in one worker can tear at most the tail of the
 shards it was appending to, and every other shard stays pristine.
 
+Because shards have *concurrent* writers, their durability handling
+differs from the single-writer file in two deliberate ways
+(``docs/DESIGN.md`` §10): torn tails are neutralized by an atomic
+appended newline instead of truncation (truncating could destroy a
+peer's record appended after the tear), and shard readers are
+*tolerant* — a corrupt complete line (a crashed peer's joined write,
+or bit rot caught by the per-record CRC32) is skipped with a counted
+:class:`~repro.campaign.store.StoreIntegrityWarning` rather than
+raising, the lost record healing by re-execution on resume.
+
 Leases (serve mode) are implemented as files under ``leases/``:
 claiming is an atomic ``O_CREAT | O_EXCL`` create, heartbeats bump the
 file's mtime, and stealing an expired lease is an atomic rename over
@@ -169,7 +179,16 @@ class ShardedStore:
     def _shard_store(self, index: int) -> ResultStore:
         store = self._stores.get(index)
         if store is None:
-            store = self._stores[index] = ResultStore(self._shard_path(index))
+            # Shards are multi-writer files: torn tails are neutralized
+            # by an atomic newline append (never truncated — a peer may
+            # have appended past the tear), and readers skip corrupt
+            # lines with a counted StoreIntegrityWarning instead of
+            # raising, because one corrupt joined line is a legitimate
+            # crash footprint here.  The lost record heals by
+            # re-execution: its hash is missing, so resume reruns it.
+            store = self._stores[index] = ResultStore(
+                self._shard_path(index), tolerant=True, shared=True
+            )
         return store
 
     # ------------------------------------------------------------------
@@ -217,6 +236,31 @@ class ShardedStore:
         return sum(
             self._shard_store(index).count() for index in range(self.shards)
         )
+
+    @property
+    def corrupt_skipped(self) -> int:
+        """Corrupt lines skipped by this instance's tolerant shard
+        readers (summed over shards)."""
+        return sum(s.corrupt_skipped for s in self._stores.values())
+
+    def iter_intact(self) -> "Iterator[dict]":
+        """Stream only records that parse and verify (``repro store
+        repair``); corrupt lines are counted, never raised."""
+        for index in range(self.shards):
+            yield from self._shard_store(index).iter_intact()
+
+    def verify(self) -> dict:
+        """Integrity scan summed over shards (see
+        :meth:`repro.campaign.store.ResultStore.verify`); ``torn_tail``
+        is true if *any* shard ends torn."""
+        totals = {"records": 0, "corrupt": 0, "sealed": 0, "unsealed": 0,
+                  "torn_tail": False}
+        for index in range(self.shards):
+            part = self._shard_store(index).verify()
+            for key in ("records", "corrupt", "sealed", "unsealed"):
+                totals[key] += part[key]
+            totals["torn_tail"] = totals["torn_tail"] or part["torn_tail"]
+        return totals
 
     def info(self) -> dict:
         """Layout facts for ``repro store info``: per-shard fill and

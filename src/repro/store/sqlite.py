@@ -130,11 +130,15 @@ class SqliteStore:
     # StoreBackend protocol
     # ------------------------------------------------------------------
     def append(self, record: dict) -> None:
-        """Upsert one record by hash in its own committed transaction."""
+        """Seal the record (per-record CRC32,
+        :mod:`repro.store.integrity`) and upsert it by hash in its own
+        committed transaction."""
+        from repro.store.integrity import seal_record
+
         if "hash" not in record:
             raise ValueError("record must carry a 'hash' key")
         conn = self._connect(create=True)
-        body = json.dumps(record)
+        body = json.dumps(seal_record(record))
         with conn:
             conn.execute(
                 "INSERT INTO records(hash, body) VALUES(?, ?) "
@@ -142,27 +146,91 @@ class SqliteStore:
                 (record["hash"], body),
             )
 
+    def _decode(self, row_hash: str, body: str) -> dict:
+        """Parse and verify one row's body (seal stripped), raising
+        :class:`StoreError` on malformed JSON, a hash/key mismatch, or
+        a failing CRC32 seal."""
+        from repro.store.integrity import check_record
+
+        try:
+            rec = json.loads(body)
+            if not isinstance(rec, dict) or rec.get("hash") != row_hash:
+                raise ValueError("record body does not match its key")
+        except ValueError as exc:
+            raise StoreError(
+                f"{self.path}: corrupt record for hash {row_hash!r} ({exc})"
+            ) from exc
+        rec, verdict = check_record(rec)
+        if verdict is False:
+            raise StoreError(
+                f"{self.path}: record {row_hash!r} failed its checksum"
+            )
+        return rec
+
     def iter_records(self) -> "Iterator[dict]":
         """Stream records in first-insertion (rowid) order.
 
         Unlike the JSONL backends a hash appears at most once here —
         the upsert already applied last-wins — so downstream dict folds
-        are no-ops, not corrections.
+        are no-ops, not corrections.  Corruption (malformed body, a
+        hash/key mismatch, a failing CRC32 seal) raises
+        :class:`StoreError`: SQLite's transactional appends mean there
+        is no benign crash footprint to tolerate here.
         """
         conn = self._connect(create=False)
         if conn is None:
             return
         cursor = conn.execute("SELECT hash, body FROM records ORDER BY rowid")
         for row_hash, body in cursor:
+            yield self._decode(row_hash, body)
+
+    def iter_intact(self) -> "Iterator[dict]":
+        """Stream only the rows that parse and verify (``repro store
+        repair``); corrupt rows are skipped and counted in METRICS."""
+        conn = self._connect(create=False)
+        if conn is None:
+            return
+        cursor = conn.execute("SELECT hash, body FROM records ORDER BY rowid")
+        for row_hash, body in cursor:
             try:
-                rec = json.loads(body)
-                if not isinstance(rec, dict) or rec.get("hash") != row_hash:
-                    raise ValueError("record body does not match its key")
-            except ValueError as exc:
-                raise StoreError(
-                    f"{self.path}: corrupt record for hash {row_hash!r} ({exc})"
-                ) from exc
-            yield rec
+                yield self._decode(row_hash, body)
+            except StoreError:
+                from repro.obs.metrics import METRICS
+
+                METRICS.inc("store.corrupt_skipped")
+
+    def verify(self) -> dict:
+        """Integrity scan for ``repro store verify`` (see
+        :meth:`repro.campaign.store.ResultStore.verify`; SQLite has no
+        torn tails, so ``torn_tail`` is always ``False``)."""
+        from repro.store.integrity import check_record
+
+        sealed = unsealed = corrupt = 0
+        conn = self._connect(create=False)
+        if conn is not None:
+            cursor = conn.execute("SELECT hash, body FROM records ORDER BY rowid")
+            for row_hash, body in cursor:
+                try:
+                    rec = json.loads(body)
+                    if not isinstance(rec, dict) or rec.get("hash") != row_hash:
+                        raise ValueError("mismatch")
+                except ValueError:
+                    corrupt += 1
+                    continue
+                verdict = check_record(rec)[1]
+                if verdict is False:
+                    corrupt += 1
+                elif verdict is True:
+                    sealed += 1
+                else:
+                    unsealed += 1
+        return {
+            "records": sealed + unsealed,
+            "corrupt": corrupt,
+            "sealed": sealed,
+            "unsealed": unsealed,
+            "torn_tail": False,
+        }
 
     def load(self) -> "dict[str, dict]":
         return {rec["hash"]: rec for rec in self.iter_records()}

@@ -1,0 +1,419 @@
+"""Fault injection and self-healing: repro.chaos plus the hardened
+campaign paths (docs/DESIGN.md §10).
+
+The soak tests at the bottom are the PR's acceptance bar: campaigns
+whose workers are repeatedly crashed, hung and torn mid-write must
+still produce stores bit-identical to a clean ``--jobs 1`` run.
+"""
+
+import multiprocessing
+import os
+import signal
+import threading
+import time
+
+import pytest
+
+from repro.campaign import CampaignSpec, run_campaign
+from repro.chaos import (
+    CHAOS_ENV,
+    CHAOS_EXIT_CODE,
+    ChaosPolicy,
+    RetryPolicy,
+    TaskTimeout,
+    quarantine_record,
+    resolve_chaos,
+    resolve_retry,
+    run_guarded,
+)
+from repro.store import ServeInterrupted, open_store, serve_campaign
+
+
+@pytest.fixture(scope="module")
+def small_tasks():
+    return CampaignSpec(
+        kind="table1", scale=48, reps=1, uids=(2213,), s_span=0
+    ).expand()
+
+
+@pytest.fixture(scope="module")
+def serial_records(small_tasks):
+    return run_campaign(small_tasks, jobs=1)
+
+
+def _task_records(loaded: dict) -> dict:
+    return {h: r for h, r in loaded.items() if r.get("kind") != "telemetry"}
+
+
+def _armed(**kwargs) -> ChaosPolicy:
+    """A policy that injects in THIS process (home suppression off)."""
+    return ChaosPolicy(**kwargs).with_home(-1)
+
+
+# ----------------------------------------------------------------------
+# policy
+# ----------------------------------------------------------------------
+class TestChaosPolicy:
+    def test_draws_are_deterministic_and_uniformish(self):
+        p = ChaosPolicy(kill=0.5, seed=7)
+        draws = [p.draw("kill", f"h{i}") for i in range(200)]
+        assert draws == [p.draw("kill", f"h{i}") for i in range(200)]
+        assert all(0.0 <= d < 1.0 for d in draws)
+        assert 40 <= sum(d < 0.5 for d in draws) <= 160
+
+    def test_generation_rerolls_draws(self):
+        p = ChaosPolicy(kill=0.5, seed=7)
+        q = p.with_generation(1)
+        assert any(
+            p.draw("kill", f"h{i}") != q.draw("kill", f"h{i}") for i in range(20)
+        )
+
+    def test_home_process_never_injects(self):
+        p = ChaosPolicy(kill=1.0, seed=1).with_home()  # home = this pid
+        assert p.enabled and not p.active
+        assert not p.should("kill", "abc")
+        assert _armed(kill=1.0, seed=1).should("kill", "abc")
+
+    def test_parse_round_trip_and_off(self):
+        p = ChaosPolicy.parse("kill=0.2,hang=0.05,hang_s=5,seed=7")
+        assert (p.kill, p.hang, p.hang_s, p.seed) == (0.2, 0.05, 5.0, 7)
+        assert ChaosPolicy.parse(p.to_spec()) == p
+        for spec in ("", "off", "0", "none", "kill=0"):
+            assert ChaosPolicy.parse(spec) is None
+
+    def test_parse_rejects_bad_specs(self):
+        with pytest.raises(ValueError, match="chaos spec"):
+            ChaosPolicy.parse("explode=0.5")
+        with pytest.raises(ValueError, match="chaos spec"):
+            ChaosPolicy.parse("kill")
+        with pytest.raises(ValueError, match="probability"):
+            ChaosPolicy.parse("kill=1.5")
+
+    def test_env_gate(self, monkeypatch):
+        monkeypatch.setenv(CHAOS_ENV, "kill=0.25,seed=9")
+        p = resolve_chaos(None)
+        assert p is not None and p.kill == 0.25 and p.home_pid == os.getpid()
+        # An explicit spec overrides the environment; "off" disables.
+        assert resolve_chaos("off") is None
+        monkeypatch.setenv(CHAOS_ENV, "")
+        assert resolve_chaos(None) is None
+
+    def test_resolve_collapses_disabled(self):
+        assert resolve_chaos(ChaosPolicy()) is None
+        with pytest.raises(TypeError):
+            resolve_chaos(42)
+
+
+# ----------------------------------------------------------------------
+# retry / deadline / quarantine
+# ----------------------------------------------------------------------
+class _FakeTask:
+    """Just enough TaskSpec surface for run_guarded."""
+
+    def __init__(self, h="deadbeef" * 8):
+        self._h = h
+
+    def task_hash(self):
+        return self._h
+
+    def to_json(self):
+        return {"fake": True}
+
+
+class TestRetryPolicy:
+    def test_resolve_off_is_none(self):
+        assert resolve_retry() is None
+        assert resolve_retry(retries=0, task_timeout=None) is None
+        assert resolve_retry(retries=2).retries == 2
+        assert resolve_retry(task_timeout=1.5).timeout == 1.5
+
+    def test_delay_backs_off_with_deterministic_jitter(self):
+        r = RetryPolicy(retries=5, backoff=0.1, backoff_cap=0.5)
+        d = [r.delay("h", k) for k in (1, 2, 3, 4, 5)]
+        assert d == [r.delay("h", k) for k in (1, 2, 3, 4, 5)]
+        assert all(0.05 <= d[0] <= 0.1 for _ in [0])
+        assert d[4] <= 0.5  # capped
+        assert r.delay("h", 1) != r.delay("other", 1)  # task-keyed jitter
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(retries=-1)
+        with pytest.raises(ValueError):
+            RetryPolicy(timeout=0.0)
+
+
+class TestRunGuarded:
+    def test_fast_path_calls_execute_directly(self):
+        calls = []
+        rec = run_guarded(
+            _FakeTask(), execute=lambda t, **kw: calls.append(kw) or {"ok": 1}
+        )
+        assert rec == {"ok": 1} and calls == [{}]
+
+    def test_flaky_task_heals_within_retries(self):
+        from repro.obs.metrics import METRICS
+
+        attempts = []
+
+        def flaky(task, **kw):
+            attempts.append(1)
+            if len(attempts) < 3:
+                raise RuntimeError("transient")
+            return {"hash": task.task_hash(), "ok": True}
+
+        before = METRICS.count("harness.retries")
+        rec = run_guarded(
+            _FakeTask(),
+            retry=RetryPolicy(retries=3, backoff=0.001),
+            execute=flaky,
+        )
+        assert rec["ok"] and len(attempts) == 3
+        assert METRICS.count("harness.retries") == before + 2
+
+    def test_exhausted_attempts_quarantine(self):
+        def broken(task, **kw):
+            raise RuntimeError("poison")
+
+        rec = run_guarded(
+            _FakeTask("aa" * 32),
+            retry=RetryPolicy(retries=2, backoff=0.001),
+            execute=broken,
+        )
+        assert rec["kind"] == "quarantine"
+        assert rec["hash"] == "aa" * 32
+        assert rec["attempts"] == 3
+        assert "RuntimeError: poison" in rec["error"]
+        assert rec["task"] == {"fake": True}
+
+    def test_quarantine_false_reraises(self):
+        def broken(task, **kw):
+            raise RuntimeError("poison")
+
+        with pytest.raises(RuntimeError, match="poison"):
+            run_guarded(
+                _FakeTask(),
+                retry=RetryPolicy(retries=1, backoff=0.001, quarantine=False),
+                execute=broken,
+            )
+
+    def test_deadline_turns_hang_into_timeout_then_quarantine(self):
+        def hangs(task, **kw):
+            time.sleep(5.0)
+            return {"hash": task.task_hash()}
+
+        t0 = time.monotonic()
+        rec = run_guarded(
+            _FakeTask(),
+            retry=RetryPolicy(retries=1, timeout=0.2, backoff=0.001),
+            execute=hangs,
+        )
+        assert time.monotonic() - t0 < 3.0
+        assert rec["kind"] == "quarantine"
+        assert "deadline" in rec["error"]
+
+    def test_injected_hang_healed_by_deadline(self):
+        calls = []
+        chaos = _armed(hang=1.0, hang_s=30.0, seed=3)
+
+        def fine(task, **kw):
+            calls.append(1)
+            return {"hash": task.task_hash(), "ok": True}
+
+        # Every attempt hangs (p=1.0), the deadline converts each hang
+        # into a retryable timeout, and attempts run out -> quarantine.
+        # The solver itself is never reached.
+        t0 = time.monotonic()
+        rec = run_guarded(
+            _FakeTask(),
+            retry=RetryPolicy(retries=1, timeout=0.2, backoff=0.001),
+            chaos=chaos,
+            execute=fine,
+        )
+        assert time.monotonic() - t0 < 3.0
+        assert rec["kind"] == "quarantine" and not calls
+
+    def test_quarantine_record_shape(self):
+        rec = quarantine_record(_FakeTask("bb" * 32), ValueError("x"), 4)
+        assert rec == {
+            "hash": "bb" * 32,
+            "kind": "quarantine",
+            "schema": 1,
+            "task": {"fake": True},
+            "error": "ValueError: x",
+            "attempts": 4,
+        }
+
+
+# ----------------------------------------------------------------------
+# hardened pool execution
+# ----------------------------------------------------------------------
+class TestHardenedCampaign:
+    def test_pool_chaos_kills_heal_to_identical_records(
+        self, tmp_path, small_tasks, serial_records
+    ):
+        # Injected worker crashes break the pool; supervision rebuilds
+        # it (re-rolling the kill draws) and, if the budget runs out,
+        # degrades to serial in the home process — where injection is
+        # suppressed.  Either way the records must be bit-identical.
+        records = run_campaign(
+            small_tasks,
+            jobs=2,
+            store=f"sharded:{tmp_path / 'chaos.d'}",
+            chaos="kill=0.4,seed=11",
+        )
+        assert records == serial_records
+
+    def test_quarantine_flows_through_run_campaign(self, small_tasks, monkeypatch):
+        import repro.campaign.executor as executor
+        from repro.obs.metrics import METRICS
+
+        poison = small_tasks[0].task_hash()
+        real = executor.execute_task
+
+        def sometimes_poison(task, **kw):
+            if task.task_hash() == poison:
+                raise RuntimeError("poison task")
+            return real(task, **kw)
+
+        monkeypatch.setattr(executor, "execute_task", sometimes_poison)
+        before = METRICS.count("campaign.quarantined")
+        records = run_campaign(
+            small_tasks, jobs=1, retries=1, retry_backoff=0.001
+        )
+        assert METRICS.count("campaign.quarantined") == before + 1
+        bad = [r for r in records if r.get("kind") == "quarantine"]
+        assert len(bad) == 1 and bad[0]["hash"] == poison
+        assert all(
+            r.get("kind") != "quarantine"
+            for r in records
+            if r["hash"] != poison
+        )
+
+    def test_quarantine_skipped_by_study_points(self, small_tasks, monkeypatch):
+        import repro.campaign.executor as executor
+        from repro.api.study import StudyResult
+
+        poison = small_tasks[0].task_hash()
+        real = executor.execute_task
+
+        def sometimes_poison(task, **kw):
+            if task.task_hash() == poison:
+                raise RuntimeError("poison task")
+            return real(task, **kw)
+
+        monkeypatch.setattr(executor, "execute_task", sometimes_poison)
+        records = run_campaign(small_tasks, jobs=1, retries=0, task_timeout=60.0)
+        result = StudyResult(list(small_tasks), records)
+        assert result.quarantined == 1
+        assert len(result.points()) == len(small_tasks) - 1
+
+
+# ----------------------------------------------------------------------
+# serve-mode soak: the acceptance bar
+# ----------------------------------------------------------------------
+class TestServeChaosSoak:
+    def test_chaos_soak_matches_clean_jobs1(
+        self, tmp_path, small_tasks, serial_records
+    ):
+        # Workers are repeatedly crashed (seeded kill draws), hung
+        # (healed by --task-timeout) and torn mid-write; supervision
+        # restarts them and leases recover their tasks.  The store must
+        # end up with records bit-identical to a clean serial run —
+        # nothing lost, nothing duplicated, nothing quarantined.
+        url = f"sharded:{tmp_path / 'soak.d'}"
+        records = serve_campaign(
+            small_tasks,
+            url,
+            workers=2,
+            lease_ttl=1.0,
+            task_timeout=20.0,
+            retries=5,
+            max_worker_restarts=40,
+            chaos="kill=0.25,hang=0.1,tear=0.15,hang_s=0.5,seed=2015",
+        )
+        assert records == serial_records
+        stored = _task_records(open_store(url).load())
+        assert stored == {
+            t.task_hash(): r for t, r in zip(small_tasks, serial_records)
+        }
+        assert not [r for r in records if r.get("kind") == "quarantine"]
+
+    def test_sigkilled_worker_is_restarted_and_campaign_completes(
+        self, tmp_path, small_tasks, serial_records
+    ):
+        # A real SIGKILL (not injected): the dispatcher must restart
+        # the dead worker and steal its lease.  serve_campaign runs in
+        # a background thread so this thread can hunt the worker pid —
+        # which also exercises the "no signal handlers off the main
+        # thread" guard.
+        url = f"sharded:{tmp_path / 'kill.d'}"
+        out = {}
+
+        def run():
+            out["records"] = serve_campaign(
+                small_tasks, url, workers=2, lease_ttl=1.0
+            )
+
+        thread = threading.Thread(target=run)
+        thread.start()
+        killed = False
+        deadline = time.monotonic() + 30
+        while not killed and time.monotonic() < deadline and thread.is_alive():
+            for proc in multiprocessing.active_children():
+                if proc.name.startswith("repro-serve") and proc.pid:
+                    os.kill(proc.pid, signal.SIGKILL)
+                    killed = True
+                    break
+            time.sleep(0.02)
+        thread.join(120)
+        assert not thread.is_alive()
+        assert out["records"] == serial_records
+
+    def test_graceful_shutdown_drains_and_resumes(
+        self, tmp_path, small_tasks, serial_records
+    ):
+        # SIGTERM mid-campaign: workers finish their in-flight task and
+        # exit 0, the dispatcher raises ServeInterrupted, and a resumed
+        # serve completes the remainder from the store.
+        url = f"sharded:{tmp_path / 'drain.d'}"
+
+        # Fire SIGTERM only once the fleet is visibly up and mid-work;
+        # injected hangs pad every task by 0.5s so the campaign cannot
+        # finish before the signal lands.
+        def send_when_running():
+            deadline = time.monotonic() + 10
+            while time.monotonic() < deadline:
+                if any(
+                    p.name.startswith("repro-serve")
+                    for p in multiprocessing.active_children()
+                ):
+                    time.sleep(0.2)
+                    os.kill(os.getpid(), signal.SIGTERM)
+                    return
+                time.sleep(0.02)
+
+        # Safety net: if the campaign somehow finishes before the
+        # signal, the restored handler must be a no-op, not death.
+        previous = signal.signal(signal.SIGTERM, lambda *a: None)
+        sender = threading.Thread(target=send_when_running)
+        try:
+            sender.start()
+            with pytest.raises(ServeInterrupted) as excinfo:
+                serve_campaign(
+                    small_tasks,
+                    url,
+                    workers=2,
+                    lease_ttl=30.0,
+                    chaos="hang=1.0,hang_s=0.5,seed=1",
+                )
+            assert excinfo.value.signum == signal.SIGTERM
+        finally:
+            sender.join(15)
+            signal.signal(signal.SIGTERM, previous)
+        records = serve_campaign(small_tasks, url, workers=2, lease_ttl=30.0)
+        assert records == serial_records
+
+    def test_chaos_exit_code_is_distinctive(self):
+        assert CHAOS_EXIT_CODE == 86
+        with pytest.raises(TaskTimeout):  # the exception type is public
+            raise TaskTimeout("x")
