@@ -4,8 +4,9 @@
 Runs ``bench_resilience.py`` (engine-vs-legacy abstraction tax),
 ``bench_hotpath.py`` (workspace hot path vs the frozen seed stack),
 ``bench_obs.py`` (tracing overhead), ``bench_chaos.py`` (self-healing
-harness overhead) and ``bench_backends.py`` (the kernel-backend axis,
-clean and guarded), then compares the fresh hot-path and backend
+harness overhead), ``bench_adaptive.py`` (adaptive sampling: same
+means within CI, fewer repetitions) and ``bench_backends.py`` (the
+kernel-backend axis, clean and guarded), then compares the fresh hot-path and backend
 records against the committed baselines
 ``benchmarks/BENCH_hotpath.json`` / ``benchmarks/BENCH_backends.json``
 — the repo's perf trajectory — and gates the fresh overhead records:
@@ -48,6 +49,8 @@ BACKENDS_BASELINE = BENCH_DIR / "BENCH_backends.json"
 BACKENDS_FRESH = BENCH_DIR / "results" / "BENCH_backends.json"
 CHAOS_BASELINE = BENCH_DIR / "BENCH_chaos.json"
 CHAOS_FRESH = BENCH_DIR / "results" / "BENCH_chaos.json"
+ADAPTIVE_BASELINE = BENCH_DIR / "BENCH_adaptive.json"
+ADAPTIVE_FRESH = BENCH_DIR / "results" / "BENCH_adaptive.json"
 
 #: Maximum tolerated drop of the aggregate speedup vs the baseline.
 REGRESSION_TOLERANCE = 0.25
@@ -86,6 +89,7 @@ def run_pytest_benches(quick: bool, skip_resilience: bool) -> int:
         str(BENCH_DIR / "bench_hotpath.py"),
         str(BENCH_DIR / "bench_obs.py"),
         str(BENCH_DIR / "bench_chaos.py"),
+        str(BENCH_DIR / "bench_adaptive.py"),
         str(BENCH_DIR / "bench_backends.py"),
     ]
     if not skip_resilience:
@@ -259,6 +263,36 @@ def main(argv: "list[str] | None" = None) -> int:
         if args.update_baseline or not CHAOS_BASELINE.exists():
             CHAOS_BASELINE.write_text(CHAOS_FRESH.read_text())
             print(f"hardening record written: {CHAOS_BASELINE}")
+
+    # Adaptive sampling acceptance: on the paper-range Figure-1 grid
+    # the adaptive run must reach the fixed-count means within the
+    # combined CI while executing strictly fewer repetitions.  The
+    # simulated timings are deterministic, so this gate never flakes.
+    if ADAPTIVE_FRESH.exists():
+        adaptive = json.loads(ADAPTIVE_FRESH.read_text())
+        print(
+            f"adaptive sampling: {adaptive['adaptive_total_reps']}/"
+            f"{adaptive['fixed_total_reps']} reps "
+            f"(saved {adaptive['saved_pct']}%), "
+            f"agree_within_ci={adaptive['agree_within_ci']}"
+        )
+        if not adaptive["agree_within_ci"]:
+            print(
+                "REGRESSION: an adaptive cell's mean left the combined CI "
+                "of the fixed-count estimate",
+                file=sys.stderr,
+            )
+            return 1
+        if adaptive["adaptive_total_reps"] >= adaptive["fixed_total_reps"]:
+            print(
+                "REGRESSION: adaptive sampling executed no fewer repetitions "
+                "than the fixed-count run",
+                file=sys.stderr,
+            )
+            return 1
+        if args.update_baseline or not ADAPTIVE_BASELINE.exists():
+            ADAPTIVE_BASELINE.write_text(ADAPTIVE_FRESH.read_text())
+            print(f"adaptive record written: {ADAPTIVE_BASELINE}")
 
     if args.update_baseline or not BASELINE.exists():
         BASELINE.write_text(FRESH.read_text())

@@ -33,6 +33,7 @@ SRC = ROOT / "src"
 
 #: Packages whose public surface must be documented.
 AUDITED_PACKAGES = (
+    "repro.adaptive",
     "repro.api",
     "repro.backends",
     "repro.chaos",

@@ -43,6 +43,11 @@ The library provides:
   (:mod:`repro.backends`);
 - structured tracing, process metrics and trace summaries — pure
   observation, zero overhead when off (:mod:`repro.obs`);
+- adaptive sequential sampling: per-task repetitions stop once the
+  Student-t confidence interval on the mean time is tight enough,
+  with per-rep fault streams prefix-shared with fixed-count runs so
+  stopping at ``k`` reps is bit-identical to the first ``k`` of a
+  fixed run (:mod:`repro.adaptive`);
 - the stable public API: the :func:`solve` facade, declarative
   :class:`Study` sweeps and the ``repro`` console script
   (:mod:`repro.api`).
@@ -127,8 +132,9 @@ from repro.store import (
     open_store,
     register_store,
 )
+from repro.adaptive import SamplingPolicy
 
-__version__ = "1.8.0"
+__version__ = "1.9.0"
 
 __all__ = [
     "CSRMatrix",
@@ -187,5 +193,6 @@ __all__ = [
     "available_store_schemes",
     "open_store",
     "register_store",
+    "SamplingPolicy",
     "__version__",
 ]

@@ -1,0 +1,383 @@
+"""Variance-aware sequential stopping for campaign sampling.
+
+The paper's headline metric is the *mean* execution time over
+repetitions, yet a fixed ``reps`` count spends the same budget on every
+grid point regardless of how noisy that point actually is.  This module
+supplies the statistics layer for adaptive campaigns (docs/DESIGN.md
+§11): a task runs repetitions until the Student-t confidence-interval
+half-width on the mean drops below a target (relative to the mean, or
+absolute), subject to ``min_reps``/``max_reps`` bounds.
+
+Three deliberate design points:
+
+* **Identity, not seed.**  The sampling policy is part of task
+  *identity* (it changes the task hash) but never enters seed
+  derivation: per-rep RNG streams still come from
+  ``spawn_named(base_seed, ..., rep)``, so an adaptive run that stops at
+  rep ``k`` is bit-identical to the first ``k`` reps of a fixed-count
+  run from the same base seed.
+* **Online accumulation.**  :class:`Welford` maintains mean and variance
+  in one pass with compensated summation, so the stopping rule needs no
+  access to the full sample and partial-progress records stay small.
+* **No SciPy.**  The Student-t critical value is computed here from the
+  regularized incomplete beta function (continued fraction) and a
+  deterministic bisection — pure ``math``, identical on every platform.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from functools import lru_cache
+
+__all__ = [
+    "SamplingPolicy",
+    "Welford",
+    "t_critical",
+    "half_width",
+    "ci_bounds",
+    "resolve_sampling",
+]
+
+# ---------------------------------------------------------------------------
+# Student-t critical values (no SciPy: incomplete beta + bisection)
+# ---------------------------------------------------------------------------
+
+_BETA_EPS = 3e-16
+_BETA_FPMIN = 1e-300
+_BETA_MAXIT = 300
+
+
+def _betacf(a: float, b: float, x: float) -> float:
+    """Continued fraction for the regularized incomplete beta function.
+
+    Modified Lentz evaluation of the even/odd continued-fraction
+    expansion (Numerical Recipes §6.4); converges in a handful of terms
+    for ``x < (a + 1) / (a + b + 2)``, which :func:`_betai` guarantees.
+    """
+    qab = a + b
+    qap = a + 1.0
+    qam = a - 1.0
+    c = 1.0
+    d = 1.0 - qab * x / qap
+    if abs(d) < _BETA_FPMIN:
+        d = _BETA_FPMIN
+    d = 1.0 / d
+    h = d
+    for m in range(1, _BETA_MAXIT + 1):
+        m2 = 2 * m
+        aa = m * (b - m) * x / ((qam + m2) * (a + m2))
+        d = 1.0 + aa * d
+        if abs(d) < _BETA_FPMIN:
+            d = _BETA_FPMIN
+        c = 1.0 + aa / c
+        if abs(c) < _BETA_FPMIN:
+            c = _BETA_FPMIN
+        d = 1.0 / d
+        h *= d * c
+        aa = -(a + m) * (qab + m) * x / ((a + m2) * (qap + m2))
+        d = 1.0 + aa * d
+        if abs(d) < _BETA_FPMIN:
+            d = _BETA_FPMIN
+        c = 1.0 + aa / c
+        if abs(c) < _BETA_FPMIN:
+            c = _BETA_FPMIN
+        d = 1.0 / d
+        delta = d * c
+        h *= delta
+        if abs(delta - 1.0) < _BETA_EPS:
+            break
+    return h
+
+
+def _betai(a: float, b: float, x: float) -> float:
+    """Regularized incomplete beta function I_x(a, b) for 0 <= x <= 1."""
+    if x <= 0.0:
+        return 0.0
+    if x >= 1.0:
+        return 1.0
+    ln_bt = (
+        math.lgamma(a + b)
+        - math.lgamma(a)
+        - math.lgamma(b)
+        + a * math.log(x)
+        + b * math.log1p(-x)
+    )
+    bt = math.exp(ln_bt)
+    if x < (a + 1.0) / (a + b + 2.0):
+        return bt * _betacf(a, b, x) / a
+    return 1.0 - bt * _betacf(b, a, 1.0 - x) / b
+
+
+def _t_cdf(x: float, df: int) -> float:
+    """CDF of Student's t distribution with ``df`` degrees of freedom."""
+    tail = 0.5 * _betai(df / 2.0, 0.5, df / (df + x * x))
+    return 1.0 - tail if x >= 0.0 else tail
+
+
+@lru_cache(maxsize=4096)
+def t_critical(confidence: float, df: int) -> float:
+    """Two-sided Student-t critical value ``t`` with ``P(|T| <= t) = confidence``.
+
+    Deterministic and dependency-free: the t CDF is evaluated through the
+    regularized incomplete beta function and inverted by bisection with a
+    fixed iteration budget, so the same ``(confidence, df)`` always yields
+    the same float on every platform.  Results are cached.
+    """
+    if not 0.0 < confidence < 1.0:
+        raise ValueError(f"confidence must be in (0, 1), got {confidence}")
+    if df < 1:
+        raise ValueError(f"degrees of freedom must be >= 1, got {df}")
+    # Two-sided: find t with CDF(t) = 1 - (1 - confidence) / 2.
+    p = 1.0 - (1.0 - confidence) / 2.0
+    lo, hi = 0.0, 1.0
+    while _t_cdf(hi, df) < p:
+        hi *= 2.0
+        if hi > 1e12:  # pragma: no cover - unreachable for confidence < 1
+            break
+    for _ in range(200):
+        mid = 0.5 * (lo + hi)
+        if mid == lo or mid == hi:
+            break
+        if _t_cdf(mid, df) < p:
+            lo = mid
+        else:
+            hi = mid
+    return 0.5 * (lo + hi)
+
+
+def half_width(n: int, std: float, confidence: float) -> float:
+    """Student-t CI half-width ``t * std / sqrt(n)``; 0.0 when ``n < 2``."""
+    if n < 2:
+        return 0.0
+    return t_critical(confidence, n - 1) * std / math.sqrt(n)
+
+
+def ci_bounds(
+    mean: float, std: float, n: int, confidence: float
+) -> "tuple[float, float] | None":
+    """Two-sided Student-t CI on the mean, or None when ``n < 2``."""
+    if n < 2:
+        return None
+    hw = half_width(n, std, confidence)
+    return (mean - hw, mean + hw)
+
+
+# ---------------------------------------------------------------------------
+# Welford online mean / variance
+# ---------------------------------------------------------------------------
+
+
+class Welford:
+    """Online mean/variance accumulator (Welford recurrence, compensated).
+
+    Maintains the running mean through a Neumaier-compensated sum (so the
+    mean matches ``statistics.mean`` to the last ulp) and the centered
+    second moment M2 through the classic Welford update, itself
+    compensated.  ``variance``/``std`` use the sample convention
+    (``ddof=1``), matching ``numpy.std(ddof=1)`` and ``statistics.stdev``.
+    """
+
+    __slots__ = ("_n", "_sum", "_sum_c", "_m2", "_m2_c")
+
+    def __init__(self, values: "list[float] | tuple[float, ...] | None" = None):
+        self._n = 0
+        self._sum = 0.0
+        self._sum_c = 0.0  # Neumaier compensation for the running sum
+        self._m2 = 0.0
+        self._m2_c = 0.0  # compensation for the M2 accumulation
+        if values:
+            for v in values:
+                self.push(v)
+
+    def push(self, x: float) -> None:
+        """Fold one observation into the accumulator."""
+        x = float(x)
+        mean_old = self.mean
+        # Neumaier-compensated running sum -> exactly rounded mean.
+        t = self._sum + x
+        if abs(self._sum) >= abs(x):
+            self._sum_c += (self._sum - t) + x
+        else:
+            self._sum_c += (x - t) + self._sum
+        self._sum = t
+        self._n += 1
+        # Welford M2 update with the compensated means on both sides.
+        delta = x - mean_old
+        term = delta * (x - self.mean)
+        t2 = self._m2 + term
+        if abs(self._m2) >= abs(term):
+            self._m2_c += (self._m2 - t2) + term
+        else:
+            self._m2_c += (term - t2) + self._m2
+        self._m2 = t2
+
+    @property
+    def n(self) -> int:
+        """Number of observations folded so far."""
+        return self._n
+
+    @property
+    def mean(self) -> float:
+        """Running mean (0.0 before the first observation)."""
+        if self._n == 0:
+            return 0.0
+        return (self._sum + self._sum_c) / self._n
+
+    @property
+    def variance(self) -> float:
+        """Sample variance (ddof=1); 0.0 when fewer than two observations."""
+        if self._n < 2:
+            return 0.0
+        return max(0.0, (self._m2 + self._m2_c) / (self._n - 1))
+
+    @property
+    def std(self) -> float:
+        """Sample standard deviation (ddof=1)."""
+        return math.sqrt(self.variance)
+
+
+# ---------------------------------------------------------------------------
+# Sampling policy
+# ---------------------------------------------------------------------------
+
+_SPEC_KEYS = ("ci", "conf", "min", "max", "batch", "target")
+
+
+def _format_float(x: float) -> str:
+    """Shortest exact decimal for a float (repr, minus a trailing ``.0``)."""
+    s = repr(float(x))
+    return s[:-2] if s.endswith(".0") else s
+
+
+@dataclass(frozen=True)
+class SamplingPolicy:
+    """Sequential-stopping policy for adaptive campaigns.
+
+    A task runs repetitions until the Student-t CI half-width on the
+    mean time drops to ``ci`` — a fraction of the running mean when
+    ``relative`` (the default), an absolute time-unit width otherwise —
+    but never before ``min_reps`` or beyond ``max_reps`` repetitions.
+    ``batch`` is the persistence granularity: a partial-progress record
+    is flushed to the store after every ``batch`` completed reps (the
+    stopping rule itself is evaluated after every rep).
+
+    The canonical string form (:meth:`spec`) is what
+    ``TaskSpec.sampling`` stores, so equal policies always hash equally.
+    """
+
+    ci: float = 0.05
+    confidence: float = 0.95
+    min_reps: int = 5
+    max_reps: int = 200
+    batch: int = 1
+    relative: bool = True
+
+    def __post_init__(self) -> None:
+        if not self.ci > 0.0:
+            raise ValueError(f"ci target must be > 0, got {self.ci}")
+        if not 0.0 < self.confidence < 1.0:
+            raise ValueError(
+                f"confidence must be in (0, 1), got {self.confidence}"
+            )
+        if self.min_reps < 1:
+            raise ValueError(f"min reps must be >= 1, got {self.min_reps}")
+        if self.max_reps < self.min_reps:
+            raise ValueError(
+                f"max reps ({self.max_reps}) must be >= min reps "
+                f"({self.min_reps})"
+            )
+        if self.batch < 1:
+            raise ValueError(f"batch must be >= 1, got {self.batch}")
+
+    @classmethod
+    def parse(cls, spec: str) -> "SamplingPolicy":
+        """Parse ``"ci=0.05,conf=0.95,min=5,max=200[,batch=B][,target=abs]"``.
+
+        Keys may appear in any order and any may be omitted (defaults
+        apply).  ``target`` is ``rel`` (half-width relative to the mean,
+        default) or ``abs`` (absolute time units).
+        """
+        kwargs: dict = {}
+        for part in spec.split(","):
+            part = part.strip()
+            if not part:
+                continue
+            key, sep, value = part.partition("=")
+            key, value = key.strip(), value.strip()
+            if not sep or not value:
+                raise ValueError(
+                    f"malformed sampling entry {part!r}: expected key=value"
+                )
+            if key not in _SPEC_KEYS:
+                raise ValueError(
+                    f"unknown sampling key {key!r}; expected one of "
+                    f"{', '.join(_SPEC_KEYS)}"
+                )
+            if key in kwargs or (key == "target" and "relative" in kwargs):
+                raise ValueError(f"duplicate sampling key {key!r}")
+            try:
+                if key == "ci":
+                    kwargs["ci"] = float(value)
+                elif key == "conf":
+                    kwargs["confidence"] = float(value)
+                elif key == "min":
+                    kwargs["min_reps"] = int(value)
+                elif key == "max":
+                    kwargs["max_reps"] = int(value)
+                elif key == "batch":
+                    kwargs["batch"] = int(value)
+                else:  # target
+                    if value not in ("rel", "abs"):
+                        raise ValueError(
+                            f"target must be 'rel' or 'abs', got {value!r}"
+                        )
+                    kwargs["relative"] = value == "rel"
+            except ValueError:
+                raise
+            except Exception as exc:  # int()/float() failures
+                raise ValueError(
+                    f"bad value for sampling key {key!r}: {value!r}"
+                ) from exc
+        return cls(**kwargs)
+
+    def spec(self) -> str:
+        """Canonical string form; ``parse(p.spec()) == p`` always holds."""
+        parts = [
+            f"ci={_format_float(self.ci)}",
+            f"conf={_format_float(self.confidence)}",
+            f"min={self.min_reps}",
+            f"max={self.max_reps}",
+        ]
+        if self.batch != 1:
+            parts.append(f"batch={self.batch}")
+        if not self.relative:
+            parts.append("target=abs")
+        return ",".join(parts)
+
+    def target_width(self, mean: float) -> float:
+        """The half-width the CI must reach for the given running mean."""
+        return self.ci * abs(mean) if self.relative else self.ci
+
+    def should_stop(self, n: int, mean: float, std: float) -> bool:
+        """Sequential stopping rule after ``n`` completed repetitions."""
+        if n >= self.max_reps:
+            return True
+        if n < self.min_reps:
+            return False
+        return half_width(n, std, self.confidence) <= self.target_width(mean)
+
+
+def resolve_sampling(
+    spec: "str | SamplingPolicy | None",
+) -> "SamplingPolicy | None":
+    """Collapse a spec string / policy / None to a policy or None.
+
+    Mirrors ``resolve_tracer``/``resolve_chaos``: the empty string and
+    None mean "fixed-count sampling" and come back as None.
+    """
+    if spec is None or spec == "":
+        return None
+    if isinstance(spec, SamplingPolicy):
+        return spec
+    return SamplingPolicy.parse(spec)

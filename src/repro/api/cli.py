@@ -118,6 +118,15 @@ def _add_experiment_options(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--paper-scale", action="store_true", help="scale=1, reps=50 (slow)"
     )
+    parser.add_argument(
+        "--adaptive", type=str, default=None, metavar="SPEC",
+        help="adaptive sequential sampling: stop each task's repetitions "
+             "once the CI half-width on the mean time falls below target, "
+             "e.g. 'ci=0.05,conf=0.95,min=5,max=200' (--reps is then "
+             "ignored in favour of the policy's max); per-rep fault "
+             "streams are prefix-shared with fixed runs, so stopping at "
+             "k reps is bit-identical to the first k of a fixed run",
+    )
     _add_campaign_options(parser)
 
 
@@ -235,6 +244,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="print the compiled task count and hashes without executing",
     )
     pr.add_argument("--csv", type=str, default=None, help="dump typed points to CSV")
+    pr.add_argument(
+        "--adaptive", type=str, default=None, metavar="SPEC",
+        help="override the study's sampling policy, e.g. "
+             "'ci=0.05,conf=0.95,min=5,max=200' (see table1 --adaptive)",
+    )
     _add_campaign_options(pr)
     p.set_defaults(func=_cmd_study)
 
@@ -447,6 +461,20 @@ def _check_hardening_args(
             parser.error(f"--chaos {args.chaos!r}: {exc}")
 
 
+def _check_adaptive_arg(
+    parser: argparse.ArgumentParser, spec: "str | None"
+) -> str:
+    """Validate --adaptive and return the canonical sampling spec ("" = off)."""
+    if spec is None:
+        return ""
+    from repro.adaptive import SamplingPolicy
+
+    try:
+        return SamplingPolicy.parse(spec).spec()
+    except ValueError as exc:
+        parser.error(f"--adaptive {spec!r}: {exc}")
+
+
 def _check_store_arg(
     parser: argparse.ArgumentParser, spec: str, *, resume: bool
 ) -> None:
@@ -579,6 +607,7 @@ def _run_experiment(
         task_timeout=args.task_timeout,
         retries=args.retries,
         chaos=args.chaos,
+        sampling=_check_adaptive_arg(parser, args.adaptive),
     )
     try:
         if kind == "table1":
@@ -633,6 +662,8 @@ def _cmd_study(parser: argparse.ArgumentParser, args: argparse.Namespace) -> int
         study = Study.load(args.spec)
     except (OSError, ValueError, KeyError, TypeError) as exc:
         parser.error(f"cannot load study spec {args.spec!r}: {exc}")
+    if args.adaptive is not None:
+        study.adaptive(_check_adaptive_arg(parser, args.adaptive))
     tasks = study.tasks()
     if args.dry_run:
         print(f"study {study.name!r}: {len(tasks)} tasks")

@@ -49,6 +49,11 @@ class GroupSummary:
     min_time: float
     max_time: float
     convergence_rate: float  #: rep-weighted average convergence rate
+    #: Total repetition budget (the tasks' rep caps); equals ``reps``
+    #: for fixed-count campaigns, larger when adaptive sampling
+    #: (:mod:`repro.adaptive`) stopped early.  0 for legacy records
+    #: whose tasks carry no rep count.
+    reps_cap: int = 0
 
 
 @dataclass(frozen=True)
@@ -65,6 +70,10 @@ class StoreSummary:
     #: ``kind="quarantine"`` records (poison tasks the self-healing
     #: harness gave up on, :mod:`repro.chaos`); 0 for healthy stores.
     quarantined: int = 0
+    #: ``kind="partial"`` records — in-flight per-rep checkpoints of
+    #: adaptive tasks (:mod:`repro.adaptive`) that were interrupted
+    #: before their final record; a ``--resume`` picks them up.
+    partials: int = 0
 
     def to_dict(self) -> dict:
         from dataclasses import asdict
@@ -108,6 +117,9 @@ def summarize_store(
         if rec.get("kind") == "quarantine":
             latest[h] = ("quarantine",)
             continue
+        if rec.get("kind") == "partial":
+            latest[h] = ("partial",)
+            continue
         task = rec.get("task")
         stats = rec.get("stats")
         if not isinstance(task, dict) or not isinstance(stats, dict) \
@@ -130,11 +142,13 @@ def summarize_store(
             stats["min_time"],
             stats["max_time"],
             stats["convergence_rate"],
+            int(task.get("reps", 0)),
         )
 
     groups: "dict[tuple[str, str, str, str], list[tuple]]" = {}
     skipped = 0
     quarantined = 0
+    partials = 0
     telemetry_recs: "list[dict]" = []
     # Canonical accumulation order — (group, hash) — so a migrated
     # store reports bit-identically however its backend laid records
@@ -150,6 +164,8 @@ def summarize_store(
             skipped += 1
         elif entry[0] == "quarantine":
             quarantined += 1
+        elif entry[0] == "partial":
+            partials += 1
 
     summaries: "list[GroupSummary]" = []
     for (experiment, method, backend, scheme), rows in sorted(groups.items()):
@@ -168,15 +184,17 @@ def summarize_store(
                 convergence_rate=(
                     sum(r[4] * r[0] for r in rows) / reps if reps else 0.0
                 ),
+                reps_cap=sum(r[5] for r in rows),
             )
         )
     return StoreSummary(
         path=store.url,
-        records=len(latest) - len(telemetry_recs),
+        records=len(latest) - len(telemetry_recs) - partials,
         skipped=skipped,
         groups=summaries,
         telemetry=_merge_telemetry(telemetry_recs),
         quarantined=quarantined,
+        partials=partials,
     )
 
 
@@ -258,19 +276,40 @@ def format_summary(summary: StoreSummary) -> str:
             f"quarantined: {summary.quarantined} poison task(s) — "
             "re-queue with `repro store compact --drop-quarantined`"
         )
+    if summary.partials:
+        lines.append(
+            f"partials: {summary.partials} in-flight adaptive "
+            "checkpoint(s) — a --resume against this store continues them"
+        )
     if summary.groups:
+        # Groups where adaptive sampling stopped under the rep budget
+        # grow a trailing "saved" column; fixed-count stores keep the
+        # historical layout byte-for-byte.
+        with_saved = any(g.reps_cap > g.reps for g in summary.groups)
         head = (
             f"{'experiment':>16} {'method':>9} {'backend':>9} {'scheme':>17} "
             f"{'tasks':>6} {'reps':>6} {'mean_t':>9} {'min_t':>9} "
             f"{'max_t':>9} {'conv%':>6}"
         )
+        if with_saved:
+            head += f" {'saved':>6}"
         lines += ["", head, "-" * len(head)]
         for g in summary.groups:
-            lines.append(
+            line = (
                 f"{g.experiment:>16} {g.method:>9} {g.backend:>9} "
                 f"{g.scheme:>17} {g.tasks:>6} "
                 f"{g.reps:>6} {g.mean_time:>9.2f} {g.min_time:>9.2f} "
                 f"{g.max_time:>9.2f} {g.convergence_rate * 100:>6.1f}"
+            )
+            if with_saved:
+                line += f" {max(0, g.reps_cap - g.reps):>6}"
+            lines.append(line)
+        saved = sum(max(0, g.reps_cap - g.reps) for g in summary.groups)
+        if saved:
+            cap = sum(g.reps_cap for g in summary.groups)
+            lines.append(
+                f"adaptive sampling saved {saved} of {cap} repetition(s) "
+                f"({100.0 * saved / cap:.1f}%)"
             )
     if summary.telemetry is not None:
         lines += _format_telemetry(summary.telemetry)

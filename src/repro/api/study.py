@@ -81,8 +81,25 @@ POINT_DEFAULTS: dict = {
     "d": "auto",
 }
 
-#: Campaign-wide settings (not per-point axes).
-SETTING_DEFAULTS: dict = {"scale": 16, "reps": 10, "eps": 1e-6, "base_seed": 2015}
+#: Campaign-wide settings (not per-point axes).  ``sampling`` is the
+#: adaptive sequential-stopping policy spec (:mod:`repro.adaptive`);
+#: ``""`` keeps fixed-count sampling, in which case ``reps`` applies.
+SETTING_DEFAULTS: dict = {
+    "scale": 16,
+    "reps": 10,
+    "eps": 1e-6,
+    "base_seed": 2015,
+    "sampling": "",
+}
+
+
+def _canonical_sampling(spec) -> str:
+    """Normalize a sampling spec (policy / string / None) to the
+    canonical string form stored in task identity (``""`` = fixed)."""
+    from repro.adaptive import resolve_sampling
+
+    policy = resolve_sampling(spec)
+    return "" if policy is None else policy.spec()
 
 
 @dataclass(frozen=True)
@@ -132,6 +149,26 @@ class StudyResult:
             1
             for rec in self.records
             if rec is not None and rec.get("kind") == "quarantine"
+        )
+
+    @property
+    def total_reps(self) -> int:
+        """Repetitions actually executed across every non-quarantined task."""
+        return sum(
+            rec["stats"]["reps"]
+            for rec in self.records
+            if rec is not None and rec.get("kind") != "quarantine"
+        )
+
+    @property
+    def reps_saved(self) -> int:
+        """Repetitions the adaptive stopping rule did not need: the sum
+        of ``task.reps − stats.reps`` over executed tasks (0 for a
+        fixed-count study, where every task runs its full count)."""
+        return sum(
+            max(0, task.reps - rec["stats"]["reps"])
+            for task, rec in zip(self.tasks, self.records)
+            if rec is not None and rec.get("kind") != "quarantine"
         )
 
     def points(self) -> "list[StudyPoint]":
@@ -227,13 +264,36 @@ class Study:
         return self
 
     def fix(self, **kwargs) -> "Study":
-        """Pin axes or campaign settings (``scale``/``reps``/``eps``/``base_seed``)."""
+        """Pin axes or campaign settings (``scale``/``reps``/``eps``/
+        ``base_seed``/``sampling``)."""
         self._check_generic("fix")
         for name, value in kwargs.items():
-            if name in SETTING_DEFAULTS:
+            if name == "sampling":
+                self._fixed[name] = _canonical_sampling(value)
+            elif name in SETTING_DEFAULTS:
                 self._fixed[name] = type(SETTING_DEFAULTS[name])(value)
             else:
                 self._fixed[self._axis_key(name)] = self._coerce(name, value)
+        self._compiled = None
+        return self
+
+    def adaptive(self, spec: "str | object | None") -> "Study":
+        """Switch the study to adaptive (variance-aware) sampling.
+
+        ``spec`` is a :class:`repro.adaptive.SamplingPolicy`, a spec
+        string like ``"ci=0.05,conf=0.95,min=5,max=200"``, or
+        ``None``/``""`` to return to fixed-count sampling.  Works on
+        preset (table1/figure1) and generic studies alike.  Under
+        adaptive sampling the ``reps`` setting is superseded by the
+        policy's ``max`` (the per-task repetition cap).
+        """
+        canonical = _canonical_sampling(spec)
+        if self._campaign is not None:
+            from dataclasses import replace
+
+            self._campaign = replace(self._campaign, sampling=canonical)
+        else:
+            self._fixed["sampling"] = canonical
         self._compiled = None
         return self
 
@@ -321,9 +381,13 @@ class Study:
         s_span: int = 6,
         methods: "list[str] | None" = None,
         backend: str = "reference",
+        sampling: str = "",
     ) -> "Study":
         """The paper's Table-1 grid (interval sweep at fault constant α),
-        verbatim the :class:`CampaignSpec` the drivers have always expanded."""
+        verbatim the :class:`CampaignSpec` the drivers have always expanded.
+        ``sampling`` switches the campaign to adaptive sequential stopping
+        (:mod:`repro.adaptive`; ``reps`` is then superseded by the policy
+        cap)."""
         study = cls("table1")
         study._campaign = CampaignSpec(
             kind="table1",
@@ -336,6 +400,7 @@ class Study:
             s_span=s_span,
             methods=tuple(methods) if methods is not None else ("cg",),
             backend=backend,
+            sampling=_canonical_sampling(sampling),
         )
         return study
 
@@ -351,8 +416,11 @@ class Study:
         base_seed: int = 2015,
         methods: "list[str] | None" = None,
         backend: str = "reference",
+        sampling: str = "",
     ) -> "Study":
-        """The paper's Figure-1 grid (scheme comparison across MTBF)."""
+        """The paper's Figure-1 grid (scheme comparison across MTBF).
+        ``sampling`` switches the campaign to adaptive sequential stopping
+        (:mod:`repro.adaptive`)."""
         study = cls("figure1")
         study._campaign = CampaignSpec(
             kind="figure1",
@@ -364,6 +432,7 @@ class Study:
             base_seed=base_seed,
             methods=tuple(methods) if methods is not None else ("cg",),
             backend=backend,
+            sampling=_canonical_sampling(sampling),
         )
         return study
 
@@ -387,6 +456,13 @@ class Study:
             return self._campaign.expand()
         settings = {**SETTING_DEFAULTS, **{k: v for k, v in self._fixed.items()
                                            if k in SETTING_DEFAULTS}}
+        sampling = settings["sampling"]
+        if sampling:
+            from repro.adaptive import SamplingPolicy
+
+            # Adaptive tasks carry the policy cap as their rep count
+            # (TaskSpec enforces the equality).
+            settings["reps"] = SamplingPolicy.parse(sampling).max_reps
         values = {}
         for ax in AXES:
             if ax in self._axes:
@@ -456,6 +532,7 @@ class Study:
                                             s_model=s_model if s_raw == "auto" else 0,
                                             method=method.value,
                                             backend=backend,
+                                            sampling=sampling,
                                         )
                                     )
         return tasks

@@ -47,8 +47,32 @@ __all__ = [
 
 
 def stats_from_record(record: dict) -> RunStatistics:
-    """Rehydrate a record's ``"stats"`` payload into RunStatistics."""
+    """Rehydrate a record's ``"stats"`` payload into RunStatistics.
+
+    Records written before the adaptive layer existed lack the CI
+    fields; the dataclass defaults (``None``) absorb them.
+    """
     return RunStatistics(**record["stats"])
+
+
+def _stats_ci(stats: RunStatistics) -> "tuple[float, float] | None":
+    """CI bounds on the mean time for a record's statistics.
+
+    Prefers the bounds stored by the engine (fixed runs carry a 95% CI,
+    adaptive runs the CI at their policy's confidence); records from
+    before the adaptive layer derive a 95% CI from std/reps.  ``None``
+    when ``reps < 2`` — a single repetition has no error estimate.
+    """
+    if stats.ci_low is not None and stats.ci_high is not None:
+        return (stats.ci_low, stats.ci_high)
+    if stats.reps > 1:
+        from repro.adaptive import ci_bounds
+        from repro.sim.engine import DEFAULT_CONFIDENCE
+
+        return ci_bounds(
+            stats.mean_time, stats.std_time, stats.reps, DEFAULT_CONFIDENCE
+        )
+    return None
 
 
 def _paired(tasks: "list[TaskSpec]", records: "Iterable[dict]", experiment: str):
@@ -91,6 +115,7 @@ class _Table1Fold:
         if group is None:
             group = self._groups[key] = {
                 "sweep": {},
+                "extras": {},
                 "n": rec["n"],
                 "density": rec["density"],
                 "s_model": task.s_model,
@@ -99,6 +124,8 @@ class _Table1Fold:
         # Duplicate s within a group keeps the last pair, matching the
         # historical dict-of-stats construction.
         group["sweep"][task.s] = rec["stats"]["mean_time"]
+        stats = stats_from_record(rec)
+        group["extras"][task.s] = (_stats_ci(stats), stats.reps)
 
     def rows(self) -> "list[Table1Row]":
         rows: "list[Table1Row]" = []
@@ -111,6 +138,7 @@ class _Table1Fold:
                     f"{s_model} missing from sweep {sorted(sweep)}"
                 )
             s_best = min(sweep, key=lambda s: sweep[s])
+            ci = g["extras"][s_model][0]
             rows.append(
                 Table1Row(
                     uid=uid,
@@ -123,6 +151,10 @@ class _Table1Fold:
                     time_best=sweep[s_best],
                     reps=g["reps"],
                     method=method,
+                    ci_low=ci[0] if ci else None,
+                    ci_high=ci[1] if ci else None,
+                    reps_used=sum(used for _, used in g["extras"].values()),
+                    reps_cap=g["reps"] * len(g["extras"]),
                 )
             )
         return rows
@@ -157,15 +189,22 @@ def aggregate_figure1(
 
 def _figure1_point(task: TaskSpec, rec: dict) -> Figure1Point:
     stats = stats_from_record(rec)
+    ci = _stats_ci(stats)
     return Figure1Point(
         uid=task.uid,
         scheme=task.scheme,
         alpha=task.alpha,
         mean_time=stats.mean_time,
-        sem_time=stats.sem_time,
+        # A single repetition has no error estimate: None renders as
+        # "±n/a" (a 0.0 here would claim a *zero* standard error).
+        sem_time=stats.sem_time if stats.reps > 1 else None,
         s_used=task.s,
         d_used=task.d,
         method=task.method,
+        ci_low=ci[0] if ci else None,
+        ci_high=ci[1] if ci else None,
+        reps_used=stats.reps,
+        reps_cap=task.reps,
     )
 
 

@@ -43,10 +43,22 @@ if TYPE_CHECKING:  # pragma: no cover
     from repro.chaos import ChaosPolicy, RetryPolicy
     from repro.store.protocol import StoreBackend
 
-__all__ = ["default_jobs", "execute_task", "run_campaign", "TELEMETRY_SCHEMA"]
+__all__ = [
+    "default_jobs",
+    "execute_task",
+    "run_campaign",
+    "TELEMETRY_SCHEMA",
+    "PARTIAL_SCHEMA",
+    "partial_hash",
+    "make_partial_record",
+    "load_partials",
+]
 
 #: Schema version stamped into ``telemetry`` store records.
 TELEMETRY_SCHEMA: int = 1
+
+#: Schema version stamped into ``partial`` (adaptive progress) records.
+PARTIAL_SCHEMA: int = 1
 
 #: Target chunks per worker: small enough to balance the tail, large
 #: enough to amortize pickling/IPC over many sub-second tasks.
@@ -108,6 +120,73 @@ def _worker_tracer(trace_dir):
     return entry[1]
 
 
+#: Per-process stores opened from a URL for partial-progress writes,
+#: keyed by URL with the opening pid remembered (same fork-safety
+#: rationale as ``_WORKER_TRACERS``: a forked worker must open its own
+#: connection/handle, never reuse the parent's).
+_WORKER_PARTIAL_STORES: "dict[str, tuple[int, object]]" = {}
+
+
+def partial_hash(task_hash: str) -> str:
+    """Store hash of a task's partial-progress record.
+
+    Namespaced like telemetry records (``"partial:<task hash>"``), so
+    it can never collide with a task content hash and resume-by-hash
+    ignores it; unlike telemetry it is deterministic per task, so the
+    store's last-wins fold keeps only the newest partial.
+    """
+    return f"partial:{task_hash}"
+
+
+def make_partial_record(task_hash: str, per_rep: dict) -> dict:
+    """Partial-progress record for an adaptive task (``kind="partial"``).
+
+    Carries the per-repetition payload lists
+    (:data:`repro.sim.engine.PER_REP_KEYS`) of every completed
+    repetition; the values JSON round-trip exactly, so a resumed run
+    continues bit-identically.  Superseded by the task's final record
+    (``repro store compact`` drops a partial once the final exists).
+    """
+    return {
+        "hash": partial_hash(task_hash),
+        "kind": "partial",
+        "schema": PARTIAL_SCHEMA,
+        "task_hash": task_hash,
+        "reps_done": len(per_rep["times"]),
+        "per_rep": {k: list(v) for k, v in per_rep.items()},
+    }
+
+
+def load_partials(store, task_hashes: "set[str]") -> "dict[str, dict]":
+    """Stream the store once and return per-rep payloads of the newest
+    partial record for each wanted task hash (absent hashes are simply
+    missing from the result)."""
+    if not task_hashes:
+        return {}
+    wanted = {partial_hash(h): h for h in task_hashes}
+    newest: "dict[str, dict]" = {}
+    for rec in store.iter_records():
+        h = wanted.get(rec.get("hash", ""))
+        if h is not None and rec.get("kind") == "partial":
+            newest[h] = rec  # iteration order == append order: last wins
+    return {h: rec["per_rep"] for h, rec in newest.items()}
+
+
+def _resolve_partial_store(partial_store):
+    """Resolve the partial sink: a live backend passes through (serial
+    path); a URL opens one per-process cached backend (pool workers)."""
+    if not isinstance(partial_store, str):
+        return partial_store
+    pid = os.getpid()
+    entry = _WORKER_PARTIAL_STORES.get(partial_store)
+    if entry is None or entry[0] != pid:
+        from repro.store import open_store
+
+        entry = (pid, open_store(partial_store))
+        _WORKER_PARTIAL_STORES[partial_store] = entry
+    return entry[1]
+
+
 def _telemetry_state() -> dict:
     """Cumulative observability counters for this process, with the
     workspace's hot-path attribute counters folded in (they are plain
@@ -134,7 +213,12 @@ def default_jobs() -> int:
 
 
 def execute_task(
-    task: TaskSpec, *, reuse_workspace: bool = True, trace_dir=None
+    task: TaskSpec,
+    *,
+    reuse_workspace: bool = True,
+    trace_dir=None,
+    prior: "dict | None" = None,
+    partial_store=None,
 ) -> dict:
     """Run one task to completion and return its JSON-ready record.
 
@@ -163,11 +247,22 @@ def execute_task(
     one JSON object per line), with the task's content hash bound into
     each event as ``"task"`` — tracing is pure observation, so the
     record is byte-identical with or without it.
+
+    For adaptive tasks (``task.sampling`` set) the repetitions go
+    through :func:`repro.sim.engine.repeat_run_batched` instead:
+    ``prior`` is a per-rep payload recovered from a ``kind="partial"``
+    store record (completed repetitions are not re-executed), and
+    ``partial_store`` — a live backend (serial path) or a store URL
+    (pool workers open their own per-process handle) — receives a
+    partial-progress record after every policy batch, so a crash mid-
+    task loses at most one batch of repetitions.  Both are ignored for
+    fixed-count tasks.
     """
     from dataclasses import asdict
 
+    from repro.adaptive import SamplingPolicy
     from repro.core.methods import CostModel, Scheme, SchemeConfig
-    from repro.sim.engine import make_rhs, repeat_run
+    from repro.sim.engine import make_rhs, repeat_run, repeat_run_batched
     from repro.sim.matrices import get_matrix, matrix_source
 
     task_hash = task.task_hash()
@@ -184,23 +279,38 @@ def execute_task(
         verification_interval=task.d,
         costs=costs,
     )
+    common = dict(
+        alpha=task.alpha,
+        base_seed=task.base_seed,
+        labels=task.labels,
+        eps=task.eps,
+        method=task.method,
+        reuse_workspace=reuse_workspace,
+        workspace=_worker_workspace() if reuse_workspace else None,
+        backend=task.backend,
+        tracer=tracer,
+    )
     try:
         with METRICS.time_section("campaign.task_s"):
-            stats = repeat_run(
-                a,
-                b,
-                cfg,
-                alpha=task.alpha,
-                reps=task.reps,
-                base_seed=task.base_seed,
-                labels=task.labels,
-                eps=task.eps,
-                method=task.method,
-                reuse_workspace=reuse_workspace,
-                workspace=_worker_workspace() if reuse_workspace else None,
-                backend=task.backend,
-                tracer=tracer,
-            )
+            if task.sampling:
+                on_batch = None
+                if partial_store is not None:
+                    sink = _resolve_partial_store(partial_store)
+
+                    def on_batch(per_rep, _sink=sink):
+                        _sink.append(make_partial_record(task_hash, per_rep))
+
+                stats = repeat_run_batched(
+                    a,
+                    b,
+                    cfg,
+                    policy=SamplingPolicy.parse(task.sampling),
+                    prior=prior,
+                    on_batch=on_batch,
+                    **common,
+                )
+            else:
+                stats = repeat_run(a, b, cfg, reps=task.reps, **common)
     finally:
         if tracer is not None:
             tracer.context.pop("task", None)
@@ -321,6 +431,22 @@ def run_campaign(
             else:
                 pending.append((i, task))
 
+        # Adaptive tasks: recover partial progress (completed reps of
+        # tasks whose final record never landed) in one store pass, and
+        # pick the partial-record sink.  The serial path appends through
+        # the already-open store; pool workers get the store URL and
+        # open their own handle — only on multi-writer-safe backends
+        # (supports_leases), so a single-file JSONL store is never
+        # written by two processes at once (its pool runs simply flush
+        # no mid-task partials).
+        priors: "dict[str, dict]" = {}
+        pool_partial_url = None
+        if store is not None:
+            adaptive = {t.task_hash() for _, t in pending if t.sampling}
+            priors = load_partials(store, adaptive)
+            if adaptive and store.supports_leases:
+                pool_partial_url = store.url
+
         telemetry_parts: "list[dict]" = []
         try:
             if pending:
@@ -335,6 +461,8 @@ def run_campaign(
                         trace_dir,
                         retry,
                         chaos,
+                        priors,
+                        store,
                     )
                     delta = diff_snapshots(_telemetry_state(), base)
                     delta["pid"] = os.getpid()
@@ -356,6 +484,8 @@ def run_campaign(
                         trace_dir,
                         retry,
                         chaos,
+                        priors,
+                        pool_partial_url,
                     )
         finally:
             # Terminate the \r status line even when a task raised, so
@@ -399,11 +529,23 @@ def _run_serial(
     trace_dir,
     retry: "RetryPolicy | None" = None,
     chaos: "ChaosPolicy | None" = None,
+    priors: "dict[str, dict] | None" = None,
+    partial_store=None,
 ) -> None:
     """Run pending tasks inline in this process, skipping any already
     delivered (pool-degradation re-runs pass a partially filled
     ``results``).  With no hardening knob set this is exactly the
     legacy serial loop."""
+    priors = priors or {}
+
+    def adaptive_kwargs(task: TaskSpec) -> dict:
+        if not task.sampling:
+            return {}
+        return {
+            "prior": priors.get(task.task_hash()),
+            "partial_store": partial_store,
+        }
+
     if retry is None and chaos is None:
         for i, task in pending:
             if results[i] is not None:
@@ -411,7 +553,10 @@ def _run_serial(
             _deliver(
                 i,
                 execute_task(
-                    task, reuse_workspace=reuse_workspace, trace_dir=trace_dir
+                    task,
+                    reuse_workspace=reuse_workspace,
+                    trace_dir=trace_dir,
+                    **adaptive_kwargs(task),
                 ),
                 results,
                 store,
@@ -431,6 +576,7 @@ def _run_serial(
             tracer=tracer,
             reuse_workspace=reuse_workspace,
             trace_dir=trace_dir,
+            **adaptive_kwargs(task),
         )
         _deliver(i, record, results, store, progress)
 
@@ -446,6 +592,8 @@ def _run_pool_supervised(
     trace_dir,
     retry: "RetryPolicy | None",
     chaos: "ChaosPolicy | None",
+    priors: "dict[str, dict] | None" = None,
+    partial_url: "str | None" = None,
 ) -> "list[dict]":
     """:func:`_run_pool` under supervision: a hardened campaign
     (retry / timeout / chaos armed) that loses its pool to worker
@@ -471,6 +619,8 @@ def _run_pool_supervised(
                     trace_dir,
                     retry,
                     chaos,
+                    priors,
+                    partial_url,
                 )
             )
             return telemetry_parts
@@ -480,6 +630,13 @@ def _run_pool_supervised(
             todo = [(i, t) for i, t in pending if results[i] is None]
             if not todo:
                 return telemetry_parts
+            if store is not None and partial_url is not None:
+                # Workers of the broken pool may have flushed newer
+                # partials than the campaign-start scan saw; pick them
+                # up so the rebuilt pool re-executes as little as
+                # possible.
+                adaptive = {t.task_hash() for _, t in todo if t.sampling}
+                priors = load_partials(store, adaptive)
             restarts += 1
             METRICS.inc("campaign.pool_restarts")
             if restarts > MAX_POOL_RESTARTS:
@@ -499,6 +656,8 @@ def _run_pool_supervised(
                     trace_dir,
                     retry,
                     chaos,
+                    priors,
+                    store,
                 )
                 delta = diff_snapshots(_telemetry_state(), base)
                 delta["pid"] = os.getpid()
@@ -521,6 +680,8 @@ def _run_pool(
     trace_dir=None,
     retry: "RetryPolicy | None" = None,
     chaos: "ChaosPolicy | None" = None,
+    priors: "dict[str, dict] | None" = None,
+    partial_url: "str | None" = None,
 ) -> "list[dict]":
     """Fan pending tasks over a process pool, one future per chunk.
 
@@ -532,6 +693,7 @@ def _run_pool(
     groups = [pending[lo : lo + chunk] for lo in range(0, len(pending), chunk)]
     telemetry_parts: "list[dict]" = []
     trace_arg = None if trace_dir is None else os.fspath(trace_dir)
+    priors = priors or {}
     with ProcessPoolExecutor(max_workers=workers) as pool:
         futures = {
             pool.submit(
@@ -541,6 +703,18 @@ def _run_pool(
                 trace_arg,
                 retry,
                 chaos,
+                # Ship only this chunk's priors across the pickle
+                # boundary, and only when something adaptive is afoot.
+                (
+                    priors
+                    and {
+                        h: priors[h]
+                        for _, t in group
+                        if (h := t.task_hash()) in priors
+                    }
+                )
+                or None,
+                partial_url,
             ): group
             for group in groups
         }
@@ -577,6 +751,8 @@ def execute_chunk(
     trace_dir=None,
     retry: "RetryPolicy | None" = None,
     chaos: "ChaosPolicy | None" = None,
+    priors: "dict[str, dict] | None" = None,
+    partial_url: "str | None" = None,
 ) -> dict:
     """Worker entry point for one scheduling chunk (module-level so it
     pickles under every multiprocessing start method).
@@ -588,12 +764,29 @@ def execute_chunk(
 
     With a retry or chaos policy armed the chunk routes through
     :func:`repro.chaos.run_guarded` (deadline / retry / quarantine /
-    injection); otherwise it is the plain legacy loop.
+    injection); otherwise it is the plain legacy loop.  ``priors`` and
+    ``partial_url`` carry adaptive-sampling resume payloads and the
+    partial-record sink URL (see :func:`execute_task`).
     """
     base = _telemetry_state()
+    priors = priors or {}
+
+    def adaptive_kwargs(task: TaskSpec) -> dict:
+        if not task.sampling:
+            return {}
+        return {
+            "prior": priors.get(task.task_hash()),
+            "partial_store": partial_url,
+        }
+
     if retry is None and chaos is None:
         records = [
-            execute_task(t, reuse_workspace=reuse_workspace, trace_dir=trace_dir)
+            execute_task(
+                t,
+                reuse_workspace=reuse_workspace,
+                trace_dir=trace_dir,
+                **adaptive_kwargs(t),
+            )
             for t in tasks
         ]
     else:
@@ -608,6 +801,7 @@ def execute_chunk(
                 tracer=tracer,
                 reuse_workspace=reuse_workspace,
                 trace_dir=trace_dir,
+                **adaptive_kwargs(t),
             )
             for t in tasks
         ]

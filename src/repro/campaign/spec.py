@@ -67,6 +67,17 @@ class TaskSpec:
         the task's *identity* but deliberately not of its seed
         derivation, so the same point on two backends faces the same
         fault stream.
+    sampling:
+        Canonical :class:`repro.adaptive.SamplingPolicy` spec string,
+        or ``""`` for fixed-count sampling (the default).  When set,
+        the task runs adaptively — repetitions stop once the CI
+        half-width is below target — and ``reps`` must equal the
+        policy's ``max_reps`` (the rep cap, so ``reps - stats.reps`` is
+        the savings).  Adding this field bumped the task-hash schema a
+        third time (pre-adaptive stores recompute).  Like ``backend``,
+        the policy is part of the task's *identity* but deliberately
+        not of its seed derivation: adaptive and fixed-count runs share
+        fault streams prefix-wise (docs/DESIGN.md §11).
     """
 
     experiment: str
@@ -83,6 +94,7 @@ class TaskSpec:
     s_model: int = 0
     method: str = "cg"
     backend: str = "reference"
+    sampling: str = ""
 
     def __post_init__(self) -> None:
         if self.s < 1:
@@ -97,6 +109,21 @@ class TaskSpec:
         Method.parse(self.method)  # raises on an unknown solver
         Scheme.parse(self.scheme)  # raises on an unknown scheme
         get_backend(self.backend)  # raises on an unknown backend
+        if self.sampling:
+            from repro.adaptive import SamplingPolicy
+
+            policy = SamplingPolicy.parse(self.sampling)
+            if policy.spec() != self.sampling:
+                # Two spellings of one policy must never hash apart.
+                raise ValueError(
+                    f"sampling spec {self.sampling!r} is not canonical; "
+                    f"use {policy.spec()!r}"
+                )
+            if self.reps != policy.max_reps:
+                raise ValueError(
+                    f"adaptive task reps ({self.reps}) must equal the "
+                    f"policy rep cap max={policy.max_reps}"
+                )
 
     def task_hash(self) -> str:
         """Content hash identifying this task across processes and runs.
@@ -168,6 +195,11 @@ class CampaignSpec:
         single value, not an axis: the presets reproduce the paper's
         artifacts on one kernel — sweep backends against each other
         with ``Study().axis("backend", ...)``.
+    sampling:
+        Adaptive sampling policy spec (``repro.adaptive``) applied to
+        every task of the campaign; ``""`` (default) keeps fixed-count
+        sampling.  Under adaptive sampling ``reps`` is ignored — the
+        policy's ``max`` is the per-task rep cap.
     """
 
     kind: str
@@ -182,6 +214,7 @@ class CampaignSpec:
     model_s_max: "int | None" = None
     methods: "tuple[str, ...]" = ("cg",)
     backend: str = "reference"
+    sampling: str = ""
 
     def __post_init__(self) -> None:
         from repro.backends import get_backend
@@ -198,6 +231,21 @@ class CampaignSpec:
         for m in self.methods:
             Method.parse(m)  # raises on an unknown solver
         get_backend(self.backend)  # raises on an unknown backend
+        if self.sampling:
+            from repro.adaptive import SamplingPolicy
+
+            # Canonicalize so every spelling of one policy expands to
+            # identically-hashed tasks (raises on a bad spec).
+            canonical = SamplingPolicy.parse(self.sampling).spec()
+            object.__setattr__(self, "sampling", canonical)
+
+    def _task_reps(self) -> int:
+        """Per-task rep count: the policy cap under adaptive sampling."""
+        if self.sampling:
+            from repro.adaptive import SamplingPolicy
+
+            return SamplingPolicy.parse(self.sampling).max_reps
+        return self.reps
 
     def expand(self) -> "list[TaskSpec]":
         """Flatten the grid into an ordered list of tasks."""
@@ -215,6 +263,7 @@ class CampaignSpec:
         from repro.sim.matrices import get_matrix, suite_specs
 
         s_max = MODEL_S_MAX if self.model_s_max is None else self.model_s_max
+        reps = self._task_reps()
         tasks: list[TaskSpec] = []
         for spec in suite_specs(list(self.uids) if self.uids is not None else None):
             costs = CostModel.from_matrix(get_matrix(spec.uid, self.scale))
@@ -247,13 +296,14 @@ class CampaignSpec:
                                 alpha=self.alpha,
                                 s=s,
                                 d=1,
-                                reps=self.reps,
+                                reps=reps,
                                 base_seed=self.base_seed,
                                 eps=self.eps,
                                 labels=("table1", spec.uid, "s", s),
                                 s_model=s_model,
                                 method=method.value,
                                 backend=self.backend,
+                                sampling=self.sampling,
                             )
                         )
         return tasks
@@ -269,6 +319,7 @@ class CampaignSpec:
 
         s_max = MODEL_S_MAX if self.model_s_max is None else self.model_s_max
         mtbfs = DEFAULT_MTBF_VALUES if self.mtbf_values is None else self.mtbf_values
+        reps = self._task_reps()
         tasks: list[TaskSpec] = []
         for spec in suite_specs(list(self.uids) if self.uids is not None else None):
             costs = CostModel.from_matrix(get_matrix(spec.uid, self.scale))
@@ -296,13 +347,14 @@ class CampaignSpec:
                                 alpha=alpha,
                                 s=s,
                                 d=d,
-                                reps=self.reps,
+                                reps=reps,
                                 base_seed=self.base_seed,
                                 eps=self.eps,
                                 labels=("figure1", spec.uid, mtbf),
                                 s_model=s,
                                 method=method.value,
                                 backend=self.backend,
+                                sampling=self.sampling,
                             )
                         )
         return tasks

@@ -17,12 +17,39 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.adaptive import SamplingPolicy, Welford, ci_bounds
 from repro.sparse.csr import CSRMatrix
 from repro.core.methods import Method, SchemeConfig
 from repro.resilience.registry import run_ft_method
 from repro.util.rng import spawn_named
 
-__all__ = ["RunStatistics", "repeat_run", "sweep_checkpoint_interval", "make_rhs"]
+__all__ = [
+    "RunStatistics",
+    "repeat_run",
+    "repeat_run_batched",
+    "sweep_checkpoint_interval",
+    "make_rhs",
+    "PER_REP_KEYS",
+]
+
+#: Keys of the per-repetition payload dict shared by :func:`repeat_run`
+#: (via ``per_rep=``), :func:`repeat_run_batched` and the campaign
+#: partial-progress records: parallel lists, one entry per repetition,
+#: in repetition order.  Because the values are plain ints/floats/bools
+#: they JSON round-trip exactly, so a resumed run continues from a
+#: partial record bit-identically.
+PER_REP_KEYS = (
+    "times",
+    "iterations",
+    "rollbacks",
+    "corrections",
+    "faults",
+    "converged",
+)
+
+#: Confidence level used for the CI reported on fixed-count runs
+#: (adaptive runs use their policy's confidence instead).
+DEFAULT_CONFIDENCE = 0.95
 
 
 @dataclass(frozen=True)
@@ -39,6 +66,12 @@ class RunStatistics:
     mean_faults: float
     convergence_rate: float  #: fraction of reps that converged
     reps: int
+    #: Student-t CI bounds on ``mean_time`` at ``confidence`` (None when
+    #: ``reps < 2`` or when rehydrating records from before the adaptive
+    #: layer existed).
+    ci_low: "float | None" = None
+    ci_high: "float | None" = None
+    confidence: "float | None" = None
 
     @property
     def sem_time(self) -> float:
@@ -55,6 +88,66 @@ def make_rhs(a: CSRMatrix, seed: int = 1234) -> np.ndarray:
     """
     rng = np.random.default_rng(seed)
     return rng.standard_normal(a.nrows)
+
+
+def _new_payload() -> dict:
+    """Fresh per-repetition payload (parallel lists, see PER_REP_KEYS)."""
+    return {k: [] for k in PER_REP_KEYS}
+
+
+def _copy_payload(prior: dict) -> dict:
+    """Validated copy of a prior payload (e.g. a store partial record)."""
+    payload = {}
+    lengths = set()
+    for key in PER_REP_KEYS:
+        if key not in prior:
+            raise ValueError(f"per-rep payload missing key {key!r}")
+        payload[key] = list(prior[key])
+        lengths.add(len(payload[key]))
+    if len(lengths) > 1:
+        raise ValueError(f"per-rep payload lists have unequal lengths {lengths}")
+    return payload
+
+
+def _push_rep(payload: dict, res) -> None:
+    """Append one solve result to the per-rep payload lists."""
+    payload["times"].append(res.time_units)
+    payload["iterations"].append(res.iterations_executed)
+    payload["rollbacks"].append(res.counters.rollbacks)
+    payload["corrections"].append(res.counters.total_corrections)
+    payload["faults"].append(res.counters.faults_injected)
+    payload["converged"].append(res.converged)
+
+
+def _aggregate(payload: dict, confidence: float) -> RunStatistics:
+    """Fold a per-rep payload into RunStatistics.
+
+    This is the single aggregation path for both fixed-count and
+    adaptive runs: an adaptive run that stopped at k reps aggregates
+    exactly like a fixed ``reps=k`` run (same numpy reductions in the
+    same order), so the two produce identical statistics by
+    construction.
+    """
+    reps = len(payload["times"])
+    t = np.asarray(payload["times"])
+    mean = float(t.mean())
+    std = float(t.std(ddof=1)) if reps > 1 else 0.0
+    ci = ci_bounds(mean, std, reps, confidence)
+    return RunStatistics(
+        mean_time=mean,
+        std_time=std,
+        min_time=float(t.min()),
+        max_time=float(t.max()),
+        mean_iterations=float(np.mean(payload["iterations"])),
+        mean_rollbacks=float(np.mean(payload["rollbacks"])),
+        mean_corrections=float(np.mean(payload["corrections"])),
+        mean_faults=float(np.mean(payload["faults"])),
+        convergence_rate=float(np.mean(payload["converged"])),
+        reps=reps,
+        ci_low=ci[0] if ci else None,
+        ci_high=ci[1] if ci else None,
+        confidence=confidence,
+    )
 
 
 def repeat_run(
@@ -74,6 +167,7 @@ def repeat_run(
     workspace: "object | None" = None,
     backend: "str | object | None" = None,
     tracer: "object | None" = None,
+    per_rep: "dict | None" = None,
 ) -> RunStatistics:
     """Run ``reps`` independent fault-injected solves and aggregate.
 
@@ -110,6 +204,11 @@ def repeat_run(
     event context as ``"rep"`` for the duration of its run, so shard
     files can be regrouped per repetition.  Tracing is pure observation
     and cannot change trajectories (``None`` = off, the default).
+
+    ``per_rep``, when given an empty dict, is filled with the
+    per-repetition payload lists (see :data:`PER_REP_KEYS`) — the raw
+    material the adaptive layer's prefix-sharing guarantees are stated
+    (and golden-locked) against.
     """
     if reps < 1:
         raise ValueError(f"reps must be >= 1, got {reps}")
@@ -122,13 +221,9 @@ def repeat_run(
         from repro.perf import SolveWorkspace
 
         ws = SolveWorkspace()
-    times, iters, rbs, corrs, faults, convs = [], [], [], [], [], []
+    payload = _new_payload()
     try:
         for rep in range(reps):
-            if method is Method.CG:
-                rng = spawn_named(base_seed, config.scheme.value, alpha, *labels, rep)
-            else:
-                rng = spawn_named(base_seed, method.value, config.scheme.value, alpha, *labels, rep)
             if tr is not None:
                 tr.context["rep"] = rep
             res = run_ft_method(
@@ -139,34 +234,127 @@ def repeat_run(
                 alpha=alpha,
                 eps=eps,
                 maxiter=maxiter,
-                rng=rng,
+                rng=_rep_rng(base_seed, method, config, alpha, labels, rep),
                 max_time_units=max_time_units,
                 workspace=ws,
                 backend=backend,
                 tracer=tr,
             )
-            times.append(res.time_units)
-            iters.append(res.iterations_executed)
-            rbs.append(res.counters.rollbacks)
-            corrs.append(res.counters.total_corrections)
-            faults.append(res.counters.faults_injected)
-            convs.append(res.converged)
+            _push_rep(payload, res)
     finally:
         if tr is not None:
             tr.context.pop("rep", None)
-    t = np.asarray(times)
-    return RunStatistics(
-        mean_time=float(t.mean()),
-        std_time=float(t.std(ddof=1)) if reps > 1 else 0.0,
-        min_time=float(t.min()),
-        max_time=float(t.max()),
-        mean_iterations=float(np.mean(iters)),
-        mean_rollbacks=float(np.mean(rbs)),
-        mean_corrections=float(np.mean(corrs)),
-        mean_faults=float(np.mean(faults)),
-        convergence_rate=float(np.mean(convs)),
-        reps=reps,
+    if per_rep is not None:
+        per_rep.update(payload)
+    return _aggregate(payload, DEFAULT_CONFIDENCE)
+
+
+def _rep_rng(base_seed, method, config, alpha, labels, rep):
+    """Per-repetition RNG.  The derivation tuple is the seeding invariant:
+    it must never grow a sampling-policy component (docs/DESIGN.md §11) —
+    adaptive and fixed-count runs share fault streams prefix-wise only
+    because the tuple is identical for both."""
+    if method is Method.CG:
+        return spawn_named(base_seed, config.scheme.value, alpha, *labels, rep)
+    return spawn_named(
+        base_seed, method.value, config.scheme.value, alpha, *labels, rep
     )
+
+
+def repeat_run_batched(
+    a: CSRMatrix,
+    b: np.ndarray,
+    config: SchemeConfig,
+    *,
+    alpha: float,
+    policy: SamplingPolicy,
+    base_seed: int = 0,
+    labels: tuple = (),
+    eps: float = 1e-6,
+    maxiter: int | None = None,
+    max_time_units: float | None = None,
+    method: "Method | str" = Method.CG,
+    reuse_workspace: bool = True,
+    workspace: "object | None" = None,
+    backend: "str | object | None" = None,
+    tracer: "object | None" = None,
+    prior: "dict | None" = None,
+    on_batch=None,
+    per_rep: "dict | None" = None,
+) -> RunStatistics:
+    """Adaptive variant of :func:`repeat_run`: stop when the CI is tight.
+
+    Runs repetitions sequentially until ``policy`` (a
+    :class:`repro.adaptive.SamplingPolicy`) says the Student-t CI
+    half-width on the mean time is below target, but never fewer than
+    ``policy.min_reps`` nor more than ``policy.max_reps`` repetitions.
+    The stopping rule is evaluated after every repetition on a
+    :class:`repro.adaptive.Welford` accumulator.
+
+    Repetition ``rep`` uses the *same* seed derivation as
+    :func:`repeat_run` — the sampling policy is task identity, not seed
+    material — so stopping at ``k`` reps reproduces the first ``k``
+    repetitions of a fixed ``reps=k`` run bit-for-bit.
+
+    ``prior`` resumes from a per-rep payload (see :data:`PER_REP_KEYS`)
+    recovered from a partial-progress record: already-completed
+    repetitions are folded into the accumulator and *not* re-executed.
+    ``on_batch(payload)`` is invoked after every ``policy.batch``
+    newly-executed repetitions (the executor uses it to flush partial
+    records); ``per_rep`` works as in :func:`repeat_run`.
+
+    The final statistics go through the same aggregation fold as the
+    fixed path, with the CI reported at ``policy.confidence``.
+    """
+    method = Method.parse(method)
+    from repro.obs.metrics import METRICS
+    from repro.obs.tracer import resolve_tracer
+
+    tr = resolve_tracer(tracer)
+    ws = workspace
+    if ws is None and reuse_workspace:
+        from repro.perf import SolveWorkspace
+
+        ws = SolveWorkspace()
+    payload = _copy_payload(prior) if prior else _new_payload()
+    acc = Welford(payload["times"])
+    start = acc.n
+    if start:
+        METRICS.inc("adaptive.reps_resumed", start)
+    executed = 0
+    try:
+        while not policy.should_stop(acc.n, acc.mean, acc.std):
+            rep = acc.n
+            if tr is not None:
+                tr.context["rep"] = rep
+            res = run_ft_method(
+                method,
+                a,
+                b,
+                config,
+                alpha=alpha,
+                eps=eps,
+                maxiter=maxiter,
+                rng=_rep_rng(base_seed, method, config, alpha, labels, rep),
+                max_time_units=max_time_units,
+                workspace=ws,
+                backend=backend,
+                tracer=tr,
+            )
+            _push_rep(payload, res)
+            acc.push(res.time_units)
+            executed += 1
+            METRICS.inc("adaptive.reps")
+            if on_batch is not None and executed % policy.batch == 0:
+                on_batch(payload)
+    finally:
+        if tr is not None:
+            tr.context.pop("rep", None)
+    METRICS.inc("adaptive.tasks")
+    METRICS.inc("adaptive.reps_saved", policy.max_reps - acc.n)
+    if per_rep is not None:
+        per_rep.update(payload)
+    return _aggregate(payload, policy.confidence)
 
 
 def sweep_checkpoint_interval(

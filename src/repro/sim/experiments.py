@@ -165,6 +165,7 @@ def run_table1(
     task_timeout: "float | None" = None,
     retries: int = 0,
     chaos=None,
+    sampling: str = "",
 ) -> list[Table1Row]:
     """Reproduce Table 1 (both ABFT schemes); returns one row per
     (matrix, method, scheme).
@@ -185,7 +186,10 @@ def run_table1(
     and fault-injection knobs of the campaign executor
     (``docs/DESIGN.md`` §10) — note a quarantined task leaves its
     sweep group incomplete, which this full aggregation reports as an
-    error naming the poison task.
+    error naming the poison task; ``sampling`` switches every task to
+    adaptive sequential sampling (``docs/DESIGN.md`` §11) — a policy
+    spec like ``"ci=0.05,conf=0.95,min=5,max=200"``, under which
+    ``reps`` is ignored in favour of the policy's rep cap.
     """
     from repro.api.study import Study
 
@@ -199,6 +203,7 @@ def run_table1(
         s_span=s_span,
         methods=methods,
         backend=backend,
+        sampling=sampling,
     )
     return _run_study(
         study, jobs, store, progress, trace_dir, task_timeout, retries, chaos
@@ -222,14 +227,15 @@ def run_figure1(
     task_timeout: "float | None" = None,
     retries: int = 0,
     chaos=None,
+    sampling: str = "",
 ) -> list[Figure1Point]:
     """Reproduce Figure 1: execution time vs normalized MTBF, all schemes.
 
     ``mtbf_values`` are the x-axis points ``1/α`` (default:
     :data:`DEFAULT_MTBF_VALUES`).  ``jobs`` / ``store`` / ``progress``
-    / ``methods`` / ``backend`` / ``trace_dir`` behave as in
-    :func:`run_table1` (non-CG methods contribute only the two ABFT
-    series — Chen's ONLINE-DETECTION is CG-specific).
+    / ``methods`` / ``backend`` / ``trace_dir`` / ``sampling`` behave
+    as in :func:`run_table1` (non-CG methods contribute only the two
+    ABFT series — Chen's ONLINE-DETECTION is CG-specific).
     """
     from repro.api.study import Study
 
@@ -242,6 +248,7 @@ def run_figure1(
         base_seed=base_seed,
         methods=methods,
         backend=backend,
+        sampling=sampling,
     )
     return _run_study(
         study, jobs, store, progress, trace_dir, task_timeout, retries, chaos

@@ -34,8 +34,12 @@ class Table1Row:
     time_model: float  #: Et(s̃) — measured mean time at s̃
     s_best: int  #: s* — empirically best interval
     time_best: float  #: Et(s*) — measured mean time at s*
-    reps: int
+    reps: int  #: repetitions per sweep point (the cap, for adaptive runs)
     method: str = "cg"  #: solver axis (Method value string)
+    ci_low: "float | None" = None  #: CI lower bound on Et(s̃) (None: unknown)
+    ci_high: "float | None" = None  #: CI upper bound on Et(s̃)
+    reps_used: int = 0  #: total repetitions actually executed across the sweep
+    reps_cap: int = 0  #: total repetition budget across the sweep (0: unknown)
 
     @property
     def loss_percent(self) -> float:
@@ -53,10 +57,14 @@ class Figure1Point:
     scheme: str
     alpha: float  #: fault-rate constant; x-axis is 1/alpha
     mean_time: float
-    sem_time: float
+    sem_time: "float | None"  #: standard error of the mean; None when reps < 2
     s_used: int
     d_used: int
     method: str = "cg"  #: solver axis (Method value string)
+    ci_low: "float | None" = None  #: CI lower bound on mean_time (None: unknown)
+    ci_high: "float | None" = None  #: CI upper bound on mean_time
+    reps_used: int = 0  #: repetitions actually executed (0: unknown/legacy)
+    reps_cap: int = 0  #: repetition budget of the task (0: unknown/legacy)
 
     @property
     def normalized_mtbf(self) -> float:
@@ -96,11 +104,17 @@ def _format_table1_block(buf: io.StringIO, rows: "list[Table1Row]") -> None:
     by_uid: dict[int, dict[str, Table1Row]] = {}
     for r in rows:
         by_uid.setdefault(r.uid, {})[r.scheme] = r
+    # Rows carrying CI bounds grow two trailing columns (the CI
+    # half-width on Et(s̃) per scheme); legacy rows keep the paper's
+    # exact layout.
+    with_ci = any(r.ci_low is not None for r in rows)
     head = (
         f"{'id':>6} {'n':>7} {'density':>9} | "
         f"{'s~1':>4} {'Et(s~1)':>9} {'s*1':>4} {'Et(s*1)':>9} {'l1%':>7} | "
         f"{'s~2':>4} {'Et(s~2)':>9} {'s*2':>4} {'Et(s*2)':>9} {'l2%':>7}"
     )
+    if with_ci:
+        head += f" | {'±1':>7} {'±2':>7}"
     buf.write(head + "\n")
     buf.write("-" * len(head) + "\n")
     for uid in sorted(by_uid):
@@ -119,7 +133,21 @@ def _format_table1_block(buf: io.StringIO, rows: "list[Table1Row]") -> None:
                     f"{r.s_best:>4} {r.time_best:>9.2f} {r.loss_percent:>7.2f}"
                 )
             buf.write(" | " if r is det else "")
+        if with_ci:
+            buf.write(" |")
+            for r in (det, cor):
+                if r is None or r.ci_low is None:
+                    buf.write(f" {'n/a':>7}")
+                else:
+                    buf.write(f" {(r.ci_high - r.ci_low) / 2.0:>7.2f}")
         buf.write("\n")
+    used = sum(r.reps_used for r in rows)
+    cap = sum(r.reps_cap for r in rows)
+    if cap > used:
+        buf.write(
+            f"adaptive sampling: {used}/{cap} reps executed "
+            f"(saved {cap - used}, {100.0 * (cap - used) / cap:.1f}%)\n"
+        )
 
 
 def format_figure1(points: "list[Figure1Point]") -> str:
@@ -143,7 +171,11 @@ def format_figure1(points: "list[Figure1Point]") -> str:
         series = sorted({label(p) for p in pts})
         width = max(18, *(len(s) for s in series))
         mtbfs = sorted({p.normalized_mtbf for p in pts})
-        buf.write(f"Matrix #{uid} — execution time (Titer units) vs normalized MTBF (1/alpha)\n")
+        with_ci = any(p.ci_low is not None for p in pts)
+        buf.write(f"Matrix #{uid} — execution time (Titer units) vs normalized MTBF (1/alpha)")
+        if with_ci:
+            buf.write("; ± is the CI half-width")
+        buf.write("\n")
         buf.write(f"{'1/alpha':>10} " + " ".join(f"{s:>{width}}" for s in series) + "\n")
         lookup = {(p.normalized_mtbf, label(p)): p for p in pts}
         for m in mtbfs:
@@ -151,12 +183,30 @@ def format_figure1(points: "list[Figure1Point]") -> str:
             for s in series:
                 p = lookup.get((m, s))
                 if p:
-                    cell = f"{p.mean_time:>12.1f}±{p.sem_time:<5.1f}"
+                    # Error term: CI half-width when the point carries
+                    # bounds, else the legacy standard error; a lone
+                    # repetition has neither and renders "±n/a" (a
+                    # numeric 0.0 would claim zero uncertainty).
+                    if p.ci_low is not None:
+                        err = (p.ci_high - p.ci_low) / 2.0
+                    else:
+                        err = p.sem_time
+                    if err is None:
+                        cell = f"{p.mean_time:>12.1f}±{'n/a':<5}"
+                    else:
+                        cell = f"{p.mean_time:>12.1f}±{err:<5.1f}"
                     buf.write(f"{cell:>{width}}")
                 else:
                     buf.write(f"{'-':>{width}}")
                 buf.write(" ")
             buf.write("\n")
+        used = sum(p.reps_used for p in pts)
+        cap = sum(p.reps_cap for p in pts)
+        if cap > used:
+            buf.write(
+                f"adaptive sampling: {used}/{cap} reps executed "
+                f"(saved {cap - used}, {100.0 * (cap - used) / cap:.1f}%)\n"
+            )
         buf.write("\n")
     return buf.getvalue()
 

@@ -241,6 +241,11 @@ def compact_store(
     (:mod:`repro.chaos`), which un-settles those poison tasks: a
     resumed campaign against the compacted store will retry them.
 
+    ``kind="partial"`` records (in-flight adaptive checkpoints,
+    :mod:`repro.adaptive`) survive only while their task is still
+    unsettled — once a final (or kept quarantine) record exists for the
+    task, its partial is a dead checkpoint and compaction drops it.
+
     Like :func:`migrate_store`, ``dst`` must be empty or absent.
     """
     src_store, dst_store = _open_pair(src, dst, verb="compact")
@@ -255,6 +260,15 @@ def compact_store(
             latest.pop(rec["hash"], None)
             continue
         latest[rec["hash"]] = rec
+    # Partial checkpoints are keyed "partial:<task_hash>"; a settled
+    # task (any surviving record under the bare hash) obsoletes its
+    # checkpoint, while an unsettled one keeps it so --resume against
+    # the compacted store recomputes nothing.
+    for h in [
+        h for h, rec in latest.items()
+        if rec.get("kind") == "partial" and rec.get("task_hash") in latest
+    ]:
+        del latest[h]
     for rec in latest.values():
         dst_store.append(rec)
     return len(latest)

@@ -312,6 +312,7 @@ def serve_worker(
         _telemetry_state,
         _worker_tracer,
         execute_task,
+        load_partials,
     )
     from repro.chaos import run_guarded
     from repro.store import open_store
@@ -320,6 +321,11 @@ def serve_worker(
     _require_leases(store)
     owner = f"pid-{os.getpid()}-{uuid.uuid4().hex[:8]}"
     pending = {t.task_hash(): t for t in tasks}
+    # Adaptive tasks resume from partial-progress records (completed
+    # reps of tasks whose final record never landed — e.g. a peer died
+    # mid-task) and flush their own partials through this worker's
+    # store handle.
+    priors = load_partials(store, {h for h, t in pending.items() if t.sampling})
     tracer = None if trace_dir is None else _worker_tracer(trace_dir)
     # Baseline for this worker's telemetry delta: values a forked
     # worker inherited from the dispatcher must not leak into it.
@@ -358,7 +364,10 @@ def serve_worker(
                 pending.pop(h, None)
                 continue
 
-            def run(task=task):
+            def run(task=task, h=h):
+                kwargs = {}
+                if task.sampling:
+                    kwargs = {"prior": priors.get(h), "partial_store": store}
                 return run_guarded(
                     task,
                     retry=retry,
@@ -367,6 +376,7 @@ def serve_worker(
                     execute=execute_task,
                     reuse_workspace=reuse_workspace,
                     trace_dir=trace_dir,
+                    **kwargs,
                 )
 
             record = _execute_with_heartbeat(store, h, owner, lease_ttl, run)

@@ -1,0 +1,205 @@
+"""Unit and property tests for repro.adaptive — the sequential
+stopping rule, its online accumulator and the policy grammar."""
+
+import math
+import random
+import statistics
+
+import pytest
+
+from repro.adaptive import (
+    SamplingPolicy,
+    Welford,
+    ci_bounds,
+    half_width,
+    resolve_sampling,
+    t_critical,
+)
+
+
+class TestTCritical:
+    def test_published_table_values(self):
+        # Student-t two-sided critical values from standard tables.
+        table = {
+            (0.95, 1): 12.706, (0.95, 2): 4.303, (0.95, 5): 2.571,
+            (0.95, 10): 2.228, (0.95, 30): 2.042, (0.95, 100): 1.984,
+            (0.99, 5): 4.032, (0.99, 30): 2.750, (0.90, 10): 1.812,
+        }
+        for (conf, df), expected in table.items():
+            assert t_critical(conf, df) == pytest.approx(expected, abs=5e-4)
+
+    def test_monotone_decreasing_in_df(self):
+        vals = [t_critical(0.95, df) for df in range(1, 200)]
+        assert all(a > b for a, b in zip(vals, vals[1:]))
+
+    def test_monotone_increasing_in_confidence(self):
+        vals = [t_critical(c, 9) for c in (0.5, 0.8, 0.9, 0.95, 0.99, 0.999)]
+        assert all(a < b for a, b in zip(vals, vals[1:]))
+
+    def test_approaches_normal_quantile(self):
+        # t -> z as df -> inf; z_{0.975} = 1.959964...
+        assert t_critical(0.95, 100000) == pytest.approx(1.95996, abs=1e-3)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            t_critical(0.0, 5)
+        with pytest.raises(ValueError):
+            t_critical(1.0, 5)
+        with pytest.raises(ValueError):
+            t_critical(0.95, 0)
+
+
+class TestWelford:
+    def test_matches_statistics_within_one_ulp(self):
+        # Across 14 orders of magnitude the compensated accumulator
+        # must agree with the exact two-pass reference to <= 1 ulp.
+        for scale_exp in (-12, -3, 0, 3, 12):
+            for seed in range(30):
+                rng = random.Random((scale_exp, seed).__hash__() & 0xffffffff)
+                n = rng.randint(4, 48)
+                xs = [rng.uniform(1.0, 2.0) * 10.0 ** scale_exp for _ in range(n)]
+                acc = Welford(xs)
+                ref_mean = statistics.mean(xs)
+                ref_std = statistics.stdev(xs)
+                assert abs(acc.mean - ref_mean) <= math.ulp(ref_mean), (
+                    scale_exp, seed)
+                assert abs(acc.std - ref_std) <= math.ulp(ref_std), (
+                    scale_exp, seed)
+
+    def test_incremental_equals_bulk(self):
+        xs = [3.0, 1.0, 4.0, 1.5, 9.2, 6.5]
+        acc = Welford()
+        for x in xs:
+            acc.push(x)
+        bulk = Welford(xs)
+        assert acc.n == bulk.n == len(xs)
+        assert acc.mean == bulk.mean
+        assert acc.std == bulk.std
+
+    def test_degenerate_counts(self):
+        acc = Welford()
+        assert acc.n == 0 and acc.mean == 0.0 and acc.std == 0.0
+        acc.push(7.0)
+        assert acc.n == 1 and acc.mean == 7.0 and acc.std == 0.0
+
+    def test_zero_variance(self):
+        acc = Welford([5.0] * 10)
+        assert acc.std == 0.0
+        assert acc.variance == 0.0
+
+    def test_variance_never_negative(self):
+        # Catastrophic cancellation must clamp at 0, not go negative.
+        acc = Welford([1e15 + 1.0] * 50)
+        assert acc.variance >= 0.0
+
+
+class TestHalfWidth:
+    def test_zero_below_two_samples(self):
+        assert half_width(0, 1.0, 0.95) == 0.0
+        assert half_width(1, 1.0, 0.95) == 0.0
+
+    def test_monotone_nonincreasing_in_n(self):
+        # At fixed std the half-width must shrink (weakly) with every
+        # extra repetition — the property that guarantees the stopping
+        # loop terminates before the cap whenever variance stabilizes.
+        widths = [half_width(n, 2.5, 0.95) for n in range(2, 120)]
+        assert all(a >= b for a, b in zip(widths, widths[1:]))
+
+    def test_formula(self):
+        hw = half_width(10, 3.0, 0.95)
+        assert hw == pytest.approx(t_critical(0.95, 9) * 3.0 / math.sqrt(10))
+
+
+class TestCiBounds:
+    def test_none_below_two_samples(self):
+        assert ci_bounds(5.0, 0.0, 1, 0.95) is None
+        assert ci_bounds(5.0, 0.0, 0, 0.95) is None
+
+    def test_symmetric_around_mean(self):
+        lo, hi = ci_bounds(10.0, 2.0, 8, 0.95)
+        assert lo < 10.0 < hi
+        assert (10.0 - lo) == pytest.approx(hi - 10.0)
+
+    def test_zero_variance_degenerate_interval(self):
+        lo, hi = ci_bounds(10.0, 0.0, 5, 0.95)
+        assert lo == hi == 10.0
+
+
+class TestSamplingPolicy:
+    def test_parse_roundtrip(self):
+        p = SamplingPolicy.parse("ci=0.05,conf=0.95,min=5,max=200")
+        assert p == SamplingPolicy(ci=0.05, confidence=0.95, min_reps=5,
+                                   max_reps=200)
+        assert p.spec() == "ci=0.05,conf=0.95,min=5,max=200"
+        assert SamplingPolicy.parse(p.spec()) == p
+
+    def test_parse_any_order_and_optionals(self):
+        p = SamplingPolicy.parse("max=50,min=3,conf=0.9,ci=2.5,target=abs,batch=4")
+        assert p.ci == 2.5 and not p.relative and p.batch == 4
+        assert SamplingPolicy.parse(p.spec()) == p
+
+    def test_parse_defaults_for_omitted_keys(self):
+        assert SamplingPolicy.parse("") == SamplingPolicy()
+        assert SamplingPolicy.parse("ci=0.02") == SamplingPolicy(ci=0.02)
+
+    @pytest.mark.parametrize("bad", [
+        "ci=0.05,conf=0.95,min=5,max=200,bogus=1",
+        "ci=0.05,conf=0.95,min=5,max=200,ci=0.1",
+        "ci=x,conf=0.95,min=5,max=200",
+        "ci=0.05,conf=1.5,min=5,max=200",
+        "ci=0.05,conf=0.95,min=0,max=200",
+        "ci=0.05,conf=0.95,min=10,max=5",
+        "ci=-1,conf=0.95,min=5,max=200",
+        "ci=0.05,conf=0.95,min=5,max=200,target=weird",
+        "ci=0.05,conf=0.95,min=5,max=200,batch=0",
+        "nonsense",
+    ])
+    def test_parse_rejects(self, bad):
+        with pytest.raises(ValueError):
+            SamplingPolicy.parse(bad)
+
+    def test_resolve_sampling(self):
+        assert resolve_sampling("") is None
+        assert resolve_sampling(None) is None
+        p = SamplingPolicy()
+        assert resolve_sampling(p) is p
+        assert resolve_sampling("ci=0.1,conf=0.9,min=2,max=9").max_reps == 9
+
+    def test_min_and_max_reps_respected(self):
+        p = SamplingPolicy(ci=1e9, confidence=0.95, min_reps=4, max_reps=10)
+        # A huge target still cannot stop before min_reps...
+        assert not p.should_stop(3, 100.0, 50.0)
+        assert p.should_stop(4, 100.0, 50.0)
+        # ...and an unreachable target must stop at the cap.
+        tight = SamplingPolicy(ci=1e-12, confidence=0.95, min_reps=2,
+                               max_reps=10)
+        assert not tight.should_stop(9, 100.0, 50.0)
+        assert tight.should_stop(10, 100.0, 50.0)
+
+    def test_zero_variance_stops_at_min_reps(self):
+        p = SamplingPolicy(ci=0.01, confidence=0.99, min_reps=3, max_reps=500)
+        assert not p.should_stop(2, 42.0, 0.0)
+        assert p.should_stop(3, 42.0, 0.0)
+
+    def test_relative_vs_absolute_target(self):
+        rel = SamplingPolicy(ci=0.1, confidence=0.95, min_reps=2, max_reps=100)
+        ab = SamplingPolicy(ci=5.0, confidence=0.95, min_reps=2, max_reps=100,
+                            relative=False)
+        assert rel.target_width(200.0) == pytest.approx(20.0)
+        assert ab.target_width(200.0) == 5.0
+        # std such that hw(n=10) ~= t * std / sqrt(10)
+        std = 10.0 / t_critical(0.95, 9) * math.sqrt(10)
+        assert rel.should_stop(10, 200.0, std)  # hw ~10 <= 20
+        assert not ab.should_stop(10, 200.0, std)  # hw ~10 > 5
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SamplingPolicy(ci=0.0)
+        with pytest.raises(ValueError):
+            SamplingPolicy(confidence=1.0)
+        with pytest.raises(ValueError):
+            SamplingPolicy(min_reps=0)
+        with pytest.raises(ValueError):
+            SamplingPolicy(min_reps=20, max_reps=10)
+        with pytest.raises(ValueError):
+            SamplingPolicy(batch=0)

@@ -102,6 +102,20 @@ class TestExperimentCommands:
         out = capsys.readouterr().out
         assert "Matrix #2213" in out and "1/alpha" in out
 
+    def test_adaptive_figure1_reports_savings(self, capsys):
+        rc = main(["figure1", "--scale", "48", "--uids", "2213",
+                   "--mtbf", "16", "--jobs", "1",
+                   "--adaptive", "ci=0.5,conf=0.9,min=2,max=6"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "Matrix #2213" in out
+        assert "CI half-width" in out
+        assert "adaptive sampling:" in out
+
+    def test_adaptive_bad_spec_exits_2(self, capsys):
+        assert main(["figure1", "--adaptive", "ci=nope"]) == 2
+        assert "--adaptive" in capsys.readouterr().err
+
     def test_invalid_jobs_exits_2(self, capsys):
         assert main(["table1", "--jobs", "0"]) == 2
         assert "--jobs" in capsys.readouterr().err
@@ -151,6 +165,28 @@ class TestStudyCommand:
         assert capsys.readouterr().out == first_out
         assert store.read_text() == stored  # zero recomputation
 
+    def test_run_with_adaptive_override(self, spec, tmp_path, capsys):
+        store = tmp_path / "ad.jsonl"
+        rc = main(["study", "run", str(spec), "--jobs", "1",
+                   "--store", str(store), "--progress", "none",
+                   "--adaptive", "ci=0.5,conf=0.9,min=2,max=6"])
+        assert rc == 0
+        from repro.campaign import ResultStore
+
+        recs = [
+            r for r in ResultStore(store).load().values()
+            if r.get("kind") not in ("telemetry", "partial")
+        ]
+        assert recs
+        for r in recs:
+            assert r["task"]["sampling"] == "ci=0.5,conf=0.9,min=2,max=6"
+            assert r["task"]["reps"] == 6
+            assert 2 <= r["stats"]["reps"] <= 6
+
+    def test_run_with_bad_adaptive_exits_2(self, spec, capsys):
+        assert main(["study", "run", str(spec), "--adaptive", "wat"]) == 2
+        assert "--adaptive" in capsys.readouterr().err
+
     def test_store_clobber_refused(self, spec, tmp_path, capsys):
         store = tmp_path / "study.jsonl"
         store.write_text('{"hash": "x"}\n')
@@ -197,6 +233,37 @@ class TestReportCommand:
                      '"stats": {"mean_time": 1.0, "reps": 1}}\n')
         assert main(["report", str(store)]) == 0
         assert "2 without usable statistics" in capsys.readouterr().out
+
+    def test_report_shows_adaptive_savings_and_partials(self, tmp_path, capsys):
+        from repro.campaign.executor import make_partial_record
+        from repro.store import open_store
+
+        path = tmp_path / "adaptive.jsonl"
+        st = open_store(str(path))
+        st.append({
+            "hash": "h1",
+            "task": {"experiment": "figure1", "scheme": "abft-detection",
+                     "reps": 50},
+            "stats": {"mean_time": 10.0, "min_time": 9.0, "max_time": 11.0,
+                      "convergence_rate": 1.0, "reps": 9},
+        })
+        st.append(make_partial_record("h2", {
+            "times": [1.0], "iterations": [3], "rollbacks": [0],
+            "corrections": [0], "faults": [0], "converged": [True],
+        }))
+        assert main(["report", str(path)]) == 0
+        out = capsys.readouterr().out
+        # Partial checkpoints are their own line, never "records"/skips.
+        assert "records: 1" in out
+        assert "partials: 1 in-flight" in out
+        assert "saved" in out  # the adaptive column
+        assert "adaptive sampling saved 41 of 50 repetition(s) (82.0%)" in out
+
+    def test_report_fixed_store_has_no_adaptive_lines(self, store, capsys):
+        assert main(["report", str(store)]) == 0
+        out = capsys.readouterr().out
+        assert "saved" not in out
+        assert "partials" not in out
 
     def test_report_missing_store_exits_2(self, tmp_path, capsys):
         assert main(["report", str(tmp_path / "nope.jsonl")]) == 2

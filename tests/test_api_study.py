@@ -225,3 +225,62 @@ class TestExecution:
             if r.get("kind") != "telemetry"
         }
         assert set(loaded) == {t.task_hash() for t in small_study.tasks()}
+
+
+class TestAdaptiveSampling:
+    SPEC = "ci=0.5,conf=0.9,min=2,max=6"
+
+    def test_adaptive_canonicalizes_generic_study(self):
+        study = (Study("ad")
+                 .axis("s", [2, 4])
+                 .fix(uid=2213, scale=48, alpha=1 / 16.0)
+                 .adaptive("max=6,min=2,conf=0.9,ci=0.5"))
+        tasks = study.tasks()
+        assert all(t.sampling == self.SPEC for t in tasks)
+        # The cap becomes the task's rep count, whatever reps was.
+        assert all(t.reps == 6 for t in tasks)
+
+    def test_adaptive_on_presets(self):
+        study = Study.figure1(scale=48, uids=[2213], mtbf_values=[16.0],
+                              sampling=self.SPEC)
+        assert all(t.sampling == self.SPEC for t in study.tasks())
+        cleared = study.adaptive("")
+        assert all(t.sampling == "" for t in cleared.tasks())
+
+    def test_adaptive_rejects_bad_spec(self):
+        with pytest.raises(ValueError):
+            Study("bad").axis("s", [2]).adaptive("ci=nope")
+
+    def test_adaptive_survives_save_load(self, tmp_path):
+        path = tmp_path / "ad.json"
+        (Study("ad")
+         .axis("s", [2, 4])
+         .fix(uid=2213, scale=48, alpha=1 / 16.0)
+         .adaptive(self.SPEC)).save(path)
+        clone = Study.load(path)
+        assert [t.task_hash() for t in clone.tasks()] == [
+            t.task_hash()
+            for t in (Study("ad").axis("s", [2, 4])
+                      .fix(uid=2213, scale=48, alpha=1 / 16.0)
+                      .adaptive(self.SPEC)).tasks()
+        ]
+
+    def test_adaptive_run_reports_savings(self):
+        study = (Study("ad-run")
+                 .axis("s", [2, 4])
+                 .fix(uid=2213, scale=48, alpha=1 / 16.0)
+                 .adaptive(self.SPEC))
+        result = study.run(jobs=1)
+        caps = sum(t.reps for t in result.tasks)
+        assert 0 < result.total_reps <= caps
+        assert result.reps_saved == caps - result.total_reps
+        for p in result.points():
+            assert 2 <= p.stats.reps <= 6
+
+    def test_fixed_run_reports_zero_savings(self):
+        study = (Study("fx")
+                 .axis("s", [2])
+                 .fix(uid=2213, scale=48, reps=2, alpha=1 / 16.0))
+        result = study.run(jobs=1)
+        assert result.total_reps == 2
+        assert result.reps_saved == 0

@@ -27,13 +27,13 @@ class TestTaskSpec:
 
     def test_hash_stable_across_sessions(self):
         # Regression pin: a changed hash silently invalidates every
-        # existing result store.  (Schema v3: the `backend` field — the
-        # kernel axis — entered the hash, after v2's `method` solver
-        # axis.)
+        # existing result store.  (Schema v4: the `sampling` policy —
+        # adaptive sequential stopping — entered the hash, after v3's
+        # `backend` kernel axis and v2's `method` solver axis.)
         t = TaskSpec("table1", uid=2213, scale=48, scheme="abft-detection",
                      alpha=0.0625, s=5, labels=("table1", 2213, "s", 5))
         assert t.task_hash() == (
-            "2bb73a169ff34829436e99c7aa31d75804b7463c0e4c27a7868f030d1a03a9e6"
+            "96e27dde61b7f2dff3c6dda5a25318f828d169f446cda4473846b93b66bf6482"
         )
 
     def test_method_in_hash(self):
@@ -82,6 +82,61 @@ class TestTaskSpec:
         d = t.to_json()
         assert d["labels"] == ["figure1", 341, 100.0]
         assert d["scheme"] == "online-detection"
+
+
+class TestTaskSpecSampling:
+    SPEC = "ci=0.05,conf=0.95,min=5,max=20"
+
+    def _task(self, **kw):
+        base = dict(experiment="table1", uid=1, scale=1,
+                    scheme="abft-detection", alpha=0.1, s=5)
+        return TaskSpec(**{**base, **kw})
+
+    def test_sampling_is_task_identity(self):
+        # The policy changes *which result the task stands for* (rep
+        # count becomes data-dependent), so it must enter the hash.
+        fixed = self._task(reps=20)
+        adaptive = self._task(reps=20, sampling=self.SPEC)
+        assert fixed.task_hash() != adaptive.task_hash()
+        other = self._task(reps=20,
+                           sampling="ci=0.1,conf=0.95,min=5,max=20")
+        assert other.task_hash() != adaptive.task_hash()
+
+    def test_sampling_must_be_canonical(self):
+        # Hash aliasing guard: two spellings of one policy must not
+        # produce two hashes, so only the canonical spelling is legal.
+        with pytest.raises(ValueError, match="canonical"):
+            self._task(reps=20, sampling="max=20,min=5,conf=0.95,ci=0.05")
+
+    def test_reps_must_equal_policy_cap(self):
+        with pytest.raises(ValueError, match="policy rep cap"):
+            self._task(reps=10, sampling=self.SPEC)
+
+    def test_adaptive_task_roundtrips_json(self):
+        t = self._task(reps=20, sampling=self.SPEC)
+        clone = TaskSpec.from_json(t.to_json())
+        assert clone == t
+        assert clone.task_hash() == t.task_hash()
+
+    def test_campaign_spec_canonicalizes_and_sets_cap(self):
+        spec = CampaignSpec(
+            kind="figure1", scale=16, reps=3, uids=(2213,),
+            mtbf_values=(100.0,),
+            sampling="max=20,min=5,conf=0.95,ci=0.05",
+        )
+        assert spec.sampling == self.SPEC
+        tasks = spec.expand()
+        assert tasks
+        # Adaptive expansion ignores `reps` in favour of the policy cap
+        # (reps - stats.reps is then the per-task savings).
+        assert all(t.reps == 20 for t in tasks)
+        assert all(t.sampling == self.SPEC for t in tasks)
+
+    def test_campaign_spec_without_sampling_unchanged(self):
+        spec = CampaignSpec(kind="figure1", scale=16, reps=3, uids=(2213,),
+                            mtbf_values=(100.0,))
+        assert spec.sampling == ""
+        assert all(t.reps == 3 and t.sampling == "" for t in spec.expand())
 
 
 class TestCampaignSpecExpansion:

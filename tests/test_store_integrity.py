@@ -294,6 +294,48 @@ class TestCompactStore:
         )
         assert ResultStore(tmp_path / "dst.jsonl").load() == {}
 
+    def test_drops_partials_of_settled_tasks_only(self, tmp_path):
+        from repro.campaign.executor import make_partial_record
+
+        per_rep = {
+            "times": [1.0], "iterations": [3], "rollbacks": [0],
+            "corrections": [0], "faults": [0], "converged": [True],
+        }
+        src = ResultStore(tmp_path / "src.jsonl")
+        # "aaa" finished after its checkpoint; "bbb" is still in flight.
+        src.append(make_partial_record("aaa", per_rep))
+        src.append(_record("aaa"))
+        src.append(make_partial_record("bbb", per_rep))
+        kept = compact_store(
+            str(tmp_path / "src.jsonl"), str(tmp_path / "dst.jsonl")
+        )
+        assert kept == 2
+        loaded = ResultStore(tmp_path / "dst.jsonl").load()
+        assert set(loaded) == {"aaa", "partial:bbb"}
+
+    def test_drop_quarantined_revives_the_partial_checkpoint(self, tmp_path):
+        from repro.campaign.executor import make_partial_record
+
+        per_rep = {
+            "times": [1.0], "iterations": [3], "rollbacks": [0],
+            "corrections": [0], "faults": [0], "converged": [True],
+        }
+        src = ResultStore(tmp_path / "src.jsonl")
+        src.append(make_partial_record("aaa", per_rep))
+        src.append(_record("aaa", kind="quarantine"))
+        # Keeping the quarantine settles the task: the checkpoint dies.
+        compact_store(str(tmp_path / "src.jsonl"), str(tmp_path / "q.jsonl"))
+        assert set(ResultStore(tmp_path / "q.jsonl").load()) == {"aaa"}
+        # Dropping it un-settles the task: the checkpoint survives, so
+        # the retried task resumes from its prefix.
+        compact_store(
+            str(tmp_path / "src.jsonl"), str(tmp_path / "dst.jsonl"),
+            drop_quarantined=True,
+        )
+        assert set(ResultStore(tmp_path / "dst.jsonl").load()) == {
+            "partial:aaa"
+        }
+
     def test_refuses_populated_destination(self, tmp_path):
         self._populated(tmp_path)
         ResultStore(tmp_path / "dst.jsonl").append(_record("zzz"))

@@ -108,3 +108,47 @@ class TestServeSupportsFlags:
         assert ShardedStore(tmp_path / "a.d").supports_leases
         assert SqliteStore(tmp_path / "a.db").supports_leases
         assert not ResultStore(tmp_path / "a.jsonl").supports_leases
+
+
+class TestServeAdaptive:
+    @pytest.fixture(scope="class")
+    def adaptive_tasks(self):
+        return CampaignSpec(
+            kind="table1", scale=48, uids=(2213,), s_span=0,
+            sampling="ci=0.5,conf=0.9,min=2,max=6",
+        ).expand()
+
+    def test_fleet_matches_jobs1_and_resumes_partials(
+        self, tmp_path, adaptive_tasks
+    ):
+        # Adaptive tasks through the lease-coordinated fleet: same
+        # records as the serial executor, and a partial checkpoint
+        # seeded into the store is honoured (the worker resumes the
+        # prefix rather than recomputing it).
+        serial = run_campaign(adaptive_tasks, jobs=1)
+        url = f"sqlite:{tmp_path / 'ad.db'}"
+        records = serve_campaign(adaptive_tasks, url, workers=2,
+                                 lease_ttl=30.0)
+        assert records == serial
+
+    def test_seeded_partial_is_resumed_not_recomputed(
+        self, tmp_path, adaptive_tasks
+    ):
+        from repro.campaign.executor import execute_task
+
+        serial = run_campaign(adaptive_tasks, jobs=1)
+        task = adaptive_tasks[0]
+        captured = []
+
+        class Sink:
+            def append(self, rec):
+                captured.append(rec)
+
+        execute_task(task, partial_store=Sink())
+        assert captured
+        url = f"sqlite:{tmp_path / 'seeded.db'}"
+        store = open_store(url)
+        store.append(captured[0])  # checkpoint after rep 1
+        records = serve_campaign(adaptive_tasks, url, workers=2,
+                                 lease_ttl=30.0)
+        assert records == serial
